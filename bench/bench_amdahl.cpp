@@ -1,0 +1,70 @@
+// bench_amdahl — experiment E15 (Chapter 1, Amdahl's law): measured
+// speedup of a partly-sequential workload versus the analytic bound
+//
+//     S = 1 / (1 - p + p/n)
+//
+// The workload: `kWork` units, a fraction p of which can be processed by
+// the work-stealing pool in parallel, the rest on one thread behind a
+// lock.  The harness prints the analytic bound beside the measured time
+// so EXPERIMENTS.md can compare shapes.  (On this 1-CPU host every
+// speedup collapses to ≈1 — the n=1 column of Amdahl's table — which is
+// itself the verifiable prediction.)
+
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+
+#include "bench_util.hpp"
+#include "tamp/steal/pool.hpp"
+
+namespace {
+
+using namespace tamp;
+
+constexpr int kWork = 512;
+
+// A work unit heavy enough (~5 µs) that scheduling overhead does not
+// swamp the law being measured.
+long work_unit(long seed) {
+    long x = seed | 1;
+    for (int i = 0; i < 4000; ++i) x = x * 6364136223846793005L + 1;
+    return x;
+}
+
+void BM_Amdahl(benchmark::State& state) {
+    const int parallel_pct = static_cast<int>(state.range(0));
+    const auto workers = static_cast<std::size_t>(state.range(1));
+    WorkStealingPool pool(workers);
+    const int parallel_units = kWork * parallel_pct / 100;
+    for (auto _ : state) {
+        std::atomic<long> sink{0};
+        // Sequential fraction: one thread, in order.
+        for (int i = parallel_units; i < kWork; ++i) {
+            sink.fetch_add(work_unit(i));
+        }
+        // Parallel fraction: fan out to the pool.
+        for (int i = 0; i < parallel_units; ++i) {
+            pool.submit([&sink, i] { sink.fetch_add(work_unit(i)); });
+        }
+        pool.wait_idle();
+        benchmark::DoNotOptimize(sink.load());
+    }
+    const double p = parallel_pct / 100.0;
+    const double n = static_cast<double>(workers);
+    state.counters["amdahl_bound"] = 1.0 / ((1.0 - p) + p / n);
+    state.SetItemsProcessed(state.iterations() * kWork);
+}
+BENCHMARK(BM_Amdahl)
+    ->Args({0, 1})
+    ->Args({50, 1})
+    ->Args({50, 2})
+    ->Args({50, 4})
+    ->Args({90, 1})
+    ->Args({90, 2})
+    ->Args({90, 4})
+    ->Args({100, 4})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,50 @@
+// bench_barriers — experiment E13 (Chapter 17): barrier episodes per
+// second at 2/4/8 threads for the four phase barriers.  The book's
+// qualitative ordering on big machines: the flat sense-reversing barrier's
+// single counter becomes the bottleneck, trees and dissemination scale.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+#include "tamp/barrier/barriers.hpp"
+
+namespace {
+
+using namespace tamp;
+using tamp_bench::Shared;
+
+template <typename B>
+void barrier_loop(benchmark::State& state) {
+    Shared<B>::setup(state, static_cast<std::size_t>(state.threads()));
+    const auto me = static_cast<std::size_t>(state.thread_index());
+    for (auto _ : state) {
+        Shared<B>::instance->await(me);
+    }
+    state.SetItemsProcessed(state.iterations());
+    Shared<B>::teardown(state);
+}
+
+void BM_SenseReversing(benchmark::State& s) {
+    barrier_loop<SenseReversingBarrier>(s);
+}
+void BM_CombiningTreeBarrier(benchmark::State& s) {
+    barrier_loop<CombiningTreeBarrier>(s);
+}
+void BM_StaticTreeBarrier(benchmark::State& s) {
+    barrier_loop<StaticTreeBarrier>(s);
+}
+void BM_Dissemination(benchmark::State& s) {
+    barrier_loop<DisseminationBarrier>(s);
+}
+
+#define TAMP_BARRIER_THREADS(name) \
+    BENCHMARK(name)->Threads(2)->Threads(4)->Threads(8)->UseRealTime()
+
+TAMP_BARRIER_THREADS(BM_SenseReversing);
+TAMP_BARRIER_THREADS(BM_CombiningTreeBarrier);
+TAMP_BARRIER_THREADS(BM_StaticTreeBarrier);
+TAMP_BARRIER_THREADS(BM_Dissemination);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,53 @@
+// bench_counting — experiment E8 (Chapter 12): shared-counter throughput.
+//
+// Every thread hammers getAndIncrement.  Series: the single fetch-and-add
+// word (baseline), the software combining tree, the bitonic and periodic
+// counting networks (width 4), and the diffracting tree.  The book's
+// qualitative claim: the distributed counters overtake the single hot
+// word once enough threads fight for it; at low thread counts they lose
+// badly (tree/network latency is pure overhead for one thread).
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+#include "tamp/counting/counting.hpp"
+
+namespace {
+
+using namespace tamp;
+using tamp_bench::Shared;
+
+template <typename C, typename... Args>
+void counter_loop(benchmark::State& state, Args&&... args) {
+    Shared<C>::setup(state, std::forward<Args>(args)...);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            Shared<C>::instance->get_and_increment());
+    }
+    state.SetItemsProcessed(state.iterations());
+    Shared<C>::teardown(state);
+}
+
+void BM_SingleCounter(benchmark::State& s) { counter_loop<SingleCounter>(s); }
+void BM_CombiningTree(benchmark::State& s) {
+    counter_loop<CombiningTree>(s, std::size_t{16});
+}
+void BM_BitonicCounter(benchmark::State& s) {
+    counter_loop<BitonicCounter>(s, std::size_t{4});
+}
+void BM_PeriodicCounter(benchmark::State& s) {
+    counter_loop<PeriodicCounter>(s, std::size_t{4});
+}
+void BM_DiffractingCounter(benchmark::State& s) {
+    counter_loop<DiffractingTreeCounter>(s, std::size_t{4});
+}
+
+TAMP_BENCH_THREADS(BM_SingleCounter);
+TAMP_BENCH_THREADS(BM_CombiningTree);
+TAMP_BENCH_THREADS(BM_BitonicCounter);
+TAMP_BENCH_THREADS(BM_PeriodicCounter);
+TAMP_BENCH_THREADS(BM_DiffractingCounter);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,87 @@
+// bench_hash — experiment E9 (Chapter 13): hash-set throughput, resizing
+// enabled, under the read-heavy (90/9/1) and update-heavy (34/33/33)
+// mixes over a key range large enough to force several resizes.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+#include "tamp/hash/hash.hpp"
+
+namespace {
+
+using namespace tamp;
+using tamp_bench::Shared;
+
+constexpr int kKeyRange = 4096;
+
+template <typename Set>
+void hash_mix(benchmark::State& state, int contains_pct, int add_pct) {
+    Shared<Set>::setup(state);
+    if (state.thread_index() == 0) {
+        for (int v = 0; v < kKeyRange; v += 2) Shared<Set>::instance->add(v);
+    }
+    auto rng = tamp_bench::bench_rng(state);
+    for (auto _ : state) {
+        Set& set = *Shared<Set>::instance;
+        const int v = static_cast<int>(rng.next_below(kKeyRange));
+        const int op = static_cast<int>(rng.next_below(100));
+        bool r;
+        if (op < contains_pct) {
+            r = set.contains(v);
+        } else if (op < contains_pct + add_pct) {
+            r = set.add(v);
+        } else {
+            r = set.remove(v);
+        }
+        benchmark::DoNotOptimize(r);
+    }
+    state.SetItemsProcessed(state.iterations());
+    Shared<Set>::teardown(state);
+}
+
+void BM_CoarseHash_Read(benchmark::State& s) {
+    hash_mix<CoarseHashSet<int>>(s, 90, 9);
+}
+void BM_StripedHash_Read(benchmark::State& s) {
+    hash_mix<StripedHashSet<int>>(s, 90, 9);
+}
+void BM_RefinableHash_Read(benchmark::State& s) {
+    hash_mix<RefinableHashSet<int>>(s, 90, 9);
+}
+void BM_SplitOrdered_Read(benchmark::State& s) {
+    hash_mix<SplitOrderedHashSet<int>>(s, 90, 9);
+}
+void BM_Cuckoo_Read(benchmark::State& s) {
+    hash_mix<StripedCuckooHashSet<int>>(s, 90, 9);
+}
+
+void BM_CoarseHash_Update(benchmark::State& s) {
+    hash_mix<CoarseHashSet<int>>(s, 34, 33);
+}
+void BM_StripedHash_Update(benchmark::State& s) {
+    hash_mix<StripedHashSet<int>>(s, 34, 33);
+}
+void BM_RefinableHash_Update(benchmark::State& s) {
+    hash_mix<RefinableHashSet<int>>(s, 34, 33);
+}
+void BM_SplitOrdered_Update(benchmark::State& s) {
+    hash_mix<SplitOrderedHashSet<int>>(s, 34, 33);
+}
+void BM_Cuckoo_Update(benchmark::State& s) {
+    hash_mix<StripedCuckooHashSet<int>>(s, 34, 33);
+}
+
+TAMP_BENCH_THREADS(BM_CoarseHash_Read);
+TAMP_BENCH_THREADS(BM_StripedHash_Read);
+TAMP_BENCH_THREADS(BM_RefinableHash_Read);
+TAMP_BENCH_THREADS(BM_SplitOrdered_Read);
+TAMP_BENCH_THREADS(BM_Cuckoo_Read);
+TAMP_BENCH_THREADS(BM_CoarseHash_Update);
+TAMP_BENCH_THREADS(BM_StripedHash_Update);
+TAMP_BENCH_THREADS(BM_RefinableHash_Update);
+TAMP_BENCH_THREADS(BM_SplitOrdered_Update);
+TAMP_BENCH_THREADS(BM_Cuckoo_Update);
+
+}  // namespace
+
+BENCHMARK_MAIN();

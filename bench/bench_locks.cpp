@@ -1,0 +1,68 @@
+// bench_locks — experiments E1–E3 (book Figs. 7.4, 7.8, 7.10): spin-lock
+// throughput under contention.
+//
+// Workload: each thread repeatedly acquires the shared lock, bumps a
+// shared counter (a tiny critical section — the regime where lock overhead
+// dominates), and releases.  The book's curves plot time vs threads for
+// TAS vs TTAS (7.4), TTAS vs backoff (7.8), and backoff vs the queue locks
+// ALock/CLH/MCS (7.10); this binary emits all of those series plus
+// std::mutex and the timeout-capable locks for reference.
+
+#include <benchmark/benchmark.h>
+
+#include <mutex>
+
+#include "bench_util.hpp"
+#include "tamp/spin/spin.hpp"
+
+namespace {
+
+using namespace tamp;
+using tamp_bench::Shared;
+
+struct Protected {
+    long counter = 0;
+};
+
+template <typename Lock>
+void lock_loop(benchmark::State& state) {
+    Shared<Lock>::setup(state);
+    Shared<Protected>::setup(state);
+    for (auto _ : state) {
+        Lock& lock = *Shared<Lock>::instance;
+        lock.lock();
+        benchmark::DoNotOptimize(++Shared<Protected>::instance->counter);
+        lock.unlock();
+    }
+    state.SetItemsProcessed(state.iterations());
+    Shared<Protected>::teardown(state);
+    Shared<Lock>::teardown(state);
+}
+
+void BM_TASLock(benchmark::State& s) { lock_loop<TASLock>(s); }
+void BM_TTASLock(benchmark::State& s) { lock_loop<TTASLock>(s); }
+void BM_BackoffLock(benchmark::State& s) { lock_loop<BackoffLock>(s); }
+void BM_ALock(benchmark::State& s) { lock_loop<ALock>(s); }
+void BM_CLHLock(benchmark::State& s) { lock_loop<CLHLock>(s); }
+void BM_MCSLock(benchmark::State& s) { lock_loop<MCSLock>(s); }
+void BM_CompositeLock(benchmark::State& s) { lock_loop<CompositeLock>(s); }
+void BM_HBOLock(benchmark::State& s) { lock_loop<HBOLock>(s); }
+void BM_TOLock(benchmark::State& s) { lock_loop<TOLock>(s); }
+void BM_HCLHLock(benchmark::State& s) { lock_loop<HCLHLock>(s); }
+void BM_StdMutex(benchmark::State& s) { lock_loop<std::mutex>(s); }
+
+TAMP_BENCH_THREADS(BM_TASLock);
+TAMP_BENCH_THREADS(BM_TTASLock);
+TAMP_BENCH_THREADS(BM_BackoffLock);
+TAMP_BENCH_THREADS(BM_ALock);
+TAMP_BENCH_THREADS(BM_CLHLock);
+TAMP_BENCH_THREADS(BM_MCSLock);
+TAMP_BENCH_THREADS(BM_CompositeLock);
+TAMP_BENCH_THREADS(BM_HBOLock);
+TAMP_BENCH_THREADS(BM_TOLock);
+TAMP_BENCH_THREADS(BM_HCLHLock);
+TAMP_BENCH_THREADS(BM_StdMutex);
+
+}  // namespace
+
+BENCHMARK_MAIN();

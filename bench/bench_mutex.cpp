@@ -1,0 +1,92 @@
+// bench_mutex — experiment E4: the Chapter 2 classic read/write-register
+// locks.  The book's point is qualitative (Bakery and Filter cost grows
+// with n even uncontended; Peterson is cheap but two-thread-only); this
+// binary measures acquisition+release cost at 1/2/4/8 threads, with each
+// thread using its registry slot as its lock slot.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+#include "tamp/mutex/mutex.hpp"
+
+namespace {
+
+using namespace tamp;
+using tamp_bench::Shared;
+
+struct Protected {
+    long counter = 0;
+};
+
+// NOTE: the shared lock may only be dereferenced *inside* the iteration
+// loop — the benchmark library's start barrier is what publishes thread
+// 0's setup to the other threads.
+template <typename Lock>
+void slotted_lock_loop(benchmark::State& state) {
+    const auto me = static_cast<std::size_t>(state.thread_index());
+    Shared<Protected>::setup(state);
+    for (auto _ : state) {
+        Lock& lock = *Shared<Lock>::instance;
+        lock.lock(me);
+        benchmark::DoNotOptimize(++Shared<Protected>::instance->counter);
+        lock.unlock(me);
+    }
+    state.SetItemsProcessed(state.iterations());
+    Shared<Protected>::teardown(state);
+}
+
+void BM_Peterson(benchmark::State& state) {
+    Shared<PetersonLock>::setup(state);
+    slotted_lock_loop<PetersonLock>(state);
+    Shared<PetersonLock>::teardown(state);
+}
+BENCHMARK(BM_Peterson)->Threads(1)->Threads(2)->UseRealTime();
+
+void BM_Filter(benchmark::State& state) {
+    Shared<FilterLock>::setup(state, static_cast<std::size_t>(
+                                         state.threads()));
+    slotted_lock_loop<FilterLock>(state);
+    Shared<FilterLock>::teardown(state);
+}
+TAMP_BENCH_THREADS(BM_Filter);
+
+void BM_Bakery(benchmark::State& state) {
+    Shared<BakeryLock>::setup(state, static_cast<std::size_t>(
+                                         state.threads()));
+    slotted_lock_loop<BakeryLock>(state);
+    Shared<BakeryLock>::teardown(state);
+}
+TAMP_BENCH_THREADS(BM_Bakery);
+
+void BM_Tournament(benchmark::State& state) {
+    Shared<TournamentLock>::setup(state, static_cast<std::size_t>(
+                                             state.threads()));
+    slotted_lock_loop<TournamentLock>(state);
+    Shared<TournamentLock>::teardown(state);
+}
+TAMP_BENCH_THREADS(BM_Tournament);
+
+// Wide-capacity solo acquisitions: the book's observation that Filter and
+// Bakery pay O(n) per acquisition *even alone*, while the tournament pays
+// O(log n).
+template <typename Lock>
+void solo_wide(benchmark::State& state) {
+    Lock lock(static_cast<std::size_t>(state.range(0)));
+    for (auto _ : state) {
+        lock.lock(0);
+        lock.unlock(0);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+void BM_FilterSoloWide(benchmark::State& s) { solo_wide<FilterLock>(s); }
+void BM_BakerySoloWide(benchmark::State& s) { solo_wide<BakeryLock>(s); }
+void BM_TournamentSoloWide(benchmark::State& s) {
+    solo_wide<TournamentLock>(s);
+}
+BENCHMARK(BM_FilterSoloWide)->Arg(2)->Arg(8)->Arg(32)->Arg(128);
+BENCHMARK(BM_BakerySoloWide)->Arg(2)->Arg(8)->Arg(32)->Arg(128);
+BENCHMARK(BM_TournamentSoloWide)->Arg(2)->Arg(8)->Arg(32)->Arg(128);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,71 @@
+// bench_pqueue — experiment E11 (Chapter 15): priority-queue throughput
+// under a mixed add/removeMin workload (each iteration adds one item at a
+// random priority and removes one minimum — keeps the structure at a
+// stable size).  Series: array bins, counter tree, the fine-grained heap,
+// and the skiplist-based SkipQueue.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+#include "tamp/pqueue/pqueue.hpp"
+
+namespace {
+
+using namespace tamp;
+using tamp_bench::Shared;
+
+constexpr std::size_t kRange = 64;       // bounded-range structures
+constexpr std::size_t kPrefill = 256;
+
+template <typename Q, typename AddFn, typename TakeFn, typename... Args>
+void pq_loop(benchmark::State& state, AddFn add, TakeFn take,
+             Args&&... args) {
+    Shared<Q>::setup(state, std::forward<Args>(args)...);
+    if (state.thread_index() == 0) {
+        auto rng = tamp_bench::bench_rng(state);
+        for (std::size_t i = 0; i < kPrefill; ++i) {
+            add(*Shared<Q>::instance, static_cast<int>(i),
+                rng.next_below(kRange));
+        }
+    }
+    auto rng = tamp_bench::bench_rng(state);
+    for (auto _ : state) {
+        Q& q = *Shared<Q>::instance;
+        add(q, 7, rng.next_below(kRange));
+        int out;
+        benchmark::DoNotOptimize(take(q, out));
+    }
+    state.SetItemsProcessed(state.iterations());
+    Shared<Q>::teardown(state);
+}
+
+void BM_LinearArrayPQ(benchmark::State& s) {
+    pq_loop<LinearArrayPQ<int>>(
+        s, [](auto& q, int v, std::size_t p) { q.add(v, p); },
+        [](auto& q, int& out) { return q.try_remove_min(out); }, kRange);
+}
+void BM_TreePQ(benchmark::State& s) {
+    pq_loop<TreePQ<int>>(
+        s, [](auto& q, int v, std::size_t p) { q.add(v, p); },
+        [](auto& q, int& out) { return q.try_remove_min(out); }, kRange);
+}
+void BM_FineGrainedHeap(benchmark::State& s) {
+    pq_loop<FineGrainedHeap<int>>(
+        s, [](auto& q, int v, std::size_t p) { q.add(v, p); },
+        [](auto& q, int& out) { return q.try_remove_min(out); },
+        std::size_t{1 << 16});
+}
+void BM_SkipQueue(benchmark::State& s) {
+    pq_loop<SkipQueue<int>>(
+        s, [](auto& q, int v, std::size_t p) { q.add(v, p); },
+        [](auto& q, int& out) { return q.try_remove_min(out); });
+}
+
+TAMP_BENCH_THREADS(BM_LinearArrayPQ);
+TAMP_BENCH_THREADS(BM_TreePQ);
+TAMP_BENCH_THREADS(BM_FineGrainedHeap);
+TAMP_BENCH_THREADS(BM_SkipQueue);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,134 @@
+// bench_principles — ablation over the "Principles" half (Chapters 4–6):
+// what do the register constructions, snapshots, consensus objects, and
+// universal constructions cost?  The book proves these correct and
+// (mostly) leaves performance to the imagination; measuring them makes
+// the cost of universality concrete — the wait-free universal counter is
+// orders of magnitude slower than the CAS counter it simulates, which is
+// exactly why the practice half of the book exists.
+
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+
+#include "bench_util.hpp"
+#include "tamp/consensus/consensus.hpp"
+#include "tamp/consensus/universal.hpp"
+#include "tamp/registers/registers.hpp"
+
+namespace {
+
+using namespace tamp;
+using tamp_bench::Shared;
+
+// ---------------------------------------------------------- registers
+
+void BM_HardwareRegisterRead(benchmark::State& state) {
+    AtomicRegister<std::int64_t> r(1);
+    for (auto _ : state) benchmark::DoNotOptimize(r.read());
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HardwareRegisterRead);
+
+void BM_AtomicMRSWRead(benchmark::State& state) {
+    const auto readers = static_cast<std::size_t>(state.range(0));
+    AtomicMRSW<> r(readers, 1);
+    for (auto _ : state) benchmark::DoNotOptimize(r.read(0));
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AtomicMRSWRead)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_AtomicMRMWWrite(benchmark::State& state) {
+    const auto writers = static_cast<std::size_t>(state.range(0));
+    AtomicMRMW<> r(writers, 0);
+    for (auto _ : state) r.write(0, 5);
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AtomicMRMWWrite)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
+
+// ---------------------------------------------------------- snapshots
+
+void BM_SimpleSnapshotScan(benchmark::State& state) {
+    const auto n = static_cast<std::size_t>(state.range(0));
+    SimpleSnapshot<long> snap(n, 0);
+    for (auto _ : state) benchmark::DoNotOptimize(snap.scan());
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SimpleSnapshotScan)->Arg(4)->Arg(16);
+
+void BM_WaitFreeSnapshotUpdate(benchmark::State& state) {
+    const auto n = static_cast<std::size_t>(state.range(0));
+    WaitFreeSnapshot<long> snap(n, 0);
+    long v = 0;
+    for (auto _ : state) snap.update(0, ++v);
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_WaitFreeSnapshotUpdate)->Arg(4)->Arg(16);
+
+// ---------------------------------------------------------- consensus
+
+void BM_CASConsensusDecide(benchmark::State& state) {
+    // Single-shot objects: construction is part of the measured cost, as
+    // it would be in any per-operation usage (cf. universal log nodes).
+    for (auto _ : state) {
+        CASConsensus<int> c(8);
+        benchmark::DoNotOptimize(c.decide(0, 42));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CASConsensusDecide);
+
+// ---------------------------------------------------------- universal
+
+struct SeqCounter {
+    long value = 0;
+    long apply(const long& d) {
+        const long old = value;
+        value += d;
+        return old;
+    }
+};
+
+void BM_CASCounterBaseline(benchmark::State& state) {
+    Shared<std::atomic<long>>::setup(state, 0);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            Shared<std::atomic<long>>::instance->fetch_add(1));
+    }
+    state.SetItemsProcessed(state.iterations());
+    Shared<std::atomic<long>>::teardown(state);
+}
+
+template <typename U>
+void universal_counter(benchmark::State& state) {
+    Shared<U>::setup(state, std::size_t{8});
+    const auto me = static_cast<std::size_t>(state.thread_index());
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(Shared<U>::instance->apply(me, 1));
+    }
+    state.SetItemsProcessed(state.iterations());
+    Shared<U>::teardown(state);
+}
+void BM_LockFreeUniversalCounter(benchmark::State& s) {
+    universal_counter<LockFreeUniversal<SeqCounter, long, long>>(s);
+}
+void BM_WaitFreeUniversalCounter(benchmark::State& s) {
+    universal_counter<WaitFreeUniversal<SeqCounter, long, long>>(s);
+}
+
+BENCHMARK(BM_CASCounterBaseline)->Threads(1)->Threads(2)->UseRealTime();
+// NOTE: the universal constructions replay the whole log per apply —
+// keep iteration budgets small or quadratic replay dominates the run.
+BENCHMARK(BM_LockFreeUniversalCounter)
+    ->Threads(1)
+    ->Threads(2)
+    ->UseRealTime()
+    ->Iterations(2000);
+BENCHMARK(BM_WaitFreeUniversalCounter)
+    ->Threads(1)
+    ->Threads(2)
+    ->UseRealTime()
+    ->Iterations(2000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,90 @@
+// bench_queues — experiment E6 (Chapter 10): queue throughput.
+//
+// Workload: every thread alternates enqueue/dequeue (the standard pairs
+// microbenchmark), so the queue stays near-empty and the head/tail hot
+// spots are maximally contended.  Series: two-lock BoundedQueue vs the
+// Michael–Scott lock-free queue; the SPSC wait-free queue is measured in
+// its only legal configuration (one producer, one consumer) as the
+// "restricted sharing is nearly free" reference point.
+
+#include <benchmark/benchmark.h>
+
+#include <thread>
+
+#include "bench_util.hpp"
+#include "tamp/queues/queues.hpp"
+
+namespace {
+
+using namespace tamp;
+using tamp_bench::Shared;
+
+template <typename Q, typename... Args>
+void pairs_loop(benchmark::State& state, Args&&... args) {
+    Shared<Q>::setup(state, std::forward<Args>(args)...);
+    for (auto _ : state) {
+        Q& q = *Shared<Q>::instance;
+        q.enqueue(42);
+        int out;
+        benchmark::DoNotOptimize(q.try_dequeue(out));
+    }
+    state.SetItemsProcessed(state.iterations());
+    Shared<Q>::teardown(state);
+}
+
+void BM_BoundedQueue(benchmark::State& s) {
+    pairs_loop<BoundedQueue<int>>(s, std::size_t{1024});
+}
+void BM_MichaelScott(benchmark::State& s) {
+    pairs_loop<LockFreeQueue<int>>(s);
+}
+void BM_RecyclingQueue(benchmark::State& s) {
+    pairs_loop<RecyclingQueue<int>>(s, std::size_t{1024});
+}
+TAMP_BENCH_THREADS(BM_BoundedQueue);
+TAMP_BENCH_THREADS(BM_MichaelScott);
+TAMP_BENCH_THREADS(BM_RecyclingQueue);
+
+// SPSC reference: thread 0 produces, thread 1 consumes.
+void BM_SpscPipe(benchmark::State& state) {
+    Shared<WaitFreeTwoThreadQueue<int>>::setup(state, std::size_t{1024});
+    // Dereference only inside the loop (after the start barrier).
+    if (state.thread_index() == 0) {
+        for (auto _ : state) {
+            auto& q = *Shared<WaitFreeTwoThreadQueue<int>>::instance;
+            while (!q.try_enqueue(7)) std::this_thread::yield();
+        }
+    } else {
+        for (auto _ : state) {
+            auto& q = *Shared<WaitFreeTwoThreadQueue<int>>::instance;
+            int out;
+            while (!q.try_dequeue(out)) std::this_thread::yield();
+            benchmark::DoNotOptimize(out);
+        }
+    }
+    state.SetItemsProcessed(state.iterations());
+    Shared<WaitFreeTwoThreadQueue<int>>::teardown(state);
+}
+BENCHMARK(BM_SpscPipe)->Threads(2)->UseRealTime();
+
+// Synchronous hand-off rate: pairs of (producer, consumer) threads.
+void BM_SyncDualQueue(benchmark::State& state) {
+    Shared<SynchronousDualQueue<int>>::setup(state);
+    if (state.thread_index() % 2 == 0) {
+        for (auto _ : state) {
+            Shared<SynchronousDualQueue<int>>::instance->enqueue(5);
+        }
+    } else {
+        for (auto _ : state) {
+            benchmark::DoNotOptimize(
+                Shared<SynchronousDualQueue<int>>::instance->dequeue());
+        }
+    }
+    state.SetItemsProcessed(state.iterations());
+    Shared<SynchronousDualQueue<int>>::teardown(state);
+}
+BENCHMARK(BM_SyncDualQueue)->Threads(2)->Threads(4)->UseRealTime();
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,112 @@
+// bench_reclaim — ablation for the reclamation substrate (DESIGN.md's
+// substitution table): what do hazard pointers and epochs cost relative
+// to no protection at all?
+//
+//  * read-side: protect-and-read a stable pointer (HP pays a fence per
+//    pointer; EBR pays a pin per operation; "none" is the GC'd-Java
+//    baseline the book's code implicitly enjoys);
+//  * churn: allocate/retire cycles through each domain.
+
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+
+#include "bench_util.hpp"
+#include "tamp/reclaim/reclaim.hpp"
+
+namespace {
+
+using namespace tamp;
+using tamp_bench::Shared;
+
+struct Box {
+    long payload = 7;
+};
+
+struct SharedBox {
+    std::atomic<Box*> ptr{new Box()};
+    ~SharedBox() { delete ptr.load(); }
+};
+
+void BM_ReadUnprotected(benchmark::State& state) {
+    Shared<SharedBox>::setup(state);
+    for (auto _ : state) {
+        Box* b = Shared<SharedBox>::instance->ptr.load(
+            std::memory_order_acquire);
+        benchmark::DoNotOptimize(b->payload);
+    }
+    state.SetItemsProcessed(state.iterations());
+    Shared<SharedBox>::teardown(state);
+}
+
+void BM_ReadHazardProtected(benchmark::State& state) {
+    Shared<SharedBox>::setup(state);
+    for (auto _ : state) {
+        HazardSlot<Box> hp;
+        Box* b = hp.protect(Shared<SharedBox>::instance->ptr);
+        benchmark::DoNotOptimize(b->payload);
+    }
+    state.SetItemsProcessed(state.iterations());
+    Shared<SharedBox>::teardown(state);
+}
+
+void BM_ReadHazardSlotReused(benchmark::State& state) {
+    // Amortize the slot claim across reads — the pattern real structures
+    // use (one slot per traversal, many protects).
+    Shared<SharedBox>::setup(state);
+    HazardSlot<Box> hp;
+    for (auto _ : state) {
+        Box* b = hp.protect(Shared<SharedBox>::instance->ptr);
+        benchmark::DoNotOptimize(b->payload);
+    }
+    state.SetItemsProcessed(state.iterations());
+    Shared<SharedBox>::teardown(state);
+}
+
+void BM_ReadEpochPinned(benchmark::State& state) {
+    Shared<SharedBox>::setup(state);
+    for (auto _ : state) {
+        EpochGuard g;
+        Box* b = Shared<SharedBox>::instance->ptr.load(
+            std::memory_order_acquire);
+        benchmark::DoNotOptimize(b->payload);
+    }
+    state.SetItemsProcessed(state.iterations());
+    Shared<SharedBox>::teardown(state);
+}
+
+TAMP_BENCH_THREADS(BM_ReadUnprotected);
+TAMP_BENCH_THREADS(BM_ReadHazardProtected);
+TAMP_BENCH_THREADS(BM_ReadHazardSlotReused);
+TAMP_BENCH_THREADS(BM_ReadEpochPinned);
+
+void BM_ChurnHazardRetire(benchmark::State& state) {
+    for (auto _ : state) {
+        hazard_retire(new Box());
+    }
+    if (state.thread_index() == 0) HazardDomain::global().drain();
+    state.SetItemsProcessed(state.iterations());
+}
+void BM_ChurnEpochRetire(benchmark::State& state) {
+    for (auto _ : state) {
+        EpochGuard g;
+        epoch_retire(new Box());
+    }
+    if (state.thread_index() == 0) EpochDomain::global().drain();
+    state.SetItemsProcessed(state.iterations());
+}
+void BM_ChurnPlainDelete(benchmark::State& state) {
+    for (auto _ : state) {
+        Box* b = new Box();
+        benchmark::DoNotOptimize(b);  // keep the allocation honest
+        delete b;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+TAMP_BENCH_THREADS(BM_ChurnHazardRetire);
+TAMP_BENCH_THREADS(BM_ChurnEpochRetire);
+TAMP_BENCH_THREADS(BM_ChurnPlainDelete);
+
+}  // namespace
+
+BENCHMARK_MAIN();

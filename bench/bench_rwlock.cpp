@@ -1,0 +1,83 @@
+// bench_rwlock — experiment E16 (Chapter 8): readers–writers locks vs a
+// plain mutex at varying read fractions.  RW locks pay extra bookkeeping,
+// so they only win when reads dominate *and* readers actually overlap;
+// the fair (FIFO) variant trades a little throughput for writer progress.
+
+#include <benchmark/benchmark.h>
+
+#include <mutex>
+
+#include "bench_util.hpp"
+#include "tamp/monitor/rwlock.hpp"
+
+namespace {
+
+using namespace tamp;
+using tamp_bench::Shared;
+
+struct Data {
+    long value = 0;
+};
+
+template <typename RW>
+void rw_mix(benchmark::State& state, int read_pct) {
+    Shared<RW>::setup(state);
+    Shared<Data>::setup(state);
+    auto rng = tamp_bench::bench_rng(state);
+    for (auto _ : state) {
+        RW& rw = *Shared<RW>::instance;
+        if (static_cast<int>(rng.next_below(100)) < read_pct) {
+            ReadGuard<RW> g(rw);
+            benchmark::DoNotOptimize(Shared<Data>::instance->value);
+        } else {
+            WriteGuard<RW> g(rw);
+            benchmark::DoNotOptimize(++Shared<Data>::instance->value);
+        }
+    }
+    state.SetItemsProcessed(state.iterations());
+    Shared<Data>::teardown(state);
+    Shared<RW>::teardown(state);
+}
+
+void mutex_mix(benchmark::State& state, int read_pct) {
+    Shared<std::mutex>::setup(state);
+    Shared<Data>::setup(state);
+    auto rng = tamp_bench::bench_rng(state);
+    for (auto _ : state) {
+        std::lock_guard<std::mutex> g(*Shared<std::mutex>::instance);
+        if (static_cast<int>(rng.next_below(100)) < read_pct) {
+            benchmark::DoNotOptimize(Shared<Data>::instance->value);
+        } else {
+            benchmark::DoNotOptimize(++Shared<Data>::instance->value);
+        }
+    }
+    state.SetItemsProcessed(state.iterations());
+    Shared<Data>::teardown(state);
+    Shared<std::mutex>::teardown(state);
+}
+
+void BM_SimpleRW_Read95(benchmark::State& s) {
+    rw_mix<SimpleReadWriteLock>(s, 95);
+}
+void BM_FifoRW_Read95(benchmark::State& s) {
+    rw_mix<FifoReadWriteLock>(s, 95);
+}
+void BM_Mutex_Read95(benchmark::State& s) { mutex_mix(s, 95); }
+void BM_SimpleRW_Read50(benchmark::State& s) {
+    rw_mix<SimpleReadWriteLock>(s, 50);
+}
+void BM_FifoRW_Read50(benchmark::State& s) {
+    rw_mix<FifoReadWriteLock>(s, 50);
+}
+void BM_Mutex_Read50(benchmark::State& s) { mutex_mix(s, 50); }
+
+TAMP_BENCH_THREADS(BM_SimpleRW_Read95);
+TAMP_BENCH_THREADS(BM_FifoRW_Read95);
+TAMP_BENCH_THREADS(BM_Mutex_Read95);
+TAMP_BENCH_THREADS(BM_SimpleRW_Read50);
+TAMP_BENCH_THREADS(BM_FifoRW_Read50);
+TAMP_BENCH_THREADS(BM_Mutex_Read50);
+
+}  // namespace
+
+BENCHMARK_MAIN();

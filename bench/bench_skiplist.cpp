@@ -1,0 +1,63 @@
+// bench_skiplist — experiment E10 (Chapter 14): lazy vs lock-free
+// skiplists at a large key range (the regime skiplists exist for), under
+// the two canonical mixes.  The list-based sets collapse here (O(n)
+// traversals); the skiplists' O(log n) search is the point.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+#include "tamp/skiplist/skiplist.hpp"
+
+namespace {
+
+using namespace tamp;
+using tamp_bench::Shared;
+
+constexpr int kKeyRange = 64 * 1024;
+
+template <typename Set>
+void skip_mix(benchmark::State& state, int contains_pct, int add_pct) {
+    Shared<Set>::setup(state);
+    if (state.thread_index() == 0) {
+        for (int v = 0; v < kKeyRange; v += 2) Shared<Set>::instance->add(v);
+    }
+    auto rng = tamp_bench::bench_rng(state);
+    for (auto _ : state) {
+        Set& set = *Shared<Set>::instance;
+        const int v = static_cast<int>(rng.next_below(kKeyRange));
+        const int op = static_cast<int>(rng.next_below(100));
+        bool r;
+        if (op < contains_pct) {
+            r = set.contains(v);
+        } else if (op < contains_pct + add_pct) {
+            r = set.add(v);
+        } else {
+            r = set.remove(v);
+        }
+        benchmark::DoNotOptimize(r);
+    }
+    state.SetItemsProcessed(state.iterations());
+    Shared<Set>::teardown(state);
+}
+
+void BM_LazySkip_Read(benchmark::State& s) {
+    skip_mix<LazySkipList<int>>(s, 90, 9);
+}
+void BM_LockFreeSkip_Read(benchmark::State& s) {
+    skip_mix<LockFreeSkipList<int>>(s, 90, 9);
+}
+void BM_LazySkip_Update(benchmark::State& s) {
+    skip_mix<LazySkipList<int>>(s, 34, 33);
+}
+void BM_LockFreeSkip_Update(benchmark::State& s) {
+    skip_mix<LockFreeSkipList<int>>(s, 34, 33);
+}
+
+TAMP_BENCH_THREADS(BM_LazySkip_Read);
+TAMP_BENCH_THREADS(BM_LockFreeSkip_Read);
+TAMP_BENCH_THREADS(BM_LazySkip_Update);
+TAMP_BENCH_THREADS(BM_LockFreeSkip_Update);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,74 @@
+// bench_sort — §12.7–§12.8: parallel sorting throughput.  Series:
+// std::sort (sequential baseline), the bitonic sorting network, and
+// sample sort, over uniform-random ints at several sizes and thread
+// counts.  The book's shape: sample sort approaches p-fold speedup on p
+// processors; the bitonic network pays O(log² n) phases but has no data
+// dependence.  (On this 1-CPU host the parallel sorts measure their
+// coordination overhead; sample sort's should be far smaller.)
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "tamp/counting/sorting.hpp"
+
+namespace {
+
+std::vector<int> random_ints(std::size_t n) {
+    std::vector<int> v(n);
+    tamp::XorShift64 rng(12345);
+    for (auto& x : v) x = static_cast<int>(rng.next() % 1000000);
+    return v;
+}
+
+void BM_StdSort(benchmark::State& state) {
+    const auto base = random_ints(static_cast<std::size_t>(state.range(0)));
+    for (auto _ : state) {
+        auto v = base;
+        std::sort(v.begin(), v.end());
+        benchmark::DoNotOptimize(v.data());
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_StdSort)->Arg(1 << 12)->Arg(1 << 16)->Unit(benchmark::kMicrosecond);
+
+void BM_BitonicSort(benchmark::State& state) {
+    const auto base = random_ints(static_cast<std::size_t>(state.range(0)));
+    const auto threads = static_cast<std::size_t>(state.range(1));
+    for (auto _ : state) {
+        auto v = base;
+        tamp::parallel_bitonic_sort(v, threads);
+        benchmark::DoNotOptimize(v.data());
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_BitonicSort)
+    ->Args({1 << 12, 1})
+    ->Args({1 << 12, 2})
+    ->Args({1 << 12, 4})
+    ->Args({1 << 16, 2})
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_SampleSort(benchmark::State& state) {
+    const auto base = random_ints(static_cast<std::size_t>(state.range(0)));
+    const auto threads = static_cast<std::size_t>(state.range(1));
+    for (auto _ : state) {
+        auto v = base;
+        tamp::parallel_sample_sort(v, threads);
+        benchmark::DoNotOptimize(v.data());
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SampleSort)
+    ->Args({1 << 12, 1})
+    ->Args({1 << 12, 2})
+    ->Args({1 << 12, 4})
+    ->Args({1 << 16, 2})
+    ->Args({1 << 16, 4})
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

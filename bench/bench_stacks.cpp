@@ -1,0 +1,45 @@
+// bench_stacks — experiment E7 (Chapter 11, the Fig. 11.10-style curve):
+// Treiber stack vs elimination-backoff stack under symmetric push/pop
+// traffic.  The elimination array's win condition is balanced push/pop
+// pairs at high contention, so the workload alternates push and pop.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+#include "tamp/stacks/stacks.hpp"
+
+namespace {
+
+using namespace tamp;
+using tamp_bench::Shared;
+
+template <typename S, typename... Args>
+void pairs_loop(benchmark::State& state, Args&&... args) {
+    Shared<S>::setup(state, std::forward<Args>(args)...);
+    for (auto _ : state) {
+        S& stack = *Shared<S>::instance;
+        stack.push(42);
+        int out;
+        benchmark::DoNotOptimize(stack.try_pop(out));
+    }
+    state.SetItemsProcessed(state.iterations());
+    Shared<S>::teardown(state);
+}
+
+void BM_TreiberStack(benchmark::State& s) {
+    pairs_loop<LockFreeStack<int>>(s);
+}
+void BM_EliminationStack(benchmark::State& s) {
+    pairs_loop<EliminationBackoffStack<int>>(s, std::size_t{8});
+}
+void BM_EliminationStackSmallArray(benchmark::State& s) {
+    pairs_loop<EliminationBackoffStack<int>>(s, std::size_t{1});
+}
+
+TAMP_BENCH_THREADS(BM_TreiberStack);
+TAMP_BENCH_THREADS(BM_EliminationStack);
+TAMP_BENCH_THREADS(BM_EliminationStackSmallArray);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,86 @@
+// bench_steal — experiment E12 (Chapter 16): work distribution.
+//
+//  * deque micro-costs: owner push/pop vs steal, bounded (ABP) vs
+//    unbounded (Chase–Lev);
+//  * fork/join fib through the WorkStealingPool at 1/2/4 workers vs the
+//    sequential baseline — the book's headline "work stealing balances
+//    load dynamically" demo.  (On this 1-CPU host the parallel versions
+//    measure scheduling overhead, not speedup; see EXPERIMENTS.md.)
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+#include "tamp/steal/steal.hpp"
+
+namespace {
+
+using namespace tamp;
+
+void BM_BoundedDequeOwnerOps(benchmark::State& state) {
+    BoundedWorkStealingDeque<long> d(4096);
+    for (auto _ : state) {
+        d.try_push_bottom(1);
+        long out;
+        benchmark::DoNotOptimize(d.try_pop_bottom(out));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BoundedDequeOwnerOps);
+
+void BM_UnboundedDequeOwnerOps(benchmark::State& state) {
+    WorkStealingDeque<long> d;
+    for (auto _ : state) {
+        d.push_bottom(1);
+        long out;
+        benchmark::DoNotOptimize(d.try_pop_bottom(out));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_UnboundedDequeOwnerOps);
+
+long fib_seq(long n) { return n < 2 ? n : fib_seq(n - 1) + fib_seq(n - 2); }
+
+void BM_FibSequential(benchmark::State& state) {
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(fib_seq(state.range(0)));
+    }
+}
+BENCHMARK(BM_FibSequential)->Arg(20)->Arg(24);
+
+long fib_par(WorkStealingPool& pool, long n) {
+    if (n < 12) return fib_seq(n);
+    auto left = pool.spawn([&pool, n] { return fib_par(pool, n - 1); });
+    const long right = fib_par(pool, n - 2);
+    return left->get() + right;
+}
+
+void BM_FibWorkStealing(benchmark::State& state) {
+    WorkStealingPool pool(static_cast<std::size_t>(state.range(1)));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(fib_par(pool, state.range(0)));
+    }
+}
+BENCHMARK(BM_FibWorkStealing)
+    ->Args({20, 1})
+    ->Args({20, 2})
+    ->Args({20, 4})
+    ->Args({24, 2});
+
+// Task-granularity sweep: many independent tasks through the pool.
+void BM_PoolTaskThroughput(benchmark::State& state) {
+    WorkStealingPool pool(static_cast<std::size_t>(state.range(0)));
+    for (auto _ : state) {
+        std::atomic<long> sink{0};
+        for (int i = 0; i < 256; ++i) {
+            pool.submit([&sink] { sink.fetch_add(1); });
+        }
+        pool.wait_idle();
+        benchmark::DoNotOptimize(sink.load());
+    }
+    state.SetItemsProcessed(state.iterations() * 256);
+}
+BENCHMARK(BM_PoolTaskThroughput)->Arg(1)->Arg(2)->Arg(4);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,146 @@
+// bench_stm — experiment E14 (Chapter 18): TL2-style STM vs the global
+// lock on the bank-transfer workload, sweeping the account count.  Many
+// accounts ⇒ mostly disjoint transactions ⇒ the STM's fine-grained
+// versioned locks should pull ahead of the single lock under concurrency;
+// few accounts ⇒ constant conflicts ⇒ the global lock's simplicity wins.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "bench_util.hpp"
+#include "tamp/stm/ofree_stm.hpp"
+#include "tamp/stm/stm.hpp"
+
+namespace {
+
+using namespace tamp;
+using tamp_bench::Shared;
+
+struct Bank {
+    std::vector<TVar<long>> accounts;
+    explicit Bank(std::size_t n) {
+        accounts.reserve(n);
+        for (std::size_t i = 0; i < n; ++i) accounts.emplace_back(1000);
+    }
+};
+
+void BM_Tl2Transfers(benchmark::State& state) {
+    const auto n_accounts = static_cast<std::size_t>(state.range(0));
+    Shared<Bank>::setup(state, n_accounts);
+    auto rng = tamp_bench::bench_rng(state);
+    for (auto _ : state) {
+        Bank& bank = *Shared<Bank>::instance;
+        const auto from = rng.next_below(static_cast<std::uint32_t>(n_accounts));
+        auto to = rng.next_below(static_cast<std::uint32_t>(n_accounts));
+        if (to == from) to = (to + 1) % n_accounts;
+        atomically([&](Transaction& tx) {
+            const long f = tx.read(bank.accounts[from]);
+            const long t = tx.read(bank.accounts[to]);
+            tx.write(bank.accounts[from], f - 1);
+            tx.write(bank.accounts[to], t + 1);
+        });
+    }
+    state.SetItemsProcessed(state.iterations());
+    Shared<Bank>::teardown(state);
+}
+
+void BM_GlobalLockTransfers(benchmark::State& state) {
+    const auto n_accounts = static_cast<std::size_t>(state.range(0));
+    Shared<Bank>::setup(state, n_accounts);
+    auto rng = tamp_bench::bench_rng(state);
+    for (auto _ : state) {
+        Bank& bank = *Shared<Bank>::instance;
+        const auto from = rng.next_below(static_cast<std::uint32_t>(n_accounts));
+        auto to = rng.next_below(static_cast<std::uint32_t>(n_accounts));
+        if (to == from) to = (to + 1) % n_accounts;
+        GlobalLockSTM::atomically([&](GlobalLockSTM::DirectTx& tx) {
+            const long f = tx.read(bank.accounts[from]);
+            const long t = tx.read(bank.accounts[to]);
+            tx.write(bank.accounts[from], f - 1);
+            tx.write(bank.accounts[to], t + 1);
+        });
+    }
+    state.SetItemsProcessed(state.iterations());
+    Shared<Bank>::teardown(state);
+}
+
+struct OFreeBank {
+    std::vector<OFreeTVar<long>> accounts;
+    explicit OFreeBank(std::size_t n) : accounts(n) {}
+};
+
+void BM_OFreeTransfers(benchmark::State& state) {
+    const auto n_accounts = static_cast<std::size_t>(state.range(0));
+    Shared<OFreeBank>::setup(state, n_accounts);
+    auto rng = tamp_bench::bench_rng(state);
+    for (auto _ : state) {
+        OFreeBank& bank = *Shared<OFreeBank>::instance;
+        const auto from = rng.next_below(static_cast<std::uint32_t>(n_accounts));
+        auto to = rng.next_below(static_cast<std::uint32_t>(n_accounts));
+        if (to == from) to = (to + 1) % n_accounts;
+        o_atomically([&](OFreeTransaction& tx) {
+            const long f = tx.read(bank.accounts[from]);
+            const long t = tx.read(bank.accounts[to]);
+            tx.write(bank.accounts[from], f - 1);
+            tx.write(bank.accounts[to], t + 1);
+        });
+    }
+    state.SetItemsProcessed(state.iterations());
+    Shared<OFreeBank>::teardown(state);
+}
+
+#define TAMP_STM_CASES(name)                                             \
+    BENCHMARK(name)                                                      \
+        ->Args({4})                                                      \
+        ->Args({1024})                                                   \
+        ->Threads(1)                                                     \
+        ->Threads(2)                                                     \
+        ->Threads(4)                                                     \
+        ->UseRealTime()
+
+TAMP_STM_CASES(BM_Tl2Transfers);
+TAMP_STM_CASES(BM_GlobalLockTransfers);
+TAMP_STM_CASES(BM_OFreeTransfers);
+
+// Read-only scans: TL2's invisible readers vs the lock (which serializes
+// even readers).
+void BM_Tl2ReadOnlySum(benchmark::State& state) {
+    Shared<Bank>::setup(state, std::size_t{256});
+    for (auto _ : state) {
+        Bank& bank = *Shared<Bank>::instance;
+        const long total = atomically([&](Transaction& tx) {
+            long sum = 0;
+            for (std::size_t i = 0; i < 64; ++i) {
+                sum += tx.read(bank.accounts[i]);
+            }
+            return sum;
+        });
+        benchmark::DoNotOptimize(total);
+    }
+    state.SetItemsProcessed(state.iterations());
+    Shared<Bank>::teardown(state);
+}
+void BM_GlobalLockReadOnlySum(benchmark::State& state) {
+    Shared<Bank>::setup(state, std::size_t{256});
+    for (auto _ : state) {
+        Bank& bank = *Shared<Bank>::instance;
+        const long total =
+            GlobalLockSTM::atomically([&](GlobalLockSTM::DirectTx& tx) {
+                long sum = 0;
+                for (std::size_t i = 0; i < 64; ++i) {
+                    sum += tx.read(bank.accounts[i]);
+                }
+                return sum;
+            });
+        benchmark::DoNotOptimize(total);
+    }
+    state.SetItemsProcessed(state.iterations());
+    Shared<Bank>::teardown(state);
+}
+BENCHMARK(BM_Tl2ReadOnlySum)->Threads(1)->Threads(4)->UseRealTime();
+BENCHMARK(BM_GlobalLockReadOnlySum)->Threads(1)->Threads(4)->UseRealTime();
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,61 @@
+// bench/bench_util.hpp
+//
+// Shared plumbing for the benchmark harness.  Every binary regenerates one
+// figure family from the book's evaluation (see DESIGN.md's experiment
+// index): the same workload is run over each implementation in the family
+// at several thread counts, and items/sec is the reported series.
+//
+// Reading the output on this reproduction's hardware: the container has a
+// SINGLE CPU, so "threads" here means oversubscription, not parallelism —
+// see EXPERIMENTS.md for how that shifts (and sometimes inverts) the
+// book's curves and which qualitative claims survive.
+
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstddef>
+
+#include "tamp/core/random.hpp"
+
+namespace tamp_bench {
+
+/// One shared instance per benchmark run, created/destroyed by thread 0
+/// (the multithreaded setup pattern from the benchmark docs; the implicit
+/// barrier at the loop start publishes the pointer to all threads).
+template <typename T>
+struct Shared {
+    static inline T* instance = nullptr;
+
+    template <typename... Args>
+    static void setup(benchmark::State& state, Args&&... args) {
+        if (state.thread_index() == 0) {
+            instance = new T(std::forward<Args>(args)...);
+        }
+    }
+
+    static void teardown(benchmark::State& state) {
+        if (state.thread_index() == 0) {
+            delete instance;
+            instance = nullptr;
+        }
+    }
+};
+
+/// Per-thread deterministic RNG for workload draws (seeded by thread
+/// index so runs are comparable across implementations).
+inline tamp::XorShift64 bench_rng(const benchmark::State& state) {
+    return tamp::XorShift64(
+        0x9E3779B97F4A7C15ull ^
+        (static_cast<std::uint64_t>(state.thread_index()) * 0x1000193));
+}
+
+/// The standard thread ladder for every family.  One physical CPU means
+/// these measure contention/oversubscription behaviour, which is exactly
+/// what distinguishes the algorithms.
+constexpr int kThreadLadder[] = {1, 2, 4, 8};
+
+}  // namespace tamp_bench
+
+#define TAMP_BENCH_THREADS(name) \
+    BENCHMARK(name)->Threads(1)->Threads(2)->Threads(4)->Threads(8)->UseRealTime()

@@ -1,0 +1,78 @@
+// pipeline — restricted sharing done right (Chapter 3's wait-free
+// two-thread queue): a three-stage stream pipeline
+//
+//     generator ──spsc──▶ transformer ──spsc──▶ aggregator
+//
+// Each link has exactly one producer and one consumer, so the wait-free
+// SPSC queue applies: no locks, no CAS, just two counters per link.  The
+// stages checksum the stream end-to-end to prove nothing is lost,
+// duplicated, or reordered.
+
+#include <cstdio>
+#include <thread>
+
+#include "tamp/queues/spsc_queue.hpp"
+
+namespace {
+
+constexpr long kItems = 500000;
+constexpr long kSentinel = -1;
+
+}  // namespace
+
+int main() {
+    tamp::WaitFreeTwoThreadQueue<long> link1(1024);
+    tamp::WaitFreeTwoThreadQueue<long> link2(1024);
+
+    std::thread generator([&] {
+        for (long i = 1; i <= kItems; ++i) link1.enqueue(i);
+        link1.enqueue(kSentinel);
+    });
+
+    std::thread transformer([&] {
+        while (true) {
+            long v;
+            if (!link1.try_dequeue(v)) {
+                std::this_thread::yield();
+                continue;
+            }
+            if (v == kSentinel) {
+                link2.enqueue(kSentinel);
+                break;
+            }
+            link2.enqueue(v * 2 + 1);  // some per-item transformation
+        }
+    });
+
+    long checksum = 0;
+    long count = 0;
+    long last = 0;
+    bool ordered = true;
+    std::thread aggregator([&] {
+        while (true) {
+            long v;
+            if (!link2.try_dequeue(v)) {
+                std::this_thread::yield();
+                continue;
+            }
+            if (v == kSentinel) break;
+            if (v <= last) ordered = false;  // stream must stay monotone
+            last = v;
+            checksum += v;
+            ++count;
+        }
+    });
+
+    generator.join();
+    transformer.join();
+    aggregator.join();
+
+    // Expected: sum of (2i + 1) for i = 1..kItems.
+    const long expected = kItems * (kItems + 1) + kItems;
+    std::printf("items: %ld (expected %ld)\n", count, kItems);
+    std::printf("checksum: %ld (expected %ld)\n", checksum, expected);
+    std::printf("order preserved: %s\n", ordered ? "yes" : "NO");
+    const bool ok = count == kItems && checksum == expected && ordered;
+    std::printf("%s\n", ok ? "pipeline OK" : "pipeline BROKEN");
+    return ok ? 0 : 1;
+}

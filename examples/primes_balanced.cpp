@@ -1,0 +1,135 @@
+// primes_balanced — the book's opening example (Chapter 1): counting the
+// primes below N on p threads.
+//
+// The naive split hands thread i the i-th block of the range; but primes
+// thin out and primality tests on big numbers cost more, so blocks are
+// *unequal* work and the slowest thread gates the job.  The book's fix is
+// a shared counter handing out work units dynamically — load balancing
+// via one getAndIncrement per unit.
+//
+// This example runs both versions and a third with the work-stealing pool
+// (Chapter 16's generalization of the same idea), printing per-strategy
+// wall time and per-thread work counts so the imbalance is visible.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "tamp/counting/counting.hpp"
+#include "tamp/steal/pool.hpp"
+
+namespace {
+
+constexpr long kLimit = 120000;
+constexpr std::size_t kThreads = 4;
+
+bool is_prime(long n) {
+    if (n < 2) return false;
+    for (long d = 2; d * d <= n; ++d) {
+        if (n % d == 0) return false;
+    }
+    return true;
+}
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         t0)
+        .count();
+}
+
+void report(const char* name, long primes, double secs,
+            const std::vector<long>& units_per_thread) {
+    std::printf("%-22s %6ld primes  %7.3fs  work units per thread:", name,
+                primes, secs);
+    for (const long u : units_per_thread) std::printf(" %ld", u);
+    std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+    std::printf("counting primes below %ld on %zu threads\n", kLimit,
+                kThreads);
+
+    // --- Static block split (Fig. 1.x "print the primes", naive). ------
+    {
+        const auto t0 = std::chrono::steady_clock::now();
+        std::atomic<long> primes{0};
+        std::vector<long> units(kThreads, 0);
+        std::vector<std::thread> ts;
+        const long block = kLimit / static_cast<long>(kThreads);
+        for (std::size_t i = 0; i < kThreads; ++i) {
+            ts.emplace_back([&, i] {
+                long local = 0;
+                const long lo = static_cast<long>(i) * block + 1;
+                const long hi = (i + 1 == kThreads)
+                                    ? kLimit
+                                    : (static_cast<long>(i) + 1) * block;
+                for (long n = lo; n <= hi; ++n) {
+                    if (is_prime(n)) ++local;
+                    ++units[i];
+                }
+                primes.fetch_add(local);
+            });
+        }
+        for (auto& t : ts) t.join();
+        report("static block split", primes.load(), seconds_since(t0),
+               units);
+    }
+
+    // --- Dynamic split via a shared counter (the book's fix). ----------
+    {
+        const auto t0 = std::chrono::steady_clock::now();
+        std::atomic<long> primes{0};
+        std::vector<long> units(kThreads, 0);
+        tamp::SingleCounter next;  // hands out 64-number work units
+        constexpr long kUnit = 64;
+        std::vector<std::thread> ts;
+        for (std::size_t i = 0; i < kThreads; ++i) {
+            ts.emplace_back([&, i] {
+                long local = 0;
+                while (true) {
+                    const long unit = next.get_and_increment();
+                    const long lo = unit * kUnit + 1;
+                    if (lo > kLimit) break;
+                    const long hi = std::min(kLimit, lo + kUnit - 1);
+                    for (long n = lo; n <= hi; ++n) {
+                        if (is_prime(n)) ++local;
+                    }
+                    ++units[i];
+                }
+                primes.fetch_add(local);
+            });
+        }
+        for (auto& t : ts) t.join();
+        report("shared-counter split", primes.load(), seconds_since(t0),
+               units);
+    }
+
+    // --- Work stealing (Chapter 16). ------------------------------------
+    {
+        const auto t0 = std::chrono::steady_clock::now();
+        std::atomic<long> primes{0};
+        tamp::WorkStealingPool pool(kThreads);
+        constexpr long kUnit = 64;
+        for (long lo = 1; lo <= kLimit; lo += kUnit) {
+            pool.submit([&, lo] {
+                long local = 0;
+                const long hi = std::min(kLimit, lo + kUnit - 1);
+                for (long n = lo; n <= hi; ++n) {
+                    if (is_prime(n)) ++local;
+                }
+                primes.fetch_add(local);
+            });
+        }
+        pool.wait_idle();
+        std::vector<long> units;  // the pool balances internally
+        report("work-stealing pool", primes.load(), seconds_since(t0),
+               units);
+    }
+
+    return 0;
+}

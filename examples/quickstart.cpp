@@ -1,0 +1,124 @@
+// quickstart — a ten-minute tour of the tamp library.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+//
+// Touches one structure from each layer: a queue lock, the Michael–Scott
+// queue, the lock-free hash set, the work-stealing pool, and a pair of
+// STM transfers — each exercised from several threads and checked.
+
+#include <atomic>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "tamp/tamp.hpp"
+
+namespace {
+
+void banner(const char* title) { std::printf("\n== %s ==\n", title); }
+
+template <typename Fn>
+void on_threads(std::size_t n, Fn fn) {
+    std::vector<std::thread> ts;
+    for (std::size_t i = 0; i < n; ++i) ts.emplace_back(fn, i);
+    for (auto& t : ts) t.join();
+}
+
+}  // namespace
+
+int main() {
+    std::printf("tamp quickstart (hardware threads: %u)\n",
+                std::thread::hardware_concurrency());
+
+    // --- 1. A queue lock (MCS) protecting a plain counter. -------------
+    banner("MCS queue lock");
+    {
+        tamp::MCSLock lock;
+        long counter = 0;
+        on_threads(4, [&](std::size_t) {
+            for (int i = 0; i < 10000; ++i) {
+                lock.lock();
+                ++counter;
+                lock.unlock();
+            }
+        });
+        std::printf("counter = %ld (expected 40000)\n", counter);
+    }
+
+    // --- 2. Michael–Scott lock-free FIFO queue. ------------------------
+    banner("Michael-Scott lock-free queue");
+    {
+        tamp::LockFreeQueue<int> queue;
+        std::atomic<long> sum{0};
+        on_threads(4, [&](std::size_t me) {
+            if (me < 2) {
+                for (int i = 1; i <= 5000; ++i) queue.enqueue(i);
+            } else {
+                for (int taken = 0; taken < 5000;) {
+                    int v;
+                    if (queue.try_dequeue(v)) {
+                        sum.fetch_add(v);
+                        ++taken;
+                    }
+                }
+            }
+        });
+        std::printf("sum of dequeued = %ld (expected %ld)\n", sum.load(),
+                    2L * 5000 * 5001 / 2);
+    }
+
+    // --- 3. Lock-free hash set (recursive split-ordering). -------------
+    banner("split-ordered hash set");
+    {
+        tamp::SplitOrderedHashSet<int> set;
+        on_threads(4, [&](std::size_t me) {
+            for (int k = 0; k < 1000; ++k) {
+                set.add(static_cast<int>(me) * 1000 + k);
+            }
+        });
+        std::printf("size = %zu (expected 4000), buckets grew to %zu\n",
+                    set.size(), set.buckets());
+    }
+
+    // --- 4. Work stealing: fork/join Fibonacci. ------------------------
+    banner("work-stealing pool");
+    {
+        tamp::WorkStealingPool pool(2);
+        std::function<long(long)> fib = [&](long n) -> long {
+            if (n < 10) {
+                long a = 0, b = 1;
+                for (long i = 0; i < n; ++i) {
+                    const long t = a + b;
+                    a = b;
+                    b = t;
+                }
+                return a;
+            }
+            auto left = pool.spawn([&fib, n] { return fib(n - 1); });
+            const long right = fib(n - 2);
+            return left->get() + right;
+        };
+        std::printf("fib(25) = %ld (expected 75025)\n", fib(25));
+    }
+
+    // --- 5. Transactional memory: atomic transfers. --------------------
+    banner("TL2-style STM");
+    {
+        tamp::TVar<long> a(100), b(0);
+        on_threads(4, [&](std::size_t) {
+            for (int i = 0; i < 2500; ++i) {
+                tamp::atomically([&](tamp::Transaction& tx) {
+                    tx.write(a, tx.read(a) - 1);
+                    tx.write(b, tx.read(b) + 1);
+                });
+            }
+        });
+        std::printf("a = %ld, b = %ld (expected -9900 / 10000)\n",
+                    a.unsafe_read(), b.unsafe_read());
+    }
+
+    std::printf("\nquickstart done.\n");
+    return 0;
+}

@@ -1,0 +1,270 @@
+// tamp/barrier/barriers.hpp
+//
+// Chapter 17 barriers.  All are *reusable*: sense reversal (or phase
+// counters) lets the same object separate round after round without a
+// dangerous reset window.
+//
+//  * SenseReversingBarrier (Fig. 17.5) — one counter, one flipping flag.
+//    Simple; the counter is a hot spot at high thread counts.
+//  * CombiningTreeBarrier (Figs. 17.6–17.7) — radix-2 tree of counters;
+//    the last arrival at each node climbs, the root's winner releases
+//    everyone by flipping senses down the tree.
+//  * StaticTreeBarrier (Figs. 17.9–17.11) — each thread owns a tree node:
+//    wait for your children, notify your parent, spin on the global
+//    sense.  One cache-local spin per thread, O(n) total work.
+//  * DisseminationBarrier (§17.?, classic Hensgen–Finkel–Manber) — log n
+//    rounds of pairwise signals; no single winner, fully symmetric.
+//  * TerminationDetectionBarrier (§17.6, Fig. 17.13) — not a phase
+//    barrier: detects when every thread of a work-stealing computation
+//    has gone (and stayed) inactive.
+//
+// Phase barriers take the participant's slot explicitly (ids in [0, n)),
+// like the Chapter 2 locks; a convenience overload uses thread_id().
+
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "tamp/core/backoff.hpp"
+#include "tamp/core/cacheline.hpp"
+#include "tamp/core/thread_registry.hpp"
+
+namespace tamp {
+
+class SenseReversingBarrier {
+  public:
+    explicit SenseReversingBarrier(std::size_t n)
+        : size_(n), count_(static_cast<long>(n)), thread_sense_(n) {
+        assert(n >= 1);
+        for (auto& s : thread_sense_) s.value = true;  // !sense_
+    }
+
+    void await(std::size_t me) {
+        assert(me < size_);
+        const bool my_sense = thread_sense_[me].value;
+        if (count_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+            // Last arrival: reset and release.
+            count_.store(static_cast<long>(size_),
+                         std::memory_order_relaxed);
+            sense_.store(my_sense, std::memory_order_release);
+        } else {
+            SpinWait w;
+            while (sense_.load(std::memory_order_acquire) != my_sense) {
+                w.spin();
+            }
+        }
+        thread_sense_[me].value = !my_sense;
+    }
+
+    std::size_t size() const { return size_; }
+
+  private:
+    std::size_t size_;
+    std::atomic<long> count_;
+    std::atomic<bool> sense_{false};
+    std::vector<Padded<bool>> thread_sense_;
+};
+
+class CombiningTreeBarrier {
+    struct Node {
+        long initial = 0;  // arrivals this node expects per round
+        std::atomic<long> count{0};
+        Node* parent = nullptr;
+        std::atomic<bool> sense{false};
+
+        void await(bool my_sense) {
+            if (count.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+                // Winner here: combine upward, then release this node.
+                if (parent != nullptr) parent->await(my_sense);
+                count.store(initial, std::memory_order_relaxed);
+                sense.store(my_sense, std::memory_order_release);
+            } else {
+                SpinWait w;
+                while (sense.load(std::memory_order_acquire) != my_sense) {
+                    w.spin();
+                }
+            }
+        }
+    };
+
+  public:
+    /// Radix-2 combining tree for exactly n threads: threads 2j and 2j+1
+    /// share leaf j; each node expects as many arrivals per round as it
+    /// has occupied inputs, so any n works (no idle-slot hacks).
+    explicit CombiningTreeBarrier(std::size_t n) : size_(n), sense_(n) {
+        assert(n >= 1);
+        const std::size_t occupied_leaves = (n + 1) / 2;
+        std::size_t width = 1;
+        while (width < occupied_leaves) width *= 2;
+        leaves_ = width;
+        const std::size_t total = 2 * width - 1;
+        nodes_.reserve(total);
+        for (std::size_t i = 0; i < total; ++i) {
+            nodes_.emplace_back(std::make_unique<Node>());
+            if (i > 0) nodes_[i]->parent = nodes_[(i - 1) / 2].get();
+        }
+        // Leaf occupancy, then propagate "this subtree participates"
+        // upward to size every internal node's expected-arrival count.
+        for (std::size_t j = 0; j < width; ++j) {
+            long occ = 0;
+            if (2 * j < n) ++occ;
+            if (2 * j + 1 < n) ++occ;
+            nodes_[(width - 1) + j]->initial = occ;
+        }
+        // Internal node i expects one arrival per participating child
+        // (children have larger indices, so walk internals high-to-low).
+        for (std::size_t i = width - 1; i-- > 0;) {
+            long expected = 0;
+            if (nodes_[2 * i + 1]->initial > 0) ++expected;
+            if (nodes_[2 * i + 2]->initial > 0) ++expected;
+            nodes_[i]->initial = expected;
+        }
+        for (auto& node : nodes_) {
+            node->count.store(node->initial, std::memory_order_relaxed);
+        }
+        for (auto& s : sense_) s.value = true;
+    }
+
+    void await(std::size_t me) {
+        assert(me < size_);
+        const bool my_sense = sense_[me].value;
+        nodes_[(leaves_ - 1) + me / 2]->await(my_sense);
+        sense_[me].value = !my_sense;
+    }
+
+    std::size_t size() const { return size_; }
+
+  private:
+    std::size_t size_;
+    std::size_t leaves_;
+    std::vector<std::unique_ptr<Node>> nodes_;
+    std::vector<Padded<bool>> sense_;
+};
+
+class StaticTreeBarrier {
+    struct Node {
+        std::size_t children = 0;
+        std::atomic<long> child_count{0};
+        Node* parent = nullptr;
+    };
+
+  public:
+    explicit StaticTreeBarrier(std::size_t n)
+        : size_(n), nodes_(n), sense_(n) {
+        // Heap-shaped: thread i owns node i; children 2i+1, 2i+2.
+        for (std::size_t i = 0; i < n; ++i) {
+            const std::size_t left = 2 * i + 1, right = 2 * i + 2;
+            std::size_t kids = 0;
+            if (left < n) ++kids;
+            if (right < n) ++kids;
+            nodes_[i].value.children = kids;
+            nodes_[i].value.child_count.store(static_cast<long>(kids),
+                                              std::memory_order_relaxed);
+            if (i > 0) nodes_[i].value.parent = &nodes_[(i - 1) / 2].value;
+        }
+        for (auto& s : sense_) s.value = true;
+    }
+
+    void await(std::size_t me) {
+        assert(me < size_);
+        Node& node = nodes_[me].value;
+        const bool my_sense = sense_[me].value;
+        // Wait for my subtree.
+        SpinWait w;
+        while (node.child_count.load(std::memory_order_acquire) > 0) {
+            w.spin();
+        }
+        node.child_count.store(static_cast<long>(node.children),
+                               std::memory_order_relaxed);
+        if (node.parent != nullptr) {
+            node.parent->child_count.fetch_sub(1,
+                                               std::memory_order_acq_rel);
+            SpinWait w2;
+            while (global_sense_.load(std::memory_order_acquire) !=
+                   my_sense) {
+                w2.spin();
+            }
+        } else {
+            // Root: everyone has arrived; release the world.
+            global_sense_.store(my_sense, std::memory_order_release);
+        }
+        sense_[me].value = !my_sense;
+    }
+
+    std::size_t size() const { return size_; }
+
+  private:
+    std::size_t size_;
+    std::vector<Padded<Node>> nodes_;
+    std::atomic<bool> global_sense_{false};
+    std::vector<Padded<bool>> sense_;
+};
+
+class DisseminationBarrier {
+  public:
+    explicit DisseminationBarrier(std::size_t n)
+        : size_(n), phase_(n) {
+        rounds_ = 0;
+        for (std::size_t d = 1; d < n; d *= 2) ++rounds_;
+        flags_.resize(rounds_ == 0 ? 1 : rounds_);
+        for (auto& round : flags_) {
+            round = std::vector<Padded<std::atomic<std::uint64_t>>>(n);
+        }
+        for (auto& p : phase_) p.value = 0;
+    }
+
+    void await(std::size_t me) {
+        assert(me < size_);
+        const std::uint64_t phase = ++phase_[me].value;
+        std::size_t distance = 1;
+        for (std::size_t r = 0; r < rounds_; ++r, distance *= 2) {
+            const std::size_t partner = (me + distance) % size_;
+            // Signal: my phase has reached round r.
+            flags_[r][partner].value.fetch_add(1,
+                                               std::memory_order_acq_rel);
+            // Wait for whoever signals me in this round.
+            SpinWait w;
+            while (flags_[r][me].value.load(std::memory_order_acquire) <
+                   phase) {
+                w.spin();
+            }
+        }
+    }
+
+    std::size_t size() const { return size_; }
+
+  private:
+    std::size_t size_;
+    std::size_t rounds_;
+    std::vector<std::vector<Padded<std::atomic<std::uint64_t>>>> flags_;
+    std::vector<Padded<std::uint64_t>> phase_;
+};
+
+/// §17.6: when does a work-stealing computation end?  Threads toggle
+/// active/inactive; the computation has terminated when the count is
+/// (and therefore stays) zero — safe because a thread must set itself
+/// active *before* making work visible to anyone else.
+class TerminationDetectionBarrier {
+  public:
+    void set_active(bool active) {
+        if (active) {
+            count_.fetch_add(1, std::memory_order_acq_rel);
+        } else {
+            count_.fetch_sub(1, std::memory_order_acq_rel);
+        }
+    }
+
+    bool is_terminated() const {
+        return count_.load(std::memory_order_acquire) == 0;
+    }
+
+  private:
+    std::atomic<long> count_{0};
+};
+
+}  // namespace tamp

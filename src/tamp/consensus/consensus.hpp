@@ -1,0 +1,156 @@
+// tamp/consensus/consensus.hpp
+//
+// Chapter 5: the relative power of synchronization primitives, made
+// executable.  A consensus object lets n threads each propose a value and
+// all agree on one proposal.  The chapter ranks primitives by the largest
+// n for which they solve consensus:
+//
+//   atomic registers ........ 1   (Theorem 5.2.1 — no protocol here)
+//   FIFO queue .............. 2   (QueueConsensus below)
+//   compareAndSet ........... ∞   (CASConsensus below)
+//
+// The protocols follow the book's template (Fig. 5.7): propose() announces
+// the caller's input in a per-thread slot; decide() runs the primitive-
+// specific agreement and returns the winner's announced input.
+
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+#include "tamp/core/cacheline.hpp"
+
+namespace tamp {
+
+/// Shared base (Fig. 5.7): the announce array.  `T` must be default-
+/// constructible; slots are written once by their owners before decide().
+template <typename T>
+class ConsensusProtocol {
+  public:
+    explicit ConsensusProtocol(std::size_t n) : announce_(n) {}
+
+    /// Thread `me` makes its input visible to potential winners' readers.
+    void propose(std::size_t me, const T& value) {
+        assert(me < announce_.size());
+        announce_[me].value = value;
+        // Publish before any decide() step can name `me` the winner.
+        std::atomic_thread_fence(std::memory_order_seq_cst);
+    }
+
+  protected:
+    const T& announced(std::size_t i) const { return announce_[i].value; }
+    std::size_t capacity() const { return announce_.size(); }
+
+  private:
+    std::vector<Padded<T>> announce_;
+};
+
+/// Two-thread consensus from a FIFO queue (Fig. 5.10).  The queue starts
+/// holding WIN then LOSE; whoever dequeues WIN decides its own value, the
+/// other adopts the winner's.  The "queue" is a prefilled wait-free
+/// dequeue-only pool — exactly the object the proof consumes (two dequeues
+/// suffice), realized with one fetch-and-increment over the prefilled
+/// array.
+template <typename T>
+class QueueConsensus : public ConsensusProtocol<T> {
+  public:
+    QueueConsensus() : ConsensusProtocol<T>(2) {}
+
+    /// Both threads call decide(me, v); both return the same value, which
+    /// is one of the proposals (validity).
+    T decide(std::size_t me, const T& value) {
+        assert(me < 2);
+        this->propose(me, value);
+        const std::size_t ticket =
+            next_.fetch_add(1, std::memory_order_acq_rel);
+        assert(ticket < 2 && "QueueConsensus object is single-shot");
+        if (ticket == 0) {
+            return this->announced(me);  // dequeued WIN
+        }
+        return this->announced(1 - me);  // dequeued LOSE: adopt the other
+    }
+
+  private:
+    std::atomic<std::size_t> next_{0};
+};
+
+/// N-thread consensus from compareAndSet (§5.8, Fig. 5.13).  The first
+/// successful CAS writes the winner's id; everyone reads the winner's
+/// announced input.
+template <typename T>
+class CASConsensus : public ConsensusProtocol<T> {
+  public:
+    static constexpr int kNoWinner = -1;
+
+    explicit CASConsensus(std::size_t n) : ConsensusProtocol<T>(n) {}
+
+    T decide(std::size_t me, const T& value) {
+        assert(me < this->capacity());
+        this->propose(me, value);
+        int expected = kNoWinner;
+        first_.compare_exchange_strong(expected, static_cast<int>(me),
+                                       std::memory_order_acq_rel,
+                                       std::memory_order_acquire);
+        // Either we won (expected stays kNoWinner) or `expected` now holds
+        // the winner; in both cases first_ is final.
+        return this->announced(
+            static_cast<std::size_t>(first_.load(std::memory_order_acquire)));
+    }
+
+    /// The winner's id, or kNoWinner before any decide().
+    int winner() const { return first_.load(std::memory_order_acquire); }
+
+  private:
+    std::atomic<int> first_{kNoWinner};
+};
+
+/// Two-thread consensus from getAndSet/swap (§5.6: "RMW registers whose
+/// operations belong to a non-trivial common family solve two-thread
+/// consensus").  The first thread to swap its id in wins; the other reads
+/// the winner's id out of the cell.
+template <typename T>
+class SwapConsensus : public ConsensusProtocol<T> {
+    static constexpr int kFresh = -1;
+
+  public:
+    SwapConsensus() : ConsensusProtocol<T>(2) {}
+
+    T decide(std::size_t me, const T& value) {
+        assert(me < 2);
+        this->propose(me, value);
+        const int prior = cell_.exchange(static_cast<int>(me),
+                                         std::memory_order_acq_rel);
+        const std::size_t winner =
+            prior == kFresh ? me : static_cast<std::size_t>(prior);
+        return this->announced(winner);
+    }
+
+  private:
+    std::atomic<int> cell_{kFresh};
+};
+
+/// Pointer consensus used by the universal constructions: first CAS from
+/// null wins; decide returns the winning pointer.  (The announce array is
+/// unnecessary when the proposal *is* the published pointer.)
+template <typename P>
+class PointerConsensus {
+  public:
+    P* decide(P* proposal) {
+        P* expected = nullptr;
+        if (winner_.compare_exchange_strong(expected, proposal,
+                                            std::memory_order_acq_rel,
+                                            std::memory_order_acquire)) {
+            return proposal;
+        }
+        return expected;
+    }
+
+    P* winner() const { return winner_.load(std::memory_order_acquire); }
+
+  private:
+    std::atomic<P*> winner_{nullptr};
+};
+
+}  // namespace tamp

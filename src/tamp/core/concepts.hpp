@@ -1,0 +1,80 @@
+// tamp/core/concepts.hpp
+//
+// Concepts shared across the library.  The book defines its algorithms
+// against small Java interfaces (`Lock`, `Set<T>`, `Queue<T>`, ...); the
+// C++20 equivalents below let tests, benchmarks, and examples be written
+// once and instantiated over every implementation of a family, which is
+// exactly how the book's performance chapters compare algorithms.
+
+#pragma once
+
+#include <concepts>
+#include <cstddef>
+
+namespace tamp {
+
+/// A mutual-exclusion lock (the book's `Lock` interface, minus the timed
+/// and interruptible extensions that only some implementations support).
+template <typename L>
+concept BasicLockable = requires(L l) {
+    { l.lock() } -> std::same_as<void>;
+    { l.unlock() } -> std::same_as<void>;
+};
+
+/// A lock supporting non-blocking acquisition attempts.
+template <typename L>
+concept TryLockable = BasicLockable<L> && requires(L l) {
+    { l.try_lock() } -> std::convertible_to<bool>;
+};
+
+/// The book's `Set<T>` interface (§9.1): add/remove/contains over values.
+template <typename S, typename T = typename S::value_type>
+concept ConcurrentSet = requires(S s, const T& v) {
+    typename S::value_type;
+    { s.add(v) } -> std::convertible_to<bool>;
+    { s.remove(v) } -> std::convertible_to<bool>;
+    { s.contains(v) } -> std::convertible_to<bool>;
+};
+
+/// A FIFO pool with total (possibly failing) enqueue/dequeue, as used by
+/// the queue chapters.  `try_dequeue` writes through the out-parameter and
+/// reports success, matching C++ container idiom rather than Java's
+/// exception-on-empty style.
+template <typename Q, typename T = typename Q::value_type>
+concept ConcurrentQueue = requires(Q q, T v, T& out) {
+    typename Q::value_type;
+    { q.enqueue(v) } -> std::same_as<void>;
+    { q.try_dequeue(out) } -> std::convertible_to<bool>;
+};
+
+/// LIFO analogue for the stack chapter.
+template <typename S, typename T = typename S::value_type>
+concept ConcurrentStack = requires(S s, T v, T& out) {
+    typename S::value_type;
+    { s.push(v) } -> std::same_as<void>;
+    { s.try_pop(out) } -> std::convertible_to<bool>;
+};
+
+/// Shared counter (chapter 12): the only operation the counting structures
+/// implement is `getAndIncrement`.
+template <typename C>
+concept SharedCounter = requires(C c) {
+    { c.get_and_increment() } -> std::convertible_to<std::size_t>;
+};
+
+/// RAII guard usable with any BasicLockable, including all of tamp's own
+/// locks.  `std::lock_guard` requires nothing more, but we re-export the
+/// idea under a library name so examples read uniformly.
+template <BasicLockable L>
+class LockGuard {
+  public:
+    explicit LockGuard(L& lock) : lock_(lock) { lock_.lock(); }
+    ~LockGuard() { lock_.unlock(); }
+    LockGuard(const LockGuard&) = delete;
+    LockGuard& operator=(const LockGuard&) = delete;
+
+  private:
+    L& lock_;
+};
+
+}  // namespace tamp

@@ -1,0 +1,9 @@
+// tamp/core/core.hpp — umbrella header for the core utilities.
+#pragma once
+
+#include "tamp/core/backoff.hpp"
+#include "tamp/core/cacheline.hpp"
+#include "tamp/core/concepts.hpp"
+#include "tamp/core/marked_ptr.hpp"
+#include "tamp/core/random.hpp"
+#include "tamp/core/thread_registry.hpp"

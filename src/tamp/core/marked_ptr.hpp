@@ -1,0 +1,157 @@
+// tamp/core/marked_ptr.hpp
+//
+// C++ realizations of the book's `AtomicMarkableReference` and
+// `AtomicStampedReference` (Pragma 9.8.1 / §10.6).
+//
+// The Java classes pack a reference plus a boolean mark (or integer stamp)
+// into one word that can be CAS'd atomically.  In C++ we get the same effect
+// by stealing the low bit of an aligned pointer for the mark, and by packing
+// a 16-bit stamp beside a 48-bit index for the stamped case.  The mark bit
+// is what lets the Harris–Michael list (§9.8), the lock-free skiplist
+// (§14.4), and the skiplist priority queue (§15.5) logically delete a node
+// and simultaneously freeze its next-pointer with a single CAS.
+
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+
+namespace tamp {
+
+/// A raw (non-atomic) pointer-with-mark value.  `T*` must be at least
+/// 2-byte aligned so the low bit is free; all node types in this library
+/// are, by virtue of containing pointers/atomics.
+template <typename T>
+class MarkedPtr {
+  public:
+    constexpr MarkedPtr() noexcept : bits_(0) {}
+    MarkedPtr(T* ptr, bool marked) noexcept
+        : bits_(reinterpret_cast<std::uintptr_t>(ptr) |
+                static_cast<std::uintptr_t>(marked)) {
+        assert((reinterpret_cast<std::uintptr_t>(ptr) & 1u) == 0 &&
+               "pointer must be at least 2-byte aligned");
+    }
+
+    T* ptr() const noexcept { return reinterpret_cast<T*>(bits_ & ~std::uintptr_t{1}); }
+    bool marked() const noexcept { return (bits_ & 1u) != 0; }
+
+    T* operator->() const noexcept { return ptr(); }
+    T& operator*() const noexcept { return *ptr(); }
+
+    friend bool operator==(MarkedPtr a, MarkedPtr b) noexcept {
+        return a.bits_ == b.bits_;
+    }
+    friend bool operator!=(MarkedPtr a, MarkedPtr b) noexcept {
+        return a.bits_ != b.bits_;
+    }
+
+  private:
+    std::uintptr_t bits_;
+};
+
+/// Atomic cell holding a MarkedPtr — the `AtomicMarkableReference<T>`.
+///
+/// Memory-order policy: successful CASes and stores that publish a new node
+/// use release; loads that begin a traversal use acquire.  This matches the
+/// book's Java-volatile semantics on the orderings its linearizability
+/// arguments actually rely on (publication of node contents before the node
+/// is reachable, and visibility of the mark before unlinking).
+template <typename T>
+class AtomicMarkedPtr {
+  public:
+    constexpr AtomicMarkedPtr() noexcept : cell_(0) {}
+    AtomicMarkedPtr(T* ptr, bool marked) noexcept
+        : cell_(encode(ptr, marked)) {}
+
+    void store(T* ptr, bool marked,
+               std::memory_order order = std::memory_order_release) noexcept {
+        cell_.store(encode(ptr, marked), order);
+    }
+
+    MarkedPtr<T> load(
+        std::memory_order order = std::memory_order_acquire) const noexcept {
+        return decode(cell_.load(order));
+    }
+
+    /// `get` in the book: load pointer and mark together.
+    T* get(bool* marked,
+           std::memory_order order = std::memory_order_acquire) const noexcept {
+        const MarkedPtr<T> v = load(order);
+        *marked = v.marked();
+        return v.ptr();
+    }
+
+    /// `compareAndSet(expectedRef, newRef, expectedMark, newMark)`.
+    bool compare_and_set(T* expected_ptr, T* new_ptr, bool expected_mark,
+                         bool new_mark) noexcept {
+        std::uintptr_t expected = encode(expected_ptr, expected_mark);
+        return cell_.compare_exchange_strong(expected,
+                                             encode(new_ptr, new_mark),
+                                             std::memory_order_acq_rel,
+                                             std::memory_order_acquire);
+    }
+
+    /// `attemptMark(expectedRef, newMark)`.
+    bool attempt_mark(T* expected_ptr, bool new_mark) noexcept {
+        std::uintptr_t expected = encode(expected_ptr, !new_mark);
+        return cell_.compare_exchange_strong(expected,
+                                             encode(expected_ptr, new_mark),
+                                             std::memory_order_acq_rel,
+                                             std::memory_order_acquire);
+    }
+
+  private:
+    static std::uintptr_t encode(T* ptr, bool marked) noexcept {
+        return reinterpret_cast<std::uintptr_t>(ptr) |
+               static_cast<std::uintptr_t>(marked);
+    }
+    static MarkedPtr<T> decode(std::uintptr_t bits) noexcept {
+        return MarkedPtr<T>(reinterpret_cast<T*>(bits & ~std::uintptr_t{1}),
+                            (bits & 1u) != 0);
+    }
+
+    std::atomic<std::uintptr_t> cell_;
+};
+
+/// The book's `AtomicStampedReference`, specialized to small indices: packs
+/// a 48-bit value and a 16-bit stamp into one atomically-CASable word.
+/// Used where a full pointer is not needed (e.g. slot indices) and by the
+/// ABA discussion of §10.6.
+class AtomicStampedIndex {
+  public:
+    explicit constexpr AtomicStampedIndex(std::uint64_t initial_index = 0,
+                                          std::uint16_t initial_stamp = 0)
+        : cell_(pack(initial_index, initial_stamp)) {}
+
+    std::uint64_t get(std::uint16_t* stamp) const noexcept {
+        const std::uint64_t v = cell_.load(std::memory_order_acquire);
+        *stamp = static_cast<std::uint16_t>(v >> 48);
+        return v & kIndexMask;
+    }
+
+    bool compare_and_set(std::uint64_t expected_index, std::uint64_t new_index,
+                         std::uint16_t expected_stamp,
+                         std::uint16_t new_stamp) noexcept {
+        std::uint64_t expected = pack(expected_index, expected_stamp);
+        return cell_.compare_exchange_strong(
+            expected, pack(new_index, new_stamp), std::memory_order_acq_rel,
+            std::memory_order_acquire);
+    }
+
+    void set(std::uint64_t index, std::uint16_t stamp) noexcept {
+        cell_.store(pack(index, stamp), std::memory_order_release);
+    }
+
+  private:
+    static constexpr std::uint64_t kIndexMask = (1ull << 48) - 1;
+    static constexpr std::uint64_t pack(std::uint64_t index,
+                                        std::uint16_t stamp) noexcept {
+        return (static_cast<std::uint64_t>(stamp) << 48) |
+               (index & kIndexMask);
+    }
+
+    std::atomic<std::uint64_t> cell_;
+};
+
+}  // namespace tamp

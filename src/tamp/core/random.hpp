@@ -1,0 +1,74 @@
+// tamp/core/random.hpp
+//
+// Small, fast, per-thread pseudo-random number generator.
+//
+// Lock-free algorithms use randomness on their hot paths (backoff intervals,
+// elimination-array slot choice, skiplist level choice, victim selection in
+// work stealing).  `std::mt19937` is far too heavy to sit inside a CAS retry
+// loop, and sharing one generator would itself be a contention hot spot, so
+// the book's practice chapters all assume a cheap thread-local source; we
+// use xorshift64*, which passes the statistical bar these uses need.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <thread>
+
+namespace tamp {
+
+/// xorshift64* generator.  Not cryptographic; cheap and stateless enough to
+/// embed by value in locks, exchangers, and skiplist handles.
+class XorShift64 {
+  public:
+    explicit constexpr XorShift64(std::uint64_t seed = 0x9E3779B97F4A7C15ull)
+        : state_(seed ? seed : 0x9E3779B97F4A7C15ull) {}
+
+    /// Seed from the calling thread's identity so concurrently constructed
+    /// generators diverge without coordination.
+    static XorShift64 from_this_thread() {
+        const auto h =
+            std::hash<std::thread::id>{}(std::this_thread::get_id());
+        return XorShift64(static_cast<std::uint64_t>(h) ^
+                          0xD1B54A32D192ED03ull);
+    }
+
+    constexpr std::uint64_t next() noexcept {
+        std::uint64_t x = state_;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        state_ = x;
+        return x * 0x2545F4914F6CDD1Dull;
+    }
+
+    /// Uniform draw from [0, bound); returns 0 when bound == 0.
+    constexpr std::uint32_t next_below(std::uint32_t bound) noexcept {
+        if (bound == 0) return 0;
+        // Multiply-shift range reduction (Lemire); bias is negligible for
+        // the contention-management uses this generator serves.
+        return static_cast<std::uint32_t>(
+            (static_cast<std::uint64_t>(static_cast<std::uint32_t>(next())) *
+             bound) >>
+            32);
+    }
+
+    /// Bernoulli(p) draw with p expressed in 1/2^16 units.
+    constexpr bool next_bool_with_probability(std::uint32_t p_in_65536) noexcept {
+        return (next() & 0xFFFFu) < p_in_65536;
+    }
+
+  private:
+    std::uint64_t state_;
+};
+
+/// The calling thread's persistent generator.  Use this on hot paths that
+/// need *fresh* draws on every call (elimination slot choice, composite
+/// lock node choice): constructing a seeded generator per call would hand
+/// every call the same "random" value.
+inline XorShift64& tls_rng() {
+    thread_local XorShift64 rng = XorShift64::from_this_thread();
+    return rng;
+}
+
+}  // namespace tamp

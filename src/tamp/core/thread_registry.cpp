@@ -1,0 +1,74 @@
+#include "tamp/core/thread_registry.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <set>
+
+namespace tamp {
+namespace {
+
+struct Registry {
+    std::mutex mu;
+    std::set<std::size_t> free_ids;  // recycled slots, lowest first
+    std::size_t next_fresh = 0;      // never-used slots start here
+    std::size_t high_water = 0;
+
+    std::size_t acquire() {
+        std::lock_guard<std::mutex> guard(mu);
+        std::size_t id;
+        if (!free_ids.empty()) {
+            id = *free_ids.begin();
+            free_ids.erase(free_ids.begin());
+        } else {
+            if (next_fresh >= kMaxThreads) {
+                std::fprintf(stderr,
+                             "tamp: more than %zu simultaneously registered "
+                             "threads\n",
+                             kMaxThreads);
+                std::abort();
+            }
+            id = next_fresh++;
+        }
+        if (next_fresh - free_ids.size() > high_water) {
+            high_water = next_fresh - free_ids.size();
+        }
+        return id;
+    }
+
+    void release(std::size_t id) {
+        std::lock_guard<std::mutex> guard(mu);
+        free_ids.insert(id);
+    }
+};
+
+// Leaked intentionally: thread-exit destructors of detached threads may run
+// after static destruction would have torn a non-leaked registry down.
+Registry& registry() {
+    static Registry* r = new Registry();
+    return *r;
+}
+
+// RAII holder whose destructor (run at thread exit) recycles the slot.
+struct SlotHolder {
+    std::size_t id;
+    explicit SlotHolder(std::size_t i) : id(i) {}
+    ~SlotHolder() { registry().release(id); }
+};
+
+}  // namespace
+
+namespace detail {
+std::size_t register_current_thread() {
+    thread_local SlotHolder holder(registry().acquire());
+    return holder.id;
+}
+}  // namespace detail
+
+std::size_t thread_id_high_water_mark() {
+    Registry& r = registry();
+    std::lock_guard<std::mutex> guard(r.mu);
+    return r.high_water;
+}
+
+}  // namespace tamp

@@ -1,0 +1,48 @@
+// tamp/core/thread_registry.hpp
+//
+// Dense thread identifiers.
+//
+// Nearly every algorithm in the principles half of the book — FilterLock,
+// BakeryLock, the register constructions, the wait-free snapshot, the
+// universal construction — and several practice-side ones (ALock, hazard
+// pointers, the elimination array's thread slots) are written against a
+// model where the n participating threads carry ids 0..n-1 ("ThreadID.get()"
+// in the book's Java).  C++'s `std::thread::id` is opaque and sparse, so the
+// library provides its own registry: the first time a thread asks for its
+// id it is assigned the smallest free slot, and the slot is recycled when
+// the thread exits.
+//
+// Registration happens at most once per thread lifetime and is therefore
+// allowed to take a mutex; the subsequent `thread_id()` calls on algorithm
+// hot paths are a thread-local read.
+
+#pragma once
+
+#include <cstddef>
+
+namespace tamp {
+
+/// Upper bound on simultaneously live registered threads.  Generous: the
+/// benchmarks and tests use at most a few dozen.
+inline constexpr std::size_t kMaxThreads = 1024;
+
+namespace detail {
+/// Slow path: allocate an id for the calling thread (called once per
+/// thread, on its first `thread_id()`).  Terminates the process if more
+/// than kMaxThreads threads are simultaneously registered — that is a
+/// configuration error, not a recoverable condition.
+std::size_t register_current_thread();
+}  // namespace detail
+
+/// This thread's dense id in [0, kMaxThreads).  Stable for the thread's
+/// lifetime; recycled (lowest-free-slot) after the thread exits.
+inline std::size_t thread_id() {
+    thread_local const std::size_t id = detail::register_current_thread();
+    return id;
+}
+
+/// Number of ids ever handed out concurrently (high-water mark).  Useful in
+/// tests asserting that id recycling works.
+std::size_t thread_id_high_water_mark();
+
+}  // namespace tamp

@@ -1,0 +1,190 @@
+// tamp/counting/combining_tree.hpp
+//
+// Software combining tree (§12.3, Figs. 12.2–12.8): a binary tree of
+// combining nodes over a counter at the root.  When two threads climb
+// through the same node at the same time, one ("active") carries both
+// increments upward and the other ("passive") waits at the node for its
+// result — so under saturation the root sees O(log n) of the traffic,
+// while the individual latency grows.  The canonical throughput-vs-latency
+// trade the book contrasts with the single CAS counter in `bench_counting`.
+//
+// Each node is a little monitor (mutex + condition), faithfully following
+// the book's five-phase protocol: precombine (reserve the path), combine
+// (collect the waiting passives' contributions), op (apply at the stop
+// node), distribute (deliver results downward).
+
+#pragma once
+
+#include <cassert>
+#include <condition_variable>
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "tamp/core/cacheline.hpp"
+#include "tamp/core/thread_registry.hpp"
+
+namespace tamp {
+
+class CombiningTree {
+    enum class CStatus { kIdle, kFirst, kSecond, kResult, kRoot };
+
+    class Node {
+      public:
+        Node() : status_(CStatus::kRoot) {}  // root constructor
+        explicit Node(Node* parent)
+            : parent_(parent), status_(CStatus::kIdle) {}
+
+        Node* parent() const { return parent_; }
+
+        /// Reserve this node on the way up.  True = keep climbing (we are
+        /// the node's first visitor); false = stop here (someone is
+        /// already first here, or this is the root).
+        bool precombine() {
+            std::unique_lock<std::mutex> lk(mu_);
+            cond_.wait(lk, [&] { return !locked_; });
+            switch (status_) {
+                case CStatus::kIdle:
+                    status_ = CStatus::kFirst;
+                    return true;
+                case CStatus::kFirst:
+                    // We are second: lock the node so the first thread
+                    // cannot ascend past us before we deposit our value.
+                    locked_ = true;
+                    status_ = CStatus::kSecond;
+                    return false;
+                case CStatus::kRoot:
+                    return false;
+                default:
+                    assert(false && "unexpected precombine state");
+                    return false;
+            }
+        }
+
+        /// Collect the second thread's contribution (if any) into ours.
+        long combine(long combined) {
+            std::unique_lock<std::mutex> lk(mu_);
+            cond_.wait(lk, [&] { return !locked_; });
+            locked_ = true;  // hold the node until we distribute
+            first_value_ = combined;
+            switch (status_) {
+                case CStatus::kFirst:
+                    return first_value_;
+                case CStatus::kSecond:
+                    return first_value_ + second_value_;
+                default:
+                    assert(false && "unexpected combine state");
+                    return combined;
+            }
+        }
+
+        /// Apply the combined delta at the stop node.  At the root this
+        /// *is* the fetch-and-add; at a SECOND node it deposits our value
+        /// for the active thread and waits for the result.
+        long op(long combined) {
+            std::unique_lock<std::mutex> lk(mu_);
+            switch (status_) {
+                case CStatus::kRoot: {
+                    const long prior = result_;
+                    result_ += combined;
+                    return prior;
+                }
+                case CStatus::kSecond: {
+                    second_value_ = combined;
+                    locked_ = false;
+                    cond_.notify_all();  // let the first thread combine
+                    cond_.wait(lk,
+                               [&] { return status_ == CStatus::kResult; });
+                    locked_ = false;
+                    cond_.notify_all();
+                    status_ = CStatus::kIdle;
+                    return result_;
+                }
+                default:
+                    assert(false && "unexpected op state");
+                    return 0;
+            }
+        }
+
+        /// Deliver results downward after the stop node's op().
+        void distribute(long prior) {
+            std::unique_lock<std::mutex> lk(mu_);
+            switch (status_) {
+                case CStatus::kFirst:
+                    // Nobody combined with us here: just release the node.
+                    status_ = CStatus::kIdle;
+                    locked_ = false;
+                    break;
+                case CStatus::kSecond:
+                    // The second thread's share starts after ours.
+                    result_ = prior + first_value_;
+                    status_ = CStatus::kResult;
+                    break;
+                default:
+                    assert(false && "unexpected distribute state");
+            }
+            cond_.notify_all();
+        }
+
+      private:
+        std::mutex mu_;
+        std::condition_variable cond_;
+        bool locked_ = false;
+        Node* parent_ = nullptr;
+        CStatus status_;
+        long first_value_ = 0;   // active thread's combined delta
+        long second_value_ = 0;  // passive thread's deposited delta
+        long result_ = 0;        // root: the counter; SECOND: the answer
+    };
+
+  public:
+    /// A tree wide enough for `width` threads (two per leaf).
+    explicit CombiningTree(std::size_t width) {
+        std::size_t w = 2;
+        while (w < width) w *= 2;
+        // Heap-layout tree with w-1 nodes; node 0 is the root.
+        nodes_.reserve(w - 1);
+        nodes_.emplace_back(new Node());
+        for (std::size_t i = 1; i < w - 1; ++i) {
+            nodes_.emplace_back(new Node(nodes_[(i - 1) / 2].get()));
+        }
+        const std::size_t leaves = (w + 1) / 2;
+        leaf_.resize(leaves);
+        for (std::size_t i = 0; i < leaves; ++i) {
+            leaf_[i] = nodes_[nodes_.size() - i - 1].get();
+        }
+    }
+
+    /// The counter operation (Fig. 12.3): returns the pre-increment value.
+    long get_and_increment() {
+        Node* my_leaf = leaf_[(thread_id() / 2) % leaf_.size()];
+        // Phase 1: precombine up to the first node we do not own.
+        Node* node = my_leaf;
+        while (node->precombine()) node = node->parent();
+        Node* stop = node;
+        // Phase 2: combine the contributions parked along our path.
+        long combined = 1;
+        std::vector<Node*> path;
+        for (node = my_leaf; node != stop; node = node->parent()) {
+            combined = node->combine(combined);
+            path.push_back(node);
+        }
+        // Phase 3: apply at the stop node.
+        const long prior = stop->op(combined);
+        // Phase 4: distribute results back down the path.
+        while (!path.empty()) {
+            path.back()->distribute(prior);
+            path.pop_back();
+        }
+        return prior;
+    }
+
+    std::size_t leaves() const { return leaf_.size(); }
+
+  private:
+    std::vector<std::unique_ptr<Node>> nodes_;
+    std::vector<Node*> leaf_;
+};
+
+}  // namespace tamp

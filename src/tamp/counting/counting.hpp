@@ -1,0 +1,26 @@
+// tamp/counting/counting.hpp — umbrella for Chapter 12: shared counting
+// via combining trees, counting networks, and diffracting trees, plus the
+// single-word baseline they are measured against.
+#pragma once
+
+#include <atomic>
+
+#include "tamp/counting/combining_tree.hpp"
+#include "tamp/counting/diffracting_tree.hpp"
+#include "tamp/counting/network.hpp"
+#include "tamp/counting/sorting.hpp"
+
+namespace tamp {
+
+/// The baseline everything in this chapter fights: one fetch-and-add word.
+class SingleCounter {
+  public:
+    long get_and_increment() {
+        return count_.fetch_add(1, std::memory_order_acq_rel);
+    }
+
+  private:
+    std::atomic<long> count_{0};
+};
+
+}  // namespace tamp

@@ -1,0 +1,124 @@
+// tamp/counting/diffracting_tree.hpp
+//
+// Diffracting trees (§12.6, Figs. 12.20–12.23): a tree of balancers where
+// tokens that would collide on a balancer's hot toggle instead *diffract*
+// off each other in a "prism" — an array of exchangers in front of the
+// toggle.  Two paired tokens leave on opposite wires without touching the
+// toggle at all, which is exactly correct for a balancer (it would have
+// sent one token each way), so the toggle only absorbs the *unpaired*
+// residue.  Same idea as the elimination stack, applied to counting.
+
+#pragma once
+
+#include <cassert>
+#include <chrono>
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "tamp/core/cacheline.hpp"
+#include "tamp/core/random.hpp"
+#include "tamp/counting/network.hpp"
+#include "tamp/stacks/exchanger.hpp"
+
+namespace tamp {
+
+/// A balancer fronted by a prism of exchangers.
+class DiffractingBalancer {
+  public:
+    explicit DiffractingBalancer(std::size_t prism_size = 4,
+                                 std::chrono::microseconds patience =
+                                     std::chrono::microseconds(30))
+        : prism_(prism_size), patience_(patience) {}
+
+    /// Route one token: 0 = top wire, 1 = bottom wire.
+    std::size_t traverse() {
+        // Each token brings a distinct address (its own stack slot) to the
+        // exchange; the pair uses address order to split 0/1 consistently
+        // (each side sees both addresses, so the decisions complement).
+        int token = 0;
+        int* mine = &token;
+        const std::size_t slot =
+            tls_rng().next_below(static_cast<std::uint32_t>(prism_.size()));
+        int* partner = nullptr;
+        if (prism_[slot].value.exchange(mine, patience_, &partner) &&
+            partner != nullptr && partner != mine) {
+            return mine < partner ? 0 : 1;  // diffracted
+        }
+        return toggle_.traverse();  // unpaired: use the toggle
+    }
+
+  private:
+    std::vector<Padded<LockFreeExchanger<int>>> prism_;
+    std::chrono::microseconds patience_;
+    Balancer toggle_;
+};
+
+/// A width-w (power of two) diffracting tree of balancers: a token walks
+/// root→leaf, taking the wire each balancer assigns; the tree guarantees
+/// the step property over the leaves in quiescent states.
+class DiffractingTree {
+  public:
+    explicit DiffractingTree(std::size_t width, std::size_t prism_size = 4)
+        : width_(width) {
+        assert(width >= 2 && (width & (width - 1)) == 0);
+        // Heap layout: width-1 internal balancers.
+        nodes_.reserve(width - 1);
+        for (std::size_t i = 0; i < width - 1; ++i) {
+            nodes_.emplace_back(
+                std::make_unique<DiffractingBalancer>(prism_size));
+        }
+    }
+
+    /// Route a token to a leaf in [0, width).  The root balancer selects
+    /// the *low* bit of the leaf index (successive tokens must land on
+    /// consecutive leaves — the bit-reversed mapping of a counting tree);
+    /// deeper balancers select successively higher bits.
+    std::size_t traverse() {
+        std::size_t node = 0;
+        std::size_t depth_remaining = width_;
+        std::size_t leaf = 0;
+        std::size_t bit = 0;
+        while (depth_remaining > 1) {
+            const std::size_t wire = nodes_[node]->traverse();
+            leaf |= wire << bit;
+            ++bit;
+            node = 2 * node + 1 + wire;
+            depth_remaining /= 2;
+        }
+        return leaf;
+    }
+
+    std::size_t width() const { return width_; }
+
+  private:
+    std::size_t width_;
+    std::vector<std::unique_ptr<DiffractingBalancer>> nodes_;
+};
+
+/// Counter on top of a diffracting tree: leaf i hands out i, i+w, i+2w...
+class DiffractingTreeCounter {
+  public:
+    explicit DiffractingTreeCounter(std::size_t width,
+                                    std::size_t prism_size = 4)
+        : tree_(width, prism_size), counters_(width) {
+        for (std::size_t i = 0; i < width; ++i) {
+            counters_[i].value.store(static_cast<long>(i),
+                                     std::memory_order_relaxed);
+        }
+    }
+
+    long get_and_increment() {
+        const std::size_t leaf = tree_.traverse();
+        return counters_[leaf].value.fetch_add(
+            static_cast<long>(tree_.width()), std::memory_order_acq_rel);
+    }
+
+    std::size_t width() const { return tree_.width(); }
+
+  private:
+    DiffractingTree tree_;
+    std::vector<Padded<std::atomic<long>>> counters_;
+};
+
+}  // namespace tamp

@@ -1,0 +1,216 @@
+// tamp/counting/network.hpp
+//
+// Counting networks (§12.5): balancers, the bitonic network, and the
+// periodic network, plus the output-wire counters that turn a balancing
+// network into a shared counter.
+//
+// A balancer forwards arriving tokens alternately to its top and bottom
+// wires; a *counting* network is a wiring of balancers with the step
+// property — in any quiescent state, output wire i has seen
+// ceil((tokens - i) / width) tokens.  Tokens on different wires then take
+// disjoint counter values (wire i hands out i, i+width, i+2·width, ...),
+// so threads increment *width different counters*, not one hot word.
+// The price: quiescent consistency rather than linearizability, the
+// trade-off `bench_counting` measures against the combining tree and the
+// single CAS counter.
+
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "tamp/core/cacheline.hpp"
+
+namespace tamp {
+
+/// A software balancer (Fig. 12.11): one atomic toggle.
+class Balancer {
+  public:
+    /// Returns the output wire (0 = top, 1 = bottom) for one token.
+    std::size_t traverse() {
+        // fetch_xor flips and returns prior state: first token goes top.
+        return toggle_.fetch_xor(1, std::memory_order_acq_rel) ? 1 : 0;
+    }
+
+  private:
+    std::atomic<std::uint8_t> toggle_{0};
+};
+
+/// The bitonic merger (Fig. 12.13): merges two width/2 sequences that
+/// each have the step property into one that does.
+class Merger {
+  public:
+    explicit Merger(std::size_t width) : width_(width), layer_(width / 2) {
+        assert(width >= 2 && (width & (width - 1)) == 0);
+        if (width > 2) {
+            half_[0] = std::make_unique<Merger>(width / 2);
+            half_[1] = std::make_unique<Merger>(width / 2);
+        }
+    }
+
+    std::size_t traverse(std::size_t input) {
+        std::size_t output = 0;
+        if (width_ > 2) {
+            if (input < width_ / 2) {
+                // Tokens from the first input sequence go to sub-merger
+                // input%2; from the second, to the other one.
+                output = half_[input % 2]->traverse(input / 2);
+            } else {
+                output = half_[1 - (input % 2)]->traverse(input / 2);
+            }
+        }
+        return 2 * output + layer_[output].value.traverse();
+    }
+
+    std::size_t width() const { return width_; }
+
+  private:
+    std::size_t width_;
+    std::unique_ptr<Merger> half_[2];
+    std::vector<Padded<Balancer>> layer_;
+};
+
+/// The bitonic counting network (Fig. 12.14): two half-width bitonic
+/// networks feeding a merger.
+class BitonicNetwork {
+  public:
+    explicit BitonicNetwork(std::size_t width)
+        : width_(width), merger_(width) {
+        assert(width >= 2 && (width & (width - 1)) == 0);
+        if (width > 2) {
+            half_[0] = std::make_unique<BitonicNetwork>(width / 2);
+            half_[1] = std::make_unique<BitonicNetwork>(width / 2);
+        }
+    }
+
+    std::size_t traverse(std::size_t input) {
+        assert(input < width_);
+        std::size_t output = 0;
+        const std::size_t subnet = input / (width_ / 2);
+        if (width_ > 2) {
+            output = half_[subnet]->traverse(input % (width_ / 2));
+        }
+        // Feed the merger: half 0's outputs on wires [0, w/2), half 1's
+        // on [w/2, w).
+        return merger_.traverse(output + subnet * (width_ / 2));
+    }
+
+    std::size_t width() const { return width_; }
+
+  private:
+    std::size_t width_;
+    std::unique_ptr<BitonicNetwork> half_[2];
+    Merger merger_;
+};
+
+/// One pairing layer of the periodic network (Fig. 12.18): wire i is
+/// balanced against wire width-1-i.
+class PeriodicLayer {
+  public:
+    explicit PeriodicLayer(std::size_t width)
+        : width_(width), balancers_(width / 2) {}
+
+    std::size_t traverse(std::size_t input) {
+        const std::size_t lo = input < width_ - 1 - input
+                                   ? input
+                                   : width_ - 1 - input;
+        const std::size_t out = balancers_[lo].value.traverse();
+        return out == 0 ? lo : width_ - 1 - lo;
+    }
+
+  private:
+    std::size_t width_;
+    std::vector<Padded<Balancer>> balancers_;
+};
+
+/// A block (Fig. 12.19): a pairing layer followed by two half-width
+/// blocks; a block converts any "p-smooth" input into a sorted-ish one.
+class PeriodicBlock {
+  public:
+    explicit PeriodicBlock(std::size_t width)
+        : width_(width), layer_(width) {
+        if (width > 2) {
+            half_[0] = std::make_unique<PeriodicBlock>(width / 2);
+            half_[1] = std::make_unique<PeriodicBlock>(width / 2);
+        }
+    }
+
+    std::size_t traverse(std::size_t input) {
+        const std::size_t wire = layer_.traverse(input);
+        if (width_ == 2) return wire;
+        if (wire < width_ / 2) return half_[0]->traverse(wire);
+        return width_ / 2 + half_[1]->traverse(wire - width_ / 2);
+    }
+
+  private:
+    std::size_t width_;
+    PeriodicLayer layer_;
+    std::unique_ptr<PeriodicBlock> half_[2];
+};
+
+/// The periodic counting network (Fig. 12.19): log2(width) blocks in
+/// series.  Same step property as bitonic, different (iterative) shape.
+class PeriodicNetwork {
+  public:
+    explicit PeriodicNetwork(std::size_t width) : width_(width) {
+        assert(width >= 2 && (width & (width - 1)) == 0);
+        std::size_t log = 0;
+        for (std::size_t w = width; w > 1; w /= 2) ++log;
+        for (std::size_t i = 0; i < log; ++i) {
+            blocks_.emplace_back(std::make_unique<PeriodicBlock>(width));
+        }
+    }
+
+    std::size_t traverse(std::size_t input) {
+        std::size_t wire = input;
+        for (auto& b : blocks_) wire = b->traverse(wire);
+        return wire;
+    }
+
+    std::size_t width() const { return width_; }
+
+  private:
+    std::size_t width_;
+    std::vector<std::unique_ptr<PeriodicBlock>> blocks_;
+};
+
+/// Glue a balancing network to per-wire counters: wire i hands out
+/// i, i+w, i+2w, ... (Fig. 12.10's "counting" step).  Quiescently
+/// consistent; values are unique because (wire, slot) pairs are.
+template <typename Network>
+class NetworkCounter {
+  public:
+    explicit NetworkCounter(std::size_t width)
+        : network_(width), counters_(width) {
+        for (std::size_t i = 0; i < width; ++i) {
+            counters_[i].value.store(i, std::memory_order_relaxed);
+        }
+    }
+
+    long get_and_increment() {
+        const std::size_t wire =
+            network_.traverse(next_input_.fetch_add(
+                                  1, std::memory_order_relaxed) %
+                              network_.width());
+        return static_cast<long>(counters_[wire].value.fetch_add(
+            network_.width(), std::memory_order_acq_rel));
+    }
+
+    std::size_t width() const { return network_.width(); }
+
+  private:
+    Network network_;
+    // Input wires are assigned round-robin; the step property holds for
+    // any input distribution, this just spreads load.
+    std::atomic<std::size_t> next_input_{0};
+    std::vector<Padded<std::atomic<long>>> counters_;
+};
+
+using BitonicCounter = NetworkCounter<BitonicNetwork>;
+using PeriodicCounter = NetworkCounter<PeriodicNetwork>;
+
+}  // namespace tamp

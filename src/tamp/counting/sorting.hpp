@@ -1,0 +1,155 @@
+// tamp/counting/sorting.hpp
+//
+// Chapter 12's second half — parallel sorting (§12.7–§12.8):
+//
+//  * Bitonic sorting network: the counting network's cousin.  A fixed
+//    wiring of compare-exchange elements sorts any input in
+//    O(log² n) *phases*; p threads each own a slice of the comparators in
+//    a phase and a barrier separates phases.  Data-independent structure
+//    is the point: no hot spots, perfectly predictable load.
+//  * Sample sort: the book's "most practical" contender.  Threads sort
+//    local blocks, a sample of elements elects p−1 splitters, every
+//    thread scatters its block into splitter-delimited buckets, and
+//    thread b sorts bucket b.  Two barriers, near-linear speedup when
+//    the sample balances the buckets.
+//
+// Both functions are deterministic (outputs equal std::sort's result) and
+// take the thread count explicitly; they manage their own worker threads
+// and barriers, making them drop-in parallel sorts as well as Chapter 12
+// demonstrations.
+
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <cstddef>
+#include <thread>
+#include <vector>
+
+#include "tamp/barrier/barriers.hpp"
+
+namespace tamp {
+
+/// In-place parallel bitonic sort.  `values.size()` must be a power of
+/// two (the network's wiring assumes it); pad with sentinels otherwise.
+template <typename T>
+void parallel_bitonic_sort(std::vector<T>& values,
+                           std::size_t n_threads = 4) {
+    const std::size_t n = values.size();
+    if (n < 2) return;
+    assert((n & (n - 1)) == 0 && "bitonic network needs a power-of-two size");
+    if (n_threads == 0) n_threads = 1;
+    if (n_threads > n / 2) n_threads = n / 2;
+
+    SenseReversingBarrier barrier(n_threads);
+    std::vector<std::thread> workers;
+    workers.reserve(n_threads);
+    for (std::size_t t = 0; t < n_threads; ++t) {
+        workers.emplace_back([&, t] {
+            // Thread t owns wires [lo, hi): within a phase, the
+            // comparators it applies touch only indices i and i^j for
+            // i in its slice with i < i^j — every comparator has exactly
+            // one owner, so phases are data-race-free.
+            const std::size_t lo = t * n / n_threads;
+            const std::size_t hi = (t + 1) * n / n_threads;
+            for (std::size_t k = 2; k <= n; k *= 2) {        // run length
+                for (std::size_t j = k / 2; j > 0; j /= 2) {  // distance
+                    for (std::size_t i = lo; i < hi; ++i) {
+                        const std::size_t partner = i ^ j;
+                        if (partner <= i) continue;  // owned by the pair's
+                                                     // lower index
+                        const bool ascending = (i & k) == 0;
+                        if (ascending == (values[partner] < values[i])) {
+                            std::swap(values[i], values[partner]);
+                        }
+                    }
+                    barrier.await(t);  // phase boundary
+                }
+            }
+        });
+    }
+    for (auto& w : workers) w.join();
+}
+
+/// Parallel sample sort; any size, any totally ordered T.  The result is
+/// sorted in place (stable only within what std::sort provides, i.e. not
+/// stable).
+template <typename T>
+void parallel_sample_sort(std::vector<T>& values,
+                          std::size_t n_threads = 4) {
+    const std::size_t n = values.size();
+    if (n_threads == 0) n_threads = 1;
+    if (n < 2 * n_threads * n_threads || n_threads == 1) {
+        std::sort(values.begin(), values.end());
+        return;
+    }
+    const std::size_t p = n_threads;
+    SenseReversingBarrier barrier(p);
+    std::vector<T> splitters;                       // p-1, set by thread 0
+    std::vector<std::vector<std::vector<T>>> scatter(
+        p, std::vector<std::vector<T>>(p));         // [owner][bucket]
+    std::vector<std::vector<T>> buckets(p);         // gathered per bucket
+    std::vector<std::size_t> bucket_offsets(p, 0);  // output positions
+    // Oversampled splitter election: each thread contributes s samples.
+    constexpr std::size_t kOversample = 8;
+    std::vector<T> samples(p * kOversample);
+
+    std::vector<std::thread> workers;
+    workers.reserve(p);
+    for (std::size_t t = 0; t < p; ++t) {
+        workers.emplace_back([&, t] {
+            const std::size_t lo = t * n / p;
+            const std::size_t hi = (t + 1) * n / p;
+            // Phase 1: sort my block and contribute evenly spaced samples.
+            std::sort(values.begin() + static_cast<long>(lo),
+                      values.begin() + static_cast<long>(hi));
+            for (std::size_t s = 0; s < kOversample; ++s) {
+                samples[t * kOversample + s] =
+                    values[lo + (hi - lo) * s / kOversample];
+            }
+            barrier.await(t);
+            // Phase 2 (thread 0): elect splitters from the sample.
+            if (t == 0) {
+                std::sort(samples.begin(), samples.end());
+                splitters.reserve(p - 1);
+                for (std::size_t b = 1; b < p; ++b) {
+                    splitters.push_back(samples[b * kOversample]);
+                }
+            }
+            barrier.await(t);
+            // Phase 3: scatter my (sorted) block into buckets.
+            for (std::size_t i = lo; i < hi; ++i) {
+                const std::size_t b = static_cast<std::size_t>(
+                    std::upper_bound(splitters.begin(), splitters.end(),
+                                     values[i]) -
+                    splitters.begin());
+                scatter[t][b].push_back(values[i]);
+            }
+            barrier.await(t);
+            // Phase 4: gather and sort my bucket.
+            auto& mine = buckets[t];
+            for (std::size_t owner = 0; owner < p; ++owner) {
+                mine.insert(mine.end(), scatter[owner][t].begin(),
+                            scatter[owner][t].end());
+            }
+            std::sort(mine.begin(), mine.end());
+            barrier.await(t);
+            // Phase 5 (thread 0): compute output offsets.
+            if (t == 0) {
+                std::size_t off = 0;
+                for (std::size_t b = 0; b < p; ++b) {
+                    bucket_offsets[b] = off;
+                    off += buckets[b].size();
+                }
+            }
+            barrier.await(t);
+            // Phase 6: copy my bucket into its final position.
+            std::copy(buckets[t].begin(), buckets[t].end(),
+                      values.begin() +
+                          static_cast<long>(bucket_offsets[t]));
+        });
+    }
+    for (auto& w : workers) w.join();
+}
+
+}  // namespace tamp

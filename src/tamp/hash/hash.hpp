@@ -1,0 +1,7 @@
+// tamp/hash/hash.hpp — umbrella for Chapter 13: closed-address lock-based
+// sets, the lock-free split-ordered set, and striped cuckoo hashing.
+#pragma once
+
+#include "tamp/hash/cuckoo.hpp"
+#include "tamp/hash/lock_based.hpp"
+#include "tamp/hash/split_ordered.hpp"

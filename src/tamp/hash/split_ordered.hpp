@@ -1,0 +1,308 @@
+// tamp/hash/split_ordered.hpp
+//
+// The lock-free hash set with recursive split-ordering (§13.3,
+// Figs. 13.13–13.18; Shalev & Shavit).  The key insight: instead of
+// moving items between buckets when the table grows, keep *all* items in
+// one lock-free list sorted by bit-reversed hash ("split order") and let
+// buckets be lazily-installed sentinel nodes that point *into* the list.
+// Doubling the table only adds new sentinels — "the list does not move,
+// the buckets move onto the list."
+//
+//   ordinary key(h)  = reverse_bits(h) | 1      (odd — always after its
+//                                                bucket's sentinel)
+//   sentinel key(b)  = reverse_bits(b)          (even)
+//
+// When the table doubles from 2^k to 2^(k+1), bucket b's new sibling
+// b + 2^k gets a sentinel whose split-order key falls exactly in the
+// middle of b's chain — the recursion that gives the scheme its name.
+//
+// The underlying list is Harris–Michael (as in tamp/lists) over packed
+// (split-key, value) pairs, epoch-reclaimed.  The bucket directory is a
+// two-level array so it can grow without moving (segments are installed
+// with CAS and never replaced).
+
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+
+#include "tamp/core/marked_ptr.hpp"
+#include "tamp/lists/keyed.hpp"
+#include "tamp/reclaim/epoch.hpp"
+
+namespace tamp {
+
+namespace detail {
+
+inline std::uint64_t reverse_bits64(std::uint64_t x) {
+    x = ((x & 0x5555555555555555ull) << 1) | ((x >> 1) & 0x5555555555555555ull);
+    x = ((x & 0x3333333333333333ull) << 2) | ((x >> 2) & 0x3333333333333333ull);
+    x = ((x & 0x0F0F0F0F0F0F0F0Full) << 4) | ((x >> 4) & 0x0F0F0F0F0F0F0F0Full);
+    x = ((x & 0x00FF00FF00FF00FFull) << 8) | ((x >> 8) & 0x00FF00FF00FF00FFull);
+    x = ((x & 0x0000FFFF0000FFFFull) << 16) |
+        ((x >> 16) & 0x0000FFFF0000FFFFull);
+    return (x << 32) | (x >> 32);
+}
+
+}  // namespace detail
+
+template <std::totally_ordered T, typename KeyOf = DefaultKeyOf<T>>
+class SplitOrderedHashSet {
+    struct Node {
+        std::uint64_t so_key;  // split-order key; even = sentinel
+        T value;               // meaningful only for ordinary nodes
+        AtomicMarkedPtr<Node> next;
+    };
+
+    static constexpr std::size_t kSegmentBits = 9;
+    static constexpr std::size_t kSegmentSize = 1u << kSegmentBits;
+    static constexpr std::size_t kMaxSegments = 1u << 15;  // 2^24 buckets
+
+  public:
+    using value_type = T;
+
+    explicit SplitOrderedHashSet(std::size_t initial_buckets = 2,
+                                 std::size_t max_load = 4)
+        : max_load_(max_load) {
+        std::size_t b = 2;
+        while (b < initial_buckets) b *= 2;
+        bucket_count_.store(b, std::memory_order_relaxed);
+        for (auto& s : segments_) {
+            s.store(nullptr, std::memory_order_relaxed);
+        }
+        // Install bucket 0's sentinel eagerly: the recursion's base case.
+        head_ = new Node{0, T{}, {}};
+        head_->next.store(nullptr, false);
+        bucket_ref(0).store(head_, std::memory_order_release);
+    }
+
+    ~SplitOrderedHashSet() {
+        Node* n = head_;
+        while (n != nullptr) {
+            Node* next = n->next.load(std::memory_order_relaxed).ptr();
+            delete n;
+            n = next;
+        }
+        for (auto& s : segments_) {
+            delete[] s.load(std::memory_order_relaxed);
+        }
+    }
+
+    SplitOrderedHashSet(const SplitOrderedHashSet&) = delete;
+    SplitOrderedHashSet& operator=(const SplitOrderedHashSet&) = delete;
+
+    bool add(const T& v) {
+        EpochGuard guard;
+        const std::uint64_t h = KeyOf{}(v);
+        const std::size_t size =
+            bucket_count_.load(std::memory_order_acquire);
+        Node* sentinel = get_bucket(h % size);
+        if (!list_add(sentinel, ordinary_key(h), v)) return false;
+        const std::size_t count =
+            set_size_.fetch_add(1, std::memory_order_relaxed) + 1;
+        // Resize policy: double when average chain exceeds max_load_.
+        if (count / size > max_load_ &&
+            size * 2 <= kSegmentSize * kMaxSegments) {
+            std::size_t expected = size;
+            bucket_count_.compare_exchange_strong(
+                expected, size * 2, std::memory_order_acq_rel,
+                std::memory_order_relaxed);
+        }
+        return true;
+    }
+
+    bool remove(const T& v) {
+        EpochGuard guard;
+        const std::uint64_t h = KeyOf{}(v);
+        const std::size_t size =
+            bucket_count_.load(std::memory_order_acquire);
+        Node* sentinel = get_bucket(h % size);
+        if (!list_remove(sentinel, ordinary_key(h), v)) return false;
+        set_size_.fetch_sub(1, std::memory_order_relaxed);
+        return true;
+    }
+
+    bool contains(const T& v) {
+        EpochGuard guard;
+        const std::uint64_t h = KeyOf{}(v);
+        const std::size_t size =
+            bucket_count_.load(std::memory_order_acquire);
+        Node* sentinel = get_bucket(h % size);
+        const std::uint64_t key = ordinary_key(h);
+        // Wait-free traversal from the bucket's sentinel.
+        Node* curr = sentinel;
+        bool marked = false;
+        while (curr != nullptr && precedes(curr, key, v)) {
+            curr = curr->next.get(&marked);
+        }
+        if (curr == nullptr) return false;
+        curr->next.get(&marked);
+        return matches(curr, key, v) && !marked;
+    }
+
+    std::size_t size() const {
+        return set_size_.load(std::memory_order_relaxed);
+    }
+    std::size_t buckets() const {
+        return bucket_count_.load(std::memory_order_acquire);
+    }
+
+  private:
+    static std::uint64_t ordinary_key(std::uint64_t h) {
+        return detail::reverse_bits64(h) | 1ull;
+    }
+    static std::uint64_t sentinel_key(std::uint64_t bucket) {
+        return detail::reverse_bits64(bucket);
+    }
+    /// Parent bucket: clear the most significant set bit (Fig. 13.17).
+    static std::size_t parent_of(std::size_t bucket) {
+        assert(bucket > 0);
+        return bucket & ~(std::size_t{1}
+                          << (63 - std::countl_zero<std::uint64_t>(bucket)));
+    }
+
+    std::atomic<Node*>& bucket_ref(std::size_t bucket) {
+        const std::size_t seg = bucket >> kSegmentBits;
+        assert(seg < kMaxSegments);
+        std::atomic<Node*>* segment =
+            segments_[seg].load(std::memory_order_acquire);
+        if (segment == nullptr) {
+            auto* fresh = new std::atomic<Node*>[kSegmentSize];
+            for (std::size_t i = 0; i < kSegmentSize; ++i) {
+                fresh[i].store(nullptr, std::memory_order_relaxed);
+            }
+            std::atomic<Node*>* expected = nullptr;
+            if (segments_[seg].compare_exchange_strong(
+                    expected, fresh, std::memory_order_acq_rel,
+                    std::memory_order_acquire)) {
+                segment = fresh;
+            } else {
+                delete[] fresh;
+                segment = expected;
+            }
+        }
+        return segment[bucket & (kSegmentSize - 1)];
+    }
+
+    /// Bucket sentinel, installing it (and recursively its parent's) on
+    /// first touch — initializeBucket of Fig. 13.16.
+    Node* get_bucket(std::size_t bucket) {
+        std::atomic<Node*>& ref = bucket_ref(bucket);
+        Node* sentinel = ref.load(std::memory_order_acquire);
+        if (sentinel != nullptr) return sentinel;
+
+        Node* parent = get_bucket(parent_of(bucket));
+        // Insert (or find) the sentinel in the parent's chain.
+        Node* node = list_add_sentinel(parent, sentinel_key(bucket));
+        // Publish; racers may have published the same node already (the
+        // sentinel-insert is idempotent — it returns the winner).
+        Node* expected = nullptr;
+        ref.compare_exchange_strong(expected, node,
+                                    std::memory_order_acq_rel,
+                                    std::memory_order_acquire);
+        return ref.load(std::memory_order_acquire);
+    }
+
+    // ---------------- Harris–Michael machinery over (so_key, value) ----
+
+    bool precedes(const Node* n, std::uint64_t key, const T& v) const {
+        if (n->so_key != key) return n->so_key < key;
+        if ((key & 1) == 0) return false;  // sentinels are unique per key
+        return !(n->value == v) && n->value < v;
+    }
+    bool matches(const Node* n, std::uint64_t key, const T& v) const {
+        if (n->so_key != key) return false;
+        if ((key & 1) == 0) return true;
+        return n->value == v;
+    }
+
+    struct Window {
+        Node* pred;
+        Node* curr;  // may be null (end of list)
+    };
+
+    /// find() from `start`, snipping marked nodes (cf. lists/lockfree).
+    Window find(Node* start, std::uint64_t key, const T& v) {
+    retry:
+        while (true) {
+            Node* pred = start;
+            Node* curr = pred->next.load().ptr();
+            while (curr != nullptr) {
+                bool marked = false;
+                Node* succ = curr->next.get(&marked);
+                while (marked) {
+                    if (!pred->next.compare_and_set(curr, succ, false,
+                                                    false)) {
+                        goto retry;
+                    }
+                    epoch_retire(curr);
+                    curr = succ;
+                    if (curr == nullptr) return {pred, nullptr};
+                    succ = curr->next.get(&marked);
+                }
+                if (!precedes(curr, key, v)) return {pred, curr};
+                pred = curr;
+                curr = succ;
+            }
+            return {pred, nullptr};
+        }
+    }
+
+    bool list_add(Node* start, std::uint64_t key, const T& v) {
+        Node* node = nullptr;
+        while (true) {
+            Window w = find(start, key, v);
+            if (w.curr != nullptr && matches(w.curr, key, v)) {
+                delete node;
+                return false;
+            }
+            if (node == nullptr) node = new Node{key, v, {}};
+            node->next.store(w.curr, false);
+            if (w.pred->next.compare_and_set(w.curr, node, false, false)) {
+                return true;
+            }
+        }
+    }
+
+    /// Insert-or-find a sentinel; returns the resident node.
+    Node* list_add_sentinel(Node* start, std::uint64_t key) {
+        Node* node = nullptr;
+        const T dummy{};
+        while (true) {
+            Window w = find(start, key, dummy);
+            if (w.curr != nullptr && w.curr->so_key == key) {
+                delete node;
+                return w.curr;  // someone else installed it
+            }
+            if (node == nullptr) node = new Node{key, T{}, {}};
+            node->next.store(w.curr, false);
+            if (w.pred->next.compare_and_set(w.curr, node, false, false)) {
+                return node;
+            }
+        }
+    }
+
+    bool list_remove(Node* start, std::uint64_t key, const T& v) {
+        while (true) {
+            Window w = find(start, key, v);
+            if (w.curr == nullptr || !matches(w.curr, key, v)) return false;
+            Node* succ = w.curr->next.load().ptr();
+            if (!w.curr->next.attempt_mark(succ, true)) continue;
+            if (w.pred->next.compare_and_set(w.curr, succ, false, false)) {
+                epoch_retire(w.curr);
+            }
+            return true;
+        }
+    }
+
+    std::size_t max_load_;
+    Node* head_;  // bucket 0's sentinel (so_key == 0)
+    std::atomic<std::size_t> bucket_count_;
+    std::atomic<std::size_t> set_size_{0};
+    std::atomic<std::atomic<Node*>*> segments_[kMaxSegments];
+};
+
+}  // namespace tamp

@@ -1,0 +1,110 @@
+// tamp/lists/coarse_list.hpp
+//
+// CoarseListSet (§9.4, Fig. 9.7): the baseline of the chapter's ladder —
+// one lock around a sorted singly-linked list.  Trivially correct, and the
+// flat line every finer-grained implementation is measured against in
+// `bench_lists`.
+
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+
+#include "tamp/lists/keyed.hpp"
+
+namespace tamp {
+
+template <std::totally_ordered T, typename KeyOf = DefaultKeyOf<T>>
+class CoarseListSet {
+    struct Node {
+        NodeKind kind;
+        std::uint64_t key;
+        T value;
+        Node* next;
+    };
+
+  public:
+    using value_type = T;
+
+    CoarseListSet() {
+        tail_ = new Node{NodeKind::kTail, 0, T{}, nullptr};
+        head_ = new Node{NodeKind::kHead, 0, T{}, tail_};
+    }
+
+    ~CoarseListSet() {
+        Node* n = head_;
+        while (n != nullptr) {
+            Node* next = n->next;
+            delete n;
+            n = next;
+        }
+    }
+
+    CoarseListSet(const CoarseListSet&) = delete;
+    CoarseListSet& operator=(const CoarseListSet&) = delete;
+
+    /// Insert `v`; false if already present.
+    bool add(const T& v) {
+        const std::uint64_t key = KeyOf{}(v);
+        std::lock_guard<std::mutex> guard(mu_);
+        auto [pred, curr] = locate(key, v);
+        if (Order::node_matches(curr->kind, curr->key, curr->value, key, v)) {
+            return false;
+        }
+        pred->next = new Node{NodeKind::kItem, key, v, curr};
+        ++size_;
+        return true;
+    }
+
+    /// Remove `v`; false if absent.
+    bool remove(const T& v) {
+        const std::uint64_t key = KeyOf{}(v);
+        std::lock_guard<std::mutex> guard(mu_);
+        auto [pred, curr] = locate(key, v);
+        if (!Order::node_matches(curr->kind, curr->key, curr->value, key,
+                                 v)) {
+            return false;
+        }
+        pred->next = curr->next;
+        delete curr;
+        --size_;
+        return true;
+    }
+
+    bool contains(const T& v) {
+        const std::uint64_t key = KeyOf{}(v);
+        std::lock_guard<std::mutex> guard(mu_);
+        auto [pred, curr] = locate(key, v);
+        (void)pred;
+        return Order::node_matches(curr->kind, curr->key, curr->value, key,
+                                   v);
+    }
+
+    /// Element count — exact, since the lock serializes everything.
+    std::size_t size() const {
+        std::lock_guard<std::mutex> guard(mu_);
+        return size_;
+    }
+
+  private:
+    using Order = KeyedOrder<T>;
+
+    /// First node not preceding (key, v), plus its predecessor.
+    std::pair<Node*, Node*> locate(std::uint64_t key, const T& v) {
+        Node* pred = head_;
+        Node* curr = pred->next;
+        while (Order::node_precedes(curr->kind, curr->key, curr->value, key,
+                                    v)) {
+            pred = curr;
+            curr = curr->next;
+        }
+        return {pred, curr};
+    }
+
+    mutable std::mutex mu_;
+    Node* head_;
+    Node* tail_;
+    std::size_t size_ = 0;
+};
+
+}  // namespace tamp

@@ -1,0 +1,134 @@
+// tamp/lists/fine_list.hpp
+//
+// FineListSet (§9.5, Figs. 9.9–9.13): hand-over-hand ("lock coupling")
+// locking.  A traversal always holds the lock on one node before taking
+// the next, so operations on disjoint parts of the list proceed in
+// parallel, at the cost of every traversal writing every lock on its path.
+//
+// Reclamation note: a node is unlinked only while both its own and its
+// predecessor's locks are held, and no traversal can be *approaching* it
+// at that point (reaching a node requires holding its predecessor, which
+// the remover holds).  Hence the remover may delete the node immediately
+// after unlocking it — the one list in this chapter that needs no deferred
+// reclamation.
+
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+
+#include "tamp/lists/keyed.hpp"
+
+namespace tamp {
+
+template <std::totally_ordered T, typename KeyOf = DefaultKeyOf<T>>
+class FineListSet {
+    struct Node {
+        NodeKind kind;
+        std::uint64_t key;
+        T value;
+        Node* next;
+        std::mutex mu;
+
+        void lock() { mu.lock(); }
+        void unlock() { mu.unlock(); }
+    };
+
+  public:
+    using value_type = T;
+
+    FineListSet() {
+        tail_ = new Node{NodeKind::kTail, 0, T{}, nullptr, {}};
+        head_ = new Node{NodeKind::kHead, 0, T{}, tail_, {}};
+    }
+
+    ~FineListSet() {
+        Node* n = head_;
+        while (n != nullptr) {
+            Node* next = n->next;
+            delete n;
+            n = next;
+        }
+    }
+
+    FineListSet(const FineListSet&) = delete;
+    FineListSet& operator=(const FineListSet&) = delete;
+
+    bool add(const T& v) {
+        const std::uint64_t key = KeyOf{}(v);
+        head_->lock();
+        Node* pred = head_;
+        Node* curr = pred->next;
+        curr->lock();
+        // Invariant: we hold pred and curr; nobody can insert or remove
+        // between them.
+        while (Order::node_precedes(curr->kind, curr->key, curr->value, key,
+                                    v)) {
+            pred->unlock();
+            pred = curr;
+            curr = curr->next;
+            curr->lock();
+        }
+        bool added = false;
+        if (!Order::node_matches(curr->kind, curr->key, curr->value, key,
+                                 v)) {
+            pred->next = new Node{NodeKind::kItem, key, v, curr, {}};
+            added = true;
+        }
+        curr->unlock();
+        pred->unlock();
+        return added;
+    }
+
+    bool remove(const T& v) {
+        const std::uint64_t key = KeyOf{}(v);
+        head_->lock();
+        Node* pred = head_;
+        Node* curr = pred->next;
+        curr->lock();
+        while (Order::node_precedes(curr->kind, curr->key, curr->value, key,
+                                    v)) {
+            pred->unlock();
+            pred = curr;
+            curr = curr->next;
+            curr->lock();
+        }
+        bool removed = false;
+        if (Order::node_matches(curr->kind, curr->key, curr->value, key, v)) {
+            pred->next = curr->next;
+            removed = true;
+        }
+        curr->unlock();
+        pred->unlock();
+        if (removed) delete curr;  // unreachable: safe to free eagerly
+        return removed;
+    }
+
+    bool contains(const T& v) {
+        const std::uint64_t key = KeyOf{}(v);
+        head_->lock();
+        Node* pred = head_;
+        Node* curr = pred->next;
+        curr->lock();
+        while (Order::node_precedes(curr->kind, curr->key, curr->value, key,
+                                    v)) {
+            pred->unlock();
+            pred = curr;
+            curr = curr->next;
+            curr->lock();
+        }
+        const bool found =
+            Order::node_matches(curr->kind, curr->key, curr->value, key, v);
+        curr->unlock();
+        pred->unlock();
+        return found;
+    }
+
+  private:
+    using Order = KeyedOrder<T>;
+
+    Node* head_;
+    Node* tail_;
+};
+
+}  // namespace tamp

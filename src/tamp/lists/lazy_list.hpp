@@ -1,0 +1,157 @@
+// tamp/lists/lazy_list.hpp
+//
+// LazyListSet (§9.7, Figs. 9.18–9.22): the optimistic list with two
+// refinements that changed practice —
+//
+//  * logical removal: a `marked` bit set (under lock) *is* the removal's
+//    linearization point; physical unlinking is separate bookkeeping;
+//  * local validation: pred/curr are valid iff neither is marked and
+//    pred.next == curr — no re-traversal;
+//  * wait-free contains(): one unlocked traversal, check the mark.
+//
+// Reclamation: unlinked nodes may still be read by in-flight traversals,
+// so removals epoch_retire and every operation runs under an EpochGuard.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+
+#include "tamp/lists/keyed.hpp"
+#include "tamp/reclaim/epoch.hpp"
+
+namespace tamp {
+
+template <std::totally_ordered T, typename KeyOf = DefaultKeyOf<T>>
+class LazyListSet {
+    struct Node {
+        NodeKind kind;
+        std::uint64_t key;
+        T value;
+        std::atomic<Node*> next;
+        std::atomic<bool> marked{false};
+        std::mutex mu;
+
+        Node(NodeKind k, std::uint64_t h, const T& v, Node* n)
+            : kind(k), key(h), value(v), next(n) {}
+
+        void lock() { mu.lock(); }
+        void unlock() { mu.unlock(); }
+    };
+
+  public:
+    using value_type = T;
+
+    LazyListSet() {
+        tail_ = new Node(NodeKind::kTail, 0, T{}, nullptr);
+        head_ = new Node(NodeKind::kHead, 0, T{}, tail_);
+    }
+
+    ~LazyListSet() {
+        Node* n = head_;
+        while (n != nullptr) {
+            Node* next = n->next.load(std::memory_order_relaxed);
+            delete n;
+            n = next;
+        }
+    }
+
+    LazyListSet(const LazyListSet&) = delete;
+    LazyListSet& operator=(const LazyListSet&) = delete;
+
+    bool add(const T& v) {
+        const std::uint64_t key = KeyOf{}(v);
+        EpochGuard guard;
+        while (true) {
+            auto [pred, curr] = locate(key, v);
+            pred->lock();
+            curr->lock();
+            if (validate(pred, curr)) {
+                bool added = false;
+                if (!Order::node_matches(curr->kind, curr->key, curr->value,
+                                         key, v)) {
+                    Node* node = new Node(NodeKind::kItem, key, v, curr);
+                    // Publish fully-initialized node; release pairs with
+                    // traversals' acquire loads.
+                    pred->next.store(node, std::memory_order_release);
+                    added = true;
+                }
+                curr->unlock();
+                pred->unlock();
+                return added;
+            }
+            curr->unlock();
+            pred->unlock();
+        }
+    }
+
+    bool remove(const T& v) {
+        const std::uint64_t key = KeyOf{}(v);
+        EpochGuard guard;
+        while (true) {
+            auto [pred, curr] = locate(key, v);
+            pred->lock();
+            curr->lock();
+            if (validate(pred, curr)) {
+                bool removed = false;
+                if (Order::node_matches(curr->kind, curr->key, curr->value,
+                                        key, v)) {
+                    // Logical removal — the linearization point.
+                    curr->marked.store(true, std::memory_order_release);
+                    // Physical removal is mere optimization thereafter.
+                    pred->next.store(
+                        curr->next.load(std::memory_order_acquire),
+                        std::memory_order_release);
+                    removed = true;
+                }
+                curr->unlock();
+                pred->unlock();
+                if (removed) epoch_retire(curr);
+                return removed;
+            }
+            curr->unlock();
+            pred->unlock();
+        }
+    }
+
+    /// Wait-free: one traversal, no locks, no retries (Fig. 9.22).
+    bool contains(const T& v) {
+        const std::uint64_t key = KeyOf{}(v);
+        EpochGuard guard;
+        Node* curr = head_;
+        while (Order::node_precedes(curr->kind, curr->key, curr->value, key,
+                                    v)) {
+            curr = curr->next.load(std::memory_order_acquire);
+        }
+        return Order::node_matches(curr->kind, curr->key, curr->value, key,
+                                   v) &&
+               !curr->marked.load(std::memory_order_acquire);
+    }
+
+  private:
+    using Order = KeyedOrder<T>;
+
+    std::pair<Node*, Node*> locate(std::uint64_t key, const T& v) {
+        Node* pred = head_;
+        Node* curr = pred->next.load(std::memory_order_acquire);
+        while (Order::node_precedes(curr->kind, curr->key, curr->value, key,
+                                    v)) {
+            pred = curr;
+            curr = curr->next.load(std::memory_order_acquire);
+        }
+        return {pred, curr};
+    }
+
+    /// Local validation (Fig. 9.20): no re-traversal needed.
+    static bool validate(Node* pred, Node* curr) {
+        return !pred->marked.load(std::memory_order_acquire) &&
+               !curr->marked.load(std::memory_order_acquire) &&
+               pred->next.load(std::memory_order_acquire) == curr;
+    }
+
+    Node* head_;
+    Node* tail_;
+};
+
+}  // namespace tamp

@@ -1,0 +1,10 @@
+// tamp/lists/lists.hpp — umbrella for the Chapter 9 list-based sets, in
+// the chapter's order of refinement.
+#pragma once
+
+#include "tamp/lists/coarse_list.hpp"
+#include "tamp/lists/fine_list.hpp"
+#include "tamp/lists/keyed.hpp"
+#include "tamp/lists/lazy_list.hpp"
+#include "tamp/lists/lockfree_list.hpp"
+#include "tamp/lists/optimistic_list.hpp"

@@ -1,0 +1,161 @@
+// tamp/lists/lockfree_list.hpp
+//
+// LockFreeListSet (§9.8, Figs. 9.23–9.27): the Harris–Michael lock-free
+// list.  The next-pointer and the logical-deletion mark live in one CAS-able
+// word (AtomicMarkedPtr), so
+//
+//  * remove() marks the victim's next-pointer — the linearization point —
+//    and then tries one physical unlink;
+//  * find() ("the window") snips out every marked node it passes, keeping
+//    the list clean without any dedicated cleaner;
+//  * add()/remove() retry from the head when a CAS loses;
+//  * contains() is wait-free: one traversal, check the mark.
+//
+// Reclamation: nodes are unlinked by whoever's CAS wins, possibly far from
+// the remover; every operation runs under an EpochGuard and unlinkers
+// epoch_retire.  (Hazard pointers would also work — Michael's paper pairs
+// them with exactly this list — but the traversal-heavy access pattern is
+// where EBR's per-operation cost wins; `bench_reclaim` quantifies this.)
+
+#pragma once
+
+#include <cstdint>
+
+#include "tamp/core/marked_ptr.hpp"
+#include "tamp/lists/keyed.hpp"
+#include "tamp/reclaim/epoch.hpp"
+
+namespace tamp {
+
+template <std::totally_ordered T, typename KeyOf = DefaultKeyOf<T>>
+class LockFreeListSet {
+    struct Node {
+        NodeKind kind;
+        std::uint64_t key;
+        T value;
+        AtomicMarkedPtr<Node> next;
+    };
+
+  public:
+    using value_type = T;
+
+    LockFreeListSet() {
+        tail_ = new Node{NodeKind::kTail, 0, T{}, {}};
+        head_ = new Node{NodeKind::kHead, 0, T{}, {}};
+        head_->next.store(tail_, false);
+    }
+
+    ~LockFreeListSet() {
+        Node* n = head_;
+        while (n != nullptr) {
+            Node* next = n->next.load(std::memory_order_relaxed).ptr();
+            delete n;
+            n = next;
+        }
+    }
+
+    LockFreeListSet(const LockFreeListSet&) = delete;
+    LockFreeListSet& operator=(const LockFreeListSet&) = delete;
+
+    bool add(const T& v) {
+        const std::uint64_t key = KeyOf{}(v);
+        EpochGuard guard;
+        while (true) {
+            auto [pred, curr] = find(key, v);
+            if (Order::node_matches(curr->kind, curr->key, curr->value, key,
+                                    v)) {
+                return false;
+            }
+            Node* node = new Node{NodeKind::kItem, key, v, {}};
+            node->next.store(curr, false);
+            // Splice in iff the window is still intact and unmarked.
+            if (pred->next.compare_and_set(curr, node, false, false)) {
+                return true;
+            }
+            delete node;  // never published: plain delete is fine
+        }
+    }
+
+    bool remove(const T& v) {
+        const std::uint64_t key = KeyOf{}(v);
+        EpochGuard guard;
+        while (true) {
+            auto [pred, curr] = find(key, v);
+            if (!Order::node_matches(curr->kind, curr->key, curr->value, key,
+                                     v)) {
+                return false;
+            }
+            Node* succ = curr->next.load().ptr();
+            // Logical removal: mark curr's next.  Failure means another
+            // thread marked it (or the successor changed): retry the mark
+            // against the fresh successor via a full re-find.
+            if (!curr->next.attempt_mark(succ, true)) {
+                continue;
+            }
+            // Best-effort physical unlink; find() will finish the job if
+            // this CAS loses.
+            if (pred->next.compare_and_set(curr, succ, false, false)) {
+                epoch_retire(curr);
+            }
+            return true;
+        }
+    }
+
+    /// Wait-free membership test (Fig. 9.27).
+    bool contains(const T& v) {
+        const std::uint64_t key = KeyOf{}(v);
+        EpochGuard guard;
+        Node* curr = head_;
+        bool marked = false;
+        while (Order::node_precedes(curr->kind, curr->key, curr->value, key,
+                                    v)) {
+            curr = curr->next.get(&marked);
+        }
+        // One more read to get curr's own mark (the loop's `marked` is the
+        // mark seen on the way *into* curr).
+        curr->next.get(&marked);
+        return Order::node_matches(curr->kind, curr->key, curr->value, key,
+                                   v) &&
+               !marked;
+    }
+
+  private:
+    using Order = KeyedOrder<T>;
+
+    /// The book's Window find(): returns adjacent unmarked (pred, curr)
+    /// with curr the first node not preceding (key, v), physically
+    /// unlinking every marked node encountered.
+    std::pair<Node*, Node*> find(std::uint64_t key, const T& v) {
+    retry:
+        while (true) {
+            Node* pred = head_;
+            Node* curr = pred->next.load().ptr();
+            while (true) {
+                bool marked = false;
+                Node* succ = curr->next.get(&marked);
+                while (marked) {
+                    // curr is logically deleted: snip it out.  A failed
+                    // CAS means pred's next changed — start over.
+                    if (!pred->next.compare_and_set(curr, succ, false,
+                                                    false)) {
+                        goto retry;
+                    }
+                    epoch_retire(curr);
+                    curr = succ;
+                    succ = curr->next.get(&marked);
+                }
+                if (!Order::node_precedes(curr->kind, curr->key, curr->value,
+                                          key, v)) {
+                    return {pred, curr};
+                }
+                pred = curr;
+                curr = succ;
+            }
+        }
+    }
+
+    Node* head_;
+    Node* tail_;
+};
+
+}  // namespace tamp

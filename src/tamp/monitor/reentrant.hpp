@@ -1,0 +1,74 @@
+// tamp/monitor/reentrant.hpp
+//
+// SimpleReentrantLock (§8.4, Fig. 8.14): a lock the holder may re-acquire
+// without deadlocking, built — as the book builds it — from a plain lock,
+// a condition, an owner field, and a hold count.  Release only really
+// releases when the count returns to zero.
+//
+// The owner is the dense tamp::thread_id() (the book uses ThreadID).
+
+#pragma once
+
+#include <cassert>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+#include "tamp/core/thread_registry.hpp"
+
+namespace tamp {
+
+class ReentrantLock {
+    static constexpr long kNoOwner = -1;
+
+  public:
+    void lock() {
+        const long me = static_cast<long>(thread_id());
+        std::unique_lock<std::mutex> lk(mu_);
+        if (owner_ == me) {
+            ++hold_count_;
+            return;
+        }
+        cond_.wait(lk, [&] { return hold_count_ == 0; });
+        owner_ = me;
+        hold_count_ = 1;
+    }
+
+    bool try_lock() {
+        const long me = static_cast<long>(thread_id());
+        std::lock_guard<std::mutex> lk(mu_);
+        if (owner_ == me) {
+            ++hold_count_;
+            return true;
+        }
+        if (hold_count_ != 0) return false;
+        owner_ = me;
+        hold_count_ = 1;
+        return true;
+    }
+
+    void unlock() {
+        std::lock_guard<std::mutex> lk(mu_);
+        assert(hold_count_ > 0 &&
+               owner_ == static_cast<long>(thread_id()) &&
+               "unlock by non-owner");
+        if (--hold_count_ == 0) {
+            owner_ = kNoOwner;
+            cond_.notify_one();
+        }
+    }
+
+    /// Current recursion depth as seen by the owner (0 when free).
+    long hold_count() const {
+        std::lock_guard<std::mutex> lk(mu_);
+        return hold_count_;
+    }
+
+  private:
+    mutable std::mutex mu_;
+    std::condition_variable cond_;
+    long owner_ = kNoOwner;
+    long hold_count_ = 0;
+};
+
+}  // namespace tamp

@@ -1,0 +1,124 @@
+// tamp/monitor/rwlock.hpp
+//
+// Chapter 8 readers–writers locks, built the way the chapter builds them:
+// a mutex plus condition variables (Java monitors → std::mutex +
+// std::condition_variable, the direct C++ analogue).
+//
+//  * SimpleReadWriteLock (Fig. 8.7) — readers proceed unless a writer is
+//    *in*; a steady stream of readers can therefore starve writers.
+//  * FifoReadWriteLock (Fig. 8.8) — a writer announces itself first and
+//    bars new readers, then waits for in-flight readers to drain; writers
+//    cannot be starved by readers (the property `bench_rwlock` and the
+//    starvation test exercise).
+//
+// Both expose read_lock/read_unlock/write_lock/write_unlock plus RAII
+// guards, and model the book's interface of two lock *views* over one
+// object.
+
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+namespace tamp {
+
+class SimpleReadWriteLock {
+  public:
+    void read_lock() {
+        std::unique_lock<std::mutex> lk(mu_);
+        cond_.wait(lk, [&] { return !writer_; });
+        ++readers_;
+    }
+
+    void read_unlock() {
+        std::lock_guard<std::mutex> lk(mu_);
+        if (--readers_ == 0) cond_.notify_all();
+    }
+
+    void write_lock() {
+        std::unique_lock<std::mutex> lk(mu_);
+        cond_.wait(lk, [&] { return readers_ == 0 && !writer_; });
+        writer_ = true;
+    }
+
+    void write_unlock() {
+        std::lock_guard<std::mutex> lk(mu_);
+        writer_ = false;
+        cond_.notify_all();  // notifyAll, per the lost-wakeup warning §8.2.2
+    }
+
+  private:
+    std::mutex mu_;
+    std::condition_variable cond_;
+    std::uint32_t readers_ = 0;
+    bool writer_ = false;
+};
+
+class FifoReadWriteLock {
+  public:
+    void read_lock() {
+        std::unique_lock<std::mutex> lk(mu_);
+        // A pending or active writer bars new readers: this is what keeps
+        // writers from starving.
+        cond_.wait(lk, [&] { return !writer_; });
+        ++read_acquires_;
+    }
+
+    void read_unlock() {
+        std::lock_guard<std::mutex> lk(mu_);
+        ++read_releases_;
+        if (read_acquires_ == read_releases_) cond_.notify_all();
+    }
+
+    void write_lock() {
+        std::unique_lock<std::mutex> lk(mu_);
+        // First contend with other writers for the "announced" slot...
+        cond_.wait(lk, [&] { return !writer_; });
+        writer_ = true;
+        // ...then wait for the readers already in to drain.  New readers
+        // are already barred by writer_.
+        cond_.wait(lk, [&] { return read_acquires_ == read_releases_; });
+    }
+
+    void write_unlock() {
+        std::lock_guard<std::mutex> lk(mu_);
+        writer_ = false;
+        cond_.notify_all();
+    }
+
+  private:
+    std::mutex mu_;
+    std::condition_variable cond_;
+    std::uint64_t read_acquires_ = 0;  // total readers ever admitted
+    std::uint64_t read_releases_ = 0;  // total readers ever departed
+    bool writer_ = false;
+};
+
+/// RAII views, so `std::lock_guard`-style scoping works for both sides of
+/// any readers–writers lock with this interface.
+template <typename RW>
+class ReadGuard {
+  public:
+    explicit ReadGuard(RW& rw) : rw_(rw) { rw_.read_lock(); }
+    ~ReadGuard() { rw_.read_unlock(); }
+    ReadGuard(const ReadGuard&) = delete;
+    ReadGuard& operator=(const ReadGuard&) = delete;
+
+  private:
+    RW& rw_;
+};
+
+template <typename RW>
+class WriteGuard {
+  public:
+    explicit WriteGuard(RW& rw) : rw_(rw) { rw_.write_lock(); }
+    ~WriteGuard() { rw_.write_unlock(); }
+    WriteGuard(const WriteGuard&) = delete;
+    WriteGuard& operator=(const WriteGuard&) = delete;
+
+  private:
+    RW& rw_;
+};
+
+}  // namespace tamp

@@ -1,0 +1,61 @@
+// tamp/monitor/semaphore.hpp
+//
+// The counting semaphore of §8.5 (Fig. 8.10): a mutual-exclusion lock
+// generalized to admit up to `capacity` threads at once, built from a
+// monitor (mutex + condition).  Also the book's standard example of a
+// fair-ish blocking coordination primitive, used later by bounded pools.
+
+#pragma once
+
+#include <cassert>
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+
+namespace tamp {
+
+class Semaphore {
+  public:
+    explicit Semaphore(std::size_t capacity) : capacity_(capacity),
+                                               state_(0) {
+        assert(capacity >= 1);
+    }
+
+    /// Block until one of the `capacity` slots is free, then take it.
+    void acquire() {
+        std::unique_lock<std::mutex> lk(mu_);
+        cond_.wait(lk, [&] { return state_ < capacity_; });
+        ++state_;
+    }
+
+    /// Take a slot only if one is immediately free.
+    bool try_acquire() {
+        std::lock_guard<std::mutex> lk(mu_);
+        if (state_ >= capacity_) return false;
+        ++state_;
+        return true;
+    }
+
+    /// Return a slot and wake a waiter.
+    void release() {
+        std::lock_guard<std::mutex> lk(mu_);
+        assert(state_ > 0 && "release without acquire");
+        --state_;
+        cond_.notify_one();  // one slot freed: one waiter can use it
+    }
+
+    std::size_t capacity() const { return capacity_; }
+
+    std::size_t in_use() const {
+        std::lock_guard<std::mutex> lk(mu_);
+        return state_;
+    }
+
+  private:
+    std::size_t capacity_;
+    std::size_t state_;  // slots currently held
+    mutable std::mutex mu_;
+    std::condition_variable cond_;
+};
+
+}  // namespace tamp

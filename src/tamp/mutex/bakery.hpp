@@ -1,0 +1,76 @@
+// tamp/mutex/bakery.hpp
+//
+// Lamport's Bakery lock (Fig. 2.9).  First-come-first-served mutual
+// exclusion for n threads from reads and writes alone: a thread takes a
+// "ticket" one greater than the maximum it can see, then waits until no
+// interested thread holds a lexicographically smaller (label, id) pair.
+//
+// Labels grow without bound; we use 64-bit counters, which at one
+// acquisition per nanosecond would take five centuries to wrap — the
+// practical form of the book's "unbounded timestamps" assumption (§2.7
+// discusses how labels could be bounded at the cost of much machinery).
+
+#pragma once
+
+#include <atomic>
+
+#include "tamp/core/backoff.hpp"
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "tamp/core/cacheline.hpp"
+
+namespace tamp {
+
+class BakeryLock {
+  public:
+    explicit BakeryLock(std::size_t n) : n_(n), flag_(n), label_(n) {
+        assert(n >= 1);
+        for (auto& f : flag_) f.value.store(false);
+        for (auto& l : label_) l.value.store(0);
+    }
+
+    void lock(std::size_t me) {
+        assert(me < n_);
+        flag_[me].value.store(true);
+        label_[me].value.store(max_label() + 1);
+        // Wait while any other interested thread has an earlier ticket.
+        for (std::size_t k = 0; k < n_; ++k) {
+            if (k == me) continue;
+            SpinWait w;
+            while (flag_[k].value.load() && lex_less(k, me)) w.spin();
+        }
+    }
+
+    void unlock(std::size_t me) {
+        assert(me < n_);
+        flag_[me].value.store(false);
+    }
+
+    std::size_t capacity() const { return n_; }
+
+  private:
+    std::uint64_t max_label() const {
+        std::uint64_t m = 0;
+        for (std::size_t k = 0; k < n_; ++k) {
+            const std::uint64_t l = label_[k].value.load();
+            if (l > m) m = l;
+        }
+        return m;
+    }
+
+    // (label[k], k) < (label[me], me) in lexicographic order.
+    bool lex_less(std::size_t k, std::size_t me) const {
+        const std::uint64_t lk = label_[k].value.load();
+        const std::uint64_t lme = label_[me].value.load();
+        return lk < lme || (lk == lme && k < me);
+    }
+
+    std::size_t n_;
+    std::vector<Padded<std::atomic<bool>>> flag_;
+    std::vector<Padded<std::atomic<std::uint64_t>>> label_;
+};
+
+}  // namespace tamp

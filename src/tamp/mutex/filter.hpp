@@ -1,0 +1,73 @@
+// tamp/mutex/filter.hpp
+//
+// The Filter lock (Fig. 2.7): Peterson's algorithm generalized to n threads
+// through n-1 waiting levels, each of which "filters out" one thread.
+//
+// Starvation-free (though not first-come-first-served); uses only reads and
+// writes.  Like Peterson, correctness depends on sequential consistency, so
+// every access is seq_cst.
+
+#pragma once
+
+#include <atomic>
+
+#include "tamp/core/backoff.hpp"
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+#include "tamp/core/cacheline.hpp"
+
+namespace tamp {
+
+class FilterLock {
+  public:
+    /// A lock for threads with ids (slots) in [0, n).
+    explicit FilterLock(std::size_t n) : n_(n), level_(n), victim_(n) {
+        assert(n >= 1);
+        for (auto& l : level_) l.value.store(0);
+        for (auto& v : victim_) v.value.store(0);
+    }
+
+    void lock(std::size_t me) {
+        assert(me < n_);
+        for (std::size_t i = 1; i < n_; ++i) {  // attempt to enter level i
+            level_[me].value.store(static_cast<int>(i));
+            victim_[i].value.store(static_cast<int>(me));
+            // Spin while a conflict exists: someone else is at my level or
+            // higher, and I am still the level's victim.
+            SpinWait w;
+            while (victim_[i].value.load() == static_cast<int>(me) &&
+                   someone_at_or_above(i, me)) {
+                w.spin();
+            }
+        }
+    }
+
+    void unlock(std::size_t me) {
+        assert(me < n_);
+        level_[me].value.store(0);
+    }
+
+    std::size_t capacity() const { return n_; }
+
+  private:
+    bool someone_at_or_above(std::size_t i, std::size_t me) const {
+        for (std::size_t k = 0; k < n_; ++k) {
+            if (k != me &&
+                level_[k].value.load() >= static_cast<int>(i)) {
+                return true;
+            }
+        }
+        return false;
+    }
+
+    std::size_t n_;
+    // Padded: each thread writes its own level slot on every acquisition;
+    // sharing lines would serialize unrelated threads through the coherence
+    // protocol (the false-sharing trap of Appendix B.6).
+    std::vector<Padded<std::atomic<int>>> level_;
+    std::vector<Padded<std::atomic<int>>> victim_;
+};
+
+}  // namespace tamp

@@ -1,0 +1,8 @@
+// tamp/mutex/mutex.hpp — umbrella header for the Chapter 2 classic
+// mutual-exclusion algorithms (read/write registers only, explicit slots).
+#pragma once
+
+#include "tamp/mutex/bakery.hpp"
+#include "tamp/mutex/filter.hpp"
+#include "tamp/mutex/peterson.hpp"
+#include "tamp/mutex/tournament.hpp"

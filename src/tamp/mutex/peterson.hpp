@@ -1,0 +1,106 @@
+// tamp/mutex/peterson.hpp
+//
+// Chapter 2 two-thread locks: LockOne, LockTwo (Figs. 2.3, 2.4 — the two
+// deliberately flawed stepping stones) and the Peterson lock (Fig. 2.6),
+// which combines them into the classic correct two-thread mutual-exclusion
+// algorithm.
+//
+// All loads and stores are seq_cst: the book's proofs are stated in a
+// sequentially consistent model, and on relaxed hardware Peterson's
+// algorithm is famously broken without the store→load fence that seq_cst
+// provides (the flag write must be visible before the victim/flag reads).
+
+#pragma once
+
+#include <atomic>
+
+#include "tamp/core/backoff.hpp"
+#include <cassert>
+#include <cstddef>
+
+namespace tamp {
+
+/// LockOne (Fig. 2.3).  Satisfies mutual exclusion but deadlocks when the
+/// two threads interleave their lock() calls.  Kept for pedagogy and for
+/// the tests that demonstrate exactly that property; do not use.
+class LockOne {
+  public:
+    void lock(std::size_t me) {
+        assert(me < 2);
+        flag_[me].store(true);
+        SpinWait w;
+        while (flag_[1 - me].load()) w.spin();
+    }
+    void unlock(std::size_t me) {
+        assert(me < 2);
+        flag_[me].store(false);
+    }
+
+    /// True when the other thread has announced interest — the condition
+    /// under which a LockOne acquisition would hang.  Exposed so tests can
+    /// probe the deadlock scenario without actually deadlocking.
+    bool would_block(std::size_t me) const {
+        return flag_[1 - me].load();
+    }
+
+  private:
+    std::atomic<bool> flag_[2] = {false, false};
+};
+
+/// LockTwo (Fig. 2.4).  Complements LockOne: works only when lock() calls
+/// interleave, deadlocks when one thread runs alone.  Pedagogical.
+class LockTwo {
+  public:
+    void lock(std::size_t me) {
+        assert(me < 2);
+        victim_.store(me);
+        SpinWait w;
+        while (victim_.load() == static_cast<int>(me)) w.spin();
+    }
+    void unlock(std::size_t) {}
+
+    /// The lone-thread deadlock condition, probe-able without hanging.
+    bool would_block(std::size_t me) const {
+        return victim_.load() == static_cast<int>(me);
+    }
+
+    /// Test hook: perform only the doorway write of a lock() call by
+    /// `me`, without waiting.  LockTwo makes progress *only* when another
+    /// thread keeps arriving; this lets a test play that other thread and
+    /// release a stuck waiter without itself getting stuck.
+    void simulate_arrival(std::size_t me) {
+        assert(me < 2);
+        victim_.store(static_cast<int>(me));
+    }
+
+  private:
+    std::atomic<int> victim_{-1};
+};
+
+/// The Peterson lock (Fig. 2.6).  Starvation-free two-thread mutual
+/// exclusion from reads and writes alone.
+class PetersonLock {
+  public:
+    void lock(std::size_t me) {
+        assert(me < 2);
+        const std::size_t other = 1 - me;
+        flag_[me].store(true);   // I'm interested
+        victim_.store(me);       // you go first
+        // Wait while the other thread is interested and I am the victim.
+        SpinWait w;
+        while (flag_[other].load() && victim_.load() == static_cast<int>(me)) {
+            w.spin();
+        }
+    }
+
+    void unlock(std::size_t me) {
+        assert(me < 2);
+        flag_[me].store(false);
+    }
+
+  private:
+    std::atomic<bool> flag_[2] = {false, false};
+    std::atomic<int> victim_{-1};
+};
+
+}  // namespace tamp

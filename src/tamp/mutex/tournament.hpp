@@ -1,0 +1,85 @@
+// tamp/mutex/tournament.hpp
+//
+// Tournament (tree) lock: n-thread mutual exclusion built from a complete
+// binary tree of two-thread Peterson locks (Chapter 2 exercises; also the
+// structure underlying the Peterson–Fischer generalization).
+//
+// Thread i enters at leaf position i/2, playing side i%2, and climbs to the
+// root acquiring each Peterson lock on the way; release walks root-to-leaf.
+// Lock depth is ceil(log2 n), so acquisition cost grows logarithmically
+// where the Filter lock's grows linearly — the comparison `bench_mutex`
+// measures.
+
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+#include "tamp/core/cacheline.hpp"
+#include "tamp/mutex/peterson.hpp"
+
+namespace tamp {
+
+class TournamentLock {
+  public:
+    explicit TournamentLock(std::size_t n) : capacity_(n) {
+        assert(n >= 1);
+        leaves_ = 1;
+        while (leaves_ * 2 < n) leaves_ *= 2;  // leaves_ = 2^ceil(log2 n)/2
+        // A complete binary tree with `leaves_` leaf locks has 2*leaves_-1
+        // nodes, stored heap-style: node k has parent (k-1)/2, root is 0.
+        nodes_ = std::vector<Padded<PetersonLock>>(2 * leaves_ - 1);
+    }
+
+    void lock(std::size_t me) {
+        assert(me < capacity_);
+        std::size_t node = leaf_for(me);
+        std::size_t side = me % 2;
+        while (true) {
+            nodes_[node].value.lock(side);
+            if (node == 0) break;
+            side = (node - 1) % 2;  // which child of the parent we are
+            node = (node - 1) / 2;
+        }
+    }
+
+    void unlock(std::size_t me) {
+        assert(me < capacity_);
+        // Release top-down along the same path the acquisition climbed.
+        std::size_t path[64];
+        std::size_t depth = 0;
+        std::size_t node = leaf_for(me);
+        path[depth++] = node;
+        while (node != 0) {
+            node = (node - 1) / 2;
+            path[depth++] = node;
+        }
+        for (std::size_t i = depth; i-- > 0;) {
+            const std::size_t n = path[i];
+            const std::size_t side =
+                (n == leaf_for(me)) ? me % 2 : (child_on_path(path, i)) % 2;
+            nodes_[n].value.unlock(side);
+        }
+    }
+
+    std::size_t capacity() const { return capacity_; }
+
+  private:
+    std::size_t leaf_for(std::size_t me) const {
+        return (leaves_ - 1) + (me / 2) % leaves_;
+    }
+    // For an internal node path[i], the child we arrived from is path[i-1];
+    // its side is determined by its index parity (child k of parent p is
+    // 2p+1 or 2p+2; side = (k-1)%2).
+    static std::size_t child_on_path(const std::size_t* path, std::size_t i) {
+        return path[i - 1] - 1;
+    }
+
+    std::size_t capacity_;
+    std::size_t leaves_;
+    std::vector<Padded<PetersonLock>> nodes_;
+};
+
+}  // namespace tamp

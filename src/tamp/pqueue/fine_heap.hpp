@@ -1,0 +1,199 @@
+// tamp/pqueue/fine_heap.hpp
+//
+// FineGrainedHeap (§15.4, Figs. 15.10–15.13): a classic array heap whose
+// percolations hold only hand-over-hand node locks, so an add bubbling up
+// and a removeMin trickling down proceed concurrently in different parts
+// of the tree.
+//
+// The subtle machinery is the (tag, owner) pair on each node: an add's
+// item travels upward tagged BUSY with the adder's thread id; a removeMin
+// swapping the last leaf into the root may *overtake* a BUSY item, after
+// which the adder detects "not mine anymore" and simply follows its item
+// upward.  EMPTY tags let a trickle-down stop at the frontier.
+
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <mutex>
+#include <vector>
+
+#include "tamp/core/cacheline.hpp"
+#include "tamp/core/thread_registry.hpp"
+
+namespace tamp {
+
+template <typename T>
+class FineGrainedHeap {
+    enum class Status { kEmpty, kAvailable, kBusy };
+    static constexpr std::size_t kRoot = 1;
+    static constexpr long kNoOne = -1;
+
+    struct HeapNode {
+        std::mutex mu;
+        Status tag = Status::kEmpty;
+        std::uint64_t priority = 0;
+        T item{};
+        long owner = kNoOne;
+
+        void init(const T& my_item, std::uint64_t my_priority) {
+            item = my_item;
+            priority = my_priority;
+            tag = Status::kBusy;
+            owner = static_cast<long>(thread_id());
+        }
+        bool am_owner() const {
+            return tag == Status::kBusy &&
+                   owner == static_cast<long>(thread_id());
+        }
+    };
+
+  public:
+    using value_type = T;
+
+    explicit FineGrainedHeap(std::size_t capacity = 1024)
+        : heap_(capacity + kRoot) {}
+
+    /// Insert; lower priority value = removed earlier.
+    void add(const T& item, std::uint64_t priority) {
+        heap_lock_.lock();
+        assert(next_ < heap_.size() && "FineGrainedHeap overflow");
+        std::size_t child = next_++;
+        heap_[child].value.mu.lock();
+        heap_[child].value.init(item, priority);
+        heap_lock_.unlock();
+        heap_[child].value.mu.unlock();
+
+        // Bubble up while our item beats its parent.
+        while (child > kRoot) {
+            const std::size_t parent = child / 2;
+            heap_[parent].value.mu.lock();
+            heap_[child].value.mu.lock();
+            const std::size_t old_child = child;
+            HeapNode& p = heap_[parent].value;
+            HeapNode& c = heap_[child].value;
+            if (p.tag == Status::kAvailable && c.am_owner()) {
+                if (c.priority < p.priority) {
+                    swap_nodes(p, c);
+                    child = parent;
+                } else {
+                    // Settled: hand the item over to the heap.
+                    c.tag = Status::kAvailable;
+                    c.owner = kNoOne;
+                    c.mu.unlock();
+                    p.mu.unlock();
+                    return;
+                }
+            } else if (!c.am_owner()) {
+                // A removeMin swapped our item away (upward): chase it.
+                child = parent;
+            }
+            // else: parent is BUSY/EMPTY (another op in flight): retry at
+            // the same position.
+            heap_[old_child].value.mu.unlock();
+            heap_[parent].value.mu.unlock();
+        }
+        if (child == kRoot) {
+            heap_[kRoot].value.mu.lock();
+            if (heap_[kRoot].value.am_owner()) {
+                heap_[kRoot].value.tag = Status::kAvailable;
+                heap_[kRoot].value.owner = kNoOne;
+            }
+            heap_[kRoot].value.mu.unlock();
+        }
+    }
+
+    /// Extract the minimum; false when empty.
+    bool try_remove_min(T& out) {
+        heap_lock_.lock();
+        if (next_ == kRoot) {  // empty
+            heap_lock_.unlock();
+            return false;
+        }
+        const std::size_t bottom = --next_;
+        heap_[kRoot].value.mu.lock();
+        if (bottom == kRoot) {
+            // Single element: the root is it.
+            heap_lock_.unlock();
+            out = heap_[kRoot].value.item;
+            heap_[kRoot].value.tag = Status::kEmpty;
+            heap_[kRoot].value.owner = kNoOne;
+            heap_[kRoot].value.mu.unlock();
+            return true;
+        }
+        heap_[bottom].value.mu.lock();
+        heap_lock_.unlock();
+
+        out = heap_[kRoot].value.item;
+        heap_[kRoot].value.tag = Status::kEmpty;
+        heap_[kRoot].value.owner = kNoOne;
+        swap_nodes(heap_[kRoot].value, heap_[bottom].value);
+        heap_[bottom].value.mu.unlock();
+
+        if (heap_[kRoot].value.tag == Status::kEmpty) {
+            // The swapped-in leaf was itself empty (a BUSY item in
+            // transit got taken by its adder): nothing to trickle.
+            heap_[kRoot].value.mu.unlock();
+            return true;
+        }
+        // Trickle the (possibly BUSY) swapped-in item down.  A BUSY item
+        // settles here: it now belongs to the heap at wherever it lands;
+        // its adder will detect the ownership change and stop.
+        heap_[kRoot].value.tag = Status::kAvailable;
+        heap_[kRoot].value.owner = kNoOne;
+        std::size_t parent = kRoot;
+        while (2 * parent < heap_.size()) {
+            const std::size_t left = 2 * parent;
+            const std::size_t right = 2 * parent + 1;
+            const bool has_right = right < heap_.size();
+            heap_[left].value.mu.lock();
+            if (has_right) heap_[right].value.mu.lock();
+            std::size_t child;
+            if (heap_[left].value.tag == Status::kEmpty) {
+                if (has_right) heap_[right].value.mu.unlock();
+                heap_[left].value.mu.unlock();
+                break;
+            }
+            if (!has_right || heap_[right].value.tag == Status::kEmpty ||
+                heap_[left].value.priority <=
+                    heap_[right].value.priority) {
+                if (has_right) heap_[right].value.mu.unlock();
+                child = left;
+            } else {
+                heap_[left].value.mu.unlock();
+                child = right;
+            }
+            if (heap_[child].value.priority <
+                    heap_[parent].value.priority &&
+                heap_[child].value.tag != Status::kEmpty) {
+                swap_nodes(heap_[parent].value, heap_[child].value);
+                heap_[parent].value.mu.unlock();
+                parent = child;
+            } else {
+                heap_[child].value.mu.unlock();
+                break;
+            }
+        }
+        heap_[parent].value.mu.unlock();
+        return true;
+    }
+
+    std::size_t size() const {
+        std::lock_guard<std::mutex> g(heap_lock_);
+        return next_ - kRoot;
+    }
+
+  private:
+    static void swap_nodes(HeapNode& a, HeapNode& b) {
+        std::swap(a.tag, b.tag);
+        std::swap(a.priority, b.priority);
+        std::swap(a.item, b.item);
+        std::swap(a.owner, b.owner);
+    }
+
+    mutable std::mutex heap_lock_;  // guards next_ only
+    std::size_t next_ = kRoot;
+    std::vector<Padded<HeapNode>> heap_;
+};
+
+}  // namespace tamp

@@ -1,0 +1,6 @@
+// tamp/pqueue/pqueue.hpp — umbrella for Chapter 15 priority queues.
+#pragma once
+
+#include "tamp/pqueue/fine_heap.hpp"
+#include "tamp/pqueue/simple_pq.hpp"
+#include "tamp/pqueue/skip_queue.hpp"

@@ -1,0 +1,129 @@
+// tamp/pqueue/simple_pq.hpp
+//
+// The Chapter 15 *bounded-range* priority queues (§15.2): priorities come
+// from a small range [0, m).
+//
+//  * LinearArrayPQ (Fig. 15.2's SimpleLinear) — one concurrent pool per
+//    priority; removeMin scans pools in priority order.  O(m) removal,
+//    trivially parallel insertion.
+//  * TreePQ (Fig. 15.3–15.5's SimpleTree) — a binary tree over the m
+//    pools; every internal node counts the items in its *left* subtree,
+//    so removeMin descends in O(log m) guided by bounded-decrements.
+//
+// Both are quiescently consistent, not linearizable — the book's point
+// that relaxing the consistency contract buys structure-level parallelism.
+// Pools are Treiber stacks (any concurrent pool works).
+
+#pragma once
+
+#include <atomic>
+#include <cassert>
+
+#include "tamp/core/backoff.hpp"
+#include "tamp/core/cacheline.hpp"
+#include <cstddef>
+#include <vector>
+
+#include "tamp/stacks/treiber.hpp"
+
+namespace tamp {
+
+template <typename T>
+class LinearArrayPQ {
+  public:
+    using value_type = T;
+
+    /// Priorities in [0, range); lower value = higher priority.
+    explicit LinearArrayPQ(std::size_t range) : pools_(range) {}
+
+    void add(const T& item, std::size_t priority) {
+        assert(priority < pools_.size());
+        pools_[priority].push(item);
+    }
+
+    /// Take an item of minimal priority; false when (quiescently) empty.
+    bool try_remove_min(T& out) {
+        for (auto& pool : pools_) {
+            if (pool.try_pop(out)) return true;
+        }
+        return false;
+    }
+
+    std::size_t range() const { return pools_.size(); }
+
+  private:
+    std::vector<LockFreeStack<T>> pools_;
+};
+
+template <typename T>
+class TreePQ {
+  public:
+    using value_type = T;
+
+    /// `range` is rounded up to a power of two; priorities in [0, range).
+    explicit TreePQ(std::size_t range) {
+        range_ = 1;
+        while (range_ < range) range_ *= 2;
+        pools_ = std::vector<LockFreeStack<T>>(range_);
+        counters_ =
+            std::vector<Padded<std::atomic<long>>>(range_ - 1);  // internal
+    }
+
+    void add(const T& item, std::size_t priority) {
+        assert(priority < range_);
+        pools_[priority].push(item);
+        // Climb leaf→root; increment every counter whose *left* subtree
+        // contains the leaf (i.e. each time we arrive from the left).
+        std::size_t node = (range_ - 1) + priority;  // heap index of leaf
+        while (node != 0) {
+            const std::size_t parent = (node - 1) / 2;
+            if (node == 2 * parent + 1) {  // we are the left child
+                counters_[parent].value.fetch_add(
+                    1, std::memory_order_acq_rel);
+            }
+            node = parent;
+        }
+    }
+
+    bool try_remove_min(T& out) {
+        // Descend: a successful bounded-decrement says "an item remains on
+        // the left"; otherwise go right.
+        std::size_t node = 0;
+        while (node < range_ - 1) {  // internal node
+            if (bounded_get_and_decrement(counters_[node].value) > 0) {
+                node = 2 * node + 1;
+            } else {
+                node = 2 * node + 2;
+            }
+        }
+        const std::size_t leaf = node - (range_ - 1);
+        // The pool may be transiently empty (an adder has bumped the
+        // counters but not yet pushed): spin briefly, as the book's
+        // deleteMin does on its bin.
+        SpinWait w;
+        for (int attempts = 0; attempts < 1000; ++attempts) {
+            if (pools_[leaf].try_pop(out)) return true;
+            w.spin();
+        }
+        return false;  // quiescently empty (or a racing taker got there)
+    }
+
+    std::size_t range() const { return range_; }
+
+  private:
+    /// getAndDecrement that never takes the counter below zero.
+    static long bounded_get_and_decrement(std::atomic<long>& c) {
+        long v = c.load(std::memory_order_acquire);
+        while (v > 0 && !c.compare_exchange_weak(v, v - 1,
+                                                 std::memory_order_acq_rel,
+                                                 std::memory_order_acquire)) {
+        }
+        return v;
+    }
+
+    std::size_t range_ = 0;
+    std::vector<LockFreeStack<T>> pools_;
+    std::vector<Padded<std::atomic<long>>> counters_;
+};
+
+}  // namespace tamp

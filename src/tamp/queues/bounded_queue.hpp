@@ -1,0 +1,131 @@
+// tamp/queues/bounded_queue.hpp
+//
+// BoundedQueue (§10.3, Figs. 10.1–10.5): the two-lock, two-condition
+// bounded blocking queue.  Enqueuers and dequeuers contend on *different*
+// locks and meet only through the atomic size counter, so a producer and a
+// consumer can run completely in parallel; wakeups cross to the other
+// side's condition only on the empty↔nonempty / full↔nonfull transitions.
+
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+
+namespace tamp {
+
+template <typename T>
+class BoundedQueue {
+    struct Node {
+        T value{};
+        Node* next = nullptr;
+    };
+
+  public:
+    using value_type = T;
+
+    explicit BoundedQueue(std::size_t capacity) : capacity_(capacity) {
+        assert(capacity >= 1);
+        head_ = tail_ = new Node();  // sentinel
+    }
+
+    ~BoundedQueue() {
+        Node* n = head_;
+        while (n != nullptr) {
+            Node* next = n->next;
+            delete n;
+            n = next;
+        }
+    }
+
+    BoundedQueue(const BoundedQueue&) = delete;
+    BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+    /// Blocking enqueue.
+    void enqueue(const T& v) {
+        bool must_wake_dequeuers = false;
+        {
+            std::unique_lock<std::mutex> enq(enq_mu_);
+            not_full_.wait(enq, [&] {
+                return size_.load(std::memory_order_acquire) < capacity_;
+            });
+            Node* node = new Node{v, nullptr};
+            tail_->next = node;
+            tail_ = node;
+            // 0 -> 1 transition: dequeuers may be asleep on not_empty_.
+            must_wake_dequeuers =
+                size_.fetch_add(1, std::memory_order_acq_rel) == 0;
+        }
+        if (must_wake_dequeuers) {
+            std::lock_guard<std::mutex> deq(deq_mu_);
+            not_empty_.notify_all();
+        }
+    }
+
+    /// Blocking dequeue.
+    T dequeue() {
+        T result;
+        bool must_wake_enqueuers = false;
+        {
+            std::unique_lock<std::mutex> deq(deq_mu_);
+            not_empty_.wait(deq, [&] {
+                return size_.load(std::memory_order_acquire) > 0;
+            });
+            Node* old_sentinel = head_;
+            Node* first = old_sentinel->next;
+            result = std::move(first->value);
+            head_ = first;  // first becomes the new sentinel
+            delete old_sentinel;
+            must_wake_enqueuers =
+                size_.fetch_sub(1, std::memory_order_acq_rel) == capacity_;
+        }
+        if (must_wake_enqueuers) {
+            std::lock_guard<std::mutex> enq(enq_mu_);
+            not_full_.notify_all();
+        }
+        return result;
+    }
+
+    /// Non-blocking dequeue for the ConcurrentQueue concept.
+    bool try_dequeue(T& out) {
+        bool must_wake_enqueuers = false;
+        {
+            std::lock_guard<std::mutex> deq(deq_mu_);
+            if (size_.load(std::memory_order_acquire) == 0) return false;
+            Node* old_sentinel = head_;
+            Node* first = old_sentinel->next;
+            out = std::move(first->value);
+            head_ = first;
+            delete old_sentinel;
+            must_wake_enqueuers =
+                size_.fetch_sub(1, std::memory_order_acq_rel) == capacity_;
+        }
+        if (must_wake_enqueuers) {
+            std::lock_guard<std::mutex> enq(enq_mu_);
+            not_full_.notify_all();
+        }
+        return true;
+    }
+
+    std::size_t size() const {
+        return size_.load(std::memory_order_acquire);
+    }
+    std::size_t capacity() const { return capacity_; }
+
+  private:
+    std::size_t capacity_;
+    // The one field both sides touch: the book's "shared hot spot" remark.
+    std::atomic<std::size_t> size_{0};
+
+    std::mutex enq_mu_;  // protects tail_
+    std::condition_variable not_full_;
+    Node* tail_;
+
+    std::mutex deq_mu_;  // protects head_
+    std::condition_variable not_empty_;
+    Node* head_;
+};
+
+}  // namespace tamp

@@ -1,0 +1,127 @@
+// tamp/queues/ms_queue.hpp
+//
+// LockFreeQueue (§10.5, Figs. 10.9–10.11): the Michael–Scott unbounded
+// lock-free FIFO queue — "clean solution is publishable result: [Michael &
+// Scott PODC 96]", as the book's slides put it.
+//
+// Structure: a linked list with a sentinel head; enqueue is the classic
+// two-step (link the node, then swing the tail), with lagging tails
+// repaired by whoever notices ("helping"); dequeue swings the head and
+// retires the old sentinel.
+//
+// Reclamation: hazard pointers — the pairing Michael designed them for.
+// The dequeuer must hold both the sentinel and its successor; the re-check
+// of `head_` after publishing each hazard is what makes the protection
+// sound (the node cannot have been retired while it was still reachable
+// from the unchanged head).  The ABA discussion of §10.6 is resolved here
+// by HP itself: a node's address can only be recycled into the queue after
+// no hazard names it.
+
+#pragma once
+
+#include <atomic>
+#include <utility>
+
+#include "tamp/reclaim/hazard_pointers.hpp"
+
+namespace tamp {
+
+template <typename T>
+class LockFreeQueue {
+    struct Node {
+        T value{};
+        std::atomic<Node*> next{nullptr};
+    };
+
+  public:
+    using value_type = T;
+
+    LockFreeQueue() {
+        Node* sentinel = new Node();
+        head_.store(sentinel, std::memory_order_relaxed);
+        tail_.store(sentinel, std::memory_order_relaxed);
+    }
+
+    ~LockFreeQueue() {
+        Node* n = head_.load(std::memory_order_relaxed);
+        while (n != nullptr) {
+            Node* next = n->next.load(std::memory_order_relaxed);
+            delete n;
+            n = next;
+        }
+    }
+
+    LockFreeQueue(const LockFreeQueue&) = delete;
+    LockFreeQueue& operator=(const LockFreeQueue&) = delete;
+
+    void enqueue(const T& v) { emplace(v); }
+    void enqueue(T&& v) { emplace(std::move(v)); }
+
+    /// Dequeue into `out`; false when the queue is (linearizably) empty.
+    bool try_dequeue(T& out) {
+        HazardSlot<Node> hp_first;
+        HazardSlot<Node> hp_next;
+        while (true) {
+            Node* first = hp_first.protect(head_);  // sentinel
+            Node* last = tail_.load(std::memory_order_acquire);
+            Node* next = first->next.load(std::memory_order_acquire);
+            // Protect next, then re-validate: while head_ == first, next
+            // is still reachable, hence not yet retired.
+            hp_next.set(next);
+            if (head_.load(std::memory_order_acquire) != first) continue;
+            if (next == nullptr) return false;  // empty
+            if (first == last) {
+                // Tail is lagging: help the slow enqueuer, then retry.
+                tail_.compare_exchange_strong(last, next,
+                                              std::memory_order_release,
+                                              std::memory_order_relaxed);
+                continue;
+            }
+            if (head_.compare_exchange_strong(first, next,
+                                              std::memory_order_acq_rel,
+                                              std::memory_order_acquire)) {
+                // We own the transition: `next` is the new sentinel and
+                // only we read its value (still hazard-protected, so it
+                // cannot be freed under us even after later dequeues).
+                out = std::move(next->value);
+                hazard_retire(first);
+                return true;
+            }
+        }
+    }
+
+  private:
+    template <typename U>
+    void emplace(U&& v) {
+        Node* node = new Node{std::forward<U>(v), nullptr};
+        HazardSlot<Node> hp_last;
+        while (true) {
+            Node* last = hp_last.protect(tail_);
+            Node* next = last->next.load(std::memory_order_acquire);
+            if (tail_.load(std::memory_order_acquire) != last) continue;
+            if (next == nullptr) {
+                // Linearization point on success: the node becomes
+                // reachable.
+                if (last->next.compare_exchange_strong(
+                        next, node, std::memory_order_release,
+                        std::memory_order_relaxed)) {
+                    // Swing the tail; failure just means someone helped.
+                    tail_.compare_exchange_strong(last, node,
+                                                  std::memory_order_release,
+                                                  std::memory_order_relaxed);
+                    return;
+                }
+            } else {
+                // Tail lagging: help before retrying.
+                tail_.compare_exchange_strong(last, next,
+                                              std::memory_order_release,
+                                              std::memory_order_relaxed);
+            }
+        }
+    }
+
+    std::atomic<Node*> head_;
+    std::atomic<Node*> tail_;
+};
+
+}  // namespace tamp

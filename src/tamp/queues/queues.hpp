@@ -1,0 +1,9 @@
+// tamp/queues/queues.hpp — umbrella for the queue implementations
+// (Chapter 3's wait-free two-thread queue and Chapter 10's pool family).
+#pragma once
+
+#include "tamp/queues/bounded_queue.hpp"
+#include "tamp/queues/ms_queue.hpp"
+#include "tamp/queues/recycle_queue.hpp"
+#include "tamp/queues/spsc_queue.hpp"
+#include "tamp/queues/sync_dual_queue.hpp"

@@ -1,0 +1,81 @@
+// tamp/queues/spsc_queue.hpp
+//
+// The Chapter 3 wait-free two-thread queue (Fig. 3.3): one enqueuer, one
+// dequeuer, a circular buffer, and two counters — no locks, no CAS, and
+// yet linearizable, because each counter has a single writer.  The book
+// uses it to make the point that "concurrent" and "expensive" are not
+// synonyms when the sharing pattern is restricted; it is also the
+// workhorse of the pipeline example.
+
+#pragma once
+
+#include <atomic>
+#include <cassert>
+
+#include "tamp/core/backoff.hpp"
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "tamp/core/cacheline.hpp"
+
+namespace tamp {
+
+template <typename T>
+class WaitFreeTwoThreadQueue {
+  public:
+    using value_type = T;
+
+    explicit WaitFreeTwoThreadQueue(std::size_t capacity)
+        : capacity_(capacity), items_(capacity) {
+        assert(capacity >= 1);
+    }
+
+    /// Enqueuer side only.  False when full.
+    bool try_enqueue(const T& v) {
+        const std::uint64_t t = tail_.value.load(std::memory_order_relaxed);
+        const std::uint64_t h = head_.value.load(std::memory_order_acquire);
+        if (t - h == capacity_) return false;
+        items_[t % capacity_] = v;
+        // Release: the slot write above must be visible before the
+        // dequeuer can observe the new tail.
+        tail_.value.store(t + 1, std::memory_order_release);
+        return true;
+    }
+
+    /// Dequeuer side only.  False when empty.
+    bool try_dequeue(T& out) {
+        const std::uint64_t h = head_.value.load(std::memory_order_relaxed);
+        const std::uint64_t t = tail_.value.load(std::memory_order_acquire);
+        if (t == h) return false;
+        out = std::move(items_[h % capacity_]);
+        head_.value.store(h + 1, std::memory_order_release);
+        return true;
+    }
+
+    /// Conforms to the ConcurrentQueue concept for harness reuse; waits
+    /// (spin-then-yield) when full — only meaningful in pipelines.
+    void enqueue(const T& v) {
+        SpinWait w;
+        while (!try_enqueue(v)) w.spin();
+    }
+
+    std::size_t capacity() const { return capacity_; }
+
+    /// Approximate (exact when quiescent).
+    std::size_t size() const {
+        return static_cast<std::size_t>(
+            tail_.value.load(std::memory_order_acquire) -
+            head_.value.load(std::memory_order_acquire));
+    }
+
+  private:
+    std::size_t capacity_;
+    std::vector<T> items_;
+    // Head and tail each have one writer; padding keeps the enqueuer's and
+    // dequeuer's hot lines apart.
+    Padded<std::atomic<std::uint64_t>> head_{};
+    Padded<std::atomic<std::uint64_t>> tail_{};
+};
+
+}  // namespace tamp

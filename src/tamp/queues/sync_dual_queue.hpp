@@ -1,0 +1,215 @@
+// tamp/queues/sync_dual_queue.hpp
+//
+// SynchronousDualQueue (§10.7, Figs. 10.12–10.13): a synchronous,
+// *fair* hand-off channel.  enqueue() blocks until a dequeuer takes its
+// item; dequeue() blocks until an enqueuer supplies one; waiters of the
+// same kind queue up FIFO as explicit *reservation* nodes — the "dual
+// data structure" idea (Scherer & Scott) the book adopts for its
+// synchronous queue.
+//
+// The queue at any instant is either all ITEM nodes (surplus producers)
+// or all RESERVATION nodes (surplus consumers); an arriving opposite
+// party *fulfills* the node at the head instead of enqueueing.
+//
+// Values travel by pointer so fulfillment is a single CAS on the node's
+// item slot: an ITEM node starts holding the producer's value pointer and
+// is fulfilled by CASing it to null; a RESERVATION starts null and is
+// fulfilled by CASing the value in.  Nodes and values are epoch-retired.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+#include "tamp/core/backoff.hpp"
+#include "tamp/reclaim/epoch.hpp"
+
+namespace tamp {
+
+template <typename T>
+class SynchronousDualQueue {
+    enum class Kind : std::uint8_t { kItem, kReservation };
+
+    struct Node {
+        Kind kind;
+        std::atomic<T*> item;
+        std::atomic<Node*> next{nullptr};
+    };
+
+  public:
+    using value_type = T;
+
+    SynchronousDualQueue() {
+        // Sentinel; its kind is irrelevant while the queue is empty.
+        Node* s = new Node{Kind::kItem, nullptr};
+        head_.store(s, std::memory_order_relaxed);
+        tail_.store(s, std::memory_order_relaxed);
+    }
+
+    ~SynchronousDualQueue() {
+        Node* n = head_.load(std::memory_order_relaxed);
+        while (n != nullptr) {
+            Node* next = n->next.load(std::memory_order_relaxed);
+            delete n->item.load(std::memory_order_relaxed);
+            delete n;
+            n = next;
+        }
+    }
+
+    SynchronousDualQueue(const SynchronousDualQueue&) = delete;
+    SynchronousDualQueue& operator=(const SynchronousDualQueue&) = delete;
+
+    /// Block until a dequeuer accepts `v`.
+    void enqueue(const T& v) {
+        EpochGuard guard;
+        T* value = new T(v);
+        Node* offer = new Node{Kind::kItem, value};
+        SpinWait w;
+        while (true) {
+            Node* t = tail_.load(std::memory_order_acquire);
+            Node* h = head_.load(std::memory_order_acquire);
+            if (h == t || t->kind == Kind::kItem) {
+                // Queue empty or already holds producers: append our offer
+                // and wait for a consumer to take the value.
+                Node* n = t->next.load(std::memory_order_acquire);
+                if (t != tail_.load(std::memory_order_acquire)) continue;
+                if (n != nullptr) {  // lagging tail: help
+                    tail_.compare_exchange_strong(t, n,
+                                                  std::memory_order_release,
+                                                  std::memory_order_relaxed);
+                    continue;
+                }
+                Node* expected = nullptr;
+                if (t->next.compare_exchange_strong(
+                        expected, offer, std::memory_order_release,
+                        std::memory_order_relaxed)) {
+                    tail_.compare_exchange_strong(t, offer,
+                                                  std::memory_order_release,
+                                                  std::memory_order_relaxed);
+                    // Wait until a dequeuer nulls our item slot.
+                    while (offer->item.load(std::memory_order_acquire) !=
+                           nullptr) {
+                        w.spin();
+                    }
+                    // Fulfilled: lazily advance head past our node.
+                    Node* hh = head_.load(std::memory_order_acquire);
+                    if (offer == hh->next.load(std::memory_order_acquire)) {
+                        if (head_.compare_exchange_strong(
+                                hh, offer, std::memory_order_acq_rel,
+                                std::memory_order_relaxed)) {
+                            epoch_retire(hh);
+                        }
+                    }
+                    return;
+                }
+            } else {
+                // Queue holds reservations: fulfill the first one.
+                Node* n = h->next.load(std::memory_order_acquire);
+                if (t != tail_.load(std::memory_order_acquire) ||
+                    h != head_.load(std::memory_order_acquire) ||
+                    n == nullptr) {
+                    continue;
+                }
+                T* expected = nullptr;
+                const bool success = n->item.compare_exchange_strong(
+                    expected, value, std::memory_order_acq_rel,
+                    std::memory_order_relaxed);
+                if (head_.compare_exchange_strong(
+                        h, n, std::memory_order_acq_rel,
+                        std::memory_order_relaxed)) {
+                    epoch_retire(h);
+                }
+                if (success) {
+                    delete offer;  // never published
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Block until an enqueuer supplies a value.
+    T dequeue() {
+        EpochGuard guard;
+        Node* reservation = new Node{Kind::kReservation, nullptr};
+        SpinWait w;
+        while (true) {
+            Node* t = tail_.load(std::memory_order_acquire);
+            Node* h = head_.load(std::memory_order_acquire);
+            if (h == t || t->kind == Kind::kReservation) {
+                // Queue empty or holds consumers: append our reservation
+                // and wait for a producer to fill it.
+                Node* n = t->next.load(std::memory_order_acquire);
+                if (t != tail_.load(std::memory_order_acquire)) continue;
+                if (n != nullptr) {
+                    tail_.compare_exchange_strong(t, n,
+                                                  std::memory_order_release,
+                                                  std::memory_order_relaxed);
+                    continue;
+                }
+                Node* expected = nullptr;
+                if (t->next.compare_exchange_strong(
+                        expected, reservation, std::memory_order_release,
+                        std::memory_order_relaxed)) {
+                    tail_.compare_exchange_strong(t, reservation,
+                                                  std::memory_order_release,
+                                                  std::memory_order_relaxed);
+                    T* got;
+                    while ((got = reservation->item.load(
+                                std::memory_order_acquire)) == nullptr) {
+                        w.spin();
+                    }
+                    // Detach the value before consuming it: the node stays
+                    // in the queue (often as the next sentinel), and the
+                    // destructor frees any item still attached — leaving
+                    // the pointer in place would be a double free.
+                    reservation->item.store(nullptr,
+                                            std::memory_order_release);
+                    Node* hh = head_.load(std::memory_order_acquire);
+                    if (reservation ==
+                        hh->next.load(std::memory_order_acquire)) {
+                        if (head_.compare_exchange_strong(
+                                hh, reservation, std::memory_order_acq_rel,
+                                std::memory_order_relaxed)) {
+                            epoch_retire(hh);
+                        }
+                    }
+                    T result = std::move(*got);
+                    delete got;
+                    return result;
+                }
+            } else {
+                // Queue holds items: take the first.
+                Node* n = h->next.load(std::memory_order_acquire);
+                if (t != tail_.load(std::memory_order_acquire) ||
+                    h != head_.load(std::memory_order_acquire) ||
+                    n == nullptr) {
+                    continue;
+                }
+                T* value = n->item.load(std::memory_order_acquire);
+                const bool success =
+                    value != nullptr &&
+                    n->item.compare_exchange_strong(
+                        value, nullptr, std::memory_order_acq_rel,
+                        std::memory_order_relaxed);
+                if (head_.compare_exchange_strong(
+                        h, n, std::memory_order_acq_rel,
+                        std::memory_order_relaxed)) {
+                    epoch_retire(h);
+                }
+                if (success) {
+                    delete reservation;  // never published
+                    T result = std::move(*value);
+                    delete value;
+                    return result;
+                }
+            }
+        }
+    }
+
+  private:
+    std::atomic<Node*> head_;
+    std::atomic<Node*> tail_;
+};
+
+}  // namespace tamp

@@ -1,0 +1,138 @@
+#include "tamp/reclaim/epoch.hpp"
+
+#include <cassert>
+#include <mutex>
+#include <vector>
+
+namespace tamp {
+
+namespace {
+
+struct RetiredNode {
+    void* ptr;
+    void (*deleter)(void*);
+};
+
+constexpr std::uint64_t kInactive = ~std::uint64_t{0};
+
+}  // namespace
+
+struct EpochDomain::Impl {
+    struct alignas(kCacheLineSize) ThreadRecord {
+        // kInactive when unpinned, otherwise the epoch the thread pinned.
+        std::atomic<std::uint64_t> epoch{kInactive};
+        // Nesting depth — only the outermost guard pins/unpins.  Plain:
+        // touched only by the owning thread.
+        std::uint32_t nesting = 0;
+    };
+
+    std::atomic<std::uint64_t> global_epoch{0};
+    ThreadRecord records[kMaxThreads];
+    std::atomic<std::size_t> max_tid{0};
+
+    // Retired nodes, bucketed by the epoch they were retired in (mod 3):
+    // bucket (e - 2) mod 3 is free to reclaim once global epoch is e.
+    // Buckets are shared, so a mutex guards them; retirement batches make
+    // the lock cheap relative to the operations being protected.
+    std::mutex bucket_mu;
+    std::vector<RetiredNode> buckets[3];
+
+    std::atomic<std::size_t> pending_count{0};
+    std::atomic<std::size_t> since_collect{0};
+
+    void note_tid(std::size_t tid) {
+        std::size_t seen = max_tid.load(std::memory_order_relaxed);
+        while (tid > seen && !max_tid.compare_exchange_weak(
+                                 seen, tid, std::memory_order_relaxed)) {
+        }
+    }
+};
+
+EpochDomain::EpochDomain() : impl_(new Impl()) {}
+
+EpochDomain& EpochDomain::global() {
+    static EpochDomain* d = new EpochDomain();  // leaked, as HazardDomain
+    return *d;
+}
+
+void EpochDomain::enter() {
+    const std::size_t tid = thread_id();
+    impl_->note_tid(tid);
+    auto& rec = impl_->records[tid];
+    if (rec.nesting++ > 0) return;  // already pinned by an outer guard
+    // Publish the epoch we observe.  seq_cst: the pin must be globally
+    // visible before we read any shared pointer, or a collector could
+    // advance past us while we hold an old-epoch reference.
+    const std::uint64_t e =
+        impl_->global_epoch.load(std::memory_order_seq_cst);
+    rec.epoch.store(e, std::memory_order_seq_cst);
+}
+
+void EpochDomain::exit() {
+    auto& rec = impl_->records[thread_id()];
+    assert(rec.nesting > 0);
+    if (--rec.nesting > 0) return;
+    rec.epoch.store(kInactive, std::memory_order_release);
+}
+
+void EpochDomain::retire(void* p, void (*deleter)(void*)) {
+    const std::uint64_t e =
+        impl_->global_epoch.load(std::memory_order_acquire);
+    {
+        std::lock_guard<std::mutex> guard(impl_->bucket_mu);
+        impl_->buckets[e % 3].push_back(RetiredNode{p, deleter});
+    }
+    impl_->pending_count.fetch_add(1, std::memory_order_relaxed);
+    if (impl_->since_collect.fetch_add(1, std::memory_order_relaxed) + 1 >=
+        kCollectThreshold) {
+        impl_->since_collect.store(0, std::memory_order_relaxed);
+        collect();
+    }
+}
+
+void EpochDomain::collect() {
+    const std::uint64_t e =
+        impl_->global_epoch.load(std::memory_order_seq_cst);
+    // The epoch may advance only if every pinned thread has observed it.
+    const std::size_t upper =
+        impl_->max_tid.load(std::memory_order_acquire) + 1;
+    for (std::size_t t = 0; t < upper && t < kMaxThreads; ++t) {
+        const std::uint64_t te =
+            impl_->records[t].epoch.load(std::memory_order_seq_cst);
+        if (te != kInactive && te < e) return;  // straggler: cannot advance
+    }
+    // Advance e -> e+1 (one winner; losers' work was equivalent).
+    std::uint64_t expected = e;
+    if (!impl_->global_epoch.compare_exchange_strong(
+            expected, e + 1, std::memory_order_seq_cst)) {
+        return;
+    }
+    // Bucket (e+1) mod 3 ≡ (e-2) mod 3 was retired two epochs ago: no
+    // pinned thread can still reference its nodes.  Free it — after
+    // swapping it out under the lock, so a concurrent retire into the
+    // *new* epoch's bucket (same slot) is not freed early.
+    std::vector<RetiredNode> to_free;
+    {
+        std::lock_guard<std::mutex> guard(impl_->bucket_mu);
+        to_free.swap(impl_->buckets[(e + 1) % 3]);
+    }
+    for (const RetiredNode& rn : to_free) {
+        rn.deleter(rn.ptr);
+        impl_->pending_count.fetch_sub(1, std::memory_order_relaxed);
+    }
+}
+
+void EpochDomain::drain() {
+    // With no thread pinned, three advances flush all three buckets.
+    for (int i = 0; i < 4 && pending() > 0; ++i) collect();
+}
+
+std::size_t EpochDomain::pending() const {
+    return impl_->pending_count.load(std::memory_order_relaxed);
+}
+
+std::uint64_t EpochDomain::current_epoch() const {
+    return impl_->global_epoch.load(std::memory_order_acquire);
+}
+
+}  // namespace tamp

@@ -1,0 +1,167 @@
+#include "tamp/reclaim/hazard_pointers.hpp"
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <unordered_set>
+#include <vector>
+
+namespace tamp {
+
+namespace {
+
+struct RetiredNode {
+    void* ptr;
+    void (*deleter)(void*);
+};
+
+}  // namespace
+
+struct HazardDomain::Impl {
+    struct alignas(kCacheLineSize) SlotBlock {
+        std::atomic<const void*> slots[kSlotsPerThread];
+    };
+
+    SlotBlock blocks[kMaxThreads];
+    // Highest thread id that has ever touched a slot: bounds scan cost.
+    std::atomic<std::size_t> max_tid{0};
+
+    // Retirees orphaned by exited threads, adopted by later scans.
+    std::mutex orphan_mu;
+    std::vector<RetiredNode> orphans;
+
+    std::atomic<std::size_t> pending_count{0};
+};
+
+namespace {
+
+HazardDomain::Impl* g_impl = nullptr;
+
+// Thread-local retirement buffer.  Its destructor (thread exit) moves any
+// leftovers to the orphan list.
+struct LocalRetired {
+    std::vector<RetiredNode> nodes;
+    ~LocalRetired() {
+        if (nodes.empty()) return;
+        std::lock_guard<std::mutex> guard(g_impl->orphan_mu);
+        g_impl->orphans.insert(g_impl->orphans.end(), nodes.begin(),
+                               nodes.end());
+    }
+};
+
+LocalRetired& local_retired() {
+    thread_local LocalRetired lr;
+    return lr;
+}
+
+// Per-thread bitmask of claimed hazard-slot indices.
+thread_local unsigned g_claimed_slots = 0;
+
+}  // namespace
+
+HazardDomain::HazardDomain() : impl_(new Impl()) {
+    for (auto& block : impl_->blocks) {
+        for (auto& s : block.slots) {
+            s.store(nullptr, std::memory_order_relaxed);
+        }
+    }
+}
+
+HazardDomain& HazardDomain::global() {
+    // Leaked: detached threads may retire during static destruction.
+    static HazardDomain* d = [] {
+        auto* dom = new HazardDomain();
+        g_impl = dom->impl_;
+        return dom;
+    }();
+    return *d;
+}
+
+std::atomic<const void*>& HazardDomain::slot(std::size_t k) {
+    assert(k < kSlotsPerThread);
+    const std::size_t tid = thread_id();
+    // Keep the scan bound tight: remember the highest slot-block in use.
+    std::size_t seen = impl_->max_tid.load(std::memory_order_relaxed);
+    while (tid > seen && !impl_->max_tid.compare_exchange_weak(
+                             seen, tid, std::memory_order_relaxed)) {
+    }
+    return impl_->blocks[tid].slots[k];
+}
+
+void HazardDomain::retire(void* p, void (*deleter)(void*)) {
+    auto& lr = local_retired();
+    lr.nodes.push_back(RetiredNode{p, deleter});
+    impl_->pending_count.fetch_add(1, std::memory_order_relaxed);
+    if (lr.nodes.size() >= kScanThreshold) scan();
+}
+
+void HazardDomain::scan() {
+    auto& lr = local_retired();
+    // Adopt orphans so nodes retired by dead threads still get freed.
+    {
+        std::lock_guard<std::mutex> guard(impl_->orphan_mu);
+        if (!impl_->orphans.empty()) {
+            lr.nodes.insert(lr.nodes.end(), impl_->orphans.begin(),
+                            impl_->orphans.end());
+            impl_->orphans.clear();
+        }
+    }
+    // Stage 1: snapshot every published hazard.  The seq_cst loads pair
+    // with the seq_cst publication stores in HazardSlot::protect.
+    std::unordered_set<const void*> protected_ptrs;
+    const std::size_t upper =
+        impl_->max_tid.load(std::memory_order_acquire) + 1;
+    for (std::size_t t = 0; t < upper && t < kMaxThreads; ++t) {
+        for (std::size_t k = 0; k < kSlotsPerThread; ++k) {
+            const void* p =
+                impl_->blocks[t].slots[k].load(std::memory_order_seq_cst);
+            if (p != nullptr) protected_ptrs.insert(p);
+        }
+    }
+    // Stage 2: free what nobody protects; keep the rest for next time.
+    std::vector<RetiredNode> keep;
+    keep.reserve(lr.nodes.size());
+    for (const RetiredNode& rn : lr.nodes) {
+        if (protected_ptrs.count(rn.ptr) != 0) {
+            keep.push_back(rn);
+        } else {
+            rn.deleter(rn.ptr);
+            impl_->pending_count.fetch_sub(1, std::memory_order_relaxed);
+        }
+    }
+    lr.nodes = std::move(keep);
+}
+
+void HazardDomain::drain() {
+    // Repeated scans converge once callers have cleared their slots.
+    for (int i = 0; i < 3 && pending() > 0; ++i) scan();
+}
+
+std::size_t HazardDomain::pending() const {
+    return impl_->pending_count.load(std::memory_order_relaxed);
+}
+
+namespace detail {
+
+std::size_t hp_claim_slot_index() {
+    for (std::size_t k = 0; k < HazardDomain::kSlotsPerThread; ++k) {
+        if ((g_claimed_slots & (1u << k)) == 0) {
+            g_claimed_slots |= (1u << k);
+            return k;
+        }
+    }
+    std::fprintf(stderr,
+                 "tamp: more than %zu simultaneous hazard slots in one "
+                 "thread\n",
+                 HazardDomain::kSlotsPerThread);
+    std::abort();
+}
+
+void hp_release_slot_index(std::size_t idx) {
+    g_claimed_slots &= ~(1u << idx);
+}
+
+}  // namespace detail
+
+}  // namespace tamp

@@ -1,0 +1,143 @@
+// tamp/reclaim/hazard_pointers.hpp
+//
+// Hazard pointers (Michael, 2004) — the standard safe-memory-reclamation
+// substrate for the book's lock-free structures.
+//
+// The book's Java code frees nothing: unlinked nodes are collected by the
+// JVM once no thread can reach them, and §9.8 / §10.6 explicitly lean on
+// this ("a node is never recycled while some thread holds a reference").
+// Hazard pointers recreate exactly that guarantee in C++: before using a
+// shared pointer a thread *publishes* it in a hazard slot; a thread that
+// unlinks a node `retire`s it, and retired nodes are only freed once no
+// published slot names them.
+//
+// Design:
+//  * one global domain; slots are indexed by tamp::thread_id(), a few per
+//    thread (traversals need pred+curr+succ at most);
+//  * retirement is thread-local and O(1); every kScanThreshold retirements
+//    the thread scans all published slots and frees the unprotected ones;
+//  * exiting threads hand their un-freed retirees to a global orphan list
+//    that later scans adopt.
+//
+// The domain is process-lifetime (intentionally leaked — detached threads
+// may retire after static destruction begins).  Memory overhead is bounded
+// by  kScanThreshold × live-threads  unreclaimed nodes.
+
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+
+#include "tamp/core/cacheline.hpp"
+#include "tamp/core/thread_registry.hpp"
+
+namespace tamp {
+
+class HazardDomain {
+  public:
+    /// Hazard slots each thread may hold simultaneously.
+    static constexpr std::size_t kSlotsPerThread = 4;
+    /// Retirements between scans.
+    static constexpr std::size_t kScanThreshold = 64;
+
+    /// The process-wide domain used by every tamp lock-free structure.
+    static HazardDomain& global();
+
+    /// Raw slot access: the k-th hazard slot of the calling thread.
+    std::atomic<const void*>& slot(std::size_t k);
+
+    /// Hand `p` to the domain; `deleter(p)` runs once no slot names it.
+    void retire(void* p, void (*deleter)(void*));
+
+    /// Free every retired node not currently protected (called
+    /// automatically every kScanThreshold retirements).
+    void scan();
+
+    /// Drain everything that can be drained — for tests and benchmarks
+    /// that want deterministic footprints between phases.  Only safe when
+    /// no concurrent operations are in flight.
+    void drain();
+
+    /// Statistics for tests: nodes currently awaiting reclamation.
+    std::size_t pending() const;
+
+    /// Implementation record; opaque outside the .cpp.
+    struct Impl;
+
+  private:
+    HazardDomain();
+    Impl* impl_;
+};
+
+/// RAII typed hazard slot.  Construction claims a free slot of the calling
+/// thread; destruction clears and releases it.
+///
+///     HazardSlot<Node> hp;            // claim
+///     Node* n = hp.protect(head);     // safe to dereference until...
+///     hp.clear();                     // ...cleared, reassigned, or ~HazardSlot
+template <typename T>
+class HazardSlot {
+  public:
+    HazardSlot() : index_(claim_index()), cell_(&HazardDomain::global().slot(index_)) {}
+
+    ~HazardSlot() {
+        cell_->store(nullptr, std::memory_order_release);
+        release_index(index_);
+    }
+
+    HazardSlot(const HazardSlot&) = delete;
+    HazardSlot& operator=(const HazardSlot&) = delete;
+
+    /// The protect loop: publish the pointer, then re-read the source to
+    /// make sure it was not retired in between.  On success the returned
+    /// node cannot be freed while this slot holds it.
+    T* protect(const std::atomic<T*>& src) {
+        T* p = src.load(std::memory_order_acquire);
+        while (true) {
+            // seq_cst store: the publication must be visible to any
+            // scanner *before* we re-validate — a release store could
+            // still be in flight when a concurrent scan reads the slots.
+            cell_->store(p, std::memory_order_seq_cst);
+            T* again = src.load(std::memory_order_acquire);
+            if (again == p) return p;
+            p = again;
+        }
+    }
+
+    /// Publish a pointer the caller has already validated by other means
+    /// (e.g. re-checking a marked link after publication).
+    void set(T* p) { cell_->store(p, std::memory_order_seq_cst); }
+
+    void clear() { cell_->store(nullptr, std::memory_order_release); }
+
+  private:
+    static std::size_t claim_index();
+    static void release_index(std::size_t idx);
+
+    std::size_t index_;
+    std::atomic<const void*>* cell_;
+};
+
+/// Retire with the default deleter.
+template <typename T>
+void hazard_retire(T* p) {
+    HazardDomain::global().retire(
+        p, [](void* q) { delete static_cast<T*>(q); });
+}
+
+namespace detail {
+// Per-thread bitmask of claimed slot indices (0..kSlotsPerThread-1).
+std::size_t hp_claim_slot_index();
+void hp_release_slot_index(std::size_t idx);
+}  // namespace detail
+
+template <typename T>
+std::size_t HazardSlot<T>::claim_index() {
+    return detail::hp_claim_slot_index();
+}
+template <typename T>
+void HazardSlot<T>::release_index(std::size_t idx) {
+    detail::hp_release_slot_index(idx);
+}
+
+}  // namespace tamp

@@ -1,0 +1,7 @@
+// tamp/reclaim/reclaim.hpp — umbrella for the safe-memory-reclamation
+// substrate (the library's substitute for the book's JVM garbage
+// collector; see DESIGN.md).
+#pragma once
+
+#include "tamp/reclaim/epoch.hpp"
+#include "tamp/reclaim/hazard_pointers.hpp"

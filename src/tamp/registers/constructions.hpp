@@ -1,0 +1,294 @@
+// tamp/registers/constructions.hpp
+//
+// The Chapter 4 register tower (§4.2): starting from single-reader
+// single-writer *safe* boolean cells, construct in turn
+//
+//   1. MRSW safe boolean        (Fig. 4.6)  — one SRSW cell per reader
+//   2. MRSW regular boolean     (Fig. 4.7)  — write only on change
+//   3. MRSW regular M-valued    (Fig. 4.8)  — unary encoding
+//   4. SRSW atomic              (Fig. 4.9)  — timestamps
+//   5. MRSW atomic              (Fig. 4.10) — n×n table of SRSW atomics
+//   6. MRMW atomic              (Fig. 4.12) — one row per writer
+//
+// Every construction is templated over its cell type, so the tests can
+// instantiate the tower over the *simulated* weak registers (the worst
+// adversary the proofs allow) as well as over honest hardware cells.
+//
+// Reader identity is explicit (`read(me)`), writer identity likewise for
+// the MRMW register — the book's ThreadID made visible in the signature.
+
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "tamp/registers/simulated.hpp"
+
+namespace tamp {
+
+// --------------------------------------------------------------------------
+// 1. MRSW safe boolean from SRSW safe boolean (Fig. 4.6).
+// --------------------------------------------------------------------------
+template <typename Cell = SimulatedSafeRegister<bool>>
+class SafeBooleanMRSW {
+  public:
+    explicit SafeBooleanMRSW(std::size_t readers, bool init = false)
+        : cells_(readers) {
+        for (auto& c : cells_) c.write(init);
+    }
+
+    /// Single writer: update every reader's private cell.
+    void write(bool v) {
+        for (auto& c : cells_) c.write(v);
+    }
+
+    /// Reader `me` consults only its own cell — no reader-reader races.
+    bool read(std::size_t me) {
+        assert(me < cells_.size());
+        return cells_[me].read();
+    }
+
+    std::size_t readers() const { return cells_.size(); }
+
+  private:
+    std::vector<Cell> cells_;
+};
+
+// --------------------------------------------------------------------------
+// 2. MRSW regular boolean from MRSW safe boolean (Fig. 4.7).
+//
+// A safe boolean read during an overlapping write returns *some* boolean;
+// if the register is only physically written when the value changes, that
+// arbitrary boolean is necessarily either the old or the new value — which
+// is exactly regularity.
+// --------------------------------------------------------------------------
+template <typename Base = SafeBooleanMRSW<>>
+class RegularBooleanMRSW {
+  public:
+    explicit RegularBooleanMRSW(std::size_t readers, bool init = false)
+        : old_(init), base_(readers, init) {}
+
+    void write(bool v) {
+        if (v != old_) {  // writer-private state: no synchronization needed
+            base_.write(v);
+            old_ = v;
+        }
+    }
+
+    bool read(std::size_t me) { return base_.read(me); }
+
+  private:
+    bool old_;
+    Base base_;
+};
+
+// --------------------------------------------------------------------------
+// 3. MRSW regular M-valued from MRSW regular boolean (Fig. 4.8).
+//
+// Unary encoding: bit[x] set means "value is x".  The writer raises the new
+// bit before lowering the lower ones (descending), so an ascending scan
+// always finds a bit that was set by the last-complete or a concurrent
+// write.
+// --------------------------------------------------------------------------
+template <typename BoolReg = RegularBooleanMRSW<>>
+class RegularMValuedMRSW {
+  public:
+    RegularMValuedMRSW(std::size_t readers, std::size_t range,
+                       std::size_t init = 0)
+        : range_(range) {
+        assert(init < range);
+        bits_.reserve(range);
+        for (std::size_t i = 0; i < range; ++i) {
+            bits_.emplace_back(readers, i == init);
+        }
+    }
+
+    void write(std::size_t x) {
+        assert(x < range_);
+        bits_[x].write(true);
+        for (std::size_t i = x; i-- > 0;) bits_[i].write(false);
+    }
+
+    std::size_t read(std::size_t me) {
+        for (std::size_t i = 0; i < range_; ++i) {
+            if (bits_[i].read(me)) return i;
+        }
+        // Unreachable per Lemma 4.2.3; a defensive answer beats UB.
+        return range_ - 1;
+    }
+
+  private:
+    std::size_t range_;
+    std::vector<BoolReg> bits_;
+};
+
+// --------------------------------------------------------------------------
+// Timestamped values, packed so one cell write is one physical write.
+//
+// The book's StampedValue<T> rides on the GC'd heap; we pack stamp (high
+// 32 bits) and value (low 32) into a uint64 so that the underlying cell —
+// simulated-regular or hardware-atomic — carries the pair indivisibly.
+// Stamps are per-writer sequence numbers; 2^32 writes per register
+// comfortably exceeds any test or benchmark horizon.
+// --------------------------------------------------------------------------
+struct Stamped {
+    static constexpr std::uint64_t pack(std::uint32_t stamp,
+                                        std::int32_t value) {
+        return (static_cast<std::uint64_t>(stamp) << 32) |
+               static_cast<std::uint32_t>(value);
+    }
+    static constexpr std::uint32_t stamp(std::uint64_t cell) {
+        return static_cast<std::uint32_t>(cell >> 32);
+    }
+    static constexpr std::int32_t value(std::uint64_t cell) {
+        return static_cast<std::int32_t>(
+            static_cast<std::uint32_t>(cell & 0xFFFFFFFFull));
+    }
+};
+
+// --------------------------------------------------------------------------
+// 4. SRSW atomic from SRSW regular (Fig. 4.9).
+//
+// The regular register may "flicker" between old and new during overlap; a
+// reader that remembers the highest-stamped pair it has returned, and never
+// returns a lower-stamped one, turns the flicker into atomicity.
+// --------------------------------------------------------------------------
+template <typename Cell = SimulatedRegularRegister<std::uint64_t>>
+class AtomicSRSW {
+  public:
+    explicit AtomicSRSW(std::int32_t init = 0)
+        : cell_(Stamped::pack(0, init)), last_read_(Stamped::pack(0, init)) {}
+
+    void write(std::int32_t v) {
+        last_stamp_ += 1;  // writer-private
+        cell_.write(Stamped::pack(last_stamp_, v));
+    }
+
+    std::int32_t read() {
+        const std::uint64_t seen = cell_.read();
+        // Return the later of (what the cell shows, what we last returned).
+        if (Stamped::stamp(seen) > Stamped::stamp(last_read_)) {
+            last_read_ = seen;  // reader-private
+        }
+        return Stamped::value(last_read_);
+    }
+
+  private:
+    Cell cell_;
+    std::uint32_t last_stamp_ = 0;  // writer-side shadow of the stamp
+    std::uint64_t last_read_;       // reader-side memory
+};
+
+// --------------------------------------------------------------------------
+// 5. MRSW atomic from SRSW atomic (Fig. 4.10).
+//
+// An n×n table: the writer stamps each value and writes it down the
+// diagonal; reader `me` takes the freshest of column `me`, then gossips it
+// across row `me` so no later reader can observe an older value — the
+// construction's defence against the new/old inversion of Fig. 4.5.
+// --------------------------------------------------------------------------
+template <typename Cell = AtomicRegister<std::uint64_t>>
+class AtomicMRSW {
+  public:
+    explicit AtomicMRSW(std::size_t readers, std::int32_t init = 0)
+        : n_(readers) {
+        table_.reserve(n_ * n_);
+        for (std::size_t i = 0; i < n_ * n_; ++i) {
+            table_.emplace_back(Stamped::pack(0, init));
+        }
+    }
+
+    void write(std::int32_t v) {
+        last_stamp_ += 1;
+        const std::uint64_t stamped = Stamped::pack(last_stamp_, v);
+        for (std::size_t i = 0; i < n_; ++i) at(i, i).write(stamped);
+    }
+
+    std::int32_t read(std::size_t me) {
+        assert(me < n_);
+        std::uint64_t best = at(me, me).read();
+        for (std::size_t i = 0; i < n_; ++i) {
+            const std::uint64_t other = at(i, me).read();
+            if (Stamped::stamp(other) > Stamped::stamp(best)) best = other;
+        }
+        for (std::size_t j = 0; j < n_; ++j) {
+            if (j == me) continue;
+            at(me, j).write(best);
+        }
+        return Stamped::value(best);
+    }
+
+  private:
+    // Cell (i, j): written by reader i (row), read by reader j (column);
+    // the diagonal is written by the single writer.  Strictly SRSW.
+    Cell& at(std::size_t i, std::size_t j) { return table_[i * n_ + j]; }
+
+    std::size_t n_;
+    std::uint32_t last_stamp_ = 0;
+    std::vector<Cell> table_;
+};
+
+// --------------------------------------------------------------------------
+// 6. MRMW atomic from MRSW atomic (Fig. 4.12).
+//
+// One MRSW register per writer.  A writer reads every row, takes the
+// maximum stamp it saw plus one, and writes to its own row; a reader takes
+// the lexicographically greatest (stamp, row) pair.  Bakery-style labels,
+// applied to registers.
+// --------------------------------------------------------------------------
+/// Each row is a register holding a packed (stamp, value) word that every
+/// thread may read but only its owner writes — i.e. an MRSW atomic register
+/// of uint64.  The default instantiates rows directly on hardware cells;
+/// the tower above shows how such a register would itself be built from
+/// weaker parts (the book's layering, which we demonstrate but do not force
+/// the MRMW register to pay O(n²) for on every access).
+template <typename RowCell = AtomicRegister<std::uint64_t>>
+class AtomicMRMW {
+  public:
+    explicit AtomicMRMW(std::size_t threads, std::int32_t init = 0)
+        : n_(threads), stamps_(threads, 0) {
+        rows_.reserve(n_);
+        for (std::size_t i = 0; i < n_; ++i) {
+            rows_.emplace_back(Stamped::pack(0, init));
+        }
+    }
+
+    void write(std::size_t me, std::int32_t v) {
+        assert(me < n_);
+        std::uint32_t max_stamp = 0;
+        for (std::size_t i = 0; i < n_; ++i) {
+            const std::uint32_t s = Stamped::stamp(rows_[i].read());
+            if (s > max_stamp) max_stamp = s;
+        }
+        stamps_[me] = max_stamp + 1;  // per-writer shadow; writer-private
+        rows_[me].write(Stamped::pack(stamps_[me], v));
+    }
+
+    std::int32_t read(std::size_t /*me*/ = 0) {
+        // Lexicographic max over (stamp, row id): bakery labels, applied
+        // to registers.  Any reader may scan — rows are MRSW.
+        std::uint64_t best = rows_[0].read();
+        std::size_t best_row = 0;
+        for (std::size_t i = 1; i < n_; ++i) {
+            const std::uint64_t cand = rows_[i].read();
+            if (Stamped::stamp(cand) > Stamped::stamp(best) ||
+                (Stamped::stamp(cand) == Stamped::stamp(best) &&
+                 i > best_row)) {
+                best = cand;
+                best_row = i;
+            }
+        }
+        return Stamped::value(best);
+    }
+
+    std::size_t writers() const { return n_; }
+
+  private:
+    std::size_t n_;
+    std::vector<std::uint32_t> stamps_;
+    std::vector<RowCell> rows_;
+};
+
+}  // namespace tamp

@@ -1,0 +1,7 @@
+// tamp/registers/registers.hpp — umbrella for Chapter 4: simulated weak
+// registers, the register-construction tower, and atomic snapshots.
+#pragma once
+
+#include "tamp/registers/constructions.hpp"
+#include "tamp/registers/simulated.hpp"
+#include "tamp/registers/snapshot.hpp"

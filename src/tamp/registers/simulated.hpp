@@ -1,0 +1,174 @@
+// tamp/registers/simulated.hpp
+//
+// The substrate for Chapter 4 ("Foundations of Shared Memory"): register
+// flavours and a deliberately weak *simulated* safe register.
+//
+// The chapter builds a tower from single-reader single-writer *safe*
+// boolean registers all the way to multi-reader multi-writer *atomic*
+// registers.  Real hardware only sells the top of the tower (every aligned
+// machine word is an atomic register), so to demonstrate — and, more
+// importantly, to *test* — that the constructions tolerate weak cells, we
+// provide SimulatedSafeRegister: a register that honours safe semantics
+// and nothing more.  A read that overlaps a write returns garbage, exactly
+// the adversary the book's proofs quantify over.
+
+#pragma once
+
+#include <atomic>
+#include <concepts>
+#include <cstdint>
+
+#include "tamp/core/random.hpp"
+
+namespace tamp {
+
+/// What every register in this module looks like: single-location read
+/// and write.  Reader/writer identity, where a construction needs it, is
+/// passed explicitly (the book's ThreadID).
+template <typename R, typename T>
+concept RegisterOf = requires(R r, T v) {
+    { r.read() } -> std::convertible_to<T>;
+    { r.write(v) };
+};
+
+/// An SRSW *safe* register (§4.1): if a read does not overlap a write it
+/// returns the most recently written value; if it does overlap, it may
+/// return anything in the type's range.  We simulate the "anything" with
+/// a PRNG, so tests of higher layers face the worst-case adversary rather
+/// than the benign behaviour real hardware would give.
+///
+/// `T` must be trivially copyable; the flicker draws uniformly from its
+/// object representation.
+template <typename T>
+class SimulatedSafeRegister {
+    static_assert(std::is_trivially_copyable_v<T>);
+
+  public:
+    explicit SimulatedSafeRegister(T init = T{}) {
+        value_.store(init, std::memory_order_relaxed);
+    }
+
+    // Containers of registers are assembled single-threaded before being
+    // shared; moving copies the quiescent value and is NOT thread-safe.
+    SimulatedSafeRegister(SimulatedSafeRegister&& other) noexcept {
+        value_.store(other.value_.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+    }
+
+    void write(T v) {
+        // Odd version = write in progress.  seq_cst keeps the version and
+        // payload updates ordered for the overlap detector below.  The
+        // payload itself is a relaxed atomic: *physically* race-free (we
+        // promise TSan-cleanliness), while the version check keeps the
+        // *semantics* no stronger than safe.
+        version_.fetch_add(1, std::memory_order_seq_cst);
+        value_.store(v, std::memory_order_relaxed);
+        version_.fetch_add(1, std::memory_order_seq_cst);
+    }
+
+    T read() {
+        const std::uint64_t v1 = version_.load(std::memory_order_seq_cst);
+        T result = value_.load(std::memory_order_relaxed);
+        const std::uint64_t v2 = version_.load(std::memory_order_seq_cst);
+        if ((v1 & 1) != 0 || v1 != v2) {
+            // Overlapping write: safe semantics let us return anything.
+            return flicker();
+        }
+        return result;
+    }
+
+  private:
+    T flicker() {
+        T junk;
+        auto* bytes = reinterpret_cast<unsigned char*>(&junk);
+        for (std::size_t i = 0; i < sizeof(T); ++i) {
+            bytes[i] = static_cast<unsigned char>(rng_.next());
+        }
+        return junk;
+    }
+
+    std::atomic<std::uint64_t> version_{0};
+    std::atomic<T> value_{};
+    XorShift64 rng_{XorShift64::from_this_thread()};
+};
+
+// Boolean flicker should still be a valid bool.
+template <>
+inline bool SimulatedSafeRegister<bool>::flicker() {
+    return (rng_.next() & 1) != 0;
+}
+
+/// An SRSW *regular* register (§4.1.2): a read overlapping writes may
+/// return the old value or any concurrently written one — but never
+/// garbage, and never an older value than the last complete write.  The
+/// simulation keeps the previous value beside the current one and, on
+/// overlap, returns one of the two at random: a strict subset of what
+/// regular semantics permit, and strictly more adversarial than hardware.
+/// This is the cell the Chapter 4 atomic constructions are tested against.
+template <typename T>
+class SimulatedRegularRegister {
+    static_assert(std::is_trivially_copyable_v<T>);
+
+  public:
+    explicit SimulatedRegularRegister(T init = T{}) {
+        prev_.store(init, std::memory_order_relaxed);
+        curr_.store(init, std::memory_order_relaxed);
+    }
+
+    // Setup-time only; not thread-safe (see SimulatedSafeRegister).
+    SimulatedRegularRegister(SimulatedRegularRegister&& other) noexcept {
+        prev_.store(other.prev_.load(std::memory_order_relaxed),
+                    std::memory_order_relaxed);
+        curr_.store(other.curr_.load(std::memory_order_relaxed),
+                    std::memory_order_relaxed);
+    }
+
+    void write(T v) {
+        prev_.store(curr_.load(std::memory_order_relaxed),
+                    std::memory_order_relaxed);
+        version_.fetch_add(1, std::memory_order_seq_cst);  // now odd
+        curr_.store(v, std::memory_order_relaxed);
+        version_.fetch_add(1, std::memory_order_seq_cst);  // even again
+    }
+
+    T read() {
+        const std::uint64_t v1 = version_.load(std::memory_order_seq_cst);
+        const T c = curr_.load(std::memory_order_relaxed);
+        const T p = prev_.load(std::memory_order_relaxed);
+        const std::uint64_t v2 = version_.load(std::memory_order_seq_cst);
+        if ((v1 & 1) != 0 || v1 != v2) {
+            return (rng_.next() & 1) ? p : c;  // old or new, adversarially
+        }
+        return c;
+    }
+
+  private:
+    std::atomic<std::uint64_t> version_{0};
+    std::atomic<T> prev_{};
+    std::atomic<T> curr_{};
+    XorShift64 rng_{XorShift64::from_this_thread()};
+};
+
+/// An honest atomic register — the hardware's own cell, wrapped in the
+/// module's interface so constructions can be instantiated over either a
+/// weak simulated base or the real thing.
+template <typename T>
+class AtomicRegister {
+  public:
+    explicit AtomicRegister(T init = T{}) : cell_(init) {}
+
+    // Setup-time only; not thread-safe (see SimulatedSafeRegister).
+    AtomicRegister(AtomicRegister&& other) noexcept
+        : cell_(other.cell_.load(std::memory_order_relaxed)) {}
+
+    void write(T v) { cell_.store(v, std::memory_order_seq_cst); }
+    T read() { return cell_.load(std::memory_order_seq_cst); }
+
+  private:
+    std::atomic<T> cell_;
+};
+
+static_assert(RegisterOf<SimulatedSafeRegister<bool>, bool>);
+static_assert(RegisterOf<AtomicRegister<int>, int>);
+
+}  // namespace tamp

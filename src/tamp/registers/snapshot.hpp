@@ -1,0 +1,178 @@
+// tamp/registers/snapshot.hpp
+//
+// Atomic snapshots (§4.3): an array of single-writer registers supporting
+// a wait-free `scan` that returns an instantaneous view of all of them.
+//
+// Two implementations:
+//
+//  * SimpleSnapshot (Fig. 4.18) — obstruction-free: `collect` twice; a
+//    "clean double collect" (no label changed) is a linearizable view.
+//    A scanner running against a steady stream of updates may never
+//    terminate, which the tests demonstrate is *possible* but rarely hit.
+//
+//  * WaitFreeSnapshot (Fig. 4.21) — each update embeds a snapshot taken by
+//    its writer.  A scanner that sees some register move *twice* knows
+//    that register's writer performed a complete update (including its
+//    embedded scan) inside the scanner's interval, so it can return the
+//    embedded snapshot.  Every scan terminates within two moves per
+//    register.
+//
+// Register cells hold (label, value, embedded-snapshot) — far too wide for
+// a machine word — so each cell is a pointer to an immutable record,
+// swapped atomically and reclaimed by shared_ptr (the unsynchronized-GC
+// substitution for the book's Java heap; see DESIGN.md).
+
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "tamp/core/backoff.hpp"
+
+namespace tamp {
+
+/// Obstruction-free snapshot via clean double collect (Fig. 4.18).
+template <typename T>
+class SimpleSnapshot {
+    struct Record {
+        std::uint64_t label;
+        T value;
+    };
+
+  public:
+    explicit SimpleSnapshot(std::size_t n, T init = T{}) : cells_(n) {
+        for (auto& c : cells_) {
+            c.store(std::make_shared<const Record>(Record{0, init}));
+        }
+    }
+
+    /// Single writer per index: bump my label and publish the new value.
+    void update(std::size_t me, T value) {
+        assert(me < cells_.size());
+        const auto old = cells_[me].load();
+        cells_[me].store(
+            std::make_shared<const Record>(Record{old->label + 1, value}));
+    }
+
+    /// Wait-free read of one component.
+    T read(std::size_t i) const { return cells_[i].load()->value; }
+
+    /// Obstruction-free scan: retry until two collects agree everywhere.
+    std::vector<T> scan() const {
+        auto old = collect();
+        SpinWait w;
+        while (true) {
+            auto fresh = collect();
+            bool clean = true;
+            for (std::size_t i = 0; i < cells_.size(); ++i) {
+                if (old[i]->label != fresh[i]->label) {
+                    clean = false;
+                    break;
+                }
+            }
+            if (clean) {
+                std::vector<T> out;
+                out.reserve(fresh.size());
+                for (const auto& r : fresh) out.push_back(r->value);
+                return out;
+            }
+            old = std::move(fresh);
+            w.spin();
+        }
+    }
+
+    std::size_t size() const { return cells_.size(); }
+
+  private:
+    using RecordPtr = std::shared_ptr<const Record>;
+
+    std::vector<RecordPtr> collect() const {
+        std::vector<RecordPtr> out;
+        out.reserve(cells_.size());
+        for (const auto& c : cells_) out.push_back(c.load());
+        return out;
+    }
+
+    // atomic<shared_ptr> gives us atomic pointer swap plus safe
+    // reclamation of records that scanners may still be reading.
+    mutable std::vector<std::atomic<std::shared_ptr<const Record>>> cells_;
+};
+
+/// Wait-free snapshot with embedded scans (Fig. 4.21).
+template <typename T>
+class WaitFreeSnapshot {
+    struct Record {
+        std::uint64_t label;
+        T value;
+        std::vector<T> snap;  // the writer's view at update time
+    };
+
+  public:
+    explicit WaitFreeSnapshot(std::size_t n, T init = T{}) : cells_(n) {
+        const std::vector<T> zero(n, init);
+        for (auto& c : cells_) {
+            c.store(std::make_shared<const Record>(Record{0, init, zero}));
+        }
+    }
+
+    /// Update = scan, then publish (label+1, value, that scan).  The
+    /// embedded scan is what makes concurrent scanners wait-free.
+    void update(std::size_t me, T value) {
+        assert(me < cells_.size());
+        std::vector<T> snap = scan();
+        const auto old = cells_[me].load();
+        cells_[me].store(std::make_shared<const Record>(
+            Record{old->label + 1, value, std::move(snap)}));
+    }
+
+    T read(std::size_t i) const { return cells_[i].load()->value; }
+
+    /// Wait-free scan: bounded by two observed moves per register.
+    std::vector<T> scan() const {
+        const std::size_t n = cells_.size();
+        std::vector<bool> moved(n, false);
+        auto old = collect();
+        while (true) {
+            auto fresh = collect();
+            bool clean = true;
+            for (std::size_t j = 0; j < n; ++j) {
+                if (old[j]->label != fresh[j]->label) {
+                    if (moved[j]) {
+                        // j moved twice: its second update's embedded scan
+                        // happened entirely inside our interval — borrow it.
+                        return fresh[j]->snap;
+                    }
+                    moved[j] = true;
+                    clean = false;
+                }
+            }
+            if (clean) {
+                std::vector<T> out;
+                out.reserve(n);
+                for (const auto& r : fresh) out.push_back(r->value);
+                return out;
+            }
+            old = std::move(fresh);
+        }
+    }
+
+    std::size_t size() const { return cells_.size(); }
+
+  private:
+    using RecordPtr = std::shared_ptr<const Record>;
+
+    std::vector<RecordPtr> collect() const {
+        std::vector<RecordPtr> out;
+        out.reserve(cells_.size());
+        for (const auto& c : cells_) out.push_back(c.load());
+        return out;
+    }
+
+    mutable std::vector<std::atomic<std::shared_ptr<const Record>>> cells_;
+};
+
+}  // namespace tamp

@@ -1,0 +1,262 @@
+// tamp/skiplist/lazy_skiplist.hpp
+//
+// LazySkipList (§14.3, Figs. 14.10–14.14): the lazy-list recipe applied to
+// skiplists.  Membership is decided *solely at the bottom level*: a node
+// is in the set iff it is unmarked and fullyLinked.  add() locks the
+// predecessors on every level of the new node, validates, links bottom-up
+// and then flips fullyLinked (the linearization point for a successful
+// add); remove() marks the victim (linearization point) and unlinks
+// top-down under the predecessors' locks; contains() is wait-free.
+//
+// Nodes are epoch-retired: unlocked traversals may still be reading a
+// victim after its unlink.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+
+#include "tamp/core/backoff.hpp"
+#include "tamp/core/random.hpp"
+#include "tamp/lists/keyed.hpp"
+#include "tamp/reclaim/epoch.hpp"
+
+namespace tamp {
+
+inline constexpr std::size_t kSkipListMaxLevel = 16;
+
+/// Geometric level draw, p = 1/2, in [0, kSkipListMaxLevel).
+inline std::size_t random_skiplist_level() {
+    const std::uint64_t r = tls_rng().next();
+    std::size_t level = 0;
+    while ((r >> level & 1) != 0 && level + 1 < kSkipListMaxLevel) ++level;
+    return level;
+}
+
+template <std::totally_ordered T, typename KeyOf = DefaultKeyOf<T>>
+class LazySkipList {
+    struct Node {
+        NodeKind kind;
+        std::uint64_t key;
+        T value;
+        std::size_t top_level;
+        std::atomic<Node*> next[kSkipListMaxLevel];
+        std::atomic<bool> marked{false};
+        std::atomic<bool> fully_linked{false};
+        std::recursive_mutex mu;  // remove() holds the victim and may also
+                                  // be its own predecessor at some level
+
+        Node(NodeKind k, std::uint64_t h, const T& v, std::size_t top)
+            : kind(k), key(h), value(v), top_level(top) {
+            for (auto& n : next) n.store(nullptr, std::memory_order_relaxed);
+        }
+    };
+
+  public:
+    using value_type = T;
+
+    LazySkipList() {
+        tail_ = new Node(NodeKind::kTail, 0, T{}, kSkipListMaxLevel - 1);
+        head_ = new Node(NodeKind::kHead, 0, T{}, kSkipListMaxLevel - 1);
+        for (std::size_t l = 0; l < kSkipListMaxLevel; ++l) {
+            head_->next[l].store(tail_, std::memory_order_relaxed);
+        }
+        head_->fully_linked.store(true, std::memory_order_relaxed);
+        tail_->fully_linked.store(true, std::memory_order_relaxed);
+    }
+
+    ~LazySkipList() {
+        Node* n = head_;
+        while (n != nullptr) {
+            Node* next = n->next[0].load(std::memory_order_relaxed);
+            delete n;
+            n = next;
+        }
+    }
+
+    LazySkipList(const LazySkipList&) = delete;
+    LazySkipList& operator=(const LazySkipList&) = delete;
+
+    bool add(const T& v) {
+        const std::uint64_t key = KeyOf{}(v);
+        const std::size_t top_level = random_skiplist_level();
+        Node* preds[kSkipListMaxLevel];
+        Node* succs[kSkipListMaxLevel];
+        EpochGuard guard;
+        SpinWait w;
+        while (true) {
+            const int l_found = find(key, v, preds, succs);
+            if (l_found != -1) {
+                Node* found = succs[l_found];
+                if (!found->marked.load(std::memory_order_acquire)) {
+                    // Already present (or mid-insert: wait until it is
+                    // fully linked so our failed add linearizes after it).
+                    while (!found->fully_linked.load(
+                        std::memory_order_acquire)) {
+                        w.spin();
+                    }
+                    return false;
+                }
+                continue;  // found a corpse: help by retrying (find snips)
+            }
+            // Lock all predecessors bottom..top_level, then validate.
+            std::size_t highest_locked = 0;
+            bool locked_any = false;
+            bool valid = true;
+            Node* last_locked = nullptr;
+            for (std::size_t l = 0; valid && l <= top_level; ++l) {
+                Node* pred = preds[l];
+                Node* succ = succs[l];
+                if (pred != last_locked) {  // avoid re-locking same node
+                    pred->mu.lock();
+                    last_locked = pred;
+                    highest_locked = l;
+                    locked_any = true;
+                }
+                valid = !pred->marked.load(std::memory_order_acquire) &&
+                        !succ->marked.load(std::memory_order_acquire) &&
+                        pred->next[l].load(std::memory_order_acquire) ==
+                            succ;
+            }
+            if (!valid) {
+                unlock_preds(preds, highest_locked, locked_any);
+                continue;
+            }
+            Node* node = new Node(NodeKind::kItem, key, v, top_level);
+            for (std::size_t l = 0; l <= top_level; ++l) {
+                node->next[l].store(succs[l], std::memory_order_relaxed);
+            }
+            for (std::size_t l = 0; l <= top_level; ++l) {
+                preds[l]->next[l].store(node, std::memory_order_release);
+            }
+            node->fully_linked.store(true, std::memory_order_release);
+            unlock_preds(preds, highest_locked, locked_any);
+            return true;
+        }
+    }
+
+    bool remove(const T& v) {
+        const std::uint64_t key = KeyOf{}(v);
+        Node* preds[kSkipListMaxLevel];
+        Node* succs[kSkipListMaxLevel];
+        Node* victim = nullptr;
+        bool is_marked = false;
+        std::size_t top_level = 0;
+        EpochGuard guard;
+        while (true) {
+            const int l_found = find(key, v, preds, succs);
+            if (is_marked ||
+                (l_found != -1 && ok_to_delete(succs[l_found],
+                                               static_cast<std::size_t>(
+                                                   l_found)))) {
+                if (!is_marked) {
+                    victim = succs[l_found];
+                    top_level = victim->top_level;
+                    victim->mu.lock();
+                    if (victim->marked.load(std::memory_order_acquire)) {
+                        victim->mu.unlock();
+                        return false;  // someone else is removing it
+                    }
+                    // Linearization point of a successful remove.
+                    victim->marked.store(true, std::memory_order_release);
+                    is_marked = true;
+                }
+                // Lock predecessors and validate they still point at the
+                // victim on every level.
+                std::size_t highest_locked = 0;
+                bool locked_any = false;
+                bool valid = true;
+                Node* last_locked = nullptr;
+                for (std::size_t l = 0; valid && l <= top_level; ++l) {
+                    Node* pred = preds[l];
+                    if (pred != last_locked) {
+                        pred->mu.lock();
+                        last_locked = pred;
+                        highest_locked = l;
+                        locked_any = true;
+                    }
+                    valid = !pred->marked.load(std::memory_order_acquire) &&
+                            pred->next[l].load(
+                                std::memory_order_acquire) == victim;
+                }
+                if (!valid) {
+                    unlock_preds(preds, highest_locked, locked_any);
+                    continue;
+                }
+                for (std::size_t l = top_level + 1; l-- > 0;) {
+                    preds[l]->next[l].store(
+                        victim->next[l].load(std::memory_order_acquire),
+                        std::memory_order_release);
+                }
+                victim->mu.unlock();
+                unlock_preds(preds, highest_locked, locked_any);
+                epoch_retire(victim);
+                return true;
+            }
+            return false;  // not present (or not yet fully linked)
+        }
+    }
+
+    /// Wait-free membership test (Fig. 14.14).
+    bool contains(const T& v) {
+        const std::uint64_t key = KeyOf{}(v);
+        Node* preds[kSkipListMaxLevel];
+        Node* succs[kSkipListMaxLevel];
+        EpochGuard guard;
+        const int l_found = find(key, v, preds, succs);
+        return l_found != -1 &&
+               succs[l_found]->fully_linked.load(
+                   std::memory_order_acquire) &&
+               !succs[l_found]->marked.load(std::memory_order_acquire);
+    }
+
+  private:
+    using Order = KeyedOrder<T>;
+
+    static bool ok_to_delete(Node* candidate, std::size_t l_found) {
+        return candidate->fully_linked.load(std::memory_order_acquire) &&
+               candidate->top_level == l_found &&
+               !candidate->marked.load(std::memory_order_acquire);
+    }
+
+    void unlock_preds(Node* const* preds, std::size_t highest,
+                      bool locked_any) {
+        if (!locked_any) return;
+        Node* last = nullptr;
+        for (std::size_t l = 0; l <= highest; ++l) {
+            if (preds[l] != last) {
+                preds[l]->mu.unlock();
+                last = preds[l];
+            }
+        }
+    }
+
+    /// Per-level search (Fig. 14.11): fills preds/succs; returns the
+    /// highest level at which the value sits, or -1.
+    int find(std::uint64_t key, const T& v, Node** preds, Node** succs) {
+        int l_found = -1;
+        Node* pred = head_;
+        for (std::size_t l = kSkipListMaxLevel; l-- > 0;) {
+            Node* curr = pred->next[l].load(std::memory_order_acquire);
+            while (Order::node_precedes(curr->kind, curr->key, curr->value,
+                                        key, v)) {
+                pred = curr;
+                curr = pred->next[l].load(std::memory_order_acquire);
+            }
+            if (l_found == -1 &&
+                Order::node_matches(curr->kind, curr->key, curr->value, key,
+                                    v)) {
+                l_found = static_cast<int>(l);
+            }
+            preds[l] = pred;
+            succs[l] = curr;
+        }
+        return l_found;
+    }
+
+    Node* head_;
+    Node* tail_;
+};
+
+}  // namespace tamp

@@ -1,0 +1,5 @@
+// tamp/skiplist/skiplist.hpp — umbrella for Chapter 14.
+#pragma once
+
+#include "tamp/skiplist/lazy_skiplist.hpp"
+#include "tamp/skiplist/lockfree_skiplist.hpp"

@@ -1,0 +1,89 @@
+// tamp/spin/clh.hpp
+//
+// The CLH queue lock (Craig; Landin & Hagersten) — §7.5.2, Fig. 7.9.
+//
+// Waiters form an implicit linked list: each thread enqueues its own node
+// by swapping it into `tail`, then spins on its *predecessor's* node.  The
+// spin is on a line that only the predecessor will ever write, so a release
+// invalidates exactly one cache, and the queue provides first-come-first-
+// served fairness.  On release a thread recycles its predecessor's node as
+// its own next node (the book's myNode = myPred trick), so the lock needs
+// only n+1 nodes for n threads.
+
+#pragma once
+
+#include <atomic>
+
+#include "tamp/core/backoff.hpp"
+#include <cassert>
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "tamp/core/cacheline.hpp"
+#include "tamp/core/thread_registry.hpp"
+
+namespace tamp {
+
+class CLHLock {
+  public:
+    /// `capacity`: maximum dense thread id (tamp::thread_id()) that may use
+    /// this lock.  Nodes are allocated lazily, one per participating slot.
+    explicit CLHLock(std::size_t capacity = 128)
+        : capacity_(capacity),
+          my_node_(capacity, nullptr),
+          my_pred_(capacity, nullptr) {
+        tail_.store(allocate(), std::memory_order_relaxed);
+    }
+
+    void lock() {
+        const std::size_t id = thread_id();
+        assert(id < capacity_ && "raise CLHLock capacity");
+        QNode* node = my_node_[id];
+        if (node == nullptr) node = my_node_[id] = allocate();
+        node->locked.store(true, std::memory_order_relaxed);
+        // The exchange publishes `node` (and its locked=true) to the next
+        // waiter, and gives us an acquire view of our predecessor.
+        QNode* pred = tail_.exchange(node, std::memory_order_acq_rel);
+        my_pred_[id] = pred;
+        SpinWait w;
+        while (pred->locked.load(std::memory_order_acquire)) w.spin();
+    }
+
+    void unlock() {
+        const std::size_t id = thread_id();
+        QNode* node = my_node_[id];
+        // Release store is the lock hand-off edge to the successor's spin.
+        node->locked.store(false, std::memory_order_release);
+        my_node_[id] = my_pred_[id];  // recycle predecessor's node
+    }
+
+    std::size_t capacity() const { return capacity_; }
+
+  private:
+    struct QNode {
+        std::atomic<bool> locked{false};
+    };
+
+    QNode* allocate() {
+        auto owned = std::make_unique<Padded<QNode>>();
+        QNode* raw = &owned->value;
+        std::lock_guard<std::mutex> guard(alloc_mu_);
+        owned_.push_back(std::move(owned));
+        return raw;
+    }
+
+    std::size_t capacity_;
+    std::atomic<QNode*> tail_{nullptr};
+    // Per-slot node/pred — the book's two ThreadLocal<QNode> fields.  Plain
+    // pointers: each slot is touched only by the thread owning that id.
+    std::vector<QNode*> my_node_;
+    std::vector<QNode*> my_pred_;
+    // Node ownership: nodes migrate between threads via the recycling
+    // trick, so they are owned by the lock and live until it is destroyed.
+    std::mutex alloc_mu_;
+    std::vector<std::unique_ptr<Padded<QNode>>> owned_;
+};
+
+}  // namespace tamp

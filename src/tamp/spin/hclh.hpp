@@ -1,0 +1,183 @@
+// tamp/spin/hclh.hpp
+//
+// The hierarchical CLH lock, HCLHLock (§7.8.3, Figs. 7.22–7.26): a CLH
+// queue per cluster plus one global CLH queue.  Arrivals enqueue locally;
+// the thread at the head of a local batch becomes the *cluster master*
+// and splices the entire batch into the global queue with one CAS — so
+// the lock services whole batches of same-cluster threads back-to-back,
+// amortizing the expensive cross-cluster hand-off over a batch (same goal
+// as HBOLock, with CLH-style batch fairness).
+//
+// Each node's state packs (successorMustWait | tailWhenSpliced |
+// clusterId) into ONE atomic word, and — deviating from the book's node
+// recycling — nodes are used for a single acquisition and then parked in
+// an arena.  This makes every node's state word *monotone* (mustWait only
+// ever drops, tailWhenSpliced only ever rises), which closes the classic
+// HCLH reuse race: the book's recycled node can be re-prepared while a
+// stale local successor still spins on it, yielding a phantom grant and a
+// mutual-exclusion violation.  With monotone words, the splice's
+// tailWhenSpliced (set strictly before the owner's unlock can clear
+// mustWait) is ordered before the clear in the word's modification order,
+// so a spliced tail's local successor can never observe "granted".
+// The cost is one arena node per acquisition, as in TOLock.
+//
+// Cluster identity is simulated from the dense thread id, as in HBOLock
+// (see DESIGN.md's substitution table).
+
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "tamp/core/backoff.hpp"
+#include "tamp/core/cacheline.hpp"
+#include "tamp/core/thread_registry.hpp"
+
+namespace tamp {
+
+class HCLHLock {
+    class QNode {
+      public:
+        static constexpr std::uint32_t kSuccessorMustWait = 1u << 0;
+        static constexpr std::uint32_t kTailWhenSpliced = 1u << 1;
+        static constexpr std::uint32_t kClusterShift = 2;
+
+        void prepare(std::uint32_t cluster) {
+            state_.store(kSuccessorMustWait | (cluster << kClusterShift),
+                         std::memory_order_release);
+        }
+
+        bool successor_must_wait() const {
+            return (state_.load(std::memory_order_acquire) &
+                    kSuccessorMustWait) != 0;
+        }
+
+        void clear_successor_must_wait() {
+            state_.fetch_and(~kSuccessorMustWait,
+                             std::memory_order_acq_rel);
+        }
+
+        void set_tail_when_spliced() {
+            state_.fetch_or(kTailWhenSpliced, std::memory_order_acq_rel);
+        }
+
+        /// Spin until the lock is granted locally (true) or this thread
+        /// turns out to be the cluster master (false) — Fig. 7.24.
+        bool wait_for_grant_or_cluster_master(std::uint32_t my_cluster) {
+            SpinWait w;
+            while (true) {
+                const std::uint32_t s =
+                    state_.load(std::memory_order_acquire);
+                const std::uint32_t cluster = s >> kClusterShift;
+                const bool must_wait = (s & kSuccessorMustWait) != 0;
+                const bool spliced = (s & kTailWhenSpliced) != 0;
+                if (cluster != my_cluster || spliced) {
+                    return false;  // predecessor batch left: we are master
+                }
+                if (!must_wait) {
+                    return true;  // predecessor granted us the lock
+                }
+                w.spin();
+            }
+        }
+
+      private:
+        std::atomic<std::uint32_t> state_{kSuccessorMustWait};
+    };
+
+  public:
+    explicit HCLHLock(std::size_t clusters = 4, std::size_t cluster_size = 2,
+                      std::size_t capacity = 128)
+        : clusters_(clusters ? clusters : 1),
+          cluster_size_(cluster_size ? cluster_size : 1),
+          local_queues_(clusters_),
+          my_node_(capacity, nullptr),
+          cache_(capacity) {
+        for (auto& q : local_queues_) {
+            q.value.store(nullptr, std::memory_order_relaxed);
+        }
+        // The global queue starts with a dummy *released* node from a
+        // cluster id no thread has, so the first master waits on nothing.
+        QNode* dummy = allocate(0);
+        dummy->prepare(static_cast<std::uint32_t>(clusters_));
+        dummy->clear_successor_must_wait();
+        global_queue_.store(dummy, std::memory_order_relaxed);
+    }
+
+    void lock() {
+        const std::size_t id = thread_id();
+        assert(id < my_node_.size() && "raise HCLHLock capacity");
+        const std::uint32_t my_cluster = cluster_of(id);
+        QNode* my_node = allocate(id);  // fresh per acquisition (monotone)
+        my_node->prepare(my_cluster);
+        my_node_[id] = my_node;
+
+        // Splice into the local queue.
+        auto& local = local_queues_[my_cluster].value;
+        QNode* my_pred = local.exchange(my_node, std::memory_order_acq_rel);
+        if (my_pred != nullptr &&
+            my_pred->wait_for_grant_or_cluster_master(my_cluster)) {
+            return;  // local hand-off: lock is ours
+        }
+        // We are the cluster master: splice the local batch (everything
+        // up to the current local tail) onto the global queue.
+        QNode* local_tail;
+        QNode* global_pred = global_queue_.load(std::memory_order_acquire);
+        do {
+            local_tail = local.load(std::memory_order_acquire);
+        } while (!global_queue_.compare_exchange_weak(
+            global_pred, local_tail, std::memory_order_acq_rel,
+            std::memory_order_acquire));
+        // Tell the spliced tail's local successor that it is the next
+        // master, then wait for the global predecessor's grant.
+        local_tail->set_tail_when_spliced();
+        SpinWait w;
+        while (global_pred->successor_must_wait()) w.spin();
+    }
+
+    void unlock() {
+        my_node_[thread_id()]->clear_successor_must_wait();
+    }
+
+    std::uint32_t cluster_of(std::size_t tid) const {
+        return static_cast<std::uint32_t>((tid / cluster_size_) %
+                                          clusters_);
+    }
+
+  private:
+    // Per-slot bump allocation over lock-owned chunks (as in TOLock).
+    struct SlotCache {
+        Padded<QNode>* chunk = nullptr;
+        std::size_t used = 0;
+        std::size_t cap = 0;
+    };
+    static constexpr std::size_t kChunk = 128;
+
+    QNode* allocate(std::size_t id) {
+        SlotCache& c = cache_[id].value;
+        if (c.used == c.cap) {
+            auto chunk = std::make_unique<Padded<QNode>[]>(kChunk);
+            c.chunk = chunk.get();
+            c.used = 0;
+            c.cap = kChunk;
+            std::lock_guard<std::mutex> guard(arena_mu_);
+            arena_.push_back(std::move(chunk));
+        }
+        return &c.chunk[c.used++].value;
+    }
+
+    std::size_t clusters_;
+    std::size_t cluster_size_;
+    std::vector<Padded<std::atomic<QNode*>>> local_queues_;
+    std::atomic<QNode*> global_queue_{nullptr};
+    std::vector<QNode*> my_node_;
+    std::vector<Padded<SlotCache>> cache_;
+    std::mutex arena_mu_;
+    std::vector<std::unique_ptr<Padded<QNode>[]>> arena_;
+};
+
+}  // namespace tamp

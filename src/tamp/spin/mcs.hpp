@@ -1,0 +1,90 @@
+// tamp/spin/mcs.hpp
+//
+// The MCS queue lock (Mellor-Crummey & Scott) — §7.5.2, Fig. 7.10.
+//
+// Like CLH, waiters form a queue and each spins on its own node; unlike
+// CLH the list is explicit (nodes carry a `next` pointer) and a thread
+// spins on a field of its *own* node, which the predecessor writes.  This
+// keeps the spin location fixed per thread — the property that made MCS
+// the lock of choice on cacheless NUMA machines — at the price of the
+// release-side race between a releasing thread and a half-enqueued
+// successor, resolved by the CAS-then-wait in unlock().
+
+#pragma once
+
+#include <atomic>
+
+#include "tamp/core/backoff.hpp"
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+#include "tamp/core/cacheline.hpp"
+#include "tamp/core/thread_registry.hpp"
+
+namespace tamp {
+
+class MCSLock {
+  public:
+    explicit MCSLock(std::size_t capacity = 128) : nodes_(capacity) {}
+
+    void lock() {
+        QNode* node = my_node();
+        node->next.store(nullptr, std::memory_order_relaxed);
+        QNode* pred = tail_.exchange(node, std::memory_order_acq_rel);
+        if (pred != nullptr) {
+            node->locked.store(true, std::memory_order_relaxed);
+            // Publish ourselves to the predecessor; from here on it may
+            // hand the lock over at any moment.
+            pred->next.store(node, std::memory_order_release);
+            SpinWait w;
+            while (node->locked.load(std::memory_order_acquire)) {
+                w.spin();  // on our own node
+            }
+        }
+    }
+
+    void unlock() {
+        QNode* node = my_node();
+        QNode* succ = node->next.load(std::memory_order_acquire);
+        if (succ == nullptr) {
+            // No visible successor.  If the tail is still us, the queue is
+            // empty and we can reset it...
+            QNode* expected = node;
+            if (tail_.compare_exchange_strong(expected, nullptr,
+                                              std::memory_order_acq_rel,
+                                              std::memory_order_acquire)) {
+                return;
+            }
+            // ...otherwise a successor swapped the tail but has not yet
+            // linked itself; wait for the link to appear.
+            SpinWait w;
+            do {
+                w.spin();
+                succ = node->next.load(std::memory_order_acquire);
+            } while (succ == nullptr);
+        }
+        succ->locked.store(false, std::memory_order_release);
+    }
+
+    std::size_t capacity() const { return nodes_.size(); }
+
+  private:
+    struct QNode {
+        std::atomic<bool> locked{false};
+        std::atomic<QNode*> next{nullptr};
+    };
+
+    QNode* my_node() {
+        const std::size_t id = thread_id();
+        assert(id < nodes_.size() && "raise MCSLock capacity");
+        return &nodes_[id].value;
+    }
+
+    std::atomic<QNode*> tail_{nullptr};
+    // MCS nodes never migrate between threads, so a fixed per-slot array
+    // (padded against false sharing) suffices — no allocation on any path.
+    std::vector<Padded<QNode>> nodes_;
+};
+
+}  // namespace tamp

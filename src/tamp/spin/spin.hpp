@@ -1,0 +1,12 @@
+// tamp/spin/spin.hpp — umbrella header for the Chapter 7 spin locks.
+#pragma once
+
+#include "tamp/spin/alock.hpp"
+#include "tamp/spin/backoff_lock.hpp"
+#include "tamp/spin/clh.hpp"
+#include "tamp/spin/composite.hpp"
+#include "tamp/spin/hbo.hpp"
+#include "tamp/spin/hclh.hpp"
+#include "tamp/spin/mcs.hpp"
+#include "tamp/spin/tas.hpp"
+#include "tamp/spin/tolock.hpp"

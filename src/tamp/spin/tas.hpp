@@ -1,0 +1,82 @@
+// tamp/spin/tas.hpp
+//
+// Test-and-set and test-and-test-and-set locks (§7.3, Figs. 7.2, 7.3).
+//
+// TASLock spins calling test-and-set (an atomic exchange) directly, so every
+// spin iteration broadcasts an invalidation even while the lock is held —
+// the behaviour behind the steep curve of the book's Fig. 7.4.  TTASLock
+// first spins on a plain (read-only, cache-local) load and only attempts
+// the exchange when the lock *looks* free — the "lurking, then pouncing"
+// protocol of the book's slides — which removes the storm while the lock is
+// held but still stampedes on release.
+
+#pragma once
+
+#include <atomic>
+
+#include "tamp/core/backoff.hpp"
+
+namespace tamp {
+
+/// Test-and-set lock (Fig. 7.2).
+class TASLock {
+  public:
+    void lock() noexcept {
+        // acquire on success orders the critical section after the
+        // acquisition, exactly as a Java getAndSet (volatile RMW) would.
+        SpinWait w;
+        while (state_.exchange(true, std::memory_order_acquire)) {
+            w.spin();  // every test-and-set is a bus write
+        }
+    }
+
+    bool try_lock() noexcept {
+        return !state_.exchange(true, std::memory_order_acquire);
+    }
+
+    void unlock() noexcept {
+        state_.store(false, std::memory_order_release);
+    }
+
+    /// Probe without acquiring — the quiesce step of resizable hash sets
+    /// (§13.2.3) needs to observe "nobody holds this" without taking it.
+    bool is_locked() const noexcept {
+        return state_.load(std::memory_order_acquire);
+    }
+
+  private:
+    std::atomic<bool> state_{false};
+};
+
+/// Test-and-test-and-set lock (Fig. 7.3).
+class TTASLock {
+  public:
+    void lock() noexcept {
+        SpinWait w;
+        while (true) {
+            // Lurk: read-only spin on the locally cached value.
+            while (state_.load(std::memory_order_relaxed)) w.spin();
+            // Pounce: the lock looked free; try to grab it.
+            if (!state_.exchange(true, std::memory_order_acquire)) return;
+        }
+    }
+
+    bool try_lock() noexcept {
+        return !state_.load(std::memory_order_relaxed) &&
+               !state_.exchange(true, std::memory_order_acquire);
+    }
+
+    void unlock() noexcept {
+        state_.store(false, std::memory_order_release);
+    }
+
+    /// Probe without acquiring (see TASLock::is_locked).
+    bool is_locked() const noexcept {
+        return state_.load(std::memory_order_acquire);
+    }
+
+  private:
+    std::atomic<bool> state_{false};
+};
+
+}  // namespace tamp

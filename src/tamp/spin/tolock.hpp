@@ -1,0 +1,151 @@
+// tamp/spin/tolock.hpp
+//
+// The timeout-capable queue lock, "TOLock" (§7.5.3, Fig. 7.12): a CLH-style
+// queue in which a waiter that runs out of patience can *abandon* its node
+// rather than wait forever, preserving queue fairness for the patient.
+//
+// An abandoning thread cannot simply unlink itself (its successor is
+// spinning on it), so it leaves a tombstone: it points its node's `pred`
+// at its own predecessor, and successors skip over such nodes.  A released
+// node instead points `pred` at the distinguished AVAILABLE sentinel.
+//
+// Reclamation: the Java original leans on the garbage collector, since an
+// abandoned node may be referenced by an unknown number of successors.  We
+// give each lock an arena — nodes are bump-allocated in chunks and freed
+// only when the lock is destroyed.  The arena grows by one node per
+// acquisition *attempt*; callers running unbounded acquisition loops for
+// hours should prefer CLH/MCS (which recycle) unless they need timeout.
+
+#pragma once
+
+#include <atomic>
+
+#include "tamp/core/backoff.hpp"
+#include <cassert>
+#include <chrono>
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "tamp/core/cacheline.hpp"
+#include "tamp/core/thread_registry.hpp"
+
+namespace tamp {
+
+class TOLock {
+  public:
+    explicit TOLock(std::size_t capacity = 128)
+        : capacity_(capacity), my_node_(capacity, nullptr), cache_(capacity) {}
+
+    /// Attempt acquisition, giving up after `patience`.
+    template <typename Rep, typename Period>
+    bool try_lock_for(std::chrono::duration<Rep, Period> patience) {
+        const auto deadline = std::chrono::steady_clock::now() + patience;
+        const std::size_t id = thread_id();
+        assert(id < capacity_ && "raise TOLock capacity");
+
+        QNode* qnode = allocate(id);
+        qnode->pred.store(nullptr, std::memory_order_relaxed);
+        my_node_[id] = qnode;
+
+        QNode* my_pred = tail_.exchange(qnode, std::memory_order_acq_rel);
+        if (my_pred == nullptr ||
+            my_pred->pred.load(std::memory_order_acquire) == available()) {
+            return true;  // lock was free
+        }
+        SpinWait w;
+        while (std::chrono::steady_clock::now() < deadline) {
+            QNode* pred_pred = my_pred->pred.load(std::memory_order_acquire);
+            if (pred_pred == available()) {
+                return true;  // predecessor released the lock to us
+            }
+            if (pred_pred != nullptr) {
+                my_pred = pred_pred;  // predecessor abandoned: skip it
+            }
+            w.spin();
+        }
+        // Timed out.  If we are the tail, excise our node by swinging the
+        // tail back to our predecessor; otherwise leave the tombstone.
+        QNode* expected = qnode;
+        if (!tail_.compare_exchange_strong(expected, my_pred,
+                                           std::memory_order_acq_rel,
+                                           std::memory_order_acquire)) {
+            qnode->pred.store(my_pred, std::memory_order_release);
+        }
+        return false;
+    }
+
+    void lock() {
+        // Untimed acquisition = infinite patience, minus the deadline math.
+        const std::size_t id = thread_id();
+        assert(id < capacity_ && "raise TOLock capacity");
+        QNode* qnode = allocate(id);
+        qnode->pred.store(nullptr, std::memory_order_relaxed);
+        my_node_[id] = qnode;
+        QNode* my_pred = tail_.exchange(qnode, std::memory_order_acq_rel);
+        if (my_pred == nullptr) return;
+        SpinWait w;
+        while (true) {
+            QNode* pred_pred = my_pred->pred.load(std::memory_order_acquire);
+            if (pred_pred == available()) return;
+            if (pred_pred != nullptr) my_pred = pred_pred;
+            w.spin();
+        }
+    }
+
+    void unlock() {
+        const std::size_t id = thread_id();
+        QNode* qnode = my_node_[id];
+        // If nobody is queued behind us, reset the tail; otherwise mark the
+        // node AVAILABLE so the successor (whoever it turns out to be) can
+        // claim the lock.
+        QNode* expected = qnode;
+        if (!tail_.compare_exchange_strong(expected, nullptr,
+                                           std::memory_order_acq_rel,
+                                           std::memory_order_acquire)) {
+            qnode->pred.store(available(), std::memory_order_release);
+        }
+    }
+
+  private:
+    struct QNode {
+        std::atomic<QNode*> pred{nullptr};
+    };
+
+    // Distinguished sentinel ("AVAILABLE" in the book).
+    static QNode* available() {
+        static QNode sentinel;
+        return &sentinel;
+    }
+
+    // Per-slot bump allocator over lock-owned chunks.
+    struct SlotCache {
+        QNode* chunk = nullptr;
+        std::size_t used = 0;
+        std::size_t cap = 0;
+    };
+    static constexpr std::size_t kChunk = 256;
+
+    QNode* allocate(std::size_t id) {
+        SlotCache& c = cache_[id].value;
+        if (c.used == c.cap) {
+            auto chunk = std::make_unique<QNode[]>(kChunk);
+            c.chunk = chunk.get();
+            c.used = 0;
+            c.cap = kChunk;
+            std::lock_guard<std::mutex> guard(arena_mu_);
+            arena_.push_back(std::move(chunk));
+        }
+        return &c.chunk[c.used++];
+    }
+
+    std::size_t capacity_;
+    std::atomic<QNode*> tail_{nullptr};
+    std::vector<QNode*> my_node_;
+    std::vector<Padded<SlotCache>> cache_;
+    std::mutex arena_mu_;
+    std::vector<std::unique_ptr<QNode[]>> arena_;
+};
+
+}  // namespace tamp

@@ -1,0 +1,112 @@
+// tamp/stacks/elimination.hpp
+//
+// EliminationArray (Fig. 11.8) and EliminationBackoffStack (§11.4–11.5,
+// Fig. 11.9): the chapter's headline idea.  A push and a pop that meet
+// *anywhere* can cancel — the stack's state before and after the pair is
+// identical, so the pair can linearize at their meeting instant without
+// ever touching `top`.  Failed CAS'ers therefore back off *into an array
+// of exchangers* instead of just waiting: under high contention the
+// elimination array turns the stack's sequential bottleneck into parallel
+// pairings, which is why the elimination stack's throughput climbs where
+// Treiber's flattens (`bench_stacks`, the book's Fig. 11.1x curve).
+
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "tamp/core/random.hpp"
+#include "tamp/stacks/exchanger.hpp"
+#include "tamp/stacks/treiber.hpp"
+
+namespace tamp {
+
+/// An array of exchangers; visit() picks one at random within the current
+/// range.  The range is the adaptive knob (wider when crowded).
+template <typename T>
+class EliminationArray {
+  public:
+    explicit EliminationArray(std::size_t capacity,
+                              std::chrono::microseconds duration =
+                                  std::chrono::microseconds(50))
+        : exchangers_(capacity), duration_(duration) {}
+
+    /// Try one exchange in slots [0, range).  True on success.
+    bool visit(T* item, std::size_t range, T** out) {
+        const std::size_t slot =
+            tls_rng().next_below(static_cast<std::uint32_t>(
+                range == 0 ? 1 : (range > exchangers_.size()
+                                      ? exchangers_.size()
+                                      : range)));
+        return exchangers_[slot].exchange(item, duration_, out);
+    }
+
+    std::size_t capacity() const { return exchangers_.size(); }
+
+  private:
+    std::vector<LockFreeExchanger<T>> exchangers_;
+    std::chrono::microseconds duration_;
+};
+
+template <typename T>
+class EliminationBackoffStack : private LockFreeStack<T> {
+    using Base = LockFreeStack<T>;
+    using Node = typename Base::Node;
+
+  public:
+    using value_type = T;
+
+    explicit EliminationBackoffStack(std::size_t elimination_capacity = 8)
+        : elimination_(elimination_capacity) {}
+
+    void push(const T& v) {
+        Node* node = new Node{v, nullptr};
+        while (true) {
+            if (this->try_push_node(node)) return;
+            // CAS lost: try to meet a popper instead of retrying hot.
+            Node* other = nullptr;
+            if (elimination_.visit(node, elimination_.capacity(), &other) &&
+                other == nullptr) {
+                return;  // a popper took our node: eliminated
+            }
+            // Exchanged with another pusher (other != nullptr) or timed
+            // out: back to the stack.
+        }
+    }
+
+    bool try_pop(T& out) {
+        HazardSlot<Node> hp;
+        while (true) {
+            // One bare attempt at the stack (tryPop of Fig. 11.7).
+            Node* top = hp.protect(this->top_);
+            if (top == nullptr) return false;
+            if (this->top_.compare_exchange_strong(
+                    top, top->next, std::memory_order_acq_rel,
+                    std::memory_order_acquire)) {
+                out = std::move(top->value);
+                hazard_retire(top);
+                return true;
+            }
+            // CAS lost: look for a pusher in the elimination array.
+            Node* other = nullptr;
+            if (elimination_.visit(nullptr, elimination_.capacity(),
+                                   &other) &&
+                other != nullptr) {
+                // Got a pusher's node that never touched the stack: we are
+                // its only owner, so plain delete is safe.
+                out = std::move(other->value);
+                delete other;
+                return true;
+            }
+        }
+    }
+
+    bool empty() const { return Base::empty(); }
+
+  private:
+    EliminationArray<Node> elimination_;
+};
+
+}  // namespace tamp

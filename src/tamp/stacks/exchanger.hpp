@@ -1,0 +1,114 @@
+// tamp/stacks/exchanger.hpp
+//
+// LockFreeExchanger (§11.4.1, Fig. 11.6): a one-slot meeting point where
+// two threads swap values.  The slot packs a pointer and a three-state
+// tag (EMPTY → WAITING → BUSY) into one CAS-able word, mirroring the
+// book's AtomicStampedReference usage:
+//
+//   EMPTY    nobody here            — arrive, install item, wait;
+//   WAITING  someone is waiting     — swap with them (CAS to BUSY);
+//   BUSY     a pair is concluding   — look elsewhere.
+//
+// A waiter that times out tries to CAS the slot back to EMPTY; if that
+// fails a partner has already committed, so the exchange succeeds after
+// all — the subtle case the book calls out.
+//
+// Exchanged values are pointers (the elimination stack trades list nodes;
+// a null pointer is a legal value meaning "pop").
+
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <chrono>
+#include <cstdint>
+
+#include "tamp/core/backoff.hpp"
+
+namespace tamp {
+
+template <typename T>
+class LockFreeExchanger {
+    enum : std::uintptr_t { kEmpty = 0, kWaiting = 1, kBusy = 2, kTagMask = 3 };
+
+  public:
+    /// Attempt to swap `my_item` with a partner within `patience`.
+    /// Returns true and fills `*out` on success.
+    template <typename Rep, typename Period>
+    bool exchange(T* my_item, std::chrono::duration<Rep, Period> patience,
+                  T** out) {
+        const auto deadline = std::chrono::steady_clock::now() + patience;
+        SpinWait w;
+        while (true) {
+            if (std::chrono::steady_clock::now() >= deadline) return false;
+            std::uintptr_t seen = slot_.load(std::memory_order_acquire);
+            switch (seen & kTagMask) {
+                case kEmpty: {
+                    // Try to become the waiter.
+                    if (slot_.compare_exchange_strong(
+                            seen, pack(my_item, kWaiting),
+                            std::memory_order_acq_rel,
+                            std::memory_order_acquire)) {
+                        // Installed; wait for a partner to flip us BUSY.
+                        while (std::chrono::steady_clock::now() < deadline) {
+                            const std::uintptr_t now =
+                                slot_.load(std::memory_order_acquire);
+                            if ((now & kTagMask) == kBusy) {
+                                slot_.store(kEmpty,
+                                            std::memory_order_release);
+                                *out = unpack(now);
+                                return true;
+                            }
+                            w.spin();
+                        }
+                        // Timed out: withdraw, unless a partner slipped in.
+                        std::uintptr_t expected = pack(my_item, kWaiting);
+                        if (slot_.compare_exchange_strong(
+                                expected, kEmpty, std::memory_order_acq_rel,
+                                std::memory_order_acquire)) {
+                            return false;
+                        }
+                        // CAS failed ⇒ slot went BUSY: exchange completed.
+                        const std::uintptr_t now =
+                            slot_.load(std::memory_order_acquire);
+                        assert((now & kTagMask) == kBusy);
+                        slot_.store(kEmpty, std::memory_order_release);
+                        *out = unpack(now);
+                        return true;
+                    }
+                    break;  // lost the race; reassess
+                }
+                case kWaiting: {
+                    // Someone is waiting: commit the exchange.
+                    if (slot_.compare_exchange_strong(
+                            seen, pack(my_item, kBusy),
+                            std::memory_order_acq_rel,
+                            std::memory_order_acquire)) {
+                        *out = unpack(seen);
+                        return true;
+                    }
+                    break;
+                }
+                case kBusy:
+                default:
+                    // A pair is finishing up; spin briefly.
+                    w.spin();
+                    break;
+            }
+        }
+    }
+
+  private:
+    static std::uintptr_t pack(T* p, std::uintptr_t tag) {
+        const auto bits = reinterpret_cast<std::uintptr_t>(p);
+        assert((bits & kTagMask) == 0 && "items must be 4-byte aligned");
+        return bits | tag;
+    }
+    static T* unpack(std::uintptr_t bits) {
+        return reinterpret_cast<T*>(bits & ~kTagMask);
+    }
+
+    std::atomic<std::uintptr_t> slot_{kEmpty};
+};
+
+}  // namespace tamp

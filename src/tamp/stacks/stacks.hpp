@@ -1,0 +1,7 @@
+// tamp/stacks/stacks.hpp — umbrella for Chapter 11: Treiber's stack, the
+// lock-free exchanger, and the elimination-backoff stack.
+#pragma once
+
+#include "tamp/stacks/elimination.hpp"
+#include "tamp/stacks/exchanger.hpp"
+#include "tamp/stacks/treiber.hpp"

@@ -1,0 +1,94 @@
+// tamp/stacks/treiber.hpp
+//
+// LockFreeStack (§11.2, Figs. 11.2–11.4): Treiber's stack.  Push and pop
+// are each a single CAS on `top`, with exponential backoff on failure —
+// the stack's sequential bottleneck means backoff, not helping, is the
+// right response to contention (the elimination stack in
+// tamp/stacks/elimination.hpp is the scalable refinement).
+//
+// Reclamation: a popper dereferences the node it read from `top` before
+// its CAS, so the node is hazard-protected; winners retire it.  HP also
+// forecloses the classic Treiber ABA (a node address recycled into `top`
+// between a popper's read and CAS cannot happen while the popper's hazard
+// names it).
+
+#pragma once
+
+#include <atomic>
+#include <utility>
+
+#include "tamp/core/backoff.hpp"
+#include "tamp/reclaim/hazard_pointers.hpp"
+
+namespace tamp {
+
+template <typename T>
+class LockFreeStack {
+  protected:
+    struct Node {
+        T value{};
+        Node* next = nullptr;  // plain: immutable once the node is shared
+    };
+
+  public:
+    using value_type = T;
+
+    LockFreeStack() = default;
+
+    ~LockFreeStack() {
+        Node* n = top_.load(std::memory_order_relaxed);
+        while (n != nullptr) {
+            Node* next = n->next;
+            delete n;
+            n = next;
+        }
+    }
+
+    LockFreeStack(const LockFreeStack&) = delete;
+    LockFreeStack& operator=(const LockFreeStack&) = delete;
+
+    void push(const T& v) { push_node(new Node{v, nullptr}); }
+    void push(T&& v) { push_node(new Node{std::move(v), nullptr}); }
+
+    /// Pop into `out`; false when empty.
+    bool try_pop(T& out) {
+        Backoff backoff(1, 1024);
+        HazardSlot<Node> hp;
+        while (true) {
+            Node* top = hp.protect(top_);
+            if (top == nullptr) return false;
+            if (top_.compare_exchange_strong(top, top->next,
+                                             std::memory_order_acq_rel,
+                                             std::memory_order_acquire)) {
+                out = std::move(top->value);
+                hazard_retire(top);
+                return true;
+            }
+            backoff.backoff();
+        }
+    }
+
+    bool empty() const {
+        return top_.load(std::memory_order_acquire) == nullptr;
+    }
+
+  protected:
+    /// Exposed to the elimination stack, whose push/pop share these
+    /// single-attempt primitives (tryPush/tryPop in Fig. 11.7).
+    bool try_push_node(Node* node) {
+        Node* top = top_.load(std::memory_order_acquire);
+        node->next = top;
+        return top_.compare_exchange_strong(top, node,
+                                            std::memory_order_release,
+                                            std::memory_order_acquire);
+    }
+
+    void push_node(Node* node) {
+        Backoff backoff(1, 1024);
+        while (!try_push_node(node)) backoff.backoff();
+    }
+
+    std::atomic<Node*> top_{nullptr};
+};
+
+}  // namespace tamp

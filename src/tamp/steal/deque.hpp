@@ -1,0 +1,232 @@
+// tamp/steal/deque.hpp
+//
+// Work-stealing double-ended queues (§16.5): the owner pushes and pops at
+// the bottom without synchronization in the common case; thieves steal
+// from the top with CAS.  "No interference if ends far apart; interference
+// OK if queue is small" — the line the book's slides lift from exactly
+// this structure.
+//
+//  * BoundedWorkStealingDeque — Arora–Blumofe–Plaxton (Fig. 16.14): a
+//    fixed array, a plain bottom index, and a (top, stamp) pair in one
+//    CAS word.  The stamp resolves the popBottom/popTop race on the last
+//    element.
+//  * WorkStealingDeque — the unbounded variant (§16.5.2), i.e. the
+//    Chase–Lev circular-array deque: same protocol with a growable ring
+//    and top as a monotonically increasing counter (which is its own ABA
+//    protection, so no stamp is needed).
+//
+// Elements must be trivially copyable (in practice: task pointers).
+
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+#include "tamp/core/marked_ptr.hpp"
+
+namespace tamp {
+
+template <typename T>
+class BoundedWorkStealingDeque {
+    static_assert(std::is_trivially_copyable_v<T>);
+
+  public:
+    explicit BoundedWorkStealingDeque(std::size_t capacity = 4096)
+        : tasks_(capacity), top_(0, 0) {}
+
+    /// Owner only.  False when full.
+    bool try_push_bottom(T task) {
+        const std::uint64_t b = bottom_.load(std::memory_order_relaxed);
+        std::uint16_t stamp;
+        const std::uint64_t t = top_.get(&stamp);
+        if (b - t >= tasks_.size()) return false;
+        tasks_[b % tasks_.size()].store(task, std::memory_order_relaxed);
+        // Publish the slot before advancing bottom for thieves.
+        bottom_.store(b + 1, std::memory_order_seq_cst);
+        return true;
+    }
+
+    /// Thief.  False when empty or when the CAS race was lost.
+    bool try_pop_top(T& out) {
+        std::uint16_t stamp;
+        const std::uint64_t t = top_.get(&stamp);
+        const std::uint64_t b = bottom_.load(std::memory_order_seq_cst);
+        if (b <= t) return false;
+        T task = tasks_[t % tasks_.size()].load(std::memory_order_relaxed);
+        if (top_.compare_and_set(t, t + 1, stamp,
+                                 static_cast<std::uint16_t>(stamp + 1))) {
+            out = task;
+            return true;
+        }
+        return false;
+    }
+
+    /// Owner only.
+    bool try_pop_bottom(T& out) {
+        std::uint64_t b = bottom_.load(std::memory_order_relaxed);
+        std::uint16_t stamp;
+        {
+            // Fast empty check.
+            const std::uint64_t t = top_.get(&stamp);
+            if (b <= t) return false;
+        }
+        b -= 1;
+        bottom_.store(b, std::memory_order_seq_cst);
+        T task = tasks_[b % tasks_.size()].load(std::memory_order_relaxed);
+        const std::uint64_t t = top_.get(&stamp);
+        if (b > t) {
+            out = task;  // no thief can reach this slot
+            return true;
+        }
+        if (b == t) {
+            // Exactly one element: fight the thieves for it.  Win or
+            // lose, the deque resets to empty at index t+1.
+            const bool won = top_.compare_and_set(
+                t, t + 1, stamp, static_cast<std::uint16_t>(stamp + 1));
+            bottom_.store(t + 1, std::memory_order_seq_cst);
+            if (won) {
+                out = task;
+                return true;
+            }
+            return false;
+        }
+        // b < t: a thief already took it.
+        bottom_.store(t, std::memory_order_seq_cst);
+        return false;
+    }
+
+    bool empty() const {
+        std::uint16_t stamp;
+        return bottom_.load(std::memory_order_acquire) <= top_.get(&stamp);
+    }
+
+  private:
+    std::vector<std::atomic<T>> tasks_;
+    std::atomic<std::uint64_t> bottom_{0};
+    AtomicStampedIndex top_;
+};
+
+/// Chase–Lev unbounded deque.
+template <typename T>
+class WorkStealingDeque {
+    static_assert(std::is_trivially_copyable_v<T>);
+
+    struct Ring {
+        std::size_t capacity;
+        std::unique_ptr<std::atomic<T>[]> slots;
+
+        explicit Ring(std::size_t cap)
+            : capacity(cap), slots(new std::atomic<T>[cap]) {}
+        void put(std::uint64_t i, T v) {
+            slots[i % capacity].store(v, std::memory_order_relaxed);
+        }
+        T get(std::uint64_t i) const {
+            return slots[i % capacity].load(std::memory_order_relaxed);
+        }
+    };
+
+  public:
+    explicit WorkStealingDeque(std::size_t initial_capacity = 64) {
+        ring_.store(new Ring(initial_capacity), std::memory_order_relaxed);
+    }
+
+    ~WorkStealingDeque() {
+        delete ring_.load(std::memory_order_relaxed);
+        for (Ring* r : old_rings_) delete r;
+    }
+
+    WorkStealingDeque(const WorkStealingDeque&) = delete;
+    WorkStealingDeque& operator=(const WorkStealingDeque&) = delete;
+
+    /// Owner only; grows as needed.
+    void push_bottom(T task) {
+        const std::uint64_t b = bottom_.load(std::memory_order_relaxed);
+        const std::uint64_t t = top_.load(std::memory_order_acquire);
+        Ring* ring = ring_.load(std::memory_order_relaxed);
+        if (b - t >= ring->capacity - 1) {
+            ring = grow(ring, b, t);
+        }
+        ring->put(b, task);
+        bottom_.store(b + 1, std::memory_order_release);
+    }
+
+    /// Thief.
+    bool try_pop_top(T& out) {
+        const std::uint64_t t = top_.load(std::memory_order_acquire);
+        std::atomic_thread_fence(std::memory_order_seq_cst);
+        const std::uint64_t b = bottom_.load(std::memory_order_acquire);
+        if (b <= t) return false;
+        Ring* ring = ring_.load(std::memory_order_acquire);
+        T task = ring->get(t);
+        // The CAS both claims slot t and validates that the ring we read
+        // from still covered it.
+        std::uint64_t expected = t;
+        if (!top_.compare_exchange_strong(expected, t + 1,
+                                          std::memory_order_seq_cst,
+                                          std::memory_order_relaxed)) {
+            return false;
+        }
+        out = task;
+        return true;
+    }
+
+    /// Owner only.
+    bool try_pop_bottom(T& out) {
+        const std::uint64_t b0 = bottom_.load(std::memory_order_relaxed);
+        if (b0 == top_.load(std::memory_order_acquire)) return false;
+        const std::uint64_t b = b0 - 1;
+        bottom_.store(b, std::memory_order_relaxed);
+        std::atomic_thread_fence(std::memory_order_seq_cst);
+        const std::uint64_t t = top_.load(std::memory_order_relaxed);
+        Ring* ring = ring_.load(std::memory_order_relaxed);
+        if (t < b) {
+            out = ring->get(b);  // plenty left: no race possible
+            return true;
+        }
+        if (t == b) {
+            // Last element: race thieves via top.
+            T task = ring->get(b);
+            std::uint64_t expected = t;
+            const bool won = top_.compare_exchange_strong(
+                expected, t + 1, std::memory_order_seq_cst,
+                std::memory_order_relaxed);
+            bottom_.store(b + 1, std::memory_order_relaxed);
+            if (won) {
+                out = task;
+                return true;
+            }
+            return false;
+        }
+        // t > b: already empty; undo.
+        bottom_.store(b + 1, std::memory_order_relaxed);
+        return false;
+    }
+
+    bool empty() const {
+        return bottom_.load(std::memory_order_acquire) <=
+               top_.load(std::memory_order_acquire);
+    }
+
+  private:
+    Ring* grow(Ring* old, std::uint64_t b, std::uint64_t t) {
+        Ring* bigger = new Ring(old->capacity * 2);
+        for (std::uint64_t i = t; i < b; ++i) bigger->put(i, old->get(i));
+        ring_.store(bigger, std::memory_order_release);
+        // The old ring may still be read by in-flight thieves; it is kept
+        // until destruction (rings double, so total waste < 2× live).
+        old_rings_.push_back(old);
+        return bigger;
+    }
+
+    std::atomic<Ring*> ring_;
+    std::atomic<std::uint64_t> bottom_{0};
+    std::atomic<std::uint64_t> top_{0};
+    std::vector<Ring*> old_rings_;  // owner-only
+};
+
+}  // namespace tamp

@@ -1,0 +1,176 @@
+// tamp/steal/parallel.hpp
+//
+// The Chapter 16 applications layer: the book motivates futures and work
+// stealing with matrix operations (§16.1–16.2's MatrixTask examples) —
+// split a matrix into quadrants, spawn the sub-tasks, join.  This header
+// provides those patterns over WorkStealingPool:
+//
+//  * parallel_for  — index-range fan-out with recursive splitting (so
+//    stealing moves *large* chunks, the property ABP deques optimize for);
+//  * parallel_reduce — same skeleton, combining partial results;
+//  * Matrix + add/multiply — the book's worked example, quadrant
+//    decomposition and all.
+
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "tamp/steal/pool.hpp"
+
+namespace tamp {
+
+/// Apply `body(i)` for i in [begin, end), splitting recursively so idle
+/// workers steal the *upper half* of big ranges (classic fork/join shape).
+template <typename Body>
+void parallel_for(WorkStealingPool& pool, std::size_t begin,
+                  std::size_t end, std::size_t grain, Body body) {
+    if (begin >= end) return;
+    if (end - begin <= grain) {
+        for (std::size_t i = begin; i < end; ++i) body(i);
+        return;
+    }
+    const std::size_t mid = begin + (end - begin) / 2;
+    auto upper = pool.spawn([&pool, mid, end, grain, &body]() -> int {
+        parallel_for(pool, mid, end, grain, body);
+        return 0;
+    });
+    parallel_for(pool, begin, mid, grain, body);
+    upper->get();  // helping join: never deadlocks on small pools
+}
+
+/// Reduce `map(i)` over [begin, end) with `combine`, fork/join style.
+template <typename R, typename Map, typename Combine>
+R parallel_reduce(WorkStealingPool& pool, std::size_t begin,
+                  std::size_t end, std::size_t grain, R identity, Map map,
+                  Combine combine) {
+    if (begin >= end) return identity;
+    if (end - begin <= grain) {
+        R acc = identity;
+        for (std::size_t i = begin; i < end; ++i) {
+            acc = combine(acc, map(i));
+        }
+        return acc;
+    }
+    const std::size_t mid = begin + (end - begin) / 2;
+    auto upper = pool.spawn([&]() -> R {
+        return parallel_reduce(pool, mid, end, grain, identity, map,
+                               combine);
+    });
+    const R lower =
+        parallel_reduce(pool, begin, mid, grain, identity, map, combine);
+    return combine(lower, upper->get());
+}
+
+/// A dense square matrix with the book's quadrant view (Fig. 16.3's
+/// Matrix class): row/col offsets into shared backing storage, so
+/// splitting allocates nothing.
+class Matrix {
+  public:
+    explicit Matrix(std::size_t n)
+        : n_(n), stride_(n),
+          data_(std::make_shared<std::vector<double>>(n * n, 0.0)),
+          row_(0), col_(0) {}
+
+    double& at(std::size_t r, std::size_t c) {
+        return (*data_)[(row_ + r) * stride_ + (col_ + c)];
+    }
+    double at(std::size_t r, std::size_t c) const {
+        return (*data_)[(row_ + r) * stride_ + (col_ + c)];
+    }
+
+    std::size_t size() const { return n_; }
+
+    /// Quadrant (i, j) of a power-of-two matrix — a *view*, not a copy.
+    Matrix quadrant(std::size_t i, std::size_t j) const {
+        Matrix q = *this;
+        q.n_ = n_ / 2;
+        q.row_ = row_ + i * (n_ / 2);
+        q.col_ = col_ + j * (n_ / 2);
+        return q;
+    }
+
+  private:
+    std::size_t n_;
+    std::size_t stride_;
+    std::shared_ptr<std::vector<double>> data_;
+    std::size_t row_, col_;
+};
+
+/// c = a + b by quadrant decomposition (the book's MatrixAddTask).
+inline void parallel_matrix_add(WorkStealingPool& pool, const Matrix& a,
+                                const Matrix& b, Matrix& c) {
+    const std::size_t n = a.size();
+    if (n <= 32 || (n & 1) != 0) {  // leaf: sequential
+        for (std::size_t r = 0; r < n; ++r) {
+            for (std::size_t col = 0; col < n; ++col) {
+                c.at(r, col) = a.at(r, col) + b.at(r, col);
+            }
+        }
+        return;
+    }
+    std::vector<std::shared_ptr<FutureState<int>>> futures;
+    for (std::size_t i = 0; i < 2; ++i) {
+        for (std::size_t j = 0; j < 2; ++j) {
+            if (i == 1 && j == 1) continue;  // do the last quadrant inline
+            Matrix aq = a.quadrant(i, j), bq = b.quadrant(i, j);
+            Matrix cq = c.quadrant(i, j);
+            futures.push_back(pool.spawn(
+                [&pool, aq, bq, cq]() mutable -> int {
+                    parallel_matrix_add(pool, aq, bq, cq);
+                    return 0;
+                }));
+        }
+    }
+    Matrix aq = a.quadrant(1, 1), bq = b.quadrant(1, 1);
+    Matrix cq = c.quadrant(1, 1);
+    parallel_matrix_add(pool, aq, bq, cq);
+    for (auto& f : futures) f->get();
+}
+
+/// c = a · b, quadrant decomposition with a temporary for the second
+/// product term (the book's MatrixMulTask: C_ij = A_i0·B_0j + A_i1·B_1j).
+inline void parallel_matrix_multiply(WorkStealingPool& pool,
+                                     const Matrix& a, const Matrix& b,
+                                     Matrix& c) {
+    const std::size_t n = a.size();
+    if (n <= 32 || (n & 1) != 0) {
+        for (std::size_t r = 0; r < n; ++r) {
+            for (std::size_t col = 0; col < n; ++col) {
+                double sum = 0;
+                for (std::size_t k = 0; k < n; ++k) {
+                    sum += a.at(r, k) * b.at(k, col);
+                }
+                c.at(r, col) = sum;
+            }
+        }
+        return;
+    }
+    Matrix term2(n);  // holds A_i1·B_1j
+    std::vector<std::shared_ptr<FutureState<int>>> futures;
+    for (std::size_t i = 0; i < 2; ++i) {
+        for (std::size_t j = 0; j < 2; ++j) {
+            Matrix aq0 = a.quadrant(i, 0), bq0 = b.quadrant(0, j);
+            Matrix cq = c.quadrant(i, j);
+            futures.push_back(
+                pool.spawn([&pool, aq0, bq0, cq]() mutable -> int {
+                    parallel_matrix_multiply(pool, aq0, bq0, cq);
+                    return 0;
+                }));
+            Matrix aq1 = a.quadrant(i, 1), bq1 = b.quadrant(1, j);
+            Matrix tq = term2.quadrant(i, j);
+            futures.push_back(
+                pool.spawn([&pool, aq1, bq1, tq]() mutable -> int {
+                    parallel_matrix_multiply(pool, aq1, bq1, tq);
+                    return 0;
+                }));
+        }
+    }
+    for (auto& f : futures) f->get();
+    // c += term2 (also in parallel).
+    parallel_matrix_add(pool, c, term2, c);
+}
+
+}  // namespace tamp

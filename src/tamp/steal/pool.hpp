@@ -1,0 +1,202 @@
+// tamp/steal/pool.hpp
+//
+// A work-stealing executor (§16.1–§16.5, Fig. 16.16's WorkStealingThread)
+// with futures: each worker runs
+//
+//     loop: pop own deque; else take injected work; else steal a random
+//           victim; else back off
+//
+// which is the book's thread body verbatim, plus the termination/injection
+// plumbing a usable executor needs.  `Future::get`, called on a worker,
+// *helps* (runs tasks) instead of blocking — without this, fork/join on a
+// pool with fewer threads than the recursion depth deadlocks, and the
+// book's fib example would hang on a uniprocessor.
+
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "tamp/core/backoff.hpp"
+#include "tamp/core/cacheline.hpp"
+#include "tamp/core/random.hpp"
+#include "tamp/queues/ms_queue.hpp"
+#include "tamp/steal/deque.hpp"
+
+namespace tamp {
+
+template <typename R>
+class FutureState;
+
+class WorkStealingPool {
+    struct Task {
+        std::function<void()> body;
+    };
+
+  public:
+    explicit WorkStealingPool(
+        std::size_t n_threads = std::thread::hardware_concurrency())
+        : n_(n_threads == 0 ? 1 : n_threads), deques_(n_) {
+        workers_.reserve(n_);
+        for (std::size_t i = 0; i < n_; ++i) {
+            workers_.emplace_back([this, i] { worker_loop(i); });
+        }
+    }
+
+    ~WorkStealingPool() {
+        stop_.store(true, std::memory_order_release);
+        for (auto& w : workers_) w.join();
+        // Drain anything never executed.
+        Task* t;
+        while (injected_.try_dequeue(t)) delete t;
+        for (auto& d : deques_) {
+            Task* task;
+            while (d.value.try_pop_bottom(task)) delete task;
+        }
+    }
+
+    WorkStealingPool(const WorkStealingPool&) = delete;
+    WorkStealingPool& operator=(const WorkStealingPool&) = delete;
+
+    /// Schedule `fn`.  From a worker thread: pushed on its own deque
+    /// (LIFO, cache-friendly, stealable from the top).  From outside:
+    /// injected FIFO.
+    void submit(std::function<void()> fn) {
+        Task* task = new Task{std::move(fn)};
+        pending_.fetch_add(1, std::memory_order_acq_rel);
+        const int me = current_worker_;
+        if (me >= 0 && current_pool_ == this) {
+            deques_[static_cast<std::size_t>(me)].value.push_bottom(task);
+        } else {
+            injected_.enqueue(task);
+        }
+    }
+
+    /// Schedule a callable and get a future for its result.
+    template <typename F, typename R = std::invoke_result_t<F>>
+    std::shared_ptr<FutureState<R>> spawn(F&& fn);
+
+    /// Block (helping, if on a worker) until all submitted work is done.
+    void wait_idle() {
+        SpinWait w;
+        while (pending_.load(std::memory_order_acquire) != 0) {
+            if (!help_one()) w.spin();
+        }
+    }
+
+    /// Run one pending task if any (used by helping waits).
+    bool help_one() {
+        Task* task = nullptr;
+        const int me = current_worker_;
+        if (me >= 0 && current_pool_ == this &&
+            deques_[static_cast<std::size_t>(me)].value.try_pop_bottom(
+                task)) {
+            run(task);
+            return true;
+        }
+        if (injected_.try_dequeue(task)) {
+            run(task);
+            return true;
+        }
+        // Steal from a random victim.
+        const std::size_t start = tls_rng().next_below(
+            static_cast<std::uint32_t>(n_));
+        for (std::size_t k = 0; k < n_; ++k) {
+            auto& victim = deques_[(start + k) % n_].value;
+            if (victim.try_pop_top(task)) {
+                run(task);
+                return true;
+            }
+        }
+        return false;
+    }
+
+    std::size_t workers() const { return n_; }
+
+  private:
+    void run(Task* task) {
+        task->body();
+        delete task;
+        pending_.fetch_sub(1, std::memory_order_acq_rel);
+    }
+
+    void worker_loop(std::size_t index) {
+        current_worker_ = static_cast<int>(index);
+        current_pool_ = this;
+        Backoff backoff(4, 1024);
+        while (!stop_.load(std::memory_order_acquire)) {
+            if (help_one()) {
+                backoff.reset();
+            } else {
+                backoff.backoff();  // idle: retreat (yields inside)
+            }
+        }
+        current_worker_ = -1;
+        current_pool_ = nullptr;
+    }
+
+    std::size_t n_;
+    std::vector<Padded<WorkStealingDeque<Task*>>> deques_;
+    LockFreeQueue<Task*> injected_;
+    std::vector<std::thread> workers_;
+    std::atomic<bool> stop_{false};
+    std::atomic<std::size_t> pending_{0};
+
+    static thread_local int current_worker_;
+    static thread_local WorkStealingPool* current_pool_;
+
+    template <typename R>
+    friend class FutureState;
+};
+
+inline thread_local int WorkStealingPool::current_worker_ = -1;
+inline thread_local WorkStealingPool* WorkStealingPool::current_pool_ =
+    nullptr;
+
+/// Shared state of a spawned computation.  `get()` helps run tasks while
+/// waiting when called on a worker thread (fork/join never deadlocks on a
+/// small pool).
+template <typename R>
+class FutureState {
+  public:
+    explicit FutureState(WorkStealingPool& pool) : pool_(pool) {}
+
+    R get() {
+        SpinWait w;
+        while (!ready_.load(std::memory_order_acquire)) {
+            if (!pool_.help_one()) w.spin();
+        }
+        return *value_;
+    }
+
+    bool ready() const { return ready_.load(std::memory_order_acquire); }
+
+    void fulfill(R value) {
+        value_.emplace(std::move(value));
+        ready_.store(true, std::memory_order_release);
+    }
+
+  private:
+    WorkStealingPool& pool_;
+    std::optional<R> value_;
+    std::atomic<bool> ready_{false};
+};
+
+template <typename F, typename R>
+std::shared_ptr<FutureState<R>> WorkStealingPool::spawn(F&& fn) {
+    static_assert(!std::is_void_v<R>,
+                  "use submit() for void tasks; futures carry values");
+    auto state = std::make_shared<FutureState<R>>(*this);
+    submit([state, fn = std::forward<F>(fn)]() mutable {
+        state->fulfill(fn());
+    });
+    return state;
+}
+
+}  // namespace tamp

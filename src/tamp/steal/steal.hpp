@@ -1,0 +1,7 @@
+// tamp/steal/steal.hpp — umbrella for Chapter 16: work-stealing deques and
+// the executor/futures built on them.
+#pragma once
+
+#include "tamp/steal/deque.hpp"
+#include "tamp/steal/parallel.hpp"
+#include "tamp/steal/pool.hpp"

@@ -1,0 +1,288 @@
+// tamp/stm/stm.hpp
+//
+// Software transactional memory (Chapter 18): a word-based, lazy
+// (commit-time locking) STM in the TL2 style — the design the chapter's
+// TinyTM/LockObject discussion builds toward:
+//
+//  * a global version clock;
+//  * one versioned write-lock per transactional variable;
+//  * read: sample the lock, read the value, re-sample — consistent and no
+//    older than the transaction's birth version, or abort;
+//  * commit: lock the write set (address order, so deadlock-free), bump
+//    the clock, validate the read set, publish, unlock with the new
+//    version.
+//
+// Aborts are signalled by TxAbort and retried by atomically() with
+// exponential backoff — a simple contention manager (§18.3.1's
+// "backoff manager").
+//
+// TVar<T> requires a trivially copyable T that fits a machine word: the
+// value lives in a std::atomic so that the read protocol is physically
+// race-free (the versioned lock makes it *logically* consistent).
+//
+// The chapter's own evaluation contrasts the STM against a single global
+// lock — GlobalLockSTM below, with the same interface, is that baseline
+// for `bench_stm`.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <map>
+#include <mutex>
+#include <type_traits>
+#include <vector>
+
+#include "tamp/core/backoff.hpp"
+
+namespace tamp {
+
+/// Thrown internally on conflict; caught by atomically().  User code
+/// inside a transaction must let it propagate.
+struct TxAbort {};
+
+/// The global version clock (TL2's GV).
+class TxClock {
+  public:
+    static std::uint64_t now() {
+        return clock_.load(std::memory_order_acquire);
+    }
+    static std::uint64_t advance() {
+        return clock_.fetch_add(1, std::memory_order_acq_rel) + 1;
+    }
+
+  private:
+    inline static std::atomic<std::uint64_t> clock_{0};
+};
+
+/// A versioned write-lock: (version << 1) | locked, in one word.
+class VersionedLock {
+  public:
+    bool try_lock() {
+        std::uint64_t w = word_.load(std::memory_order_acquire);
+        if (w & 1u) return false;
+        return word_.compare_exchange_strong(w, w | 1u,
+                                             std::memory_order_acq_rel,
+                                             std::memory_order_acquire);
+    }
+
+    void unlock_with_version(std::uint64_t version) {
+        word_.store(version << 1, std::memory_order_release);
+    }
+
+    void unlock_restore(std::uint64_t sampled_word) {
+        word_.store(sampled_word, std::memory_order_release);
+    }
+
+    std::uint64_t sample() const {
+        return word_.load(std::memory_order_acquire);
+    }
+
+    VersionedLock() = default;
+    // Setup-time only (container population before sharing); NOT safe
+    // while any transaction can touch either object.
+    VersionedLock(VersionedLock&& other) noexcept
+        : word_(other.word_.load(std::memory_order_relaxed)) {}
+
+    static bool is_locked(std::uint64_t sampled) { return (sampled & 1u) != 0; }
+    static std::uint64_t version_of(std::uint64_t sampled) {
+        return sampled >> 1;
+    }
+
+  private:
+    std::atomic<std::uint64_t> word_{0};
+};
+
+namespace detail {
+struct TVarBase {
+    VersionedLock lock;
+    std::atomic<std::uint64_t> raw{0};
+
+    TVarBase() = default;
+    // Setup-time only (see VersionedLock's move constructor).
+    TVarBase(TVarBase&& other) noexcept
+        : lock(std::move(other.lock)),
+          raw(other.raw.load(std::memory_order_relaxed)) {}
+};
+}  // namespace detail
+
+/// A transactional variable.
+template <typename T>
+class TVar : private detail::TVarBase {
+    static_assert(std::is_trivially_copyable_v<T> &&
+                      sizeof(T) <= sizeof(std::uint64_t),
+                  "TVar values must fit a machine word");
+
+  public:
+    TVar() { this->raw.store(encode(T{}), std::memory_order_relaxed); }
+    explicit TVar(T init) {
+        this->raw.store(encode(init), std::memory_order_relaxed);
+    }
+    TVar(TVar&&) = default;  // setup-time only
+
+    /// Non-transactional read — only meaningful when quiescent.
+    T unsafe_read() const {
+        return decode(this->raw.load(std::memory_order_acquire));
+    }
+
+    static std::uint64_t encode(T v) {
+        std::uint64_t bits = 0;
+        std::memcpy(&bits, &v, sizeof(T));
+        return bits;
+    }
+    static T decode(std::uint64_t bits) {
+        T v;
+        std::memcpy(&v, &bits, sizeof(T));
+        return v;
+    }
+
+    detail::TVarBase* base() { return this; }
+    const detail::TVarBase* base() const { return this; }
+
+  private:
+    friend class Transaction;
+};
+
+class Transaction {
+  public:
+    explicit Transaction(std::uint64_t read_version) : rv_(read_version) {}
+
+    template <typename T>
+    T read(const TVar<T>& var) {
+        auto* base = const_cast<detail::TVarBase*>(var.base());
+        // Our own pending write wins (read-your-writes).
+        if (auto it = writes_.find(base); it != writes_.end()) {
+            return TVar<T>::decode(it->second);
+        }
+        const std::uint64_t pre = base->lock.sample();
+        const std::uint64_t bits =
+            base->raw.load(std::memory_order_acquire);
+        const std::uint64_t post = base->lock.sample();
+        // Consistent, unlocked, and no newer than our birth version.
+        if (pre != post || VersionedLock::is_locked(pre) ||
+            VersionedLock::version_of(pre) > rv_) {
+            throw TxAbort{};
+        }
+        reads_.push_back(base);
+        return TVar<T>::decode(bits);
+    }
+
+    template <typename T>
+    void write(TVar<T>& var, std::type_identity_t<T> value) {
+        writes_[var.base()] = TVar<T>::encode(value);
+    }
+
+    /// Commit-time locking and validation (TL2).  True on success.
+    bool commit() {
+        if (writes_.empty()) {
+            // Read-only fast path: reads were each validated against rv_
+            // at read time; nothing to publish.
+            return true;
+        }
+        // Phase 1: lock the write set.  std::map iterates in address
+        // order — a global order, so concurrent commits cannot deadlock;
+        // a held lock means a conflict, so abort rather than wait.
+        std::vector<detail::TVarBase*> locked;
+        locked.reserve(writes_.size());
+        for (auto& [base, bits] : writes_) {
+            (void)bits;
+            if (!base->lock.try_lock()) {
+                for (auto* l : locked) {
+                    l->lock.unlock_with_version(
+                        VersionedLock::version_of(l->lock.sample()));
+                }
+                return false;
+            }
+            locked.push_back(base);
+        }
+        // Phase 2: advance the clock.
+        const std::uint64_t wv = TxClock::advance();
+        // Phase 3: validate the read set (skip if rv_+1 == wv: nobody
+        // else committed since we started — the TL2 fast path).
+        if (rv_ + 1 != wv) {
+            for (detail::TVarBase* base : reads_) {
+                const std::uint64_t s = base->lock.sample();
+                const bool locked_by_us = writes_.count(base) != 0;
+                if ((VersionedLock::is_locked(s) && !locked_by_us) ||
+                    VersionedLock::version_of(s) > rv_) {
+                    for (auto* l : locked) {
+                        l->lock.unlock_with_version(
+                            VersionedLock::version_of(l->lock.sample()));
+                    }
+                    return false;
+                }
+            }
+        }
+        // Phase 4: publish and release with the new version.
+        for (auto& [base, bits] : writes_) {
+            base->raw.store(bits, std::memory_order_release);
+            base->lock.unlock_with_version(wv);
+        }
+        return true;
+    }
+
+    std::size_t read_set_size() const { return reads_.size(); }
+    std::size_t write_set_size() const { return writes_.size(); }
+
+  private:
+    std::uint64_t rv_;
+    std::vector<detail::TVarBase*> reads_;
+    std::map<detail::TVarBase*, std::uint64_t> writes_;
+};
+
+/// Run `fn(tx)` transactionally until it commits; returns fn's result.
+/// `fn` may be re-executed — it must be pure apart from tx reads/writes.
+template <typename Fn>
+auto atomically(Fn&& fn) {
+    Backoff backoff(16, 8192);
+    while (true) {
+        Transaction tx(TxClock::now());
+        try {
+            if constexpr (std::is_void_v<decltype(fn(tx))>) {
+                fn(tx);
+                if (tx.commit()) return;
+            } else {
+                auto result = fn(tx);
+                if (tx.commit()) return result;
+            }
+        } catch (const TxAbort&) {
+            // fall through to retry
+        }
+        backoff.backoff();  // contention manager: exponential backoff
+    }
+}
+
+/// The chapter's baseline: "just take one big lock".  Same shape as
+/// atomically(), so benchmarks and examples can swap implementations.
+class GlobalLockSTM {
+  public:
+    template <typename Fn>
+    static auto atomically(Fn&& fn) {
+        std::lock_guard<std::mutex> g(mu());
+        DirectTx tx;
+        return fn(tx);
+    }
+
+    /// Direct read/write view used under the global lock.
+    struct DirectTx {
+        template <typename T>
+        T read(const TVar<T>& var) {
+            return var.unsafe_read();
+        }
+        template <typename T>
+        void write(TVar<T>& var, T value) {
+            auto* base = var.base();
+            base->raw.store(TVar<T>::encode(value),
+                            std::memory_order_release);
+        }
+    };
+
+  private:
+    static std::mutex& mu() {
+        static std::mutex m;
+        return m;
+    }
+};
+
+}  // namespace tamp

@@ -1,0 +1,111 @@
+// Tests for Chapter 17 barriers.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "tamp/barrier/barriers.hpp"
+#include "test_util.hpp"
+
+namespace {
+
+using namespace tamp;
+using tamp_test::run_threads;
+
+// The universal barrier battery: every thread runs R rounds; inside round
+// r it bumps its cell, crosses the barrier, and then checks that *every*
+// thread's cell has reached r+1 — which is exactly barrier correctness.
+template <typename B>
+void check_barrier_rounds(std::size_t n, int rounds) {
+    B barrier(n);
+    std::vector<Padded<std::atomic<int>>> progress(n);
+    std::atomic<bool> violation{false};
+    run_threads(n, [&](std::size_t me) {
+        for (int r = 0; r < rounds; ++r) {
+            progress[me].value.fetch_add(1, std::memory_order_acq_rel);
+            barrier.await(me);
+            for (std::size_t k = 0; k < n; ++k) {
+                if (progress[k].value.load(std::memory_order_acquire) <
+                    r + 1) {
+                    violation.store(true);
+                }
+            }
+            barrier.await(me);  // separate the check from the next round
+        }
+    });
+    EXPECT_FALSE(violation.load());
+}
+
+template <typename B>
+class BarrierTest : public ::testing::Test {};
+
+using BarrierTypes =
+    ::testing::Types<SenseReversingBarrier, CombiningTreeBarrier,
+                     StaticTreeBarrier, DisseminationBarrier>;
+TYPED_TEST_SUITE(BarrierTest, BarrierTypes);
+
+TYPED_TEST(BarrierTest, SeparatesRoundsTwoThreads) {
+    check_barrier_rounds<TypeParam>(2, 200);
+}
+
+TYPED_TEST(BarrierTest, SeparatesRoundsFourThreads) {
+    check_barrier_rounds<TypeParam>(4, 100);
+}
+
+TYPED_TEST(BarrierTest, SeparatesRoundsOddThreadCount) {
+    check_barrier_rounds<TypeParam>(5, 60);
+}
+
+TYPED_TEST(BarrierTest, SeparatesRoundsEightThreads) {
+    check_barrier_rounds<TypeParam>(8, 40);
+}
+
+TYPED_TEST(BarrierTest, SingleThreadNeverBlocks) {
+    TypeParam barrier(1);
+    for (int i = 0; i < 1000; ++i) barrier.await(0);
+    SUCCEED();
+}
+
+TYPED_TEST(BarrierTest, ReusableManyRounds) {
+    TypeParam barrier(3);
+    std::atomic<long> sum{0};
+    run_threads(3, [&](std::size_t me) {
+        for (int r = 0; r < 500; ++r) {
+            sum.fetch_add(1);
+            barrier.await(me);
+        }
+    });
+    EXPECT_EQ(sum.load(), 1500);
+}
+
+// ------------------------------------------------ termination detection
+
+TEST(TerminationDetection, AllInactiveMeansTerminated) {
+    TerminationDetectionBarrier b;
+    EXPECT_TRUE(b.is_terminated());
+    b.set_active(true);
+    EXPECT_FALSE(b.is_terminated());
+    b.set_active(false);
+    EXPECT_TRUE(b.is_terminated());
+}
+
+TEST(TerminationDetection, WorkStealingStylePhases) {
+    // Threads toggle active while "finding work"; the main thread waits
+    // for quiet.  No thread re-activates after its last deactivation, so
+    // termination must be detected and must be permanent.
+    TerminationDetectionBarrier b;
+    constexpr std::size_t kN = 4;
+    run_threads(kN, [&](std::size_t me) {
+        for (int burst = 0; burst < 50; ++burst) {
+            b.set_active(true);
+            for (int w = 0; w < 100; ++w) asm volatile("" ::"r"(w));
+            b.set_active(false);
+        }
+        (void)me;
+    });
+    EXPECT_TRUE(b.is_terminated());
+}
+
+}  // namespace

@@ -1,0 +1,184 @@
+// Tests for Chapter 5 consensus protocols and the Chapter 6 universal
+// constructions.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include "tamp/consensus/consensus.hpp"
+#include "tamp/consensus/universal.hpp"
+#include "test_util.hpp"
+
+namespace {
+
+using namespace tamp;
+using tamp_test::run_threads;
+
+// ------------------------------------------------------------- consensus
+
+TEST(QueueConsensus, BothDecideSameProposedValue) {
+    for (int round = 0; round < 200; ++round) {
+        QueueConsensus<int> c;
+        int decided[2] = {-1, -1};
+        run_threads(2, [&](std::size_t me) {
+            decided[me] = c.decide(me, static_cast<int>(me) + 100);
+        });
+        EXPECT_EQ(decided[0], decided[1]);          // agreement
+        EXPECT_TRUE(decided[0] == 100 || decided[0] == 101);  // validity
+    }
+}
+
+TEST(QueueConsensus, SoloDeciderWinsWithOwnValue) {
+    QueueConsensus<int> c;
+    EXPECT_EQ(c.decide(1, 55), 55);
+}
+
+TEST(CASConsensus, NThreadsAgreeOnOneProposal) {
+    const std::size_t n = 6;
+    for (int round = 0; round < 100; ++round) {
+        CASConsensus<int> c(n);
+        std::vector<int> decided(n, -1);
+        run_threads(n, [&](std::size_t me) {
+            decided[me] = c.decide(me, static_cast<int>(me) * 10);
+        });
+        for (std::size_t i = 1; i < n; ++i) EXPECT_EQ(decided[i], decided[0]);
+        const int winner = c.winner();
+        ASSERT_GE(winner, 0);
+        ASSERT_LT(winner, static_cast<int>(n));
+        EXPECT_EQ(decided[0], winner * 10);  // decision = winner's proposal
+    }
+}
+
+TEST(SwapConsensus, BothDecideSameProposedValue) {
+    for (int round = 0; round < 200; ++round) {
+        SwapConsensus<int> c;
+        int decided[2] = {-1, -1};
+        run_threads(2, [&](std::size_t me) {
+            decided[me] = c.decide(me, static_cast<int>(me) + 700);
+        });
+        EXPECT_EQ(decided[0], decided[1]);
+        EXPECT_TRUE(decided[0] == 700 || decided[0] == 701);
+    }
+}
+
+TEST(SwapConsensus, SoloDeciderWins) {
+    SwapConsensus<int> c;
+    EXPECT_EQ(c.decide(0, 5), 5);
+}
+
+TEST(PointerConsensus, FirstProposalWins) {
+    PointerConsensus<int> c;
+    int a = 1, b = 2;
+    EXPECT_EQ(c.decide(&a), &a);
+    EXPECT_EQ(c.decide(&b), &a);  // later proposal adopts the winner
+    EXPECT_EQ(c.winner(), &a);
+}
+
+TEST(PointerConsensus, ConcurrentProposalsAgree) {
+    for (int round = 0; round < 200; ++round) {
+        PointerConsensus<int> c;
+        int vals[4] = {0, 1, 2, 3};
+        int* results[4] = {};
+        run_threads(4, [&](std::size_t me) {
+            results[me] = c.decide(&vals[me]);
+        });
+        for (int i = 1; i < 4; ++i) EXPECT_EQ(results[i], results[0]);
+        EXPECT_GE(results[0], &vals[0]);
+        EXPECT_LE(results[0], &vals[3]);
+    }
+}
+
+// ------------------------------------------------------------- universal
+
+// A deterministic sequential counter: apply returns the pre-increment
+// value, so in any linearization the responses are exactly 0,1,2,... with
+// no duplicates — a strong check on the log construction.
+struct SeqCounter {
+    long value = 0;
+    long apply(const long& delta) {
+        const long old = value;
+        value += delta;
+        return old;
+    }
+};
+
+template <typename U>
+void check_universal_counter() {
+    const std::size_t n = 4;
+    constexpr long kPerThread = 300;
+    U universal(n);
+    std::vector<std::vector<long>> responses(n);
+    run_threads(n, [&](std::size_t me) {
+        for (long k = 0; k < kPerThread; ++k) {
+            responses[me].push_back(universal.apply(me, 1));
+        }
+    });
+    // Collect all responses: they must be a permutation of 0..N-1 (each
+    // operation observed a distinct point in the common log).
+    std::set<long> seen;
+    for (const auto& r : responses) {
+        for (const long v : r) {
+            EXPECT_TRUE(seen.insert(v).second) << "duplicate response " << v;
+        }
+    }
+    EXPECT_EQ(seen.size(), n * kPerThread);
+    EXPECT_EQ(*seen.begin(), 0);
+    EXPECT_EQ(*seen.rbegin(), static_cast<long>(n * kPerThread) - 1);
+    // Per-thread responses are increasing (program order respected).
+    for (const auto& r : responses) {
+        for (std::size_t i = 1; i < r.size(); ++i) EXPECT_GT(r[i], r[i - 1]);
+    }
+}
+
+TEST(LockFreeUniversal, CounterIsLinearizable) {
+    check_universal_counter<LockFreeUniversal<SeqCounter, long, long>>();
+}
+
+TEST(WaitFreeUniversal, CounterIsLinearizable) {
+    check_universal_counter<WaitFreeUniversal<SeqCounter, long, long>>();
+}
+
+TEST(LockFreeUniversal, SingleThreadSequential) {
+    LockFreeUniversal<SeqCounter, long, long> u(2);
+    EXPECT_EQ(u.apply(0, 5), 0);
+    EXPECT_EQ(u.apply(0, 3), 5);
+    EXPECT_EQ(u.apply(1, 1), 8);
+    EXPECT_EQ(u.apply(0, 0), 9);
+}
+
+TEST(WaitFreeUniversal, SingleThreadSequential) {
+    WaitFreeUniversal<SeqCounter, long, long> u(3);
+    EXPECT_EQ(u.apply(2, 7), 0);
+    EXPECT_EQ(u.apply(1, 2), 7);
+    EXPECT_EQ(u.apply(0, 1), 9);
+}
+
+// A sequential register object: demonstrates a different Obj shape
+// (invocation carries an operation tag).
+struct RegInv {
+    bool is_write = false;
+    long value = 0;
+};
+struct SeqRegister {
+    long value = 0;
+    long apply(const RegInv& inv) {
+        if (inv.is_write) {
+            value = inv.value;
+            return 0;
+        }
+        return value;
+    }
+};
+
+TEST(WaitFreeUniversal, RegisterObjectReadsSeeWrites) {
+    WaitFreeUniversal<SeqRegister, RegInv, long> u(2);
+    u.apply(0, RegInv{true, 42});
+    EXPECT_EQ(u.apply(1, RegInv{false, 0}), 42);
+    u.apply(1, RegInv{true, -7});
+    EXPECT_EQ(u.apply(0, RegInv{false, 0}), -7);
+}
+
+}  // namespace

@@ -1,0 +1,224 @@
+// Unit tests for tamp/core: padding, RNG, backoff, thread registry,
+// marked/stamped atomic references.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "tamp/core/core.hpp"
+#include "test_util.hpp"
+
+namespace {
+
+using namespace tamp;
+
+// ---------------------------------------------------------------- padding
+
+TEST(CacheLine, PaddedValuesDontShareLines) {
+    Padded<int> arr[4];
+    for (int i = 0; i < 4; ++i) arr[i].value = i;
+    for (int i = 1; i < 4; ++i) {
+        const auto a = reinterpret_cast<std::uintptr_t>(&arr[i - 1].value);
+        const auto b = reinterpret_cast<std::uintptr_t>(&arr[i].value);
+        EXPECT_GE(b - a, kCacheLineSize);
+    }
+}
+
+TEST(CacheLine, PaddedForwardsConstruction) {
+    Padded<std::pair<int, int>> p(3, 4);
+    EXPECT_EQ(p->first, 3);
+    EXPECT_EQ((*p).second, 4);
+}
+
+// ---------------------------------------------------------------- random
+
+TEST(XorShift64, DeterministicForSeed) {
+    XorShift64 a(42), b(42);
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(XorShift64, ZeroSeedStillAdvances) {
+    XorShift64 r(0);
+    EXPECT_NE(r.next(), r.next());
+}
+
+TEST(XorShift64, NextBelowStaysInRange) {
+    XorShift64 r(7);
+    for (int bound : {1, 2, 3, 10, 1000}) {
+        for (int i = 0; i < 1000; ++i) {
+            EXPECT_LT(r.next_below(static_cast<std::uint32_t>(bound)),
+                      static_cast<std::uint32_t>(bound));
+        }
+    }
+    EXPECT_EQ(r.next_below(0), 0u);
+}
+
+TEST(XorShift64, NextBelowCoversRange) {
+    XorShift64 r(123);
+    std::set<std::uint32_t> seen;
+    for (int i = 0; i < 2000; ++i) seen.insert(r.next_below(8));
+    EXPECT_EQ(seen.size(), 8u);  // all residues hit
+}
+
+TEST(XorShift64, BernoulliExtremes) {
+    XorShift64 r(9);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(r.next_bool_with_probability(0));
+        EXPECT_TRUE(r.next_bool_with_probability(65536));
+    }
+}
+
+// ---------------------------------------------------------------- backoff
+
+TEST(Backoff, LimitDoublesAndSaturates) {
+    Backoff b(2, 16);
+    EXPECT_EQ(b.current_limit(), 2u);
+    b.backoff();
+    EXPECT_EQ(b.current_limit(), 4u);
+    b.backoff();
+    b.backoff();
+    EXPECT_EQ(b.current_limit(), 16u);
+    b.backoff();
+    EXPECT_EQ(b.current_limit(), 16u);  // saturated
+}
+
+TEST(Backoff, ResetRestoresMinimum) {
+    Backoff b(1, 64);
+    for (int i = 0; i < 10; ++i) b.backoff();
+    b.reset();
+    EXPECT_EQ(b.current_limit(), 1u);
+}
+
+TEST(Backoff, ZeroMinIsCoercedToOne) {
+    Backoff b(0, 8);
+    EXPECT_EQ(b.current_limit(), 1u);
+    b.backoff();  // must not divide-by-zero / hang
+}
+
+// --------------------------------------------------------- thread registry
+
+TEST(ThreadRegistry, IdsAreDenseAndDistinct) {
+    // Ids must be distinct among *simultaneously live* threads, so each
+    // thread records its id and then waits for all others before exiting
+    // (an early exit would legitimately recycle its slot).
+    constexpr std::size_t kN = 8;
+    std::vector<std::size_t> ids(kN, SIZE_MAX);
+    std::atomic<std::size_t> recorded{0};
+    tamp_test::run_threads(kN, [&](std::size_t i) {
+        ids[i] = thread_id();
+        recorded.fetch_add(1);
+        while (recorded.load() != kN) std::this_thread::yield();
+    });
+    std::set<std::size_t> uniq(ids.begin(), ids.end());
+    EXPECT_EQ(uniq.size(), kN);
+    for (const std::size_t id : ids) EXPECT_LT(id, kMaxThreads);
+}
+
+TEST(ThreadRegistry, IdStableWithinThread) {
+    tamp_test::run_threads(4, [&](std::size_t) {
+        const std::size_t first = thread_id();
+        for (int i = 0; i < 100; ++i) EXPECT_EQ(thread_id(), first);
+    });
+}
+
+TEST(ThreadRegistry, IdsAreRecycledAfterThreadExit) {
+    // Sequential generations of threads should reuse a bounded id range.
+    std::set<std::size_t> seen;
+    for (int gen = 0; gen < 10; ++gen) {
+        std::thread t([&] { seen.insert(thread_id()); });
+        t.join();
+    }
+    // All ten generations fit in far fewer than ten distinct slots.
+    EXPECT_LE(seen.size(), 2u);
+}
+
+// ------------------------------------------------------------- marked ptr
+
+TEST(MarkedPtr, PacksPointerAndMark) {
+    int x = 5;
+    MarkedPtr<int> p(&x, true);
+    EXPECT_EQ(p.ptr(), &x);
+    EXPECT_TRUE(p.marked());
+    MarkedPtr<int> q(&x, false);
+    EXPECT_EQ(q.ptr(), &x);
+    EXPECT_FALSE(q.marked());
+    EXPECT_NE(p, q);
+    EXPECT_EQ(p, MarkedPtr<int>(&x, true));
+}
+
+TEST(AtomicMarkedPtr, CompareAndSetRespectsBothFields) {
+    int a = 1, b = 2;
+    AtomicMarkedPtr<int> cell(&a, false);
+
+    // Wrong mark: must fail.
+    EXPECT_FALSE(cell.compare_and_set(&a, &b, true, false));
+    // Wrong pointer: must fail.
+    EXPECT_FALSE(cell.compare_and_set(&b, &a, false, false));
+    // Exact match: succeeds, both fields updated.
+    EXPECT_TRUE(cell.compare_and_set(&a, &b, false, true));
+    bool marked = false;
+    EXPECT_EQ(cell.get(&marked), &b);
+    EXPECT_TRUE(marked);
+}
+
+TEST(AtomicMarkedPtr, AttemptMarkOnlyFlipsMark) {
+    int a = 1;
+    AtomicMarkedPtr<int> cell(&a, false);
+    EXPECT_TRUE(cell.attempt_mark(&a, true));
+    bool marked = false;
+    EXPECT_EQ(cell.get(&marked), &a);
+    EXPECT_TRUE(marked);
+    // Already marked: attempt with stale expectation fails.
+    EXPECT_FALSE(cell.attempt_mark(&a, true));
+}
+
+TEST(AtomicMarkedPtr, ConcurrentMarkersExactlyOneWins) {
+    int a = 1;
+    for (int round = 0; round < 50; ++round) {
+        AtomicMarkedPtr<int> cell(&a, false);
+        std::atomic<int> winners{0};
+        tamp_test::run_threads(4, [&](std::size_t) {
+            if (cell.attempt_mark(&a, true)) winners.fetch_add(1);
+        });
+        EXPECT_EQ(winners.load(), 1);
+    }
+}
+
+TEST(AtomicStampedIndex, PackAndCas) {
+    AtomicStampedIndex cell(7, 3);
+    std::uint16_t stamp;
+    EXPECT_EQ(cell.get(&stamp), 7u);
+    EXPECT_EQ(stamp, 3);
+    EXPECT_FALSE(cell.compare_and_set(7, 9, 2, 4));  // stale stamp
+    EXPECT_FALSE(cell.compare_and_set(8, 9, 3, 4));  // stale index
+    EXPECT_TRUE(cell.compare_and_set(7, 9, 3, 4));
+    EXPECT_EQ(cell.get(&stamp), 9u);
+    EXPECT_EQ(stamp, 4);
+}
+
+TEST(AtomicStampedIndex, Holds48BitIndices) {
+    const std::uint64_t big = (1ull << 48) - 1;
+    AtomicStampedIndex cell(big, 0xFFFF);
+    std::uint16_t stamp;
+    EXPECT_EQ(cell.get(&stamp), big);
+    EXPECT_EQ(stamp, 0xFFFF);
+}
+
+// ------------------------------------------------------------- concepts
+
+static_assert(tamp::BasicLockable<std::mutex>);
+
+TEST(Concepts, LockGuardGuards) {
+    std::mutex m;
+    {
+        LockGuard<std::mutex> g(m);
+        EXPECT_FALSE(m.try_lock());
+    }
+    EXPECT_TRUE(m.try_lock());
+    m.unlock();
+}
+
+}  // namespace

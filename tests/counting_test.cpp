@@ -1,0 +1,190 @@
+// Tests for Chapter 12: combining trees, counting networks (balancers,
+// bitonic, periodic), and diffracting trees.
+//
+// The central property is the *step property* (Lemma 12.5.1): in any
+// quiescent state after k tokens, output wire i has seen
+// ceil((k - i) / w) of them.  For counters built on these networks, the
+// testable consequence is that getAndIncrement hands out unique values.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <vector>
+
+#include "tamp/counting/counting.hpp"
+#include "test_util.hpp"
+
+namespace {
+
+using namespace tamp;
+using tamp_test::run_threads;
+
+// ------------------------------------------------------------- balancer
+
+TEST(Balancer, AlternatesTopBottom) {
+    Balancer b;
+    for (int i = 0; i < 10; ++i) {
+        EXPECT_EQ(b.traverse(), 0u);
+        EXPECT_EQ(b.traverse(), 1u);
+    }
+}
+
+// ----------------------------------------------------------- step property
+
+template <typename Network>
+void check_step_property(Network& net, std::size_t width,
+                         std::size_t tokens) {
+    std::vector<std::size_t> outputs(width, 0);
+    for (std::size_t k = 0; k < tokens; ++k) {
+        const std::size_t wire = net.traverse(k % width);
+        ASSERT_LT(wire, width);
+        ++outputs[wire];
+    }
+    for (std::size_t i = 0; i < width; ++i) {
+        const std::size_t expected = (tokens + width - i - 1) / width;
+        EXPECT_EQ(outputs[i], expected)
+            << "wire " << i << " after " << tokens << " tokens";
+    }
+}
+
+TEST(BitonicNetwork, StepPropertyWidth2) {
+    for (std::size_t tokens : {1u, 2u, 3u, 7u, 64u}) {
+        BitonicNetwork net(2);
+        check_step_property(net, 2, tokens);
+    }
+}
+
+TEST(BitonicNetwork, StepPropertyWidth4) {
+    for (std::size_t tokens : {1u, 3u, 4u, 10u, 63u, 64u}) {
+        BitonicNetwork net(4);
+        check_step_property(net, 4, tokens);
+    }
+}
+
+TEST(BitonicNetwork, StepPropertyWidth8) {
+    for (std::size_t tokens : {5u, 8u, 17u, 100u}) {
+        BitonicNetwork net(8);
+        check_step_property(net, 8, tokens);
+    }
+}
+
+TEST(PeriodicNetwork, StepPropertyWidth4) {
+    for (std::size_t tokens : {1u, 3u, 4u, 10u, 63u, 64u}) {
+        PeriodicNetwork net(4);
+        check_step_property(net, 4, tokens);
+    }
+}
+
+TEST(PeriodicNetwork, StepPropertyWidth8) {
+    for (std::size_t tokens : {5u, 8u, 17u, 100u}) {
+        PeriodicNetwork net(8);
+        check_step_property(net, 8, tokens);
+    }
+}
+
+TEST(DiffractingTreeTest, StepPropertyQuiescent) {
+    // Sequential tokens: diffraction never fires (nobody to pair with),
+    // so the toggles alone must produce the step property.
+    DiffractingTree tree(4);
+    std::vector<std::size_t> outputs(4, 0);
+    constexpr std::size_t kTokens = 30;
+    for (std::size_t k = 0; k < kTokens; ++k) ++outputs[tree.traverse()];
+    for (std::size_t i = 0; i < 4; ++i) {
+        EXPECT_EQ(outputs[i], (kTokens + 4 - i - 1) / 4);
+    }
+}
+
+// ------------------------------------------------------------- counters
+
+template <typename C>
+void check_counter_uniqueness(C& counter, std::size_t n_threads,
+                              std::size_t per_thread) {
+    std::vector<std::vector<long>> values(n_threads);
+    run_threads(n_threads, [&](std::size_t me) {
+        for (std::size_t k = 0; k < per_thread; ++k) {
+            values[me].push_back(counter.get_and_increment());
+        }
+    });
+    std::set<long> seen;
+    for (const auto& v : values) {
+        for (const long x : v) {
+            EXPECT_TRUE(seen.insert(x).second) << "duplicate " << x;
+        }
+    }
+    EXPECT_EQ(seen.size(), n_threads * per_thread);
+    // The values are exactly {0, ..., N-1} for exact counters; network
+    // counters may run ahead on some wires, but never skip below the
+    // contiguous range's size.
+    EXPECT_EQ(*seen.begin(), 0);
+}
+
+TEST(SingleCounterTest, SequentialExact) {
+    SingleCounter c;
+    for (long i = 0; i < 100; ++i) EXPECT_EQ(c.get_and_increment(), i);
+}
+
+TEST(SingleCounterTest, ConcurrentUnique) {
+    SingleCounter c;
+    check_counter_uniqueness(c, 4, 5000);
+}
+
+TEST(CombiningTreeTest, SequentialExact) {
+    CombiningTree tree(8);
+    for (long i = 0; i < 200; ++i) EXPECT_EQ(tree.get_and_increment(), i);
+}
+
+TEST(CombiningTreeTest, ConcurrentUniqueAndContiguous) {
+    CombiningTree tree(8);
+    constexpr std::size_t kThreads = 4, kPer = 2000;
+    std::vector<std::vector<long>> values(kThreads);
+    run_threads(kThreads, [&](std::size_t me) {
+        for (std::size_t k = 0; k < kPer; ++k) {
+            values[me].push_back(tree.get_and_increment());
+        }
+    });
+    std::set<long> seen;
+    for (const auto& v : values) {
+        for (const long x : v) ASSERT_TRUE(seen.insert(x).second);
+    }
+    // Combining-tree getAndIncrement is exact: the values are 0..N-1.
+    ASSERT_EQ(seen.size(), kThreads * kPer);
+    EXPECT_EQ(*seen.begin(), 0);
+    EXPECT_EQ(*seen.rbegin(), static_cast<long>(kThreads * kPer) - 1);
+}
+
+TEST(CombiningTreeTest, PerThreadMonotone) {
+    CombiningTree tree(4);
+    run_threads(2, [&](std::size_t) {
+        long last = -1;
+        for (int i = 0; i < 2000; ++i) {
+            const long v = tree.get_and_increment();
+            EXPECT_GT(v, last);
+            last = v;
+        }
+    });
+}
+
+TEST(BitonicCounterTest, ConcurrentUnique) {
+    BitonicCounter c(4);
+    check_counter_uniqueness(c, 4, 2000);
+}
+
+TEST(PeriodicCounterTest, ConcurrentUnique) {
+    PeriodicCounter c(4);
+    check_counter_uniqueness(c, 4, 2000);
+}
+
+TEST(DiffractingCounterTest, ConcurrentUnique) {
+    DiffractingTreeCounter c(4);
+    check_counter_uniqueness(c, 4, 2000);
+}
+
+TEST(NetworkCounterTest, SequentialDenseFromStart) {
+    // One thread: every wire's counter starts at its wire index, and the
+    // step property makes the handed-out values exactly 0,1,2,...
+    BitonicCounter c(4);
+    for (long i = 0; i < 100; ++i) EXPECT_EQ(c.get_and_increment(), i);
+}
+
+}  // namespace

@@ -1,0 +1,245 @@
+// Tests for Chapter 8: readers–writers locks and the counting semaphore.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "tamp/monitor/reentrant.hpp"
+#include "tamp/monitor/rwlock.hpp"
+#include "tamp/monitor/semaphore.hpp"
+#include "test_util.hpp"
+
+namespace {
+
+using namespace tamp;
+using tamp_test::run_threads;
+
+// A data sink the optimizer must respect (loop-hold helper).
+inline void benchmark_sink(int v) { asm volatile("" ::"r"(v)); }
+
+// ------------------------------------------------------------- rwlock
+
+template <typename RW>
+class RWLockTest : public ::testing::Test {
+  public:
+    RW rw_;
+};
+
+using RWTypes = ::testing::Types<SimpleReadWriteLock, FifoReadWriteLock>;
+TYPED_TEST_SUITE(RWLockTest, RWTypes);
+
+TYPED_TEST(RWLockTest, WritersExcludeEveryone) {
+    long counter = 0;
+    run_threads(4, [&](std::size_t) {
+        for (int i = 0; i < 5000; ++i) {
+            WriteGuard<TypeParam> g(this->rw_);
+            counter = counter + 1;
+        }
+    });
+    EXPECT_EQ(counter, 20000);
+}
+
+TYPED_TEST(RWLockTest, TwoReadersHoldSimultaneously) {
+    // Deterministic concurrency: each reader refuses to leave until the
+    // other has entered, which only terminates if the lock really admits
+    // two readers at once.
+    std::atomic<int> inside{0};
+    run_threads(2, [&](std::size_t) {
+        ReadGuard<TypeParam> g(this->rw_);
+        inside.fetch_add(1);
+        while (inside.load() < 2) std::this_thread::yield();
+    });
+    EXPECT_EQ(inside.load(), 2);
+}
+
+TYPED_TEST(RWLockTest, ReadersSeeWriterResults) {
+    long shared = 0;
+    std::atomic<bool> stop{false};
+    std::thread writer([&] {
+        for (int i = 1; i <= 2000; ++i) {
+            WriteGuard<TypeParam> g(this->rw_);
+            shared = i;
+        }
+        stop.store(true);
+    });
+    run_threads(2, [&](std::size_t) {
+        long last = 0;
+        while (!stop.load()) {
+            ReadGuard<TypeParam> g(this->rw_);
+            EXPECT_GE(shared, last);  // monotone writer ⇒ monotone reads
+            last = shared;
+        }
+    });
+    writer.join();
+}
+
+TYPED_TEST(RWLockTest, WriterExcludesReaders) {
+    // While a writer holds the lock, a reader must not get in.
+    this->rw_.write_lock();
+    std::atomic<bool> reader_in{false};
+    std::thread reader([&] {
+        ReadGuard<TypeParam> g(this->rw_);
+        reader_in.store(true);
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    EXPECT_FALSE(reader_in.load());
+    this->rw_.write_unlock();
+    reader.join();
+    EXPECT_TRUE(reader_in.load());
+}
+
+TEST(FifoRWLock, WriterNotStarvedByReaderStream) {
+    // Readers re-acquire continuously; the FIFO lock's announced writer
+    // bars *new* readers, so the writer must get in promptly.
+    FifoReadWriteLock rw;
+    std::atomic<bool> stop{false};
+    std::atomic<bool> writer_done{false};
+    std::vector<std::thread> readers;
+    for (int i = 0; i < 3; ++i) {
+        readers.emplace_back([&] {
+            while (!stop.load()) {
+                ReadGuard<FifoReadWriteLock> g(rw);
+                // Hold briefly so reads overlap and the stream is dense.
+                for (int k = 0; k < 100; ++k) benchmark_sink(k);
+            }
+        });
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    const auto start = std::chrono::steady_clock::now();
+    {
+        WriteGuard<FifoReadWriteLock> g(rw);
+        writer_done.store(true);
+    }
+    const auto wait = std::chrono::steady_clock::now() - start;
+    stop.store(true);
+    for (auto& t : readers) t.join();
+    EXPECT_TRUE(writer_done.load());
+    EXPECT_LT(wait, std::chrono::seconds(10));
+}
+
+// ------------------------------------------------------------- reentrant
+
+TEST(ReentrantLockTest, OwnerMayReacquire) {
+    ReentrantLock lock;
+    lock.lock();
+    lock.lock();  // must not deadlock
+    EXPECT_EQ(lock.hold_count(), 2);
+    lock.unlock();
+    EXPECT_EQ(lock.hold_count(), 1);
+    lock.unlock();
+    EXPECT_EQ(lock.hold_count(), 0);
+}
+
+TEST(ReentrantLockTest, ReleasedOnlyAtZeroHoldCount) {
+    ReentrantLock lock;
+    lock.lock();
+    lock.lock();
+    std::atomic<bool> got{false};
+    std::thread t([&] {
+        lock.lock();
+        got.store(true);
+        lock.unlock();
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    EXPECT_FALSE(got.load());
+    lock.unlock();  // still held once
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    EXPECT_FALSE(got.load());
+    lock.unlock();  // now free
+    t.join();
+    EXPECT_TRUE(got.load());
+}
+
+TEST(ReentrantLockTest, TryLockSemantics) {
+    ReentrantLock lock;
+    EXPECT_TRUE(lock.try_lock());
+    EXPECT_TRUE(lock.try_lock());  // reentrant try
+    std::thread t([&] { EXPECT_FALSE(lock.try_lock()); });
+    t.join();
+    lock.unlock();
+    lock.unlock();
+}
+
+TEST(ReentrantLockTest, MutualExclusionWithRecursion) {
+    ReentrantLock lock;
+    long counter = 0;
+    run_threads(4, [&](std::size_t) {
+        for (int i = 0; i < 3000; ++i) {
+            lock.lock();
+            lock.lock();
+            counter = counter + 1;
+            lock.unlock();
+            lock.unlock();
+        }
+    });
+    EXPECT_EQ(counter, 12000);
+}
+
+// ------------------------------------------------------------- semaphore
+
+TEST(SemaphoreTest, CapacityIsNeverExceeded) {
+    constexpr std::size_t kCap = 3;
+    Semaphore sem(kCap);
+    std::atomic<int> inside{0};
+    std::atomic<int> high_water{0};
+    run_threads(8, [&](std::size_t) {
+        for (int i = 0; i < 500; ++i) {
+            sem.acquire();
+            const int now = inside.fetch_add(1) + 1;
+            int hw = high_water.load();
+            while (now > hw && !high_water.compare_exchange_weak(hw, now)) {
+            }
+            std::this_thread::yield();
+            inside.fetch_sub(1);
+            sem.release();
+        }
+    });
+    EXPECT_LE(high_water.load(), static_cast<int>(kCap));
+    EXPECT_GE(high_water.load(), 1);
+    EXPECT_EQ(sem.in_use(), 0u);
+}
+
+TEST(SemaphoreTest, TryAcquireRespectsCapacity) {
+    Semaphore sem(2);
+    EXPECT_TRUE(sem.try_acquire());
+    EXPECT_TRUE(sem.try_acquire());
+    EXPECT_FALSE(sem.try_acquire());
+    sem.release();
+    EXPECT_TRUE(sem.try_acquire());
+    sem.release();
+    sem.release();
+    EXPECT_EQ(sem.in_use(), 0u);
+}
+
+TEST(SemaphoreTest, AcquireBlocksUntilRelease) {
+    Semaphore sem(1);
+    sem.acquire();
+    std::atomic<bool> got{false};
+    std::thread t([&] {
+        sem.acquire();
+        got.store(true);
+        sem.release();
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    EXPECT_FALSE(got.load());
+    sem.release();
+    t.join();
+    EXPECT_TRUE(got.load());
+}
+
+TEST(SemaphoreTest, CapacityOneIsAMutex) {
+    Semaphore sem(1);
+    long counter = 0;
+    run_threads(4, [&](std::size_t) {
+        for (int i = 0; i < 5000; ++i) {
+            sem.acquire();
+            counter = counter + 1;
+            sem.release();
+        }
+    });
+    EXPECT_EQ(counter, 20000);
+}
+
+}  // namespace

@@ -1,0 +1,205 @@
+// Tests for the Chapter 2 classic mutual-exclusion algorithms.
+//
+// Strategy: every correct lock is hammered with the racy-counter exerciser
+// (mutual exclusion ⇒ no lost updates), plus algorithm-specific probes for
+// the pedagogical properties the book proves (LockOne/LockTwo failure
+// modes, Bakery FCFS).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "tamp/mutex/mutex.hpp"
+#include "test_util.hpp"
+
+namespace {
+
+using namespace tamp;
+using tamp_test::hammer_counter;
+using tamp_test::run_threads;
+
+constexpr std::size_t kIters = 20000;
+
+// ------------------------------------------------------------- LockOne/Two
+
+TEST(LockOne, MutualExclusionWhenUncontended) {
+    LockOne lock;
+    // Strictly alternating single-thread use works fine.
+    for (int i = 0; i < 100; ++i) {
+        lock.lock(0);
+        lock.unlock(0);
+        lock.lock(1);
+        lock.unlock(1);
+    }
+}
+
+TEST(LockOne, ConcurrentInterestBlocksBoth) {
+    // The deadlock scenario of the book's proof: both threads set their
+    // flags; each would now spin on the other's flag forever.
+    LockOne lock;
+    lock.lock(0);  // thread 0 holds the lock (flag[0] = true)
+    EXPECT_TRUE(lock.would_block(1));
+    lock.unlock(0);
+    EXPECT_FALSE(lock.would_block(1));
+}
+
+TEST(LockTwo, SoloAcquisitionWouldDeadlock) {
+    LockTwo lock;
+    // A lone thread that sets victim to itself spins forever: the book's
+    // counterexample to LockTwo's deadlock-freedom when run solo.
+    std::atomic<bool> acquired{false};
+    std::thread t([&] {
+        lock.lock(0);
+        acquired.store(true);
+        lock.unlock(0);
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    EXPECT_FALSE(acquired.load());  // still spinning
+    // Only another arrival's doorway write releases it — LockTwo "works"
+    // precisely when lock() calls keep interleaving.
+    lock.simulate_arrival(1);
+    t.join();
+    EXPECT_TRUE(acquired.load());
+}
+
+// ------------------------------------------------------------- Peterson
+
+TEST(Peterson, MutualExclusionTwoThreads) {
+    PetersonLock lock;
+    const long total = hammer_counter(
+        2, kIters, [&](std::size_t me) { lock.lock(me); },
+        [&](std::size_t me) { lock.unlock(me); });
+    EXPECT_EQ(total, static_cast<long>(2 * kIters));
+}
+
+TEST(Peterson, ReacquirableAfterRelease) {
+    PetersonLock lock;
+    for (int i = 0; i < 1000; ++i) {
+        lock.lock(0);
+        lock.unlock(0);
+    }
+    lock.lock(1);
+    lock.unlock(1);
+}
+
+// ------------------------------------------------------------- Filter
+
+TEST(Filter, MutualExclusionManyThreads) {
+    const std::size_t n = tamp_test::test_threads();
+    FilterLock lock(n);
+    const long total = hammer_counter(
+        n, kIters / n, [&](std::size_t me) { lock.lock(me); },
+        [&](std::size_t me) { lock.unlock(me); });
+    EXPECT_EQ(total, static_cast<long>(n * (kIters / n)));
+}
+
+TEST(Filter, SingleThreadCapacityOne) {
+    FilterLock lock(1);
+    lock.lock(0);
+    lock.unlock(0);  // n=1: no levels to climb, trivially succeeds
+}
+
+TEST(Filter, CapacityIsReported) {
+    FilterLock lock(5);
+    EXPECT_EQ(lock.capacity(), 5u);
+}
+
+// ------------------------------------------------------------- Tournament
+
+TEST(Tournament, MutualExclusionManyThreads) {
+    const std::size_t n = tamp_test::test_threads();
+    TournamentLock lock(n);
+    const long total = hammer_counter(
+        n, kIters / n, [&](std::size_t me) { lock.lock(me); },
+        [&](std::size_t me) { lock.unlock(me); });
+    EXPECT_EQ(total, static_cast<long>(n * (kIters / n)));
+}
+
+TEST(Tournament, OddThreadCountsWork) {
+    TournamentLock lock(3);
+    const long total = hammer_counter(
+        3, 5000, [&](std::size_t me) { lock.lock(me); },
+        [&](std::size_t me) { lock.unlock(me); });
+    EXPECT_EQ(total, 15000);
+}
+
+TEST(Tournament, SingleThread) {
+    TournamentLock lock(1);
+    for (int i = 0; i < 100; ++i) {
+        lock.lock(0);
+        lock.unlock(0);
+    }
+}
+
+// ------------------------------------------------------------- Bakery
+
+TEST(Bakery, MutualExclusionManyThreads) {
+    const std::size_t n = tamp_test::test_threads();
+    BakeryLock lock(n);
+    const long total = hammer_counter(
+        n, kIters / n, [&](std::size_t me) { lock.lock(me); },
+        [&](std::size_t me) { lock.unlock(me); });
+    EXPECT_EQ(total, static_cast<long>(n * (kIters / n)));
+}
+
+TEST(Bakery, FirstComeFirstServed) {
+    // FCFS (Lemma 2.6.2): if thread A completes its doorway (its label
+    // write) before B starts its own, A enters first.  We stage this by
+    // having A take the lock, then B queue behind it, then C behind B, and
+    // record entry order.
+    BakeryLock lock(3);
+    std::vector<int> order;
+    std::atomic<int> stage{0};
+
+    std::thread a([&] {
+        lock.lock(0);
+        stage.store(1);
+        while (stage.load() < 3) std::this_thread::yield();
+        order.push_back(0);  // safe: we hold the lock
+        lock.unlock(0);
+    });
+    while (stage.load() < 1) std::this_thread::yield();
+
+    std::thread b([&] {
+        stage.store(2);
+        lock.lock(1);  // doorway completes before C even starts
+        order.push_back(1);
+        lock.unlock(1);
+    });
+    while (stage.load() < 2) std::this_thread::yield();
+    // Give B time to get through its doorway and start waiting.
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+
+    std::thread c([&] {
+        stage.store(3);
+        lock.lock(2);
+        order.push_back(2);
+        lock.unlock(2);
+    });
+
+    a.join();
+    b.join();
+    c.join();
+    ASSERT_EQ(order.size(), 3u);
+    EXPECT_EQ(order[0], 0);
+    EXPECT_EQ(order[1], 1);  // B queued before C: FCFS order preserved
+    EXPECT_EQ(order[2], 2);
+}
+
+TEST(Bakery, StressWithAllThreadsLooping) {
+    const std::size_t n = 4;
+    BakeryLock lock(n);
+    long shared = 0;
+    run_threads(n, [&](std::size_t me) {
+        for (int i = 0; i < 2000; ++i) {
+            lock.lock(me);
+            ++shared;
+            lock.unlock(me);
+        }
+    });
+    EXPECT_EQ(shared, 8000);
+}
+
+}  // namespace

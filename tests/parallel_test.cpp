@@ -1,0 +1,127 @@
+// Tests for the Chapter 16 applications layer: parallel_for,
+// parallel_reduce, and the book's quadrant-decomposed matrix operations.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <climits>
+#include <numeric>
+#include <vector>
+
+#include "tamp/steal/parallel.hpp"
+
+namespace {
+
+using namespace tamp;
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+    WorkStealingPool pool(2);
+    constexpr std::size_t kN = 10000;
+    std::vector<std::atomic<int>> hits(kN);
+    parallel_for(pool, 0, kN, 64,
+                 [&](std::size_t i) { hits[i].fetch_add(1); });
+    for (std::size_t i = 0; i < kN; ++i) {
+        ASSERT_EQ(hits[i].load(), 1) << i;
+    }
+}
+
+TEST(ParallelFor, EmptyAndTinyRanges) {
+    WorkStealingPool pool(2);
+    std::atomic<int> count{0};
+    parallel_for(pool, 5, 5, 8, [&](std::size_t) { count.fetch_add(1); });
+    EXPECT_EQ(count.load(), 0);
+    parallel_for(pool, 5, 6, 8, [&](std::size_t) { count.fetch_add(1); });
+    EXPECT_EQ(count.load(), 1);
+}
+
+TEST(ParallelReduce, SumsCorrectly) {
+    WorkStealingPool pool(2);
+    const long total = parallel_reduce<long>(
+        pool, 1, 10001, 128, 0, [](std::size_t i) { return static_cast<long>(i); },
+        [](long a, long b) { return a + b; });
+    EXPECT_EQ(total, 10000L * 10001 / 2);
+}
+
+TEST(ParallelReduce, NonCommutativeSafeWithAssociativeOp) {
+    // max is associative: splitting must not change the result.
+    WorkStealingPool pool(3);
+    std::vector<long> data(5000);
+    for (std::size_t i = 0; i < data.size(); ++i) {
+        data[i] = static_cast<long>((i * 2654435761u) % 100000);
+    }
+    const long m = parallel_reduce<long>(
+        pool, 0, data.size(), 100, LONG_MIN,
+        [&](std::size_t i) { return data[i]; },
+        [](long a, long b) { return a > b ? a : b; });
+    EXPECT_EQ(m, *std::max_element(data.begin(), data.end()));
+}
+
+TEST(Matrix, QuadrantViewsAliasBackingStore) {
+    Matrix m(4);
+    m.quadrant(1, 1).at(0, 0) = 7.5;
+    EXPECT_EQ(m.at(2, 2), 7.5);
+    m.at(0, 3) = -1;
+    EXPECT_EQ(m.quadrant(0, 1).at(0, 1), -1);
+}
+
+TEST(MatrixOps, ParallelAddMatchesSequential) {
+    constexpr std::size_t kN = 128;
+    WorkStealingPool pool(2);
+    Matrix a(kN), b(kN), c(kN);
+    for (std::size_t r = 0; r < kN; ++r) {
+        for (std::size_t col = 0; col < kN; ++col) {
+            a.at(r, col) = static_cast<double>(r * kN + col);
+            b.at(r, col) = static_cast<double>((r + col) % 17);
+        }
+    }
+    parallel_matrix_add(pool, a, b, c);
+    for (std::size_t r = 0; r < kN; ++r) {
+        for (std::size_t col = 0; col < kN; ++col) {
+            ASSERT_EQ(c.at(r, col), a.at(r, col) + b.at(r, col));
+        }
+    }
+}
+
+TEST(MatrixOps, ParallelMultiplyMatchesSequential) {
+    constexpr std::size_t kN = 64;
+    WorkStealingPool pool(2);
+    Matrix a(kN), b(kN), c(kN);
+    for (std::size_t r = 0; r < kN; ++r) {
+        for (std::size_t col = 0; col < kN; ++col) {
+            a.at(r, col) = static_cast<double>((r + 1) % 5);
+            b.at(r, col) = static_cast<double>((col + 2) % 7);
+        }
+    }
+    parallel_matrix_multiply(pool, a, b, c);
+    for (std::size_t r = 0; r < kN; ++r) {
+        for (std::size_t col = 0; col < kN; ++col) {
+            double expect = 0;
+            for (std::size_t k = 0; k < kN; ++k) {
+                expect += a.at(r, k) * b.at(k, col);
+            }
+            ASSERT_DOUBLE_EQ(c.at(r, col), expect)
+                << "at (" << r << "," << col << ")";
+        }
+    }
+}
+
+TEST(MatrixOps, IdentityMultiply) {
+    constexpr std::size_t kN = 64;
+    WorkStealingPool pool(2);
+    Matrix a(kN), eye(kN), c(kN);
+    for (std::size_t r = 0; r < kN; ++r) {
+        eye.at(r, r) = 1.0;
+        for (std::size_t col = 0; col < kN; ++col) {
+            a.at(r, col) = static_cast<double>(r * 31 + col);
+        }
+    }
+    parallel_matrix_multiply(pool, a, eye, c);
+    for (std::size_t r = 0; r < kN; ++r) {
+        for (std::size_t col = 0; col < kN; ++col) {
+            ASSERT_EQ(c.at(r, col), a.at(r, col));
+        }
+    }
+}
+
+}  // namespace

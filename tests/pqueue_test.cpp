@@ -1,0 +1,200 @@
+// Tests for Chapter 15 priority queues: array bins, counter tree, the
+// skiplist-based SkipQueue, and the fine-grained heap.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "tamp/core/random.hpp"
+#include "tamp/pqueue/pqueue.hpp"
+#include "test_util.hpp"
+
+namespace {
+
+using namespace tamp;
+using tamp_test::run_threads;
+
+// A small adapter so one typed battery covers all four shapes.
+template <typename PQ>
+struct Adapter;
+
+template <>
+struct Adapter<LinearArrayPQ<int>> {
+    LinearArrayPQ<int> pq{64};
+    void add(int item, std::size_t pri) { pq.add(item, pri); }
+    bool take(int& out) { return pq.try_remove_min(out); }
+    static constexpr std::size_t kMaxPri = 64;
+};
+template <>
+struct Adapter<TreePQ<int>> {
+    TreePQ<int> pq{64};
+    void add(int item, std::size_t pri) { pq.add(item, pri); }
+    bool take(int& out) { return pq.try_remove_min(out); }
+    static constexpr std::size_t kMaxPri = 64;
+};
+template <>
+struct Adapter<SkipQueue<int>> {
+    SkipQueue<int> pq;
+    void add(int item, std::size_t pri) { pq.add(item, pri); }
+    bool take(int& out) { return pq.try_remove_min(out); }
+    static constexpr std::size_t kMaxPri = 1u << 20;
+};
+template <>
+struct Adapter<FineGrainedHeap<int>> {
+    FineGrainedHeap<int> pq{1 << 16};
+    void add(int item, std::size_t pri) { pq.add(item, pri); }
+    bool take(int& out) { return pq.try_remove_min(out); }
+    static constexpr std::size_t kMaxPri = 1u << 20;
+};
+
+template <typename PQ>
+class PQueueTest : public ::testing::Test {
+  public:
+    Adapter<PQ> q_;
+};
+
+using PQTypes = ::testing::Types<LinearArrayPQ<int>, TreePQ<int>,
+                                 SkipQueue<int>, FineGrainedHeap<int>>;
+TYPED_TEST_SUITE(PQueueTest, PQTypes);
+
+TYPED_TEST(PQueueTest, EmptyReportsEmpty) {
+    int out;
+    EXPECT_FALSE(this->q_.take(out));
+}
+
+TYPED_TEST(PQueueTest, SequentialPriorityOrder) {
+    auto& q = this->q_;
+    q.add(30, 30);
+    q.add(10, 10);
+    q.add(20, 20);
+    int out;
+    ASSERT_TRUE(q.take(out));
+    EXPECT_EQ(out, 10);
+    ASSERT_TRUE(q.take(out));
+    EXPECT_EQ(out, 20);
+    ASSERT_TRUE(q.take(out));
+    EXPECT_EQ(out, 30);
+    EXPECT_FALSE(q.take(out));
+}
+
+TYPED_TEST(PQueueTest, ManySequentialSortedDrain) {
+    auto& q = this->q_;
+    XorShift64 rng(99);
+    constexpr int kN = 500;
+    for (int i = 0; i < kN; ++i) {
+        const auto pri = rng.next_below(
+            static_cast<std::uint32_t>(Adapter<TypeParam>::kMaxPri));
+        q.add(static_cast<int>(pri), pri);  // item mirrors its priority
+    }
+    int last = -1;
+    for (int i = 0; i < kN; ++i) {
+        int out;
+        ASSERT_TRUE(q.take(out));
+        EXPECT_GE(out, last);  // non-decreasing priorities
+        last = out;
+    }
+    int out;
+    EXPECT_FALSE(q.take(out));
+}
+
+TYPED_TEST(PQueueTest, DuplicatePrioritiesAllSurface) {
+    auto& q = this->q_;
+    for (int i = 0; i < 10; ++i) q.add(100 + i, 5);
+    std::set<int> got;
+    for (int i = 0; i < 10; ++i) {
+        int out;
+        ASSERT_TRUE(q.take(out));
+        got.insert(out);
+    }
+    EXPECT_EQ(got.size(), 10u);
+}
+
+TYPED_TEST(PQueueTest, ConcurrentConservation) {
+    auto& q = this->q_;
+    constexpr int kProducers = 2, kConsumers = 2, kPer = 2000;
+    std::vector<std::vector<int>> taken(kConsumers);
+    std::atomic<int> total_taken{0};
+    run_threads(kProducers + kConsumers, [&](std::size_t me) {
+        if (me < kProducers) {
+            XorShift64 rng(me + 17);
+            for (int i = 0; i < kPer; ++i) {
+                const int item = static_cast<int>(me) * kPer + i;
+                q.add(item, rng.next_below(static_cast<std::uint32_t>(
+                                Adapter<TypeParam>::kMaxPri)));
+            }
+        } else {
+            auto& mine = taken[me - kProducers];
+            while (total_taken.load() < kProducers * kPer) {
+                int out;
+                if (q.take(out)) {
+                    mine.push_back(out);
+                    total_taken.fetch_add(1);
+                }
+            }
+        }
+    });
+    std::map<int, int> counts;
+    for (const auto& v : taken) {
+        for (const int x : v) counts[x]++;
+    }
+    EXPECT_EQ(counts.size(), static_cast<std::size_t>(kProducers * kPer));
+    for (const auto& [item, count] : counts) {
+        ASSERT_EQ(count, 1) << item;
+    }
+}
+
+// ------------------------------------------------------------- specifics
+
+TEST(LinearPQ, PrefersLowerBins) {
+    LinearArrayPQ<int> q(8);
+    q.add(7, 7);
+    q.add(0, 0);
+    int out;
+    ASSERT_TRUE(q.try_remove_min(out));
+    EXPECT_EQ(out, 0);
+}
+
+TEST(TreePQTest, RangeRoundsUpToPowerOfTwo) {
+    TreePQ<int> q(10);
+    EXPECT_EQ(q.range(), 16u);
+    q.add(1, 15);
+    int out;
+    ASSERT_TRUE(q.try_remove_min(out));
+    EXPECT_EQ(out, 1);
+}
+
+TEST(FineHeap, InterleavedAddRemove) {
+    FineGrainedHeap<int> q(1024);
+    q.add(5, 5);
+    q.add(1, 1);
+    int out;
+    ASSERT_TRUE(q.try_remove_min(out));
+    EXPECT_EQ(out, 1);
+    q.add(3, 3);
+    q.add(0, 0);
+    ASSERT_TRUE(q.try_remove_min(out));
+    EXPECT_EQ(out, 0);
+    ASSERT_TRUE(q.try_remove_min(out));
+    EXPECT_EQ(out, 3);
+    ASSERT_TRUE(q.try_remove_min(out));
+    EXPECT_EQ(out, 5);
+    EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(SkipQueueTest, MinClaimIsExclusive) {
+    // All threads race for the same minimum; exactly one gets each item.
+    SkipQueue<int> q;
+    constexpr int kItems = 2000;
+    for (int i = 0; i < kItems; ++i) q.add(i, static_cast<std::uint64_t>(i));
+    std::atomic<int> got[kItems] = {};
+    run_threads(4, [&](std::size_t) {
+        int out;
+        while (q.try_remove_min(out)) got[out].fetch_add(1);
+    });
+    for (int i = 0; i < kItems; ++i) EXPECT_EQ(got[i].load(), 1) << i;
+}
+
+}  // namespace

@@ -1,0 +1,152 @@
+// Tests for Chapter 14 skiplists (lazy + lock-free).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+
+#include "tamp/core/random.hpp"
+#include "tamp/skiplist/skiplist.hpp"
+#include "test_util.hpp"
+
+namespace {
+
+using namespace tamp;
+using tamp_test::run_threads;
+
+TEST(RandomLevel, StaysInRangeAndVaries) {
+    std::set<std::size_t> seen;
+    for (int i = 0; i < 10000; ++i) {
+        const std::size_t l = random_skiplist_level();
+        ASSERT_LT(l, kSkipListMaxLevel);
+        seen.insert(l);
+    }
+    EXPECT_GE(seen.size(), 4u);  // geometric draw actually varies
+}
+
+template <typename S>
+class SkipListTest : public ::testing::Test {
+  public:
+    S set_;
+};
+
+using SkipTypes = ::testing::Types<LazySkipList<int>, LockFreeSkipList<int>>;
+TYPED_TEST_SUITE(SkipListTest, SkipTypes);
+
+TYPED_TEST(SkipListTest, SequentialSemantics) {
+    auto& s = this->set_;
+    EXPECT_FALSE(s.contains(10));
+    EXPECT_TRUE(s.add(10));
+    EXPECT_FALSE(s.add(10));
+    EXPECT_TRUE(s.contains(10));
+    EXPECT_TRUE(s.add(5));
+    EXPECT_TRUE(s.add(15));
+    EXPECT_TRUE(s.remove(10));
+    EXPECT_FALSE(s.remove(10));
+    EXPECT_FALSE(s.contains(10));
+    EXPECT_TRUE(s.contains(5));
+    EXPECT_TRUE(s.contains(15));
+}
+
+TYPED_TEST(SkipListTest, LargePopulation) {
+    auto& s = this->set_;
+    for (int v = 0; v < 3000; ++v) ASSERT_TRUE(s.add(v * 2));
+    for (int v = 0; v < 3000; ++v) {
+        ASSERT_TRUE(s.contains(v * 2)) << v;
+        ASSERT_FALSE(s.contains(v * 2 + 1));
+    }
+    for (int v = 0; v < 3000; v += 2) ASSERT_TRUE(s.remove(v * 2));
+    for (int v = 0; v < 3000; ++v) {
+        ASSERT_EQ(s.contains(v * 2), v % 2 == 1) << v;
+    }
+}
+
+TYPED_TEST(SkipListTest, ConcurrentDisjointInserts) {
+    auto& s = this->set_;
+    const std::size_t n = 4;
+    constexpr int kPer = 1000;
+    run_threads(n, [&](std::size_t me) {
+        for (int k = 0; k < kPer; ++k) {
+            EXPECT_TRUE(s.add(static_cast<int>(me) * kPer + k));
+        }
+    });
+    for (int v = 0; v < static_cast<int>(n) * kPer; ++v) {
+        EXPECT_TRUE(s.contains(v)) << v;
+    }
+    run_threads(n, [&](std::size_t me) {
+        for (int k = 0; k < kPer; ++k) {
+            EXPECT_TRUE(s.remove(static_cast<int>(me) * kPer + k));
+        }
+    });
+    for (int v = 0; v < static_cast<int>(n) * kPer; ++v) {
+        EXPECT_FALSE(s.contains(v));
+    }
+}
+
+TYPED_TEST(SkipListTest, ContendedAddRemoveOneWinner) {
+    auto& s = this->set_;
+    constexpr int kValues = 64;
+    std::atomic<int> add_wins[kValues] = {};
+    run_threads(4, [&](std::size_t) {
+        for (int v = 0; v < kValues; ++v) {
+            if (s.add(v)) add_wins[v].fetch_add(1);
+        }
+    });
+    for (int v = 0; v < kValues; ++v) EXPECT_EQ(add_wins[v].load(), 1);
+    std::atomic<int> rm_wins[kValues] = {};
+    run_threads(4, [&](std::size_t) {
+        for (int v = 0; v < kValues; ++v) {
+            if (s.remove(v)) rm_wins[v].fetch_add(1);
+        }
+    });
+    for (int v = 0; v < kValues; ++v) {
+        EXPECT_EQ(rm_wins[v].load(), 1);
+        EXPECT_FALSE(s.contains(v));
+    }
+}
+
+TYPED_TEST(SkipListTest, MixedChurnConservesMembership) {
+    auto& s = this->set_;
+    constexpr int kValues = 24;
+    std::atomic<int> balance[kValues] = {};
+    run_threads(4, [&](std::size_t me) {
+        XorShift64 rng(me * 101 + 7);
+        for (int i = 0; i < 2500; ++i) {
+            const int v = static_cast<int>(rng.next_below(kValues));
+            if (rng.next() & 1) {
+                if (s.add(v)) balance[v].fetch_add(1);
+            } else {
+                if (s.remove(v)) balance[v].fetch_sub(1);
+            }
+        }
+    });
+    for (int v = 0; v < kValues; ++v) {
+        const int b = balance[v].load();
+        ASSERT_TRUE(b == 0 || b == 1);
+        EXPECT_EQ(s.contains(v), b == 1) << v;
+    }
+}
+
+TYPED_TEST(SkipListTest, ContainsDuringChurnNeverSeesLostKeys) {
+    // Stable keys must remain visible no matter how hard the hot keys
+    // churn — exercises traversal across marked/in-flight nodes.
+    auto& s = this->set_;
+    for (int v = 0; v < 100; v += 2) s.add(v);  // stable evens
+    std::atomic<bool> stop{false};
+    std::thread churner([&] {
+        while (!stop.load()) {
+            s.add(51);
+            s.remove(51);
+        }
+    });
+    for (int round = 0; round < 200; ++round) {
+        for (int v = 0; v < 100; v += 2) {
+            ASSERT_TRUE(s.contains(v)) << v;
+        }
+    }
+    stop.store(true);
+    churner.join();
+}
+
+}  // namespace

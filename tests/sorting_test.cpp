@@ -1,0 +1,101 @@
+// Tests for §12.7–§12.8 parallel sorting: the bitonic sorting network and
+// sample sort, differential-tested against std::sort over a parameterized
+// (size × threads × distribution) sweep.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <tuple>
+#include <vector>
+
+#include "tamp/core/random.hpp"
+#include "tamp/counting/sorting.hpp"
+
+namespace {
+
+using namespace tamp;
+
+std::vector<int> make_input(std::size_t n, int kind, std::uint64_t seed) {
+    std::vector<int> v(n);
+    XorShift64 rng(seed);
+    switch (kind) {
+        case 0:  // uniform random
+            for (auto& x : v) x = static_cast<int>(rng.next() % 100000);
+            break;
+        case 1:  // already sorted
+            for (std::size_t i = 0; i < n; ++i) v[i] = static_cast<int>(i);
+            break;
+        case 2:  // reverse sorted
+            for (std::size_t i = 0; i < n; ++i) {
+                v[i] = static_cast<int>(n - i);
+            }
+            break;
+        case 3:  // many duplicates
+            for (auto& x : v) x = static_cast<int>(rng.next() % 7);
+            break;
+        default:  // organ pipe
+            for (std::size_t i = 0; i < n; ++i) {
+                v[i] = static_cast<int>(i < n / 2 ? i : n - i);
+            }
+            break;
+    }
+    return v;
+}
+
+class SortSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+// (log2 size, threads, distribution kind)
+
+TEST_P(SortSweep, BitonicMatchesStdSort) {
+    const auto [log_n, threads, kind] = GetParam();
+    const std::size_t n = 1u << log_n;
+    auto input = make_input(n, kind, 42 + kind);
+    auto expected = input;
+    std::sort(expected.begin(), expected.end());
+    parallel_bitonic_sort(input, static_cast<std::size_t>(threads));
+    EXPECT_EQ(input, expected);
+}
+
+TEST_P(SortSweep, SampleSortMatchesStdSort) {
+    const auto [log_n, threads, kind] = GetParam();
+    const std::size_t n = (1u << log_n) + 13;  // non-power-of-two is fine
+    auto input = make_input(n, kind, 99 + kind);
+    auto expected = input;
+    std::sort(expected.begin(), expected.end());
+    parallel_sample_sort(input, static_cast<std::size_t>(threads));
+    EXPECT_EQ(input, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SortSweep,
+    ::testing::Combine(::testing::Values(4, 8, 12),    // 16 .. 4096
+                       ::testing::Values(1, 2, 4),     // threads
+                       ::testing::Values(0, 1, 2, 3, 4)));
+
+TEST(BitonicSort, TinyInputs) {
+    std::vector<int> empty;
+    parallel_bitonic_sort(empty, 4);
+    EXPECT_TRUE(empty.empty());
+    std::vector<int> one{5};
+    parallel_bitonic_sort(one, 4);
+    EXPECT_EQ(one, (std::vector<int>{5}));
+    std::vector<int> two{9, 1};
+    parallel_bitonic_sort(two, 4);
+    EXPECT_EQ(two, (std::vector<int>{1, 9}));
+}
+
+TEST(SampleSort, SmallFallsBackToSequential) {
+    std::vector<int> v{5, 3, 1, 4, 2};
+    parallel_sample_sort(v, 4);
+    EXPECT_EQ(v, (std::vector<int>{1, 2, 3, 4, 5}));
+}
+
+TEST(SampleSort, LargeRandom) {
+    auto v = make_input(100000, 0, 7);
+    auto expected = v;
+    std::sort(expected.begin(), expected.end());
+    parallel_sample_sort(v, 4);
+    EXPECT_EQ(v, expected);
+}
+
+}  // namespace

@@ -1,0 +1,233 @@
+// Tests for Chapter 16: work-stealing deques and the executor/futures.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "tamp/steal/steal.hpp"
+#include "test_util.hpp"
+
+namespace {
+
+using namespace tamp;
+using tamp_test::run_threads;
+
+// ------------------------------------------------------------- deques
+
+template <typename D>
+class DequeTest : public ::testing::Test {
+  public:
+    D deque_{};
+};
+
+using DequeTypes = ::testing::Types<BoundedWorkStealingDeque<long>,
+                                    WorkStealingDeque<long>>;
+TYPED_TEST_SUITE(DequeTest, DequeTypes);
+
+template <typename D>
+bool push(D& d, long v);
+template <>
+bool push(BoundedWorkStealingDeque<long>& d, long v) {
+    return d.try_push_bottom(v);
+}
+template <>
+bool push(WorkStealingDeque<long>& d, long v) {
+    d.push_bottom(v);
+    return true;
+}
+
+TYPED_TEST(DequeTest, OwnerLifoOrder) {
+    auto& d = this->deque_;
+    for (long i = 0; i < 10; ++i) ASSERT_TRUE(push(d, i));
+    long out;
+    for (long i = 9; i >= 0; --i) {
+        ASSERT_TRUE(d.try_pop_bottom(out));
+        EXPECT_EQ(out, i);
+    }
+    EXPECT_FALSE(d.try_pop_bottom(out));
+    EXPECT_TRUE(d.empty());
+}
+
+TYPED_TEST(DequeTest, ThiefFifoOrder) {
+    auto& d = this->deque_;
+    for (long i = 0; i < 10; ++i) ASSERT_TRUE(push(d, i));
+    long out;
+    for (long i = 0; i < 10; ++i) {
+        ASSERT_TRUE(d.try_pop_top(out));
+        EXPECT_EQ(out, i);  // thieves take the oldest
+    }
+    EXPECT_FALSE(d.try_pop_top(out));
+}
+
+TYPED_TEST(DequeTest, LastElementGoesToExactlyOneSide) {
+    // The contended case the ABP stamp exists for: one element, owner
+    // popping bottom while a thief pops top.
+    for (int round = 0; round < 2000; ++round) {
+        TypeParam d;
+        ASSERT_TRUE(push(d, 42L));
+        std::atomic<int> takes{0};
+        run_threads(2, [&](std::size_t me) {
+            long out;
+            if (me == 0) {
+                if (d.try_pop_bottom(out)) takes.fetch_add(1);
+            } else {
+                if (d.try_pop_top(out)) takes.fetch_add(1);
+            }
+        });
+        ASSERT_EQ(takes.load(), 1) << "round " << round;
+    }
+}
+
+TYPED_TEST(DequeTest, OwnerAndThievesConserveAll) {
+    auto& d = this->deque_;
+    constexpr long kN = 20000;
+    std::vector<std::vector<long>> got(3);
+    std::atomic<long> taken{0};
+    run_threads(3, [&](std::size_t me) {
+        if (me == 0) {
+            // Owner: interleave pushes with occasional bottom pops.
+            long next = 0;
+            while (next < kN) {
+                if (!push(d, next)) {
+                    long out;
+                    if (d.try_pop_bottom(out)) {
+                        got[0].push_back(out);
+                        taken.fetch_add(1);
+                    }
+                    continue;
+                }
+                ++next;
+                if (next % 5 == 0) {
+                    long out;
+                    if (d.try_pop_bottom(out)) {
+                        got[0].push_back(out);
+                        taken.fetch_add(1);
+                    }
+                }
+            }
+            long out;
+            while (d.try_pop_bottom(out)) {
+                got[0].push_back(out);
+                taken.fetch_add(1);
+            }
+        } else {
+            while (taken.load() < kN) {
+                long out;
+                if (d.try_pop_top(out)) {
+                    got[me].push_back(out);
+                    taken.fetch_add(1);
+                }
+            }
+        }
+    });
+    // Owner may finish while thieves still drain; let them finish above.
+    std::set<long> all;
+    for (const auto& v : got) {
+        for (const long x : v) {
+            EXPECT_TRUE(all.insert(x).second) << "duplicate " << x;
+        }
+    }
+    EXPECT_EQ(all.size(), static_cast<std::size_t>(kN));
+}
+
+TEST(BoundedDeque, ReportsFull) {
+    BoundedWorkStealingDeque<long> d(4);
+    for (long i = 0; i < 4; ++i) EXPECT_TRUE(d.try_push_bottom(i));
+    EXPECT_FALSE(d.try_push_bottom(99));
+    long out;
+    EXPECT_TRUE(d.try_pop_top(out));
+    EXPECT_TRUE(d.try_push_bottom(99));  // slot reclaimed
+}
+
+TEST(UnboundedDeque, GrowsPastInitialCapacity) {
+    WorkStealingDeque<long> d(4);
+    for (long i = 0; i < 1000; ++i) d.push_bottom(i);
+    long out;
+    for (long i = 999; i >= 0; --i) {
+        ASSERT_TRUE(d.try_pop_bottom(out));
+        ASSERT_EQ(out, i);
+    }
+}
+
+// ------------------------------------------------------------- pool
+
+TEST(Pool, RunsSubmittedTasks) {
+    std::atomic<int> ran{0};
+    {
+        WorkStealingPool pool(2);
+        for (int i = 0; i < 100; ++i) {
+            pool.submit([&] { ran.fetch_add(1); });
+        }
+        pool.wait_idle();
+    }
+    EXPECT_EQ(ran.load(), 100);
+}
+
+TEST(Pool, NestedSubmitsFromWorkers) {
+    // Tasks submit subtasks from worker context (own-deque push path);
+    // wait_idle must cover the transitively spawned work too.
+    std::atomic<int> ran{0};
+    {
+        WorkStealingPool pool(2);
+        for (int i = 0; i < 10; ++i) {
+            pool.submit([&pool, &ran] {
+                for (int j = 0; j < 10; ++j) {
+                    pool.submit([&ran] { ran.fetch_add(1); });
+                }
+            });
+        }
+        pool.wait_idle();
+    }
+    EXPECT_EQ(ran.load(), 100);
+}
+
+TEST(Pool, FutureDeliversValue) {
+    WorkStealingPool pool(2);
+    auto f = pool.spawn([] { return 6 * 7; });
+    EXPECT_EQ(f->get(), 42);
+    EXPECT_TRUE(f->ready());
+}
+
+long fib_seq(long n) { return n < 2 ? n : fib_seq(n - 1) + fib_seq(n - 2); }
+
+long fib_par(WorkStealingPool& pool, long n) {
+    if (n < 10) return fib_seq(n);  // sequential cutoff
+    auto left = pool.spawn([&pool, n] { return fib_par(pool, n - 1); });
+    const long right = fib_par(pool, n - 2);
+    return left->get() + right;  // get() helps: no deadlock on 1 core
+}
+
+TEST(Pool, ForkJoinFibonacci) {
+    WorkStealingPool pool(2);
+    EXPECT_EQ(fib_par(pool, 20), 6765);
+    EXPECT_EQ(fib_par(pool, 15), 610);
+}
+
+TEST(Pool, ManySmallTasksAcrossWorkers) {
+    std::atomic<long> sum{0};
+    {
+        WorkStealingPool pool(3);
+        for (long i = 1; i <= 1000; ++i) {
+            pool.submit([&sum, i] { sum.fetch_add(i); });
+        }
+        pool.wait_idle();
+    }
+    EXPECT_EQ(sum.load(), 500500);
+}
+
+TEST(Pool, DestructorDropsUnrunWorkSafely) {
+    // A pool torn down immediately may leave tasks unrun; it must not
+    // leak or crash.  (The counter may land anywhere in [0, 50].)
+    std::atomic<int> ran{0};
+    {
+        WorkStealingPool pool(1);
+        for (int i = 0; i < 50; ++i) pool.submit([&] { ran.fetch_add(1); });
+    }
+    EXPECT_LE(ran.load(), 50);
+}
+
+}  // namespace

@@ -1,0 +1,289 @@
+// Tests for Chapter 18: the TL2-style STM and the global-lock baseline.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "tamp/core/random.hpp"
+#include "tamp/stm/ofree_stm.hpp"
+#include "tamp/stm/stm.hpp"
+#include "test_util.hpp"
+
+namespace {
+
+using namespace tamp;
+using tamp_test::run_threads;
+
+TEST(VersionedLockTest, LockUnlockRoundTrip) {
+    VersionedLock l;
+    EXPECT_FALSE(VersionedLock::is_locked(l.sample()));
+    EXPECT_TRUE(l.try_lock());
+    EXPECT_TRUE(VersionedLock::is_locked(l.sample()));
+    EXPECT_FALSE(l.try_lock());  // not reentrant
+    l.unlock_with_version(7);
+    EXPECT_FALSE(VersionedLock::is_locked(l.sample()));
+    EXPECT_EQ(VersionedLock::version_of(l.sample()), 7u);
+}
+
+TEST(TVarTest, EncodeDecodeRoundTrip) {
+    EXPECT_EQ(TVar<long>::decode(TVar<long>::encode(-12345)), -12345);
+    EXPECT_EQ(TVar<double>::decode(TVar<double>::encode(3.25)), 3.25);
+    TVar<int> v(17);
+    EXPECT_EQ(v.unsafe_read(), 17);
+}
+
+TEST(Stm, SingleThreadReadWrite) {
+    TVar<long> x(1), y(2);
+    atomically([&](Transaction& tx) {
+        const long a = tx.read(x);
+        const long b = tx.read(y);
+        tx.write(x, b);
+        tx.write(y, a);
+    });
+    EXPECT_EQ(x.unsafe_read(), 2);
+    EXPECT_EQ(y.unsafe_read(), 1);
+}
+
+TEST(Stm, ReadYourOwnWrites) {
+    TVar<long> x(5);
+    const long seen = atomically([&](Transaction& tx) {
+        tx.write(x, 9);
+        return tx.read(x);
+    });
+    EXPECT_EQ(seen, 9);
+    EXPECT_EQ(x.unsafe_read(), 9);
+}
+
+TEST(Stm, ReturnsValues) {
+    TVar<long> x(21);
+    const long doubled = atomically([&](Transaction& tx) {
+        return tx.read(x) * 2;
+    });
+    EXPECT_EQ(doubled, 42);
+}
+
+TEST(Stm, CountersDontLoseIncrements) {
+    TVar<long> counter(0);
+    constexpr int kThreads = 4, kPer = 2000;
+    run_threads(kThreads, [&](std::size_t) {
+        for (int i = 0; i < kPer; ++i) {
+            atomically([&](Transaction& tx) {
+                tx.write(counter, tx.read(counter) + 1);
+            });
+        }
+    });
+    EXPECT_EQ(counter.unsafe_read(), kThreads * kPer);
+}
+
+TEST(Stm, InvariantPreservedAcrossTransfers) {
+    // The classic bank: concurrent transfers between random accounts must
+    // preserve the total — torn reads or lost writes would break it.
+    constexpr int kAccounts = 16;
+    constexpr long kInitial = 1000;
+    std::vector<TVar<long>> accounts;
+    accounts.reserve(kAccounts);
+    for (int i = 0; i < kAccounts; ++i) accounts.emplace_back(kInitial);
+
+    run_threads(4, [&](std::size_t me) {
+        XorShift64 rng(me * 7919 + 3);
+        for (int i = 0; i < 2000; ++i) {
+            const auto from = rng.next_below(kAccounts);
+            const auto to = rng.next_below(kAccounts);
+            if (from == to) continue;
+            const long amount = static_cast<long>(rng.next_below(50));
+            atomically([&](Transaction& tx) {
+                const long f = tx.read(accounts[from]);
+                const long t = tx.read(accounts[to]);
+                tx.write(accounts[from], f - amount);
+                tx.write(accounts[to], t + amount);
+            });
+        }
+    });
+    long total = 0;
+    for (auto& a : accounts) total += a.unsafe_read();
+    EXPECT_EQ(total, kAccounts * kInitial);
+}
+
+TEST(Stm, ReadOnlySnapshotsAreConsistent) {
+    // Writers keep x + y == 0; a reader transaction must never observe a
+    // violated invariant (the zombie-read problem TL2's validation kills).
+    TVar<long> x(100), y(-100);
+    std::atomic<bool> stop{false};
+    std::atomic<bool> torn{false};
+    run_threads(3, [&](std::size_t me) {
+        if (me == 0) {
+            for (int i = 0; i < 4000; ++i) {
+                atomically([&](Transaction& tx) {
+                    const long v = tx.read(x);
+                    tx.write(x, v + 1);
+                    tx.write(y, -(v + 1));
+                });
+            }
+            stop.store(true);
+        } else {
+            while (!stop.load()) {
+                const long sum = atomically([&](Transaction& tx) {
+                    return tx.read(x) + tx.read(y);
+                });
+                if (sum != 0) torn.store(true);
+            }
+        }
+    });
+    EXPECT_FALSE(torn.load());
+}
+
+TEST(Stm, AbortedEffectsNeverVisible) {
+    // A transaction that writes then aborts (via conflict) must leave no
+    // trace; we approximate by checking monotonic parity: both vars move
+    // in lock-step.
+    TVar<long> a(0), b(0);
+    run_threads(4, [&](std::size_t) {
+        for (int i = 0; i < 1000; ++i) {
+            atomically([&](Transaction& tx) {
+                const long va = tx.read(a);
+                const long vb = tx.read(b);
+                if (va != vb) throw TxAbort{};  // invariant broken: abort
+                tx.write(a, va + 1);
+                tx.write(b, vb + 1);
+            });
+        }
+    });
+    EXPECT_EQ(a.unsafe_read(), 4000);
+    EXPECT_EQ(b.unsafe_read(), 4000);
+}
+
+// ------------------------------------------------------- obstruction-free
+
+TEST(OFreeStm, SingleThreadReadWrite) {
+    OFreeTVar<long> x(1), y(2);
+    o_atomically([&](OFreeTransaction& tx) {
+        const long a = tx.read(x);
+        const long b = tx.read(y);
+        tx.write(x, b);
+        tx.write(y, a);
+    });
+    EXPECT_EQ(x.unsafe_read(), 2);
+    EXPECT_EQ(y.unsafe_read(), 1);
+}
+
+TEST(OFreeStm, ReadYourOwnWrites) {
+    OFreeTVar<long> x(5);
+    const long seen = o_atomically([&](OFreeTransaction& tx) {
+        tx.write(x, 9);
+        return tx.read(x);
+    });
+    EXPECT_EQ(seen, 9);
+    EXPECT_EQ(x.unsafe_read(), 9);
+}
+
+TEST(OFreeStm, RepeatedWritesCoalesce) {
+    OFreeTVar<long> x(0);
+    o_atomically([&](OFreeTransaction& tx) {
+        tx.write(x, 1);
+        tx.write(x, 2);
+        tx.write(x, 3);
+    });
+    EXPECT_EQ(x.unsafe_read(), 3);
+}
+
+TEST(OFreeStm, CountersDontLoseIncrements) {
+    OFreeTVar<long> counter(0);
+    constexpr int kThreads = 4, kPer = 1000;
+    run_threads(kThreads, [&](std::size_t) {
+        for (int i = 0; i < kPer; ++i) {
+            o_atomically([&](OFreeTransaction& tx) {
+                tx.write(counter, tx.read(counter) + 1);
+            });
+        }
+    });
+    EXPECT_EQ(counter.unsafe_read(), kThreads * kPer);
+}
+
+TEST(OFreeStm, InvariantPreservedAcrossTransfers) {
+    constexpr int kAccounts = 8;
+    std::vector<OFreeTVar<long>> accounts(kAccounts);
+    for (auto& a : accounts) {
+        o_atomically([&](OFreeTransaction& tx) { tx.write(a, 100L); });
+    }
+    run_threads(4, [&](std::size_t me) {
+        XorShift64 rng(me * 31 + 11);
+        for (int i = 0; i < 1000; ++i) {
+            const auto from = rng.next_below(kAccounts);
+            auto to = rng.next_below(kAccounts);
+            if (to == from) to = (to + 1) % kAccounts;
+            o_atomically([&](OFreeTransaction& tx) {
+                tx.write(accounts[from], tx.read(accounts[from]) - 1);
+                tx.write(accounts[to], tx.read(accounts[to]) + 1);
+            });
+        }
+    });
+    long total = 0;
+    for (auto& a : accounts) total += a.unsafe_read();
+    EXPECT_EQ(total, kAccounts * 100L);
+}
+
+TEST(OFreeStm, ReadOnlySnapshotsAreConsistent) {
+    OFreeTVar<long> x(50), y(-50);
+    std::atomic<bool> stop{false};
+    std::atomic<bool> torn{false};
+    run_threads(2, [&](std::size_t me) {
+        if (me == 0) {
+            for (int i = 0; i < 1500; ++i) {
+                o_atomically([&](OFreeTransaction& tx) {
+                    const long v = tx.read(x);
+                    tx.write(x, v + 1);
+                    tx.write(y, -(v + 1));
+                });
+            }
+            stop.store(true);
+        } else {
+            while (!stop.load()) {
+                const long sum = o_atomically([&](OFreeTransaction& tx) {
+                    return tx.read(x) + tx.read(y);
+                });
+                if (sum != 0) torn.store(true);
+            }
+        }
+    });
+    EXPECT_FALSE(torn.load());
+}
+
+TEST(OFreeStm, AggressiveManagerMakesProgress) {
+    // All threads fight over one variable; obstruction freedom plus
+    // backoff must still complete every transaction.
+    OFreeTVar<long> hot(0);
+    run_threads(4, [&](std::size_t) {
+        for (int i = 0; i < 500; ++i) {
+            o_atomically([&](OFreeTransaction& tx) {
+                tx.write(hot, tx.read(hot) + 1);
+            });
+        }
+    });
+    EXPECT_EQ(hot.unsafe_read(), 2000);
+}
+
+TEST(GlobalLockStm, SameSemanticsForTransfers) {
+    TVar<long> x(10), y(20);
+    GlobalLockSTM::atomically([&](GlobalLockSTM::DirectTx& tx) {
+        const long a = tx.read(x);
+        tx.write(x, a - 5);
+        tx.write(y, tx.read(y) + 5);
+    });
+    EXPECT_EQ(x.unsafe_read(), 5);
+    EXPECT_EQ(y.unsafe_read(), 25);
+}
+
+TEST(GlobalLockStm, ConcurrentCountersExact) {
+    TVar<long> counter(0);
+    run_threads(4, [&](std::size_t) {
+        for (int i = 0; i < 2000; ++i) {
+            GlobalLockSTM::atomically([&](GlobalLockSTM::DirectTx& tx) {
+                tx.write(counter, tx.read(counter) + 1);
+            });
+        }
+    });
+    EXPECT_EQ(counter.unsafe_read(), 8000);
+}
+
+}  // namespace
