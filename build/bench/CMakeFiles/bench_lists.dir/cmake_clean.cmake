@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lists.dir/bench_lists.cpp.o"
+  "CMakeFiles/bench_lists.dir/bench_lists.cpp.o.d"
+  "bench_lists"
+  "bench_lists.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lists.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

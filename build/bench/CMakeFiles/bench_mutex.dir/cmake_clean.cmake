@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mutex.dir/bench_mutex.cpp.o"
+  "CMakeFiles/bench_mutex.dir/bench_mutex.cpp.o.d"
+  "bench_mutex"
+  "bench_mutex.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mutex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pqueue.dir/bench_pqueue.cpp.o"
+  "CMakeFiles/bench_pqueue.dir/bench_pqueue.cpp.o.d"
+  "bench_pqueue"
+  "bench_pqueue.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pqueue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

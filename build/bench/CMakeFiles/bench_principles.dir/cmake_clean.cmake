@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_principles.dir/bench_principles.cpp.o"
+  "CMakeFiles/bench_principles.dir/bench_principles.cpp.o.d"
+  "bench_principles"
+  "bench_principles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_principles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

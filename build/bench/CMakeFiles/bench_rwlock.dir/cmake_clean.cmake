@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rwlock.dir/bench_rwlock.cpp.o"
+  "CMakeFiles/bench_rwlock.dir/bench_rwlock.cpp.o.d"
+  "bench_rwlock"
+  "bench_rwlock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rwlock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

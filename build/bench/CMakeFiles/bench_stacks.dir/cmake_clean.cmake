@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_stacks.dir/bench_stacks.cpp.o"
+  "CMakeFiles/bench_stacks.dir/bench_stacks.cpp.o.d"
+  "bench_stacks"
+  "bench_stacks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_stacks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_steal.dir/bench_steal.cpp.o"
+  "CMakeFiles/bench_steal.dir/bench_steal.cpp.o.d"
+  "bench_steal"
+  "bench_steal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_steal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

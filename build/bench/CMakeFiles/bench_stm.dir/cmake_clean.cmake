@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_stm.dir/bench_stm.cpp.o"
+  "CMakeFiles/bench_stm.dir/bench_stm.cpp.o.d"
+  "bench_stm"
+  "bench_stm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_stm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

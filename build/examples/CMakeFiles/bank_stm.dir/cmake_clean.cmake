@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bank_stm.dir/bank_stm.cpp.o"
+  "CMakeFiles/bank_stm.dir/bank_stm.cpp.o.d"
+  "bank_stm"
+  "bank_stm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bank_stm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

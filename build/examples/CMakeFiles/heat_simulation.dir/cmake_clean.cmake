@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heat_simulation.dir/heat_simulation.cpp.o"
+  "CMakeFiles/heat_simulation.dir/heat_simulation.cpp.o.d"
+  "heat_simulation"
+  "heat_simulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heat_simulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/primes_balanced.dir/primes_balanced.cpp.o"
+  "CMakeFiles/primes_balanced.dir/primes_balanced.cpp.o.d"
+  "primes_balanced"
+  "primes_balanced.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/primes_balanced.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tamp/core/thread_registry.cpp" "src/CMakeFiles/tamp.dir/tamp/core/thread_registry.cpp.o" "gcc" "src/CMakeFiles/tamp.dir/tamp/core/thread_registry.cpp.o.d"
+  "/root/repo/src/tamp/reclaim/epoch.cpp" "src/CMakeFiles/tamp.dir/tamp/reclaim/epoch.cpp.o" "gcc" "src/CMakeFiles/tamp.dir/tamp/reclaim/epoch.cpp.o.d"
+  "/root/repo/src/tamp/reclaim/hazard_pointers.cpp" "src/CMakeFiles/tamp.dir/tamp/reclaim/hazard_pointers.cpp.o" "gcc" "src/CMakeFiles/tamp.dir/tamp/reclaim/hazard_pointers.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tamp.dir/tamp/core/thread_registry.cpp.o"
+  "CMakeFiles/tamp.dir/tamp/core/thread_registry.cpp.o.d"
+  "CMakeFiles/tamp.dir/tamp/reclaim/epoch.cpp.o"
+  "CMakeFiles/tamp.dir/tamp/reclaim/epoch.cpp.o.d"
+  "CMakeFiles/tamp.dir/tamp/reclaim/hazard_pointers.cpp.o"
+  "CMakeFiles/tamp.dir/tamp/reclaim/hazard_pointers.cpp.o.d"
+  "libtamp.a"
+  "libtamp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tamp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_sets_test.dir/integration_sets_test.cpp.o"
+  "CMakeFiles/integration_sets_test.dir/integration_sets_test.cpp.o.d"
+  "integration_sets_test"
+  "integration_sets_test.pdb"
+  "integration_sets_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_sets_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

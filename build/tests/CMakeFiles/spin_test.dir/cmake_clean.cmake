@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spin_test.dir/spin_test.cpp.o"
+  "CMakeFiles/spin_test.dir/spin_test.cpp.o.d"
+  "spin_test"
+  "spin_test.pdb"
+  "spin_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spin_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

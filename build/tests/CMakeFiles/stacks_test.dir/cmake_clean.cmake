@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stacks_test.dir/stacks_test.cpp.o"
+  "CMakeFiles/stacks_test.dir/stacks_test.cpp.o.d"
+  "stacks_test"
+  "stacks_test.pdb"
+  "stacks_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stacks_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/steal_test.dir/steal_test.cpp.o"
+  "CMakeFiles/steal_test.dir/steal_test.cpp.o.d"
+  "steal_test"
+  "steal_test.pdb"
+  "steal_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/steal_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

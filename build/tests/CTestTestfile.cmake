@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/core_test[1]_include.cmake")
+include("/root/repo/build/tests/mutex_test[1]_include.cmake")
+include("/root/repo/build/tests/spin_test[1]_include.cmake")
+include("/root/repo/build/tests/registers_test[1]_include.cmake")
+include("/root/repo/build/tests/consensus_test[1]_include.cmake")
+include("/root/repo/build/tests/monitor_test[1]_include.cmake")
+include("/root/repo/build/tests/reclaim_test[1]_include.cmake")
+include("/root/repo/build/tests/lists_test[1]_include.cmake")
+include("/root/repo/build/tests/queues_test[1]_include.cmake")
+include("/root/repo/build/tests/stacks_test[1]_include.cmake")
+include("/root/repo/build/tests/counting_test[1]_include.cmake")
+include("/root/repo/build/tests/hash_test[1]_include.cmake")
+include("/root/repo/build/tests/skiplist_test[1]_include.cmake")
+include("/root/repo/build/tests/pqueue_test[1]_include.cmake")
+include("/root/repo/build/tests/steal_test[1]_include.cmake")
+include("/root/repo/build/tests/barrier_test[1]_include.cmake")
+include("/root/repo/build/tests/stm_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_sets_test[1]_include.cmake")
+include("/root/repo/build/tests/sorting_test[1]_include.cmake")
+include("/root/repo/build/tests/parallel_test[1]_include.cmake")
