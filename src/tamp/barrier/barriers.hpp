@@ -65,8 +65,10 @@ class SenseReversingBarrier {
 
   private:
     std::size_t size_;
-    std::atomic<long> count_;
-    std::atomic<bool> sense_{false};
+    // count_ takes fetch_sub traffic from every arriver while waiters spin
+    // on sense_: keep them on separate lines.
+    alignas(kCacheLineSize) std::atomic<long> count_;
+    alignas(kCacheLineSize) std::atomic<bool> sense_{false};
     std::vector<Padded<bool>> thread_sense_;
 };
 

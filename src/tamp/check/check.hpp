@@ -1,0 +1,11 @@
+// tamp/check/check.hpp — umbrella header for the correctness-tooling
+// subsystem: history recording, sequential reference specs, and the
+// Wing–Gong linearizability search.  (The TSan annotation shim,
+// tsan_annotate.hpp, is included directly by the code that needs it —
+// it is infrastructure, not part of the checking API.)
+
+#pragma once
+
+#include "tamp/check/linearize.hpp"
+#include "tamp/check/recorder.hpp"
+#include "tamp/check/specs.hpp"

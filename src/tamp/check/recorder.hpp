@@ -1,0 +1,222 @@
+// tamp/check/recorder.hpp
+//
+// History recording for linearizability checking (§3.6 of Herlihy &
+// Shavit; Herlihy & Wing 1990).  Worker threads bracket every operation
+// with invoke/response events stamped from one global atomic counter, so
+// the recorded history carries the real-time precedence order the
+// linearizability definition quantifies over: if op A's response was
+// stamped before op B's invocation, any legal witness must order A
+// before B.  Overlapping operations may linearize either way — finding
+// such an order is the job of tamp/check/linearize.hpp.
+//
+// The logical clock is a single fetch_add word shared by every recording
+// thread.  That is deliberate: the stamps must form one total order that
+// *contains* real time, and a shared seq_cst counter is the cheapest
+// object with that property.  The contention it adds only makes recorded
+// runs more adversarial for the structure under test, never less.
+//
+// Per-thread logs are flat vectors reserved up front (no allocation or
+// locking on the recording fast path beyond the clock itself), merged
+// into one history after the workers join.
+
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "tamp/core/cacheline.hpp"
+
+namespace tamp::check {
+
+namespace detail {
+
+/// Mix step shared by the spec hashes and the search's configuration
+/// memoization (boost::hash_combine's constant).
+inline std::uint64_t hash_mix(std::uint64_t h, std::uint64_t x) {
+    h ^= x + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+    return h;
+}
+
+template <typename Iter>
+std::uint64_t hash_range(Iter first, Iter last) {
+    std::uint64_t h = 0xcbf29ce484222325ull;  // FNV offset basis
+    for (; first != last; ++first) {
+        h = hash_mix(h, static_cast<std::uint64_t>(*first));
+    }
+    return h;
+}
+
+}  // namespace detail
+
+/// Generic operation vocabulary shared by the reference specs; each spec
+/// interprets the subset it understands and rejects the rest.
+enum class Op : std::uint8_t {
+    // Sets (lists, hashes, skiplists).
+    kAdd,
+    kRemove,
+    kContains,
+    // Stacks.
+    kPush,
+    kPop,
+    // Queues.
+    kEnqueue,
+    kDequeue,
+    // Maps (arg = key, arg2 = value).
+    kPut,
+    kGet,
+    kErase,
+    // Counters.
+    kIncrement,  // fetch-and-add: result is the pre-increment value
+    kRead,
+};
+
+/// Result sentinel for operations that found nothing (failed pop/dequeue/
+/// get) or return nothing (push/enqueue).
+inline constexpr std::int64_t kNoValue =
+    std::numeric_limits<std::int64_t>::min();
+
+/// One completed operation: what was called, what it returned, and the
+/// logical-clock interval during which it was in flight.
+struct Operation {
+    Op op;
+    std::int64_t arg = 0;
+    std::int64_t arg2 = 0;
+    std::int64_t result = kNoValue;
+    std::uint32_t thread = 0;
+    std::uint64_t invoke = 0;
+    std::uint64_t response = 0;
+};
+
+inline const char* op_name(Op op) {
+    switch (op) {
+        case Op::kAdd: return "add";
+        case Op::kRemove: return "remove";
+        case Op::kContains: return "contains";
+        case Op::kPush: return "push";
+        case Op::kPop: return "pop";
+        case Op::kEnqueue: return "enqueue";
+        case Op::kDequeue: return "dequeue";
+        case Op::kPut: return "put";
+        case Op::kGet: return "get";
+        case Op::kErase: return "erase";
+        case Op::kIncrement: return "increment";
+        case Op::kRead: return "read";
+    }
+    return "?";
+}
+
+/// "T2 pop() -> 7 @[13,19)" — the rendering used by failure reports.
+inline std::string format_operation(const Operation& o) {
+    std::string s = "T" + std::to_string(o.thread) + " " + op_name(o.op) +
+                    "(";
+    const bool unary = o.op != Op::kPop && o.op != Op::kDequeue &&
+                       o.op != Op::kIncrement && o.op != Op::kRead;
+    if (unary) s += std::to_string(o.arg);
+    if (o.op == Op::kPut) s += "," + std::to_string(o.arg2);
+    s += ") -> ";
+    s += o.result == kNoValue ? "none" : std::to_string(o.result);
+    s += " @[" + std::to_string(o.invoke) + "," +
+         std::to_string(o.response) + ")";
+    return s;
+}
+
+/// Records one history from `n_threads` concurrent workers.  Typical use:
+///
+///     HistoryRecorder rec(n);
+///     run_threads(n, [&](std::size_t me) {
+///         for (...) {
+///             bool ok = rec.record(me, Op::kAdd, key,
+///                                  [&] { return set.add(int(key)); });
+///             ...
+///         }
+///     });
+///     auto verdict = check::linearize<SetSpec>(rec.history());
+class HistoryRecorder {
+  public:
+    explicit HistoryRecorder(std::size_t n_threads,
+                             std::size_t ops_hint_per_thread = 1024)
+        : logs_(n_threads) {
+        for (auto& log : logs_) log->reserve(ops_hint_per_thread);
+    }
+
+    /// Stamp an invocation; pair with complete().  The returned index is
+    /// only meaningful to this thread's log.
+    std::size_t invoke(std::size_t thread, Op op, std::int64_t arg = 0,
+                       std::int64_t arg2 = 0) {
+        auto& log = *logs_[thread];
+        Operation rec;
+        rec.op = op;
+        rec.arg = arg;
+        rec.arg2 = arg2;
+        rec.thread = static_cast<std::uint32_t>(thread);
+        rec.invoke = clock_.fetch_add(1, std::memory_order_seq_cst);
+        log.push_back(rec);
+        return log.size() - 1;
+    }
+
+    /// Stamp the response of a previous invoke().
+    void complete(std::size_t thread, std::size_t index,
+                  std::int64_t result = kNoValue) {
+        Operation& rec = (*logs_[thread])[index];
+        rec.response = clock_.fetch_add(1, std::memory_order_seq_cst);
+        rec.result = result;
+    }
+
+    /// invoke/run/complete in one call.  `body` returns the observed
+    /// result: an int64, a bool (stored as 0/1), or void (kNoValue).
+    template <typename Body>
+    std::int64_t record(std::size_t thread, Op op, std::int64_t arg,
+                        Body&& body) {
+        return record2(thread, op, arg, 0, std::forward<Body>(body));
+    }
+
+    template <typename Body>
+    std::int64_t record2(std::size_t thread, Op op, std::int64_t arg,
+                         std::int64_t arg2, Body&& body) {
+        const std::size_t idx = invoke(thread, op, arg, arg2);
+        std::int64_t result;
+        if constexpr (std::is_void_v<decltype(body())>) {
+            body();
+            result = kNoValue;
+        } else if constexpr (std::is_same_v<decltype(body()), bool>) {
+            result = body() ? 1 : 0;
+        } else {
+            result = static_cast<std::int64_t>(body());
+        }
+        complete(thread, idx, result);
+        return result;
+    }
+
+    /// Merge the per-thread logs into one history.  Call after joining
+    /// all workers; every invoked operation must have completed.
+    std::vector<Operation> history() const {
+        std::vector<Operation> all;
+        std::size_t total = 0;
+        for (const auto& log : logs_) total += log->size();
+        all.reserve(total);
+        for (const auto& log : logs_) {
+            for (const Operation& rec : *log) {
+                assert(rec.response > rec.invoke &&
+                       "operation never completed");
+                all.push_back(rec);
+            }
+        }
+        return all;
+    }
+
+    std::size_t threads() const { return logs_.size(); }
+
+  private:
+    // Padded: each worker appends to its own log; only the clock is
+    // intentionally shared.
+    std::vector<Padded<std::vector<Operation>>> logs_;
+    alignas(kCacheLineSize) std::atomic<std::uint64_t> clock_{1};
+};
+
+}  // namespace tamp::check

@@ -1,0 +1,171 @@
+// tamp/check/specs.hpp
+//
+// Sequential reference specifications for the linearizability checker.
+// A spec is a pure sequential object: a `State`, an `apply` that asks
+// "starting from this state, could this operation legally return what it
+// returned?" (mutating the state when yes), and a `hash` used by the
+// search's memoization.  The checker never inspects states directly, so
+// adding a spec for a new object family is just these three pieces.
+//
+// States are value types copied at every search branch — they are kept
+// deliberately small (flat vectors, not node-based containers).
+
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+#include <utility>
+#include <vector>
+
+#include "tamp/check/recorder.hpp"
+
+namespace tamp::check {
+
+/// Set with add/remove/contains returning bool (the lists, hashes and
+/// skiplists of chapters 9, 13, 14).
+struct SetSpec {
+    /// Sorted flat vector of members.
+    using State = std::vector<std::int64_t>;
+
+    static bool apply(State& s, const Operation& o) {
+        auto it = std::lower_bound(s.begin(), s.end(), o.arg);
+        const bool present = it != s.end() && *it == o.arg;
+        switch (o.op) {
+            case Op::kAdd:
+                if (o.result != (present ? 0 : 1)) return false;
+                if (!present) s.insert(it, o.arg);
+                return true;
+            case Op::kRemove:
+                if (o.result != (present ? 1 : 0)) return false;
+                if (present) s.erase(it);
+                return true;
+            case Op::kContains:
+                return o.result == (present ? 1 : 0);
+            default:
+                return false;
+        }
+    }
+
+    static std::uint64_t hash(const State& s) {
+        return detail::hash_range(s.begin(), s.end());
+    }
+};
+
+/// LIFO stack: push returns nothing, pop returns the popped value or
+/// kNoValue when empty (chapter 11).
+struct StackSpec {
+    using State = std::vector<std::int64_t>;
+
+    static bool apply(State& s, const Operation& o) {
+        switch (o.op) {
+            case Op::kPush:
+                s.push_back(o.arg);
+                return true;
+            case Op::kPop:
+                if (s.empty()) return o.result == kNoValue;
+                if (o.result != s.back()) return false;
+                s.pop_back();
+                return true;
+            default:
+                return false;
+        }
+    }
+
+    static std::uint64_t hash(const State& s) {
+        return detail::hash_range(s.begin(), s.end());
+    }
+};
+
+/// FIFO queue: enqueue returns nothing, dequeue returns the head or
+/// kNoValue when empty (chapters 3, 10).
+struct QueueSpec {
+    using State = std::deque<std::int64_t>;
+
+    static bool apply(State& s, const Operation& o) {
+        switch (o.op) {
+            case Op::kEnqueue:
+                s.push_back(o.arg);
+                return true;
+            case Op::kDequeue:
+                if (s.empty()) return o.result == kNoValue;
+                if (o.result != s.front()) return false;
+                s.pop_front();
+                return true;
+            default:
+                return false;
+        }
+    }
+
+    static std::uint64_t hash(const State& s) {
+        return detail::hash_range(s.begin(), s.end());
+    }
+};
+
+/// Map with put(k,v) (returns whether k was already bound), get(k)
+/// (value or kNoValue) and erase(k) (bool).
+struct MapSpec {
+    /// Sorted flat vector of (key, value).
+    using State = std::vector<std::pair<std::int64_t, std::int64_t>>;
+
+    static bool apply(State& s, const Operation& o) {
+        auto it = std::lower_bound(
+            s.begin(), s.end(), o.arg,
+            [](const auto& kv, std::int64_t k) { return kv.first < k; });
+        const bool present = it != s.end() && it->first == o.arg;
+        switch (o.op) {
+            case Op::kPut:
+                if (o.result != (present ? 1 : 0)) return false;
+                if (present) {
+                    it->second = o.arg2;
+                } else {
+                    s.insert(it, {o.arg, o.arg2});
+                }
+                return true;
+            case Op::kGet:
+                if (!present) return o.result == kNoValue;
+                return o.result == it->second;
+            case Op::kErase:
+                if (o.result != (present ? 1 : 0)) return false;
+                if (present) s.erase(it);
+                return true;
+            default:
+                return false;
+        }
+    }
+
+    static std::uint64_t hash(const State& s) {
+        std::uint64_t h = 0xcbf29ce484222325ull;
+        for (const auto& [k, v] : s) {
+            h = detail::hash_mix(h, static_cast<std::uint64_t>(k));
+            h = detail::hash_mix(h, static_cast<std::uint64_t>(v));
+        }
+        return h;
+    }
+};
+
+/// Fetch-and-add counter: increment returns the pre-increment value
+/// (getAndIncrement of chapter 12), read returns the current value.
+struct CounterSpec {
+    using State = std::int64_t;
+
+    static bool apply(State& s, const Operation& o) {
+        switch (o.op) {
+            case Op::kIncrement:
+                if (o.result != s) return false;
+                ++s;
+                return true;
+            case Op::kRead:
+                return o.result == s;
+            default:
+                return false;
+        }
+    }
+
+    static std::uint64_t hash(const State& s) {
+        return detail::hash_mix(0xcbf29ce484222325ull,
+                                static_cast<std::uint64_t>(s));
+    }
+};
+
+}  // namespace tamp::check

@@ -1,0 +1,73 @@
+// tamp/check/tsan_annotate.hpp
+//
+// Thin shim over ThreadSanitizer's annotation interface, compiled to
+// no-ops outside TSan builds.
+//
+// Why it exists: TSan reasons purely in terms of happens-before edges on
+// atomic accesses.  Safe-memory-reclamation schemes are correct for a
+// *different* reason — "no thread can still hold this pointer" is
+// established by scanning hazard slots or waiting out epochs, and part
+// of that argument rides on seq_cst total order rather than on a
+// release/acquire pair TSan can see on the reclaimed memory itself.  The
+// reclaimer therefore tells TSan about the edge explicitly: the retiring
+// thread announces TAMP_TSAN_RELEASE(p) when it hands `p` to the domain,
+// and the freeing thread announces TAMP_TSAN_ACQUIRE(p) just before
+// running the deleter.  This documents the proof obligation in the code
+// and keeps the tsan-clean test suite free of false positives without
+// blanket suppressions.
+//
+// TAMP_TSAN_IGNORE_* brackets are for deliberately racy *diagnostic*
+// reads (statistics counters, best-effort heuristics) — never for
+// synchronization.
+
+#pragma once
+
+#if defined(__SANITIZE_THREAD__)
+#define TAMP_TSAN_ENABLED 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define TAMP_TSAN_ENABLED 1
+#endif
+#endif
+
+#ifndef TAMP_TSAN_ENABLED
+#define TAMP_TSAN_ENABLED 0
+#endif
+
+#if TAMP_TSAN_ENABLED
+
+extern "C" {
+// Provided by the TSan runtime (sanitizer/tsan_interface.h); declared
+// here so the shim does not require sanitizer headers to be installed.
+void __tsan_acquire(void* addr);
+void __tsan_release(void* addr);
+void AnnotateIgnoreReadsBegin(const char* file, int line);
+void AnnotateIgnoreReadsEnd(const char* file, int line);
+void AnnotateIgnoreWritesBegin(const char* file, int line);
+void AnnotateIgnoreWritesEnd(const char* file, int line);
+}
+
+/// Publish a happens-before edge from this point...
+#define TAMP_TSAN_RELEASE(addr) __tsan_release((void*)(addr))
+/// ...to this point, keyed by `addr`.
+#define TAMP_TSAN_ACQUIRE(addr) __tsan_acquire((void*)(addr))
+/// Bracket deliberately racy diagnostic reads/writes.
+#define TAMP_TSAN_IGNORE_BEGIN()                      \
+    do {                                              \
+        AnnotateIgnoreReadsBegin(__FILE__, __LINE__); \
+        AnnotateIgnoreWritesBegin(__FILE__, __LINE__); \
+    } while (0)
+#define TAMP_TSAN_IGNORE_END()                      \
+    do {                                            \
+        AnnotateIgnoreReadsEnd(__FILE__, __LINE__); \
+        AnnotateIgnoreWritesEnd(__FILE__, __LINE__); \
+    } while (0)
+
+#else  // !TAMP_TSAN_ENABLED
+
+#define TAMP_TSAN_RELEASE(addr) ((void)0)
+#define TAMP_TSAN_ACQUIRE(addr) ((void)0)
+#define TAMP_TSAN_IGNORE_BEGIN() ((void)0)
+#define TAMP_TSAN_IGNORE_END() ((void)0)
+
+#endif  // TAMP_TSAN_ENABLED

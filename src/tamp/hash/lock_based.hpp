@@ -42,8 +42,10 @@ namespace detail {
 template <typename T, typename KeyOf>
 struct HashTableCore {
     std::vector<std::vector<T>> table;
-    std::atomic<std::size_t> set_size{0};
-    std::atomic<std::size_t> bucket_count;
+    // set_size is written by every add/remove; bucket_count only at
+    // resize but read on every policy check — separate their lines.
+    alignas(kCacheLineSize) std::atomic<std::size_t> set_size{0};
+    alignas(kCacheLineSize) std::atomic<std::size_t> bucket_count;
 
     explicit HashTableCore(std::size_t capacity)
         : table(capacity), bucket_count(capacity) {}
@@ -368,8 +370,9 @@ class RefinableHashSet {
     }
 
     detail::HashTableCore<T, KeyOf> core_;
-    std::atomic<LockArray*> locks_;
-    std::atomic<std::uintptr_t> owner_{0};
+    // Every operation acquires through locks_ while resizers CAS owner_.
+    alignas(kCacheLineSize) std::atomic<LockArray*> locks_;
+    alignas(kCacheLineSize) std::atomic<std::uintptr_t> owner_{0};
     std::vector<LockArray*> old_lock_arrays_;  // mutated only by resize owner
 };
 

@@ -29,6 +29,7 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "tamp/core/cacheline.hpp"
 #include "tamp/core/marked_ptr.hpp"
 #include "tamp/lists/keyed.hpp"
 #include "tamp/reclaim/epoch.hpp"
@@ -300,8 +301,10 @@ class SplitOrderedHashSet {
 
     std::size_t max_load_;
     Node* head_;  // bucket 0's sentinel (so_key == 0)
-    std::atomic<std::size_t> bucket_count_;
-    std::atomic<std::size_t> set_size_{0};
+    // set_size_ is bumped by every add/remove; bucket_count_ is read on
+    // every policy check — keep the hot counter off its line.
+    alignas(kCacheLineSize) std::atomic<std::size_t> bucket_count_;
+    alignas(kCacheLineSize) std::atomic<std::size_t> set_size_{0};
     std::atomic<std::atomic<Node*>*> segments_[kMaxSegments];
 };
 

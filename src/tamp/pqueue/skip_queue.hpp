@@ -137,6 +137,10 @@ class SkipQueue {
             if (!marked &&
                 !curr->claimed.load(std::memory_order_acquire)) {
                 bool expected = false;
+                // One attempt per node: the walk moves on past a lost
+                // claim, and a *spurious* failure here would skip an
+                // unclaimed minimum — _strong is required for the min
+                // guarantee.  tamp-lint: allow(cas-strong-loop)
                 if (curr->claimed.compare_exchange_strong(
                         expected, true, std::memory_order_acq_rel,
                         std::memory_order_acquire)) {

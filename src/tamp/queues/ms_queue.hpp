@@ -22,6 +22,7 @@
 #include <atomic>
 #include <utility>
 
+#include "tamp/core/cacheline.hpp"
 #include "tamp/reclaim/hazard_pointers.hpp"
 
 namespace tamp {
@@ -72,14 +73,14 @@ class LockFreeQueue {
             if (next == nullptr) return false;  // empty
             if (first == last) {
                 // Tail is lagging: help the slow enqueuer, then retry.
-                tail_.compare_exchange_strong(last, next,
-                                              std::memory_order_release,
-                                              std::memory_order_relaxed);
+                tail_.compare_exchange_weak(last, next,
+                                            std::memory_order_release,
+                                            std::memory_order_relaxed);
                 continue;
             }
-            if (head_.compare_exchange_strong(first, next,
-                                              std::memory_order_acq_rel,
-                                              std::memory_order_acquire)) {
+            if (head_.compare_exchange_weak(first, next,
+                                            std::memory_order_acq_rel,
+                                            std::memory_order_acquire)) {
                 // We own the transition: `next` is the new sentinel and
                 // only we read its value (still hazard-protected, so it
                 // cannot be freed under us even after later dequeues).
@@ -102,10 +103,12 @@ class LockFreeQueue {
             if (next == nullptr) {
                 // Linearization point on success: the node becomes
                 // reachable.
-                if (last->next.compare_exchange_strong(
+                if (last->next.compare_exchange_weak(
                         next, node, std::memory_order_release,
                         std::memory_order_relaxed)) {
-                    // Swing the tail; failure just means someone helped.
+                    // Swing the tail once; failure (even spurious) just
+                    // means the lagging-tail repair falls to whoever next
+                    // notices.  tamp-lint: allow(cas-strong-loop)
                     tail_.compare_exchange_strong(last, node,
                                                   std::memory_order_release,
                                                   std::memory_order_relaxed);
@@ -113,15 +116,16 @@ class LockFreeQueue {
                 }
             } else {
                 // Tail lagging: help before retrying.
-                tail_.compare_exchange_strong(last, next,
-                                              std::memory_order_release,
-                                              std::memory_order_relaxed);
+                tail_.compare_exchange_weak(last, next,
+                                            std::memory_order_release,
+                                            std::memory_order_relaxed);
             }
         }
     }
 
-    std::atomic<Node*> head_;
-    std::atomic<Node*> tail_;
+    // Dequeuers hammer head_, enqueuers tail_: separate their lines.
+    alignas(kCacheLineSize) std::atomic<Node*> head_;
+    alignas(kCacheLineSize) std::atomic<Node*> tail_;
 };
 
 }  // namespace tamp

@@ -23,6 +23,7 @@
 #include <memory>
 
 #include "tamp/core/backoff.hpp"
+#include "tamp/core/cacheline.hpp"
 #include "tamp/reclaim/epoch.hpp"
 
 namespace tamp {
@@ -75,15 +76,18 @@ class SynchronousDualQueue {
                 Node* n = t->next.load(std::memory_order_acquire);
                 if (t != tail_.load(std::memory_order_acquire)) continue;
                 if (n != nullptr) {  // lagging tail: help
-                    tail_.compare_exchange_strong(t, n,
-                                                  std::memory_order_release,
-                                                  std::memory_order_relaxed);
+                    tail_.compare_exchange_weak(t, n,
+                                                std::memory_order_release,
+                                                std::memory_order_relaxed);
                     continue;
                 }
                 Node* expected = nullptr;
-                if (t->next.compare_exchange_strong(
+                if (t->next.compare_exchange_weak(
                         expected, offer, std::memory_order_release,
                         std::memory_order_relaxed)) {
+                    // Single-attempt tail swing; a loser (even a spurious
+                    // one) leaves repair to whoever next sees the lag.
+                    // tamp-lint: allow(cas-strong-loop)
                     tail_.compare_exchange_strong(t, offer,
                                                   std::memory_order_release,
                                                   std::memory_order_relaxed);
@@ -95,6 +99,9 @@ class SynchronousDualQueue {
                     // Fulfilled: lazily advance head past our node.
                     Node* hh = head_.load(std::memory_order_acquire);
                     if (offer == hh->next.load(std::memory_order_acquire)) {
+                        // Single attempt: exactly one advancer may retire
+                        // hh, and a loser must NOT retry (head may be far
+                        // past hh by then).  tamp-lint: allow(cas-strong-loop)
                         if (head_.compare_exchange_strong(
                                 hh, offer, std::memory_order_acq_rel,
                                 std::memory_order_relaxed)) {
@@ -112,9 +119,16 @@ class SynchronousDualQueue {
                     continue;
                 }
                 T* expected = nullptr;
+                // Fulfillment must not fail spuriously: head is advanced
+                // past n below regardless, so a false failure here would
+                // strand the reservation's waiter forever.
+                // tamp-lint: allow(cas-strong-loop)
                 const bool success = n->item.compare_exchange_strong(
                     expected, value, std::memory_order_acq_rel,
                     std::memory_order_relaxed);
+                // Single-attempt head advance; the loser's node was
+                // already passed by the winner.
+                // tamp-lint: allow(cas-strong-loop)
                 if (head_.compare_exchange_strong(
                         h, n, std::memory_order_acq_rel,
                         std::memory_order_relaxed)) {
@@ -141,16 +155,18 @@ class SynchronousDualQueue {
                 // and wait for a producer to fill it.
                 Node* n = t->next.load(std::memory_order_acquire);
                 if (t != tail_.load(std::memory_order_acquire)) continue;
-                if (n != nullptr) {
-                    tail_.compare_exchange_strong(t, n,
-                                                  std::memory_order_release,
-                                                  std::memory_order_relaxed);
+                if (n != nullptr) {  // lagging tail: help
+                    tail_.compare_exchange_weak(t, n,
+                                                std::memory_order_release,
+                                                std::memory_order_relaxed);
                     continue;
                 }
                 Node* expected = nullptr;
-                if (t->next.compare_exchange_strong(
+                if (t->next.compare_exchange_weak(
                         expected, reservation, std::memory_order_release,
                         std::memory_order_relaxed)) {
+                    // Single-attempt tail swing, as in enqueue().
+                    // tamp-lint: allow(cas-strong-loop)
                     tail_.compare_exchange_strong(t, reservation,
                                                   std::memory_order_release,
                                                   std::memory_order_relaxed);
@@ -168,6 +184,8 @@ class SynchronousDualQueue {
                     Node* hh = head_.load(std::memory_order_acquire);
                     if (reservation ==
                         hh->next.load(std::memory_order_acquire)) {
+                        // Single attempt, as in enqueue(): only the
+                        // winner retires hh.  tamp-lint: allow(cas-strong-loop)
                         if (head_.compare_exchange_strong(
                                 hh, reservation, std::memory_order_acq_rel,
                                 std::memory_order_relaxed)) {
@@ -187,11 +205,17 @@ class SynchronousDualQueue {
                     continue;
                 }
                 T* value = n->item.load(std::memory_order_acquire);
+                // As in enqueue(): a spurious failure would let head pass
+                // an untaken item, losing the value and stranding its
+                // producer.
                 const bool success =
                     value != nullptr &&
+                    // tamp-lint: allow(cas-strong-loop)
                     n->item.compare_exchange_strong(
                         value, nullptr, std::memory_order_acq_rel,
                         std::memory_order_relaxed);
+                // Single-attempt head advance.
+                // tamp-lint: allow(cas-strong-loop)
                 if (head_.compare_exchange_strong(
                         h, n, std::memory_order_acq_rel,
                         std::memory_order_relaxed)) {
@@ -208,8 +232,9 @@ class SynchronousDualQueue {
     }
 
   private:
-    std::atomic<Node*> head_;
-    std::atomic<Node*> tail_;
+    // Fulfillers hammer head_, appenders tail_: separate their lines.
+    alignas(kCacheLineSize) std::atomic<Node*> head_;
+    alignas(kCacheLineSize) std::atomic<Node*> tail_;
 };
 
 }  // namespace tamp

@@ -4,6 +4,8 @@
 #include <mutex>
 #include <vector>
 
+#include "tamp/check/tsan_annotate.hpp"
+
 namespace tamp {
 
 namespace {
@@ -26,9 +28,9 @@ struct EpochDomain::Impl {
         std::uint32_t nesting = 0;
     };
 
-    std::atomic<std::uint64_t> global_epoch{0};
+    alignas(kCacheLineSize) std::atomic<std::uint64_t> global_epoch{0};
     ThreadRecord records[kMaxThreads];
-    std::atomic<std::size_t> max_tid{0};
+    alignas(kCacheLineSize) std::atomic<std::size_t> max_tid{0};
 
     // Retired nodes, bucketed by the epoch they were retired in (mod 3):
     // bucket (e - 2) mod 3 is free to reclaim once global epoch is e.
@@ -37,11 +39,13 @@ struct EpochDomain::Impl {
     std::mutex bucket_mu;
     std::vector<RetiredNode> buckets[3];
 
-    std::atomic<std::size_t> pending_count{0};
-    std::atomic<std::size_t> since_collect{0};
+    alignas(kCacheLineSize) std::atomic<std::size_t> pending_count{0};
+    alignas(kCacheLineSize) std::atomic<std::size_t> since_collect{0};
 
     void note_tid(std::size_t tid) {
+        // Monotonic-max bookkeeping only, as in HazardDomain.
         std::size_t seen = max_tid.load(std::memory_order_relaxed);
+        // tamp-lint: allow(cas-relaxed-success)
         while (tid > seen && !max_tid.compare_exchange_weak(
                                  seen, tid, std::memory_order_relaxed)) {
         }
@@ -76,6 +80,11 @@ void EpochDomain::exit() {
 }
 
 void EpochDomain::retire(void* p, void (*deleter)(void*)) {
+    // The retirer's accesses to *p happen-before the eventual free two
+    // epochs later.  The grace-period argument rides on seq_cst pin
+    // publication, which TSan cannot follow onto `p` itself; state the
+    // edge explicitly (paired with ACQUIRE in collect()).
+    TAMP_TSAN_RELEASE(p);
     const std::uint64_t e =
         impl_->global_epoch.load(std::memory_order_acquire);
     {
@@ -117,6 +126,7 @@ void EpochDomain::collect() {
         to_free.swap(impl_->buckets[(e + 1) % 3]);
     }
     for (const RetiredNode& rn : to_free) {
+        TAMP_TSAN_ACQUIRE(rn.ptr);  // pairs with RELEASE in retire()
         rn.deleter(rn.ptr);
         impl_->pending_count.fetch_sub(1, std::memory_order_relaxed);
     }

@@ -7,6 +7,8 @@
 #include <unordered_set>
 #include <vector>
 
+#include "tamp/check/tsan_annotate.hpp"
+
 namespace tamp {
 
 namespace {
@@ -25,13 +27,13 @@ struct HazardDomain::Impl {
 
     SlotBlock blocks[kMaxThreads];
     // Highest thread id that has ever touched a slot: bounds scan cost.
-    std::atomic<std::size_t> max_tid{0};
+    alignas(kCacheLineSize) std::atomic<std::size_t> max_tid{0};
 
     // Retirees orphaned by exited threads, adopted by later scans.
     std::mutex orphan_mu;
     std::vector<RetiredNode> orphans;
 
-    std::atomic<std::size_t> pending_count{0};
+    alignas(kCacheLineSize) std::atomic<std::size_t> pending_count{0};
 };
 
 namespace {
@@ -82,7 +84,10 @@ std::atomic<const void*>& HazardDomain::slot(std::size_t k) {
     assert(k < kSlotsPerThread);
     const std::size_t tid = thread_id();
     // Keep the scan bound tight: remember the highest slot-block in use.
+    // Monotonic-max bookkeeping only — the scan's acquire load pairs with
+    // the slot stores, not with this.
     std::size_t seen = impl_->max_tid.load(std::memory_order_relaxed);
+    // tamp-lint: allow(cas-relaxed-success)
     while (tid > seen && !impl_->max_tid.compare_exchange_weak(
                              seen, tid, std::memory_order_relaxed)) {
     }
@@ -91,6 +96,11 @@ std::atomic<const void*>& HazardDomain::slot(std::size_t k) {
 
 void HazardDomain::retire(void* p, void (*deleter)(void*)) {
     auto& lr = local_retired();
+    // The retirer's accesses to *p happen-before the eventual free.  TSan
+    // cannot derive this edge from the hazard-scan argument (it rides on
+    // the seq_cst total order of slot publications, not on a
+    // release/acquire pair on `p` itself), so state it explicitly.
+    TAMP_TSAN_RELEASE(p);
     lr.nodes.push_back(RetiredNode{p, deleter});
     impl_->pending_count.fetch_add(1, std::memory_order_relaxed);
     if (lr.nodes.size() >= kScanThreshold) scan();
@@ -126,6 +136,7 @@ void HazardDomain::scan() {
         if (protected_ptrs.count(rn.ptr) != 0) {
             keep.push_back(rn);
         } else {
+            TAMP_TSAN_ACQUIRE(rn.ptr);  // pairs with RELEASE in retire()
             rn.deleter(rn.ptr);
             impl_->pending_count.fetch_sub(1, std::memory_order_relaxed);
         }

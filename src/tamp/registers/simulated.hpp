@@ -11,6 +11,11 @@
 // provide SimulatedSafeRegister: a register that honours safe semantics
 // and nothing more.  A read that overlaps a write returns garbage, exactly
 // the adversary the book's proofs quantify over.
+//
+// The atomics inside each simulated register are the *components of one
+// logical cell* (version word beside the value it guards), always read
+// and written together by design — padding them apart would misrepresent
+// the very cell being simulated.  tamp-lint: allow-file(atomic-align)
 
 #pragma once
 

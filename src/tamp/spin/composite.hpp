@@ -107,6 +107,9 @@ class CompositeLock {
             static_cast<std::uint32_t>(size_));
         while (true) {
             State expected = State::kFree;
+            // One attempt; the failure path below inspects the occupant's
+            // state and may steal the node instead of re-CASing.
+            // tamp-lint: allow(cas-strong-loop)
             if (waiting_[node].value.state.compare_exchange_strong(
                     expected, State::kWaiting, std::memory_order_acq_rel,
                     std::memory_order_acquire)) {

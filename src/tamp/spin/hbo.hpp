@@ -44,6 +44,10 @@ class HBOLock {
         Backoff remote_backoff(remote_min_, remote_max_);
         while (true) {
             int expected = kFree;
+            // _strong on purpose: the failure value `expected` keys the
+            // backoff policy (local vs remote holder); a spurious failure
+            // would leave kFree there and misclassify the holder.
+            // tamp-lint: allow(cas-strong-loop)
             if (state_.compare_exchange_strong(expected, my_cluster,
                                                std::memory_order_acquire,
                                                std::memory_order_relaxed)) {

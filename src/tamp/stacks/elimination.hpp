@@ -79,9 +79,11 @@ class EliminationBackoffStack : private LockFreeStack<T> {
     bool try_pop(T& out) {
         HazardSlot<Node> hp;
         while (true) {
-            // One bare attempt at the stack (tryPop of Fig. 11.7).
+            // One bare attempt at the stack (tryPop of Fig. 11.7); a lost
+            // CAS routes to the elimination array, not a retry.
             Node* top = hp.protect(this->top_);
             if (top == nullptr) return false;
+            // tamp-lint: allow(cas-strong-loop)
             if (this->top_.compare_exchange_strong(
                     top, top->next, std::memory_order_acq_rel,
                     std::memory_order_acquire)) {

@@ -44,7 +44,8 @@ class LockFreeExchanger {
             std::uintptr_t seen = slot_.load(std::memory_order_acquire);
             switch (seen & kTagMask) {
                 case kEmpty: {
-                    // Try to become the waiter.
+                    // Try to become the waiter; one attempt, then reassess
+                    // the slot state.  tamp-lint: allow(cas-strong-loop)
                     if (slot_.compare_exchange_strong(
                             seen, pack(my_item, kWaiting),
                             std::memory_order_acq_rel,
@@ -62,7 +63,10 @@ class LockFreeExchanger {
                             w.spin();
                         }
                         // Timed out: withdraw, unless a partner slipped in.
+                        // Must be _strong: failure is *proof* the slot went
+                        // BUSY, which a spurious failure would fake.
                         std::uintptr_t expected = pack(my_item, kWaiting);
+                        // tamp-lint: allow(cas-strong-loop)
                         if (slot_.compare_exchange_strong(
                                 expected, kEmpty, std::memory_order_acq_rel,
                                 std::memory_order_acquire)) {
@@ -79,7 +83,8 @@ class LockFreeExchanger {
                     break;  // lost the race; reassess
                 }
                 case kWaiting: {
-                    // Someone is waiting: commit the exchange.
+                    // Someone is waiting: commit the exchange.  One
+                    // attempt, then reassess.  tamp-lint: allow(cas-strong-loop)
                     if (slot_.compare_exchange_strong(
                             seen, pack(my_item, kBusy),
                             std::memory_order_acq_rel,

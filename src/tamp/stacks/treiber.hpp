@@ -57,9 +57,9 @@ class LockFreeStack {
         while (true) {
             Node* top = hp.protect(top_);
             if (top == nullptr) return false;
-            if (top_.compare_exchange_strong(top, top->next,
-                                             std::memory_order_acq_rel,
-                                             std::memory_order_acquire)) {
+            if (top_.compare_exchange_weak(top, top->next,
+                                           std::memory_order_acq_rel,
+                                           std::memory_order_acquire)) {
                 out = std::move(top->value);
                 hazard_retire(top);
                 return true;

@@ -27,6 +27,7 @@
 #include <type_traits>
 #include <vector>
 
+#include "tamp/core/cacheline.hpp"
 #include "tamp/core/marked_ptr.hpp"
 
 namespace tamp {
@@ -223,9 +224,11 @@ class WorkStealingDeque {
         return bigger;
     }
 
-    std::atomic<Ring*> ring_;
-    std::atomic<std::uint64_t> bottom_{0};
-    std::atomic<std::uint64_t> top_{0};
+    // The owner hammers bottom_ while thieves CAS top_ (§16.5 discusses
+    // exactly this contention): give each index its own line.
+    alignas(kCacheLineSize) std::atomic<Ring*> ring_;
+    alignas(kCacheLineSize) std::atomic<std::uint64_t> bottom_{0};
+    alignas(kCacheLineSize) std::atomic<std::uint64_t> top_{0};
     std::vector<Ring*> old_rings_;  // owner-only
 };
 

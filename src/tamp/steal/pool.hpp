@@ -145,8 +145,9 @@ class WorkStealingPool {
     std::vector<Padded<WorkStealingDeque<Task*>>> deques_;
     LockFreeQueue<Task*> injected_;
     std::vector<std::thread> workers_;
-    std::atomic<bool> stop_{false};
-    std::atomic<std::size_t> pending_{0};
+    // Workers poll stop_ while every submit/finish bumps pending_.
+    alignas(kCacheLineSize) std::atomic<bool> stop_{false};
+    alignas(kCacheLineSize) std::atomic<std::size_t> pending_{0};
 
     static thread_local int current_worker_;
     static thread_local WorkStealingPool* current_pool_;

@@ -190,7 +190,7 @@ class OFreeTransaction {
             fresh->old_version = current;
             fresh->new_version = new Box{value};
             fresh->box_deleter = old_loc->box_deleter;
-            if (base->locator.compare_exchange_strong(
+            if (base->locator.compare_exchange_weak(
                     old_loc, fresh, std::memory_order_acq_rel,
                     std::memory_order_acquire)) {
                 written_[base] = fresh;

@@ -7,6 +7,7 @@
 #pragma once
 
 #include "tamp/barrier/barriers.hpp"
+#include "tamp/check/check.hpp"
 #include "tamp/consensus/consensus.hpp"
 #include "tamp/consensus/universal.hpp"
 #include "tamp/core/core.hpp"

@@ -1,0 +1,384 @@
+#!/usr/bin/env python3
+"""Custom atomics lint for the tamp codebase.
+
+Four rules, each encoding a convention the concurrent code is expected to
+follow (see README "Correctness tooling"):
+
+  cas-strong-loop      compare_exchange_strong inside a loop body or loop
+                       condition.  In a retry loop the failure path
+                       re-reads and retries anyway, so the cheaper
+                       compare_exchange_weak (which may fail spuriously)
+                       suffices; _strong in a loop is either a missed
+                       optimization or — when the single-attempt semantics
+                       are intentional, e.g. helping CASes and elimination
+                       hand-offs — deserves an explicit annotation.
+
+  cas-relaxed-success  compare_exchange_{weak,strong} whose *success*
+                       ordering is memory_order_relaxed.  A successful CAS
+                       is nearly always a publication or acquisition point;
+                       relaxed success is legal only for pure bookkeeping
+                       (statistics, monotonic maxima) and must say so.
+
+  volatile-sync        `volatile` used outside `asm volatile`.  volatile is
+                       not a synchronization primitive in C++; shared state
+                       must be std::atomic.
+
+  atomic-align         a class declaring two or more std::atomic data
+                       members where some (non-array) member lacks alignas
+                       cache-line padding: adjacent hot atomics false-share
+                       (Herlihy & Shavit App. B.6).  Members of *nested*
+                       structs (queue/list nodes, per-thread records) are
+                       exempt — padding every node would bloat the very
+                       structures the book sizes carefully.
+
+Escape hatch: a finding on line N is suppressed when line N or line N-1
+carries `// tamp-lint: allow(<rule>)` (comma-separate several rules), and
+a whole file opts out of one rule with `// tamp-lint: allow-file(<rule>)`.
+Use the hatch with a reason in the surrounding comment; bare allows are
+poor form.
+
+Exit status: 0 when clean, 1 when any unsuppressed finding remains,
+2 on usage errors.
+"""
+
+import argparse
+import os
+import re
+import sys
+
+RULES = {
+    "cas-strong-loop": "compare_exchange_strong in a loop; _weak suffices "
+                       "in retry loops (annotate if single-attempt "
+                       "semantics are intentional)",
+    "cas-relaxed-success": "CAS success ordering is memory_order_relaxed; "
+                           "successful CAS is usually an acquire/release "
+                           "point",
+    "volatile-sync": "volatile is not a synchronization primitive; use "
+                     "std::atomic",
+    "atomic-align": "adjacent atomic members false-share; pad hot atomics "
+                    "with alignas(kCacheLineSize)",
+}
+
+ALLOW_RE = re.compile(r"tamp-lint:\s*allow\(([a-z\-, ]+)\)")
+ALLOW_FILE_RE = re.compile(r"tamp-lint:\s*allow-file\(([a-z\-, ]+)\)")
+
+LOOP_KEYWORDS = {"while", "for", "do"}
+CLASS_KEYWORDS = {"class", "struct", "union"}
+
+
+def collect_allows(raw_lines):
+    """Map rule -> set of suppressed line numbers (1-based); the special
+    line 0 means file-wide."""
+    allowed = {rule: set() for rule in RULES}
+    for i, line in enumerate(raw_lines, start=1):
+        m = ALLOW_FILE_RE.search(line)
+        if m:
+            for rule in re.split(r"[,\s]+", m.group(1).strip()):
+                if rule in allowed:
+                    allowed[rule].add(0)
+        m = ALLOW_RE.search(line)
+        if m:
+            for rule in re.split(r"[,\s]+", m.group(1).strip()):
+                if rule in allowed:
+                    allowed[rule].add(i)
+                    allowed[rule].add(i + 1)
+    return allowed
+
+
+def strip_comments_and_strings(text):
+    """Blank out comments, string and char literals, preserving offsets
+    and newlines so line numbers survive."""
+    out = list(text)
+    i, n = 0, len(text)
+    state = None  # None | 'line' | 'block' | 'str' | 'chr'
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state is None:
+            if c == "/" and nxt == "/":
+                state = "line"
+                out[i] = out[i + 1] = " "
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = "block"
+                out[i] = out[i + 1] = " "
+                i += 2
+                continue
+            if c == '"':
+                state = "str"
+                i += 1
+                continue
+            if c == "'":
+                state = "chr"
+                i += 1
+                continue
+        elif state == "line":
+            if c == "\n":
+                state = None
+            else:
+                out[i] = " "
+        elif state == "block":
+            if c == "*" and nxt == "/":
+                out[i] = out[i + 1] = " "
+                state = None
+                i += 2
+                continue
+            if c != "\n":
+                out[i] = " "
+        elif state in ("str", "chr"):
+            quote = '"' if state == "str" else "'"
+            if c == "\\":
+                out[i] = " "
+                if i + 1 < n and text[i + 1] != "\n":
+                    out[i + 1] = " "
+                i += 2
+                continue
+            if c == quote:
+                state = None
+            elif c != "\n":
+                out[i] = " "
+        i += 1
+    return "".join(out)
+
+
+WORD_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_]*")
+
+
+class Scope:
+    __slots__ = ("kind",)
+
+    def __init__(self, kind):
+        self.kind = kind  # 'loop' | 'class' | 'block'
+
+
+def matching_paren(text, open_idx):
+    depth = 0
+    for j in range(open_idx, len(text)):
+        if text[j] == "(":
+            depth += 1
+        elif text[j] == ")":
+            depth -= 1
+            if depth == 0:
+                return j
+    return len(text) - 1
+
+
+def matching_angle(text, open_idx):
+    """End of a template argument list starting at '<'; tolerates nested
+    <> and ()."""
+    depth = 0
+    for j in range(open_idx, len(text)):
+        c = text[j]
+        if c == "<":
+            depth += 1
+        elif c == ">":
+            depth -= 1
+            if depth == 0:
+                return j
+    return -1
+
+
+def line_of(text, idx, line_starts):
+    """1-based line number of offset idx (line_starts is sorted)."""
+    lo, hi = 0, len(line_starts) - 1
+    while lo < hi:
+        mid = (lo + hi + 1) // 2
+        if line_starts[mid] <= idx:
+            lo = mid
+        else:
+            hi = mid - 1
+    return lo + 1
+
+
+def scan_file(path, raw_text):
+    """Return list of findings: (line, rule, message)."""
+    text = strip_comments_and_strings(raw_text)
+    raw_lines = raw_text.splitlines()
+    line_starts = [0]
+    for m in re.finditer(r"\n", text):
+        line_starts.append(m.end())
+
+    findings = []
+    scopes = []  # Scope stack for { }
+    # Loop-condition regions: [(start, end)] of while/for parens.
+    cond_regions = []
+    pending = None  # keyword expected to tag the next '{'
+    # atomic members: class-scope-id -> list of dicts
+    class_members = {}
+    class_ids = []  # parallel to scopes: unique id for class scopes
+    next_class_id = [0]
+
+    def in_loop(idx):
+        if any(s.kind == "loop" for s in scopes):
+            return True
+        return any(a <= idx < b for a, b in cond_regions)
+
+    def innermost_class():
+        """Id of innermost class scope when the scope stack is exactly
+        [non-class..., one class] from the outside in — i.e. the member
+        belongs to a top-level (non-nested) class."""
+        classes = [cid for cid, s in zip(class_ids, scopes)
+                   if s.kind == "class"]
+        if len(classes) == 1 and scopes and scopes[-1].kind == "class":
+            return classes[0]
+        return None
+
+    i, n = 0, len(text)
+    last_word = None
+    while i < n:
+        c = text[i]
+        if c.isalpha() or c == "_":
+            m = WORD_RE.match(text, i)
+            word = m.group(0)
+            end = m.end()
+            if word in LOOP_KEYWORDS:
+                if word == "do":
+                    pending = "loop"
+                else:
+                    # Tag the condition parens; a `} while (...)` do-tail
+                    # also re-executes per iteration, so no distinction
+                    # needed.
+                    j = text.find("(", end)
+                    if j != -1 and text[end:j].strip() == "":
+                        close = matching_paren(text, j)
+                        cond_regions.append((j, close + 1))
+                        pending = "loop"
+            elif word in CLASS_KEYWORDS and last_word != "enum":
+                pending = "class"
+            elif word == "namespace":
+                pending = "block"
+            elif word == "volatile":
+                if last_word != "asm" and not text[end:].lstrip().startswith(
+                        "("):
+                    findings.append((line_of(text, i, line_starts),
+                                     "volatile-sync",
+                                     RULES["volatile-sync"]))
+            elif word in ("compare_exchange_strong",
+                          "compare_exchange_weak"):
+                line = line_of(text, i, line_starts)
+                if word == "compare_exchange_strong" and in_loop(i):
+                    findings.append((line, "cas-strong-loop",
+                                     RULES["cas-strong-loop"]))
+                j = text.find("(", end)
+                if j != -1:
+                    close = matching_paren(text, j)
+                    args = text[j:close + 1]
+                    orders = re.findall(r"memory_order_(\w+)", args)
+                    if orders and orders[0] == "relaxed":
+                        findings.append((line, "cas-relaxed-success",
+                                         RULES["cas-relaxed-success"]))
+            elif word == "atomic" and text[i - 5:i] == "std::":
+                cid = innermost_class()
+                if cid is not None and text[end:end + 1] == "<":
+                    close = matching_angle(text, end)
+                    rest = text[close + 1:close + 200] if close > 0 else ""
+                    m2 = re.match(r"\s*([A-Za-z_][A-Za-z0-9_]*)\s*"
+                                  r"([;\[{=])", rest)
+                    if m2:
+                        line = line_of(text, i, line_starts)
+                        decl_prefix = raw_lines[line - 1]
+                        prev = raw_lines[line - 2] if line >= 2 else ""
+                        class_members.setdefault(cid, []).append({
+                            "line": line,
+                            "name": m2.group(1),
+                            "is_array": m2.group(2) == "[",
+                            "has_alignas": "alignas" in decl_prefix
+                                           or "alignas" in prev,
+                        })
+            last_word = word
+            i = end
+            continue
+        if c == "{":
+            kind = pending if pending in ("loop", "class") else "block"
+            scopes.append(Scope(kind))
+            if kind == "class":
+                class_ids.append(next_class_id[0])
+                next_class_id[0] += 1
+            else:
+                class_ids.append(-1)
+            pending = None
+        elif c == "}":
+            if scopes:
+                scopes.pop()
+                class_ids.pop()
+        elif c == ";":
+            # `class Foo;` forward declaration: drop the pending tag.
+            if pending == "class":
+                pending = None
+        i += 1
+
+    for members in class_members.values():
+        if len(members) < 2:
+            continue
+        for mem in members:
+            if not mem["is_array"] and not mem["has_alignas"]:
+                findings.append((mem["line"], "atomic-align",
+                                 "atomic member '%s' %s" % (
+                                     mem["name"], RULES["atomic-align"])))
+    return findings
+
+
+def lint_path(path, rules):
+    with open(path, encoding="utf-8") as f:
+        raw = f.read()
+    allowed = collect_allows(raw.splitlines())
+    out = []
+    for line, rule, msg in scan_file(path, raw):
+        if rule not in rules:
+            continue
+        if 0 in allowed[rule] or line in allowed[rule]:
+            continue
+        out.append((path, line, rule, msg))
+    return out
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description="tamp atomics lint (see module docstring)")
+    ap.add_argument("--root", action="append", default=[],
+                    help="directory to scan recursively (repeatable); "
+                         "default: src/ next to this script")
+    ap.add_argument("--rule", action="append", default=[],
+                    choices=sorted(RULES), help="restrict to these rules")
+    ap.add_argument("--list-rules", action="store_true")
+    args = ap.parse_args()
+
+    if args.list_rules:
+        for rule in sorted(RULES):
+            print("%-20s %s" % (rule, RULES[rule]))
+        return 0
+
+    roots = args.root or [
+        os.path.join(os.path.dirname(os.path.abspath(__file__)), os.pardir,
+                     "src")
+    ]
+    rules = set(args.rule) if args.rule else set(RULES)
+
+    files = []
+    for root in roots:
+        if not os.path.isdir(root):
+            print("lint_atomics: no such directory: %s" % root,
+                  file=sys.stderr)
+            return 2
+        for dirpath, _, names in os.walk(root):
+            for name in sorted(names):
+                if name.endswith((".hpp", ".cpp", ".h", ".cc")):
+                    files.append(os.path.join(dirpath, name))
+
+    findings = []
+    for path in sorted(files):
+        findings.extend(lint_path(path, rules))
+
+    for path, line, rule, msg in findings:
+        print("%s:%d: [%s] %s" % (os.path.relpath(path), line, rule, msg))
+    if findings:
+        print("\nlint_atomics: %d finding(s) in %d file(s) scanned"
+              % (len(findings), len(files)), file=sys.stderr)
+        return 1
+    print("lint_atomics: clean (%d files scanned)" % len(files))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
