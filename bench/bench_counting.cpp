@@ -20,12 +20,14 @@ using tamp_bench::Shared;
 template <typename C, typename... Args>
 void counter_loop(benchmark::State& state, Args&&... args) {
     Shared<C>::setup(state, std::forward<Args>(args)...);
+    tamp_bench::counters_begin(state);
     for (auto _ : state) {
         benchmark::DoNotOptimize(
             Shared<C>::instance->get_and_increment());
     }
     state.SetItemsProcessed(state.iterations());
     Shared<C>::teardown(state);
+    tamp_bench::counters_publish(state);
 }
 
 void BM_SingleCounter(benchmark::State& s) { counter_loop<SingleCounter>(s); }

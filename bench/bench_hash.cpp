@@ -21,6 +21,7 @@ void hash_mix(benchmark::State& state, int contains_pct, int add_pct) {
         for (int v = 0; v < kKeyRange; v += 2) Shared<Set>::instance->add(v);
     }
     auto rng = tamp_bench::bench_rng(state);
+    tamp_bench::counters_begin(state);
     for (auto _ : state) {
         Set& set = *Shared<Set>::instance;
         const int v = static_cast<int>(rng.next_below(kKeyRange));
@@ -37,6 +38,7 @@ void hash_mix(benchmark::State& state, int contains_pct, int add_pct) {
     }
     state.SetItemsProcessed(state.iterations());
     Shared<Set>::teardown(state);
+    tamp_bench::counters_publish(state);
 }
 
 void BM_CoarseHash_Read(benchmark::State& s) {

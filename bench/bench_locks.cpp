@@ -28,6 +28,7 @@ template <typename Lock>
 void lock_loop(benchmark::State& state) {
     Shared<Lock>::setup(state);
     Shared<Protected>::setup(state);
+    tamp_bench::counters_begin(state);
     for (auto _ : state) {
         Lock& lock = *Shared<Lock>::instance;
         lock.lock();
@@ -37,6 +38,7 @@ void lock_loop(benchmark::State& state) {
     state.SetItemsProcessed(state.iterations());
     Shared<Protected>::teardown(state);
     Shared<Lock>::teardown(state);
+    tamp_bench::counters_publish(state);
 }
 
 void BM_TASLock(benchmark::State& s) { lock_loop<TASLock>(s); }

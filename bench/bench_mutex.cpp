@@ -25,6 +25,7 @@ template <typename Lock>
 void slotted_lock_loop(benchmark::State& state) {
     const auto me = static_cast<std::size_t>(state.thread_index());
     Shared<Protected>::setup(state);
+    tamp_bench::counters_begin(state);
     for (auto _ : state) {
         Lock& lock = *Shared<Lock>::instance;
         lock.lock(me);
@@ -33,6 +34,7 @@ void slotted_lock_loop(benchmark::State& state) {
     }
     state.SetItemsProcessed(state.iterations());
     Shared<Protected>::teardown(state);
+    tamp_bench::counters_publish(state);
 }
 
 void BM_Peterson(benchmark::State& state) {

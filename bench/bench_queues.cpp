@@ -22,6 +22,7 @@ using tamp_bench::Shared;
 template <typename Q, typename... Args>
 void pairs_loop(benchmark::State& state, Args&&... args) {
     Shared<Q>::setup(state, std::forward<Args>(args)...);
+    tamp_bench::counters_begin(state);
     for (auto _ : state) {
         Q& q = *Shared<Q>::instance;
         q.enqueue(42);
@@ -30,6 +31,7 @@ void pairs_loop(benchmark::State& state, Args&&... args) {
     }
     state.SetItemsProcessed(state.iterations());
     Shared<Q>::teardown(state);
+    tamp_bench::counters_publish(state);
 }
 
 void BM_BoundedQueue(benchmark::State& s) {

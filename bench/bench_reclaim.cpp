@@ -30,6 +30,7 @@ struct SharedBox {
 
 void BM_ReadUnprotected(benchmark::State& state) {
     Shared<SharedBox>::setup(state);
+    tamp_bench::counters_begin(state);
     for (auto _ : state) {
         Box* b = Shared<SharedBox>::instance->ptr.load(
             std::memory_order_acquire);
@@ -37,10 +38,12 @@ void BM_ReadUnprotected(benchmark::State& state) {
     }
     state.SetItemsProcessed(state.iterations());
     Shared<SharedBox>::teardown(state);
+    tamp_bench::counters_publish(state);
 }
 
 void BM_ReadHazardProtected(benchmark::State& state) {
     Shared<SharedBox>::setup(state);
+    tamp_bench::counters_begin(state);
     for (auto _ : state) {
         HazardSlot<Box> hp;
         Box* b = hp.protect(Shared<SharedBox>::instance->ptr);
@@ -48,6 +51,7 @@ void BM_ReadHazardProtected(benchmark::State& state) {
     }
     state.SetItemsProcessed(state.iterations());
     Shared<SharedBox>::teardown(state);
+    tamp_bench::counters_publish(state);
 }
 
 void BM_ReadHazardSlotReused(benchmark::State& state) {
@@ -55,16 +59,19 @@ void BM_ReadHazardSlotReused(benchmark::State& state) {
     // use (one slot per traversal, many protects).
     Shared<SharedBox>::setup(state);
     HazardSlot<Box> hp;
+    tamp_bench::counters_begin(state);
     for (auto _ : state) {
         Box* b = hp.protect(Shared<SharedBox>::instance->ptr);
         benchmark::DoNotOptimize(b->payload);
     }
     state.SetItemsProcessed(state.iterations());
     Shared<SharedBox>::teardown(state);
+    tamp_bench::counters_publish(state);
 }
 
 void BM_ReadEpochPinned(benchmark::State& state) {
     Shared<SharedBox>::setup(state);
+    tamp_bench::counters_begin(state);
     for (auto _ : state) {
         EpochGuard g;
         Box* b = Shared<SharedBox>::instance->ptr.load(
@@ -73,6 +80,7 @@ void BM_ReadEpochPinned(benchmark::State& state) {
     }
     state.SetItemsProcessed(state.iterations());
     Shared<SharedBox>::teardown(state);
+    tamp_bench::counters_publish(state);
 }
 
 TAMP_BENCH_THREADS(BM_ReadUnprotected);
@@ -81,19 +89,25 @@ TAMP_BENCH_THREADS(BM_ReadHazardSlotReused);
 TAMP_BENCH_THREADS(BM_ReadEpochPinned);
 
 void BM_ChurnHazardRetire(benchmark::State& state) {
+    tamp_bench::counters_begin(state);
     for (auto _ : state) {
         hazard_retire(new Box());
     }
+    tamp_bench::quiesce(state);
     if (state.thread_index() == 0) HazardDomain::global().drain();
     state.SetItemsProcessed(state.iterations());
+    tamp_bench::counters_publish(state);
 }
 void BM_ChurnEpochRetire(benchmark::State& state) {
+    tamp_bench::counters_begin(state);
     for (auto _ : state) {
         EpochGuard g;
         epoch_retire(new Box());
     }
+    tamp_bench::quiesce(state);
     if (state.thread_index() == 0) EpochDomain::global().drain();
     state.SetItemsProcessed(state.iterations());
+    tamp_bench::counters_publish(state);
 }
 void BM_ChurnPlainDelete(benchmark::State& state) {
     for (auto _ : state) {

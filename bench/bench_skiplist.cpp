@@ -22,6 +22,7 @@ void skip_mix(benchmark::State& state, int contains_pct, int add_pct) {
         for (int v = 0; v < kKeyRange; v += 2) Shared<Set>::instance->add(v);
     }
     auto rng = tamp_bench::bench_rng(state);
+    tamp_bench::counters_begin(state);
     for (auto _ : state) {
         Set& set = *Shared<Set>::instance;
         const int v = static_cast<int>(rng.next_below(kKeyRange));
@@ -38,6 +39,7 @@ void skip_mix(benchmark::State& state, int contains_pct, int add_pct) {
     }
     state.SetItemsProcessed(state.iterations());
     Shared<Set>::teardown(state);
+    tamp_bench::counters_publish(state);
 }
 
 void BM_LazySkip_Read(benchmark::State& s) {

@@ -16,6 +16,7 @@ using tamp_bench::Shared;
 template <typename S, typename... Args>
 void pairs_loop(benchmark::State& state, Args&&... args) {
     Shared<S>::setup(state, std::forward<Args>(args)...);
+    tamp_bench::counters_begin(state);
     for (auto _ : state) {
         S& stack = *Shared<S>::instance;
         stack.push(42);
@@ -24,6 +25,7 @@ void pairs_loop(benchmark::State& state, Args&&... args) {
     }
     state.SetItemsProcessed(state.iterations());
     Shared<S>::teardown(state);
+    tamp_bench::counters_publish(state);
 }
 
 void BM_TreiberStack(benchmark::State& s) {

@@ -29,6 +29,7 @@ void BM_Tl2Transfers(benchmark::State& state) {
     const auto n_accounts = static_cast<std::size_t>(state.range(0));
     Shared<Bank>::setup(state, n_accounts);
     auto rng = tamp_bench::bench_rng(state);
+    tamp_bench::counters_begin(state);
     for (auto _ : state) {
         Bank& bank = *Shared<Bank>::instance;
         const auto from = rng.next_below(static_cast<std::uint32_t>(n_accounts));
@@ -43,12 +44,14 @@ void BM_Tl2Transfers(benchmark::State& state) {
     }
     state.SetItemsProcessed(state.iterations());
     Shared<Bank>::teardown(state);
+    tamp_bench::counters_publish(state);
 }
 
 void BM_GlobalLockTransfers(benchmark::State& state) {
     const auto n_accounts = static_cast<std::size_t>(state.range(0));
     Shared<Bank>::setup(state, n_accounts);
     auto rng = tamp_bench::bench_rng(state);
+    tamp_bench::counters_begin(state);
     for (auto _ : state) {
         Bank& bank = *Shared<Bank>::instance;
         const auto from = rng.next_below(static_cast<std::uint32_t>(n_accounts));
@@ -63,6 +66,7 @@ void BM_GlobalLockTransfers(benchmark::State& state) {
     }
     state.SetItemsProcessed(state.iterations());
     Shared<Bank>::teardown(state);
+    tamp_bench::counters_publish(state);
 }
 
 struct OFreeBank {
@@ -74,6 +78,7 @@ void BM_OFreeTransfers(benchmark::State& state) {
     const auto n_accounts = static_cast<std::size_t>(state.range(0));
     Shared<OFreeBank>::setup(state, n_accounts);
     auto rng = tamp_bench::bench_rng(state);
+    tamp_bench::counters_begin(state);
     for (auto _ : state) {
         OFreeBank& bank = *Shared<OFreeBank>::instance;
         const auto from = rng.next_below(static_cast<std::uint32_t>(n_accounts));
@@ -88,6 +93,7 @@ void BM_OFreeTransfers(benchmark::State& state) {
     }
     state.SetItemsProcessed(state.iterations());
     Shared<OFreeBank>::teardown(state);
+    tamp_bench::counters_publish(state);
 }
 
 #define TAMP_STM_CASES(name)                                             \
@@ -107,6 +113,7 @@ TAMP_STM_CASES(BM_OFreeTransfers);
 // even readers).
 void BM_Tl2ReadOnlySum(benchmark::State& state) {
     Shared<Bank>::setup(state, std::size_t{256});
+    tamp_bench::counters_begin(state);
     for (auto _ : state) {
         Bank& bank = *Shared<Bank>::instance;
         const long total = atomically([&](Transaction& tx) {
@@ -120,9 +127,11 @@ void BM_Tl2ReadOnlySum(benchmark::State& state) {
     }
     state.SetItemsProcessed(state.iterations());
     Shared<Bank>::teardown(state);
+    tamp_bench::counters_publish(state);
 }
 void BM_GlobalLockReadOnlySum(benchmark::State& state) {
     Shared<Bank>::setup(state, std::size_t{256});
+    tamp_bench::counters_begin(state);
     for (auto _ : state) {
         Bank& bank = *Shared<Bank>::instance;
         const long total =
@@ -137,6 +146,7 @@ void BM_GlobalLockReadOnlySum(benchmark::State& state) {
     }
     state.SetItemsProcessed(state.iterations());
     Shared<Bank>::teardown(state);
+    tamp_bench::counters_publish(state);
 }
 BENCHMARK(BM_Tl2ReadOnlySum)->Threads(1)->Threads(4)->UseRealTime();
 BENCHMARK(BM_GlobalLockReadOnlySum)->Threads(1)->Threads(4)->UseRealTime();

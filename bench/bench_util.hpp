@@ -9,23 +9,72 @@
 // SINGLE CPU, so "threads" here means oversubscription, not parallelism —
 // see EXPERIMENTS.md for how that shifts (and sometimes inverts) the
 // book's curves and which qualitative claims survive.
+//
+// Telemetry: when the library is built with TAMP_STATS=ON, every benchmark
+// that calls counters_begin()/counters_publish() reports the tamp::obs
+// counter deltas for its timing region as `tamp.*` user counters in the
+// google-benchmark output; tools/bench_report.py turns that into
+// BENCH_<family>.json and diffs runs (the perf-regression gate).
 
 #pragma once
 
 #include <benchmark/benchmark.h>
 
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <thread>
 
 #include "tamp/core/random.hpp"
+#include "tamp/obs/counter.hpp"
 
 namespace tamp_bench {
 
-/// One shared instance per benchmark run, created/destroyed by thread 0
-/// (the multithreaded setup pattern from the benchmark docs; the implicit
-/// barrier at the loop start publishes the pointer to all threads).
+namespace detail {
+
+/// Sense-reversing barrier for benchmark teardown.  google-benchmark
+/// synchronizes worker threads at the *start* of the timing loop but not
+/// after it, so "thread 0 deletes the shared instance after its loop"
+/// races threads still inside theirs.  Every thread instead arrives here;
+/// the last arrival runs `last` (the delete) before releasing the rest,
+/// and the generation bump keeps late spinners safe across repetitions.
+class TeardownBarrier {
+  public:
+    template <typename LastFn>
+    void arrive_and_wait(int parties, LastFn&& last) {
+        const std::uint64_t gen = generation_.load(std::memory_order_acquire);
+        if (arrived_.fetch_add(1, std::memory_order_acq_rel) + 1 == parties) {
+            last();
+            arrived_.store(0, std::memory_order_relaxed);
+            generation_.store(gen + 1, std::memory_order_release);
+        } else {
+            while (generation_.load(std::memory_order_acquire) == gen) {
+                std::this_thread::yield();
+            }
+        }
+    }
+
+  private:
+    std::atomic<int> arrived_{0};
+    // tamp-lint: allow(atomic-align) — teardown-only, not a hot path.
+    std::atomic<std::uint64_t> generation_{0};
+};
+
+}  // namespace detail
+
+/// One shared instance per benchmark run, created by thread 0 (the
+/// multithreaded setup pattern from the benchmark docs; the implicit
+/// barrier at the loop start publishes the pointer to all threads) and
+/// deleted by the *last* thread to leave the timing loop — thread 0
+/// deleting unconditionally was a use-after-free under
+/// `--benchmark_repetitions` whenever another thread was still draining
+/// its final iterations.
 template <typename T>
 struct Shared {
     static inline T* instance = nullptr;
+    static inline detail::TeardownBarrier barrier{};
 
     template <typename... Args>
     static void setup(benchmark::State& state, Args&&... args) {
@@ -35,10 +84,10 @@ struct Shared {
     }
 
     static void teardown(benchmark::State& state) {
-        if (state.thread_index() == 0) {
+        barrier.arrive_and_wait(state.threads(), [] {
             delete instance;
             instance = nullptr;
-        }
+        });
     }
 };
 
@@ -50,12 +99,79 @@ inline tamp::XorShift64 bench_rng(const benchmark::State& state) {
         (static_cast<std::uint64_t>(state.thread_index()) * 0x1000193));
 }
 
-/// The standard thread ladder for every family.  One physical CPU means
-/// these measure contention/oversubscription behaviour, which is exactly
-/// what distinguishes the algorithms.
-constexpr int kThreadLadder[] = {1, 2, 4, 8};
+/// The standard thread ladder.  On one physical CPU the upper rungs
+/// measure contention/oversubscription behaviour, which is exactly what
+/// distinguishes the algorithms; on a real multi-core runner the ladder
+/// climbs into genuine parallelism before it saturates.
+constexpr int kThreadLadder[] = {1, 2, 4, 8, 16, 32, 64, 128};
+
+/// Ladder cap: 2x the hardware, so multi-core runners get a few rungs of
+/// oversubscription but not a ladder of nothing else.  Floored at 8 to
+/// preserve the book-comparable 1/2/4/8 series on tiny (1-2 CPU) hosts.
+inline int bench_thread_cap() {
+    const unsigned hw = std::thread::hardware_concurrency();
+    const int cap = 2 * static_cast<int>(hw == 0 ? 1 : hw);
+    return cap < 8 ? 8 : cap;
+}
+
+/// Registration hook for TAMP_BENCH_THREADS: one run per ladder rung
+/// within the cap.
+inline void thread_ladder(benchmark::internal::Benchmark* b) {
+    for (int t : kThreadLadder) {
+        if (t <= bench_thread_cap()) b->Threads(t);
+    }
+    b->UseRealTime();
+}
+
+namespace detail {
+/// Baseline snapshot for the current benchmark run (thread 0 only).
+inline std::map<std::string, std::uint64_t>& counter_baseline() {
+    static std::map<std::string, std::uint64_t> m;
+    return m;
+}
+}  // namespace detail
+
+/// Latch the tamp::obs counter baseline.  Call on every thread after
+/// setup, before the timing loop: thread 0 snapshots, the rest no-op, and
+/// the loop-start barrier orders the snapshot before any iteration.
+inline void counters_begin(const benchmark::State& state) {
+    if (state.thread_index() != 0) return;
+    auto& base = detail::counter_baseline();
+    base.clear();
+    for (const auto& s : tamp::obs::snapshot()) base[s.name] = s.value;
+}
+
+/// Quiescence barrier with nothing to delete: benchmarks with no Shared<>
+/// instance call this between the timing loop and counters_publish() so
+/// the sweep still observes every worker's final increments.
+inline void quiesce(benchmark::State& state) {
+    static detail::TeardownBarrier barrier;
+    barrier.arrive_and_wait(state.threads(), [] {});
+}
+
+/// Publish the per-run counter deltas as `tamp.*` benchmark counters.
+/// Call after Shared<>::teardown (whose barrier guarantees every worker
+/// has left the timing loop, making the sweep exact).  With TAMP_STATS
+/// off the snapshot is empty and nothing is published.
+inline void counters_publish(benchmark::State& state) {
+    if (state.thread_index() != 0) return;
+    const auto& base = detail::counter_baseline();
+    for (const auto& s : tamp::obs::snapshot()) {
+        const auto it = base.find(s.name);
+        const std::uint64_t before = it == base.end() ? 0 : it->second;
+        // Sum counters report the delta for this run; high-water marks
+        // are not meaningfully diffable, so report the absolute mark.
+        const std::uint64_t v = s.kind == tamp::obs::counter_kind::kMax
+                                    ? s.value
+                                    : s.value - before;
+        if (v != 0) {
+            state.counters[std::string("tamp.") + s.name] =
+                static_cast<double>(v);
+        }
+    }
+}
 
 }  // namespace tamp_bench
 
 #define TAMP_BENCH_THREADS(name) \
-    BENCHMARK(name)->Threads(1)->Threads(2)->Threads(4)->Threads(8)->UseRealTime()
+    BENCHMARK(name)->Apply(tamp_bench::thread_ladder)

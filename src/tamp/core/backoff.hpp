@@ -16,6 +16,9 @@
 #include <thread>
 
 #include "tamp/core/random.hpp"
+#include "tamp/obs/counter.hpp"
+#include "tamp/obs/events.hpp"
+#include "tamp/obs/trace.hpp"
 
 #if defined(__x86_64__) || defined(__i386__)
 #include <immintrin.h>
@@ -57,6 +60,10 @@ inline void spin_for(std::uint32_t n) noexcept {
 class SpinWait {
   public:
     void spin() noexcept {
+        // Every spin loop in the library funnels through here, so this one
+        // counter is the global spin-iteration meter (no-op unless
+        // TAMP_STATS).
+        obs::counter<obs::ev::spin_iters>::inc();
         if (spins_ < kSpinLimit) {
             cpu_relax();
             ++spins_;
@@ -92,6 +99,9 @@ class Backoff {
     /// Pause for a random duration and escalate the limit.
     void backoff() noexcept {
         const std::uint32_t delay = rng_.next_below(limit_) + 1;
+        obs::counter<obs::ev::backoff_entries>::inc();
+        obs::counter<obs::ev::backoff_units>::inc(delay);
+        obs::trace(obs::trace_ev::kBackoff, delay);
         spin_for(delay);
         if (limit_ < max_ / 2) {
             limit_ *= 2;

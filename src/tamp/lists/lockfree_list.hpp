@@ -23,6 +23,8 @@
 
 #include "tamp/core/marked_ptr.hpp"
 #include "tamp/lists/keyed.hpp"
+#include "tamp/obs/counter.hpp"
+#include "tamp/obs/events.hpp"
 #include "tamp/reclaim/epoch.hpp"
 
 namespace tamp {
@@ -73,6 +75,7 @@ class LockFreeListSet {
                 return true;
             }
             delete node;  // never published: plain delete is fine
+            obs::counter<obs::ev::list_cas_retries>::inc();
         }
     }
 
@@ -90,6 +93,7 @@ class LockFreeListSet {
             // thread marked it (or the successor changed): retry the mark
             // against the fresh successor via a full re-find.
             if (!curr->next.attempt_mark(succ, true)) {
+                obs::counter<obs::ev::list_cas_retries>::inc();
                 continue;
             }
             // Best-effort physical unlink; find() will finish the job if
@@ -138,6 +142,7 @@ class LockFreeListSet {
                     // CAS means pred's next changed — start over.
                     if (!pred->next.compare_and_set(curr, succ, false,
                                                     false)) {
+                        obs::counter<obs::ev::list_find_restarts>::inc();
                         goto retry;
                     }
                     epoch_retire(curr);

@@ -1,0 +1,222 @@
+// tamp/obs/counter.hpp
+//
+// Per-thread sharded statistical counters — perfbook's canonical
+// low-overhead instrumentation substrate (McKenney ch. 5), adapted from
+// per-CPU to per-registered-thread:
+//
+//  * one cache-line-padded slot per dense thread id (core/thread_registry);
+//  * the owner thread updates its slot with relaxed load+store — no RMW,
+//    no fence, no shared-line traffic;
+//  * a reader sweeps all slots and sums (or maxes).  The sweep is racy by
+//    design: it may miss in-flight updates, but every slot is a monotone
+//    atomic, so sweeps are coherent per slot and exact once writers
+//    quiesce.
+//
+// Exactness argument: two *live* threads never share a dense id, so each
+// slot has one writer at a time; recycled ids accumulate into the same
+// slot, which preserves totals.
+//
+// Counters register themselves in a global intrusive list on first use, so
+// the benchmark harness can sweep "everything that moved" without a
+// central manifest (see snapshot() and bench/bench_util.hpp).
+
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "tamp/core/cacheline.hpp"
+#include "tamp/core/thread_registry.hpp"
+#include "tamp/obs/config.hpp"
+
+namespace tamp::obs {
+
+/// How a counter's per-thread slots combine into one number.
+enum class counter_kind : std::uint8_t { kSum, kMax };
+
+/// Registry node, one per counter type ever touched in this process.
+/// Lives inside the counter's (leaked) slot block; never freed.
+struct counter_info {
+    const char* name;
+    counter_kind kind;
+    std::uint64_t (*total)();
+    std::uint64_t (*per_thread)(std::size_t tid);
+    counter_info* next;
+};
+
+namespace detail {
+
+/// Head of the intrusive registry list.  Macro-independent on purpose:
+/// every TU, however configured, shares the one registry (see config.hpp).
+inline std::atomic<counter_info*>& counter_registry_head() noexcept {
+    static std::atomic<counter_info*> head{nullptr};
+    return head;
+}
+
+inline void register_counter(counter_info* info) noexcept {
+    auto& head = counter_registry_head();
+    counter_info* h = head.load(std::memory_order_acquire);
+    do {
+        info->next = h;
+        // Release on success publishes *info (filled in by the caller).
+    } while (!head.compare_exchange_weak(h, info, std::memory_order_acq_rel,
+                                         std::memory_order_acquire));
+}
+
+/// Sweep bound: no dense id ever handed out can reach the registry's
+/// concurrent high-water mark (lowest-free-slot allocation), so slots at
+/// or above it have never been written.
+inline std::size_t sweep_bound() noexcept {
+    const std::size_t hwm = thread_id_high_water_mark();
+    return hwm < kMaxThreads ? hwm : kMaxThreads;
+}
+
+}  // namespace detail
+
+#if TAMP_STATS
+
+/// A summing statistical counter.  `Tag` is any type providing
+/// `static constexpr const char* name`; distinct tags get distinct slot
+/// blocks.  All members are static — the class is pure tag dispatch.
+template <typename Tag>
+class counter {
+  public:
+    using backend = stats_enabled_backend;
+
+    /// Owner-thread increment: relaxed load + relaxed store on this
+    /// thread's own line (the perfbook design — deliberately not a
+    /// fetch_add; the slot has exactly one live writer).
+    static void inc(std::uint64_t n = 1) noexcept {
+        std::atomic<std::uint64_t>& c = *slots().cells[thread_id()];
+        c.store(c.load(std::memory_order_relaxed) + n,
+                std::memory_order_relaxed);
+    }
+
+    /// Reader-side: one thread's slot.
+    static std::uint64_t read(std::size_t tid) noexcept {
+        return slots().cells[tid]->load(std::memory_order_relaxed);
+    }
+
+    /// Reader-side sweep over all slots ever written.
+    static std::uint64_t total() noexcept {
+        std::uint64_t sum = 0;
+        const std::size_t bound = detail::sweep_bound();
+        for (std::size_t t = 0; t < bound; ++t) sum += read(t);
+        return sum;
+    }
+
+  private:
+    struct Slots {
+        Padded<std::atomic<std::uint64_t>> cells[kMaxThreads];
+        counter_info info;
+    };
+
+    static Slots& slots() noexcept {
+        // Leaked: counters may be bumped by detached threads during static
+        // destruction (same rationale as the reclamation domains).
+        static Slots* s = [] {
+            auto* p = new Slots();
+            p->info = counter_info{Tag::name, counter_kind::kSum,
+                                   &counter::total, &counter::read, nullptr};
+            detail::register_counter(&p->info);
+            return p;
+        }();
+        return *s;
+    }
+};
+
+/// A high-water-mark counter: observe() keeps the per-thread maximum,
+/// total() is the maximum across threads.
+template <typename Tag>
+class max_counter {
+  public:
+    using backend = stats_enabled_backend;
+
+    static void observe(std::uint64_t v) noexcept {
+        std::atomic<std::uint64_t>& c = *slots().cells[thread_id()];
+        if (v > c.load(std::memory_order_relaxed)) {
+            c.store(v, std::memory_order_relaxed);
+        }
+    }
+
+    static std::uint64_t read(std::size_t tid) noexcept {
+        return slots().cells[tid]->load(std::memory_order_relaxed);
+    }
+
+    static std::uint64_t total() noexcept {
+        std::uint64_t m = 0;
+        const std::size_t bound = detail::sweep_bound();
+        for (std::size_t t = 0; t < bound; ++t) m = std::max(m, read(t));
+        return m;
+    }
+
+  private:
+    struct Slots {
+        Padded<std::atomic<std::uint64_t>> cells[kMaxThreads];
+        counter_info info;
+    };
+
+    static Slots& slots() noexcept {
+        static Slots* s = [] {
+            auto* p = new Slots();
+            p->info = counter_info{Tag::name, counter_kind::kMax,
+                                   &max_counter::total, &max_counter::read,
+                                   nullptr};
+            detail::register_counter(&p->info);
+            return p;
+        }();
+        return *s;
+    }
+};
+
+#else  // !TAMP_STATS — every operation is an empty inline; no storage.
+
+template <typename Tag>
+class counter {
+  public:
+    using backend = stats_disabled_backend;
+    static constexpr void inc(std::uint64_t = 1) noexcept {}
+    static constexpr std::uint64_t read(std::size_t) noexcept { return 0; }
+    static constexpr std::uint64_t total() noexcept { return 0; }
+};
+
+template <typename Tag>
+class max_counter {
+  public:
+    using backend = stats_disabled_backend;
+    static constexpr void observe(std::uint64_t) noexcept {}
+    static constexpr std::uint64_t read(std::size_t) noexcept { return 0; }
+    static constexpr std::uint64_t total() noexcept { return 0; }
+};
+
+#endif  // TAMP_STATS
+
+/// One swept counter value.
+struct counter_sample {
+    const char* name;
+    counter_kind kind;
+    std::uint64_t value;
+};
+
+/// Sweep every registered counter (whatever TU instantiated it) and return
+/// the merged values, sorted by name for schema stability.  Exact once
+/// writers quiesce; a live sweep may lag in-flight increments but never
+/// tears a slot.
+inline std::vector<counter_sample> snapshot() {
+    std::vector<counter_sample> out;
+    for (counter_info* p = detail::counter_registry_head().load(
+             std::memory_order_acquire);
+         p != nullptr; p = p->next) {
+        out.push_back(counter_sample{p->name, p->kind, p->total()});
+    }
+    std::sort(out.begin(), out.end(),
+              [](const counter_sample& a, const counter_sample& b) {
+                  return std::strcmp(a.name, b.name) < 0;
+              });
+    return out;
+}
+
+}  // namespace tamp::obs

@@ -1,0 +1,114 @@
+// tamp/obs/events.hpp
+//
+// The counter vocabulary of the instrumented library layers — one tag type
+// per counter, named after the question a figure in the book raises:
+//
+//   spin.*     why TAS collapses and backoff doesn't   (ch. 7)
+//   backoff.*  how much time contention management eats (§7.4)
+//   hp.* / epoch.*  what reclamation costs              (§9.8/§10.6 note)
+//   elim.*     whether the elimination array is earning its keep (§11.4)
+//   msq.* / list.*  CAS retry traffic per operation     (chs. 9–10)
+//   stm.*      commit/abort accounting by cause         (ch. 18)
+//
+// Counter names are dotted lowercase and become `tamp.<name>` keys in
+// google-benchmark output and BENCH_<family>.json (tools/bench_report.py),
+// so renaming one is a telemetry schema change — add, don't rename.
+
+#pragma once
+
+#include "tamp/obs/counter.hpp"
+
+namespace tamp::obs::ev {
+
+// --- spin locks (tas.hpp, backoff_lock.hpp; iters via core SpinWait) ----
+struct spin_acquires {
+    static constexpr const char* name = "spin.acquires";
+};
+struct spin_iters {
+    static constexpr const char* name = "spin.iters";
+};
+struct spin_cas_failures {
+    static constexpr const char* name = "spin.cas_failures";
+};
+
+// --- contention management (core/backoff.hpp) ---------------------------
+struct backoff_entries {
+    static constexpr const char* name = "backoff.entries";
+};
+struct backoff_units {
+    static constexpr const char* name = "backoff.units";
+};
+
+// --- hazard pointers (reclaim/hazard_pointers.cpp) ----------------------
+struct hp_retired {
+    static constexpr const char* name = "hp.retired";
+};
+struct hp_freed {
+    static constexpr const char* name = "hp.freed";
+};
+struct hp_scans {
+    static constexpr const char* name = "hp.scans";
+};
+struct hp_retire_list_hwm {  // per-thread retire-list high-water mark
+    static constexpr const char* name = "hp.retire_list_hwm";
+};
+
+// --- epoch reclamation (reclaim/epoch.cpp) ------------------------------
+struct epoch_retired {
+    static constexpr const char* name = "epoch.retired";
+};
+struct epoch_freed {
+    static constexpr const char* name = "epoch.freed";
+};
+struct epoch_collects {
+    static constexpr const char* name = "epoch.collects";
+};
+struct epoch_advances {
+    static constexpr const char* name = "epoch.advances";
+};
+
+// --- elimination stack (stacks/elimination.hpp) -------------------------
+struct elim_hits {
+    static constexpr const char* name = "elim.hits";
+};
+struct elim_misses {  // exchanged with a same-side partner
+    static constexpr const char* name = "elim.misses";
+};
+struct elim_timeouts {
+    static constexpr const char* name = "elim.timeouts";
+};
+
+// --- Michael–Scott queue (queues/ms_queue.hpp) --------------------------
+struct msq_enq_retries {
+    static constexpr const char* name = "msq.enq_retries";
+};
+struct msq_deq_retries {
+    static constexpr const char* name = "msq.deq_retries";
+};
+
+// --- Harris–Michael list (lists/lockfree_list.hpp) ----------------------
+struct list_cas_retries {
+    static constexpr const char* name = "list.cas_retries";
+};
+struct list_find_restarts {
+    static constexpr const char* name = "list.find_restarts";
+};
+
+// --- STM (stm/stm.hpp TL2 and stm/ofree_stm.hpp) ------------------------
+struct stm_commits {
+    static constexpr const char* name = "stm.commits";
+};
+struct stm_aborts_validation {  // read-time validation (TxAbort)
+    static constexpr const char* name = "stm.aborts.validation";
+};
+struct stm_aborts_lock {  // TL2 commit: write-set lock acquisition failed
+    static constexpr const char* name = "stm.aborts.lock";
+};
+struct stm_aborts_version {  // commit-time read-set version check failed
+    static constexpr const char* name = "stm.aborts.version";
+};
+struct stm_aborts_rival {  // obstruction-free: a rival aborted us
+    static constexpr const char* name = "stm.aborts.rival";
+};
+
+}  // namespace tamp::obs::ev

@@ -22,7 +22,11 @@
 #include <atomic>
 #include <utility>
 
+#include <cstdint>
+
 #include "tamp/core/cacheline.hpp"
+#include "tamp/obs/counter.hpp"
+#include "tamp/obs/events.hpp"
 #include "tamp/reclaim/hazard_pointers.hpp"
 
 namespace tamp {
@@ -62,7 +66,11 @@ class LockFreeQueue {
     bool try_dequeue(T& out) {
         HazardSlot<Node> hp_first;
         HazardSlot<Node> hp_next;
+        // Iterations past the first are CAS-retry traffic — the contention
+        // signal `bench_queues` publishes (tamp.msq.deq_retries).
+        std::uint64_t attempts = 0;
         while (true) {
+            ++attempts;
             Node* first = hp_first.protect(head_);  // sentinel
             Node* last = tail_.load(std::memory_order_acquire);
             Node* next = first->next.load(std::memory_order_acquire);
@@ -70,7 +78,10 @@ class LockFreeQueue {
             // is still reachable, hence not yet retired.
             hp_next.set(next);
             if (head_.load(std::memory_order_acquire) != first) continue;
-            if (next == nullptr) return false;  // empty
+            if (next == nullptr) {
+                obs::counter<obs::ev::msq_deq_retries>::inc(attempts - 1);
+                return false;  // empty
+            }
             if (first == last) {
                 // Tail is lagging: help the slow enqueuer, then retry.
                 tail_.compare_exchange_weak(last, next,
@@ -86,6 +97,7 @@ class LockFreeQueue {
                 // cannot be freed under us even after later dequeues).
                 out = std::move(next->value);
                 hazard_retire(first);
+                obs::counter<obs::ev::msq_deq_retries>::inc(attempts - 1);
                 return true;
             }
         }
@@ -96,7 +108,9 @@ class LockFreeQueue {
     void emplace(U&& v) {
         Node* node = new Node{std::forward<U>(v), nullptr};
         HazardSlot<Node> hp_last;
+        std::uint64_t attempts = 0;  // past-first iterations = CAS retries
         while (true) {
+            ++attempts;
             Node* last = hp_last.protect(tail_);
             Node* next = last->next.load(std::memory_order_acquire);
             if (tail_.load(std::memory_order_acquire) != last) continue;
@@ -112,6 +126,7 @@ class LockFreeQueue {
                     tail_.compare_exchange_strong(last, node,
                                                   std::memory_order_release,
                                                   std::memory_order_relaxed);
+                    obs::counter<obs::ev::msq_enq_retries>::inc(attempts - 1);
                     return;
                 }
             } else {

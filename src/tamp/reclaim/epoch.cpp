@@ -5,6 +5,9 @@
 #include <vector>
 
 #include "tamp/check/tsan_annotate.hpp"
+#include "tamp/obs/counter.hpp"
+#include "tamp/obs/events.hpp"
+#include "tamp/obs/trace.hpp"
 
 namespace tamp {
 
@@ -91,6 +94,7 @@ void EpochDomain::retire(void* p, void (*deleter)(void*)) {
         std::lock_guard<std::mutex> guard(impl_->bucket_mu);
         impl_->buckets[e % 3].push_back(RetiredNode{p, deleter});
     }
+    obs::counter<obs::ev::epoch_retired>::inc();
     impl_->pending_count.fetch_add(1, std::memory_order_relaxed);
     if (impl_->since_collect.fetch_add(1, std::memory_order_relaxed) + 1 >=
         kCollectThreshold) {
@@ -100,6 +104,7 @@ void EpochDomain::retire(void* p, void (*deleter)(void*)) {
 }
 
 void EpochDomain::collect() {
+    obs::counter<obs::ev::epoch_collects>::inc();
     const std::uint64_t e =
         impl_->global_epoch.load(std::memory_order_seq_cst);
     // The epoch may advance only if every pinned thread has observed it.
@@ -116,6 +121,8 @@ void EpochDomain::collect() {
             expected, e + 1, std::memory_order_seq_cst)) {
         return;
     }
+    obs::counter<obs::ev::epoch_advances>::inc();
+    obs::trace(obs::trace_ev::kEpochAdvance, e + 1);
     // Bucket (e+1) mod 3 ≡ (e-2) mod 3 was retired two epochs ago: no
     // pinned thread can still reference its nodes.  Free it — after
     // swapping it out under the lock, so a concurrent retire into the
@@ -130,6 +137,7 @@ void EpochDomain::collect() {
         rn.deleter(rn.ptr);
         impl_->pending_count.fetch_sub(1, std::memory_order_relaxed);
     }
+    obs::counter<obs::ev::epoch_freed>::inc(to_free.size());
 }
 
 void EpochDomain::drain() {

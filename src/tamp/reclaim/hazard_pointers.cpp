@@ -8,6 +8,9 @@
 #include <vector>
 
 #include "tamp/check/tsan_annotate.hpp"
+#include "tamp/obs/counter.hpp"
+#include "tamp/obs/events.hpp"
+#include "tamp/obs/trace.hpp"
 
 namespace tamp {
 
@@ -102,6 +105,8 @@ void HazardDomain::retire(void* p, void (*deleter)(void*)) {
     // release/acquire pair on `p` itself), so state it explicitly.
     TAMP_TSAN_RELEASE(p);
     lr.nodes.push_back(RetiredNode{p, deleter});
+    obs::counter<obs::ev::hp_retired>::inc();
+    obs::max_counter<obs::ev::hp_retire_list_hwm>::observe(lr.nodes.size());
     impl_->pending_count.fetch_add(1, std::memory_order_relaxed);
     if (lr.nodes.size() >= kScanThreshold) scan();
 }
@@ -132,16 +137,21 @@ void HazardDomain::scan() {
     // Stage 2: free what nobody protects; keep the rest for next time.
     std::vector<RetiredNode> keep;
     keep.reserve(lr.nodes.size());
+    std::uint64_t freed = 0;
     for (const RetiredNode& rn : lr.nodes) {
         if (protected_ptrs.count(rn.ptr) != 0) {
             keep.push_back(rn);
         } else {
             TAMP_TSAN_ACQUIRE(rn.ptr);  // pairs with RELEASE in retire()
             rn.deleter(rn.ptr);
+            ++freed;
             impl_->pending_count.fetch_sub(1, std::memory_order_relaxed);
         }
     }
     lr.nodes = std::move(keep);
+    obs::counter<obs::ev::hp_scans>::inc();
+    obs::counter<obs::ev::hp_freed>::inc(freed);
+    obs::trace(obs::trace_ev::kHpScan, freed);
 }
 
 void HazardDomain::drain() {

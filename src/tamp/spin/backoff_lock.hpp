@@ -27,11 +27,16 @@ class BackoffLock {
         // the next one.
         Backoff backoff(min_delay_, max_delay_);
         SpinWait w;
+        std::uint64_t failures = 0;
         while (true) {
             while (state_.load(std::memory_order_relaxed)) w.spin();  // lurk
-            if (!state_.exchange(true, std::memory_order_acquire)) return;
+            if (!state_.exchange(true, std::memory_order_acquire)) break;
+            ++failures;
             backoff.backoff();  // lost the pounce: retreat
         }
+        obs::counter<obs::ev::spin_acquires>::inc();
+        obs::counter<obs::ev::spin_cas_failures>::inc(failures);
+        if (failures != 0) obs::trace(obs::trace_ev::kLockAcquire, failures);
     }
 
     bool try_lock() noexcept {

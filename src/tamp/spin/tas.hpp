@@ -13,6 +13,7 @@
 #pragma once
 
 #include <atomic>
+#include <cstdint>
 
 #include "tamp/core/backoff.hpp"
 
@@ -25,9 +26,14 @@ class TASLock {
         // acquire on success orders the critical section after the
         // acquisition, exactly as a Java getAndSet (volatile RMW) would.
         SpinWait w;
+        std::uint64_t failures = 0;
         while (state_.exchange(true, std::memory_order_acquire)) {
+            ++failures;
             w.spin();  // every test-and-set is a bus write
         }
+        obs::counter<obs::ev::spin_acquires>::inc();
+        obs::counter<obs::ev::spin_cas_failures>::inc(failures);
+        if (failures != 0) obs::trace(obs::trace_ev::kLockAcquire, failures);
     }
 
     bool try_lock() noexcept {
@@ -53,12 +59,17 @@ class TTASLock {
   public:
     void lock() noexcept {
         SpinWait w;
+        std::uint64_t failures = 0;
         while (true) {
             // Lurk: read-only spin on the locally cached value.
             while (state_.load(std::memory_order_relaxed)) w.spin();
             // Pounce: the lock looked free; try to grab it.
-            if (!state_.exchange(true, std::memory_order_acquire)) return;
+            if (!state_.exchange(true, std::memory_order_acquire)) break;
+            ++failures;  // lost the pounce: someone beat us to it
         }
+        obs::counter<obs::ev::spin_acquires>::inc();
+        obs::counter<obs::ev::spin_cas_failures>::inc(failures);
+        if (failures != 0) obs::trace(obs::trace_ev::kLockAcquire, failures);
     }
 
     bool try_lock() noexcept {

@@ -18,6 +18,9 @@
 #include <vector>
 
 #include "tamp/core/random.hpp"
+#include "tamp/obs/counter.hpp"
+#include "tamp/obs/events.hpp"
+#include "tamp/obs/trace.hpp"
 #include "tamp/stacks/exchanger.hpp"
 #include "tamp/stacks/treiber.hpp"
 
@@ -67,12 +70,21 @@ class EliminationBackoffStack : private LockFreeStack<T> {
             if (this->try_push_node(node)) return;
             // CAS lost: try to meet a popper instead of retrying hot.
             Node* other = nullptr;
-            if (elimination_.visit(node, elimination_.capacity(), &other) &&
-                other == nullptr) {
-                return;  // a popper took our node: eliminated
+            if (elimination_.visit(node, elimination_.capacity(), &other)) {
+                if (other == nullptr) {
+                    // A popper took our node: eliminated.
+                    obs::counter<obs::ev::elim_hits>::inc();
+                    obs::trace(obs::trace_ev::kElimHit);
+                    return;
+                }
+                // Exchanged with another pusher: useless pairing.
+                obs::counter<obs::ev::elim_misses>::inc();
+                obs::trace(obs::trace_ev::kElimMiss);
+            } else {
+                obs::counter<obs::ev::elim_timeouts>::inc();
+                obs::trace(obs::trace_ev::kElimTimeout);
             }
-            // Exchanged with another pusher (other != nullptr) or timed
-            // out: back to the stack.
+            // Missed or timed out: back to the stack.
         }
     }
 
@@ -94,13 +106,22 @@ class EliminationBackoffStack : private LockFreeStack<T> {
             // CAS lost: look for a pusher in the elimination array.
             Node* other = nullptr;
             if (elimination_.visit(nullptr, elimination_.capacity(),
-                                   &other) &&
-                other != nullptr) {
-                // Got a pusher's node that never touched the stack: we are
-                // its only owner, so plain delete is safe.
-                out = std::move(other->value);
-                delete other;
-                return true;
+                                   &other)) {
+                if (other != nullptr) {
+                    // Got a pusher's node that never touched the stack: we
+                    // are its only owner, so plain delete is safe.
+                    obs::counter<obs::ev::elim_hits>::inc();
+                    obs::trace(obs::trace_ev::kElimHit);
+                    out = std::move(other->value);
+                    delete other;
+                    return true;
+                }
+                // Met another popper: useless pairing.
+                obs::counter<obs::ev::elim_misses>::inc();
+                obs::trace(obs::trace_ev::kElimMiss);
+            } else {
+                obs::counter<obs::ev::elim_timeouts>::inc();
+                obs::trace(obs::trace_ev::kElimTimeout);
             }
         }
     }

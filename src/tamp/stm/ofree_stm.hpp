@@ -38,6 +38,9 @@
 #include <vector>
 
 #include "tamp/core/backoff.hpp"
+#include "tamp/obs/counter.hpp"
+#include "tamp/obs/events.hpp"
+#include "tamp/obs/trace.hpp"
 #include "tamp/reclaim/epoch.hpp"
 #include "tamp/stm/stm.hpp"  // TxAbort
 
@@ -208,10 +211,20 @@ class OFreeTransaction {
         for (const auto& entry : reads_) {
             if (!still_valid(entry)) {
                 self_->abort();
+                obs::counter<obs::ev::stm_aborts_version>::inc();
+                obs::trace(obs::trace_ev::kStmAbort, 2);
                 return false;
             }
         }
-        return self_->try_commit();
+        if (self_->try_commit()) {
+            obs::counter<obs::ev::stm_commits>::inc();
+            return true;
+        }
+        // The status CAS lost: a rival's aggressive contention manager
+        // aborted us while we were validating.
+        obs::counter<obs::ev::stm_aborts_rival>::inc();
+        obs::trace(obs::trace_ev::kStmAbort, 3);
+        return false;
     }
 
     OTxStatus status() const {
@@ -242,7 +255,11 @@ class OFreeTransaction {
 
     void validate() const {
         for (const auto& entry : reads_) {
-            if (!still_valid(entry)) throw TxAbort{};
+            if (!still_valid(entry)) {
+                obs::counter<obs::ev::stm_aborts_validation>::inc();
+                obs::trace(obs::trace_ev::kStmAbort, 0);
+                throw TxAbort{};
+            }
         }
     }
 

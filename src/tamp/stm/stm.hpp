@@ -35,6 +35,9 @@
 #include <vector>
 
 #include "tamp/core/backoff.hpp"
+#include "tamp/obs/counter.hpp"
+#include "tamp/obs/events.hpp"
+#include "tamp/obs/trace.hpp"
 
 namespace tamp {
 
@@ -162,6 +165,8 @@ class Transaction {
         // Consistent, unlocked, and no newer than our birth version.
         if (pre != post || VersionedLock::is_locked(pre) ||
             VersionedLock::version_of(pre) > rv_) {
+            obs::counter<obs::ev::stm_aborts_validation>::inc();
+            obs::trace(obs::trace_ev::kStmAbort, 0);
             throw TxAbort{};
         }
         reads_.push_back(base);
@@ -178,6 +183,7 @@ class Transaction {
         if (writes_.empty()) {
             // Read-only fast path: reads were each validated against rv_
             // at read time; nothing to publish.
+            obs::counter<obs::ev::stm_commits>::inc();
             return true;
         }
         // Phase 1: lock the write set.  std::map iterates in address
@@ -192,6 +198,8 @@ class Transaction {
                     l->lock.unlock_with_version(
                         VersionedLock::version_of(l->lock.sample()));
                 }
+                obs::counter<obs::ev::stm_aborts_lock>::inc();
+                obs::trace(obs::trace_ev::kStmAbort, 1);
                 return false;
             }
             locked.push_back(base);
@@ -210,6 +218,8 @@ class Transaction {
                         l->lock.unlock_with_version(
                             VersionedLock::version_of(l->lock.sample()));
                     }
+                    obs::counter<obs::ev::stm_aborts_version>::inc();
+                    obs::trace(obs::trace_ev::kStmAbort, 2);
                     return false;
                 }
             }
@@ -219,6 +229,7 @@ class Transaction {
             base->raw.store(bits, std::memory_order_release);
             base->lock.unlock_with_version(wv);
         }
+        obs::counter<obs::ev::stm_commits>::inc();
         return true;
     }
 

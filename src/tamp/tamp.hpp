@@ -18,6 +18,7 @@
 #include "tamp/monitor/rwlock.hpp"
 #include "tamp/monitor/semaphore.hpp"
 #include "tamp/mutex/mutex.hpp"
+#include "tamp/obs/obs.hpp"
 #include "tamp/pqueue/pqueue.hpp"
 #include "tamp/queues/queues.hpp"
 #include "tamp/reclaim/reclaim.hpp"

@@ -1,0 +1,76 @@
+// Tests for tamp::obs with the instrumentation compiled OUT.
+//
+// This TU forces TAMP_STATS=0 (undef-ing any build-wide definition, which
+// the `stats` preset applies PUBLICly) and then proves — at compile time —
+// that the disabled backend really is free: the counter classes are empty
+// tag-dispatch shells whose operations are constexpr no-ops, which is the
+// whole "observability off means zero bytes and zero instructions" claim
+// the instrumented hot paths rely on.
+//
+// Same ODR rule as obs_test.cpp: only tamp/obs headers may be included.
+
+#undef TAMP_STATS
+#define TAMP_STATS 0
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <type_traits>
+
+#include "tamp/obs/obs.hpp"
+
+namespace {
+
+namespace obs = tamp::obs;
+
+struct off_tag {
+    static constexpr const char* name = "test.off";
+};
+
+// The backend alias is the compile-time witness that this TU got the
+// disabled implementation.
+static_assert(std::is_same_v<obs::counter<off_tag>::backend,
+                             obs::stats_disabled_backend>);
+static_assert(std::is_same_v<obs::max_counter<off_tag>::backend,
+                             obs::stats_disabled_backend>);
+static_assert(std::is_same_v<obs::stats_backend,
+                             obs::stats_disabled_backend>);
+static_assert(!obs::kStatsEnabled);
+
+// No storage: the disabled counter carries no slot block, no registry
+// node, nothing.
+static_assert(std::is_empty_v<obs::counter<off_tag>>);
+static_assert(std::is_empty_v<obs::max_counter<off_tag>>);
+
+// No code: every operation is a constexpr noexcept no-op, so a call in a
+// constant expression must be accepted — an inc() that touched memory or
+// called into the registry could not be.
+static_assert((obs::counter<off_tag>::inc(), true));
+static_assert((obs::counter<off_tag>::inc(123), true));
+static_assert((obs::max_counter<off_tag>::observe(99), true));
+static_assert(obs::counter<off_tag>::total() == 0);
+static_assert(obs::counter<off_tag>::read(0) == 0);
+static_assert(obs::max_counter<off_tag>::total() == 0);
+static_assert(noexcept(obs::counter<off_tag>::inc()));
+static_assert(noexcept(obs::max_counter<off_tag>::observe(1)));
+static_assert(noexcept(obs::trace(obs::trace_ev::kUser)));
+
+TEST(ObsOff, DisabledCountersNeverRegister) {
+    obs::counter<off_tag>::inc(1000);
+    obs::max_counter<off_tag>::observe(1000);
+    for (const obs::counter_sample& s : obs::snapshot()) {
+        EXPECT_NE(std::string(s.name), "test.off");
+    }
+    EXPECT_EQ(obs::counter<off_tag>::total(), 0u);
+}
+
+TEST(ObsOff, DisabledTraceIsInert) {
+    // Must not allocate a ring or register anything for this thread.
+    obs::trace(obs::trace_ev::kUser, 42);
+    for (const obs::collected_record& cr : obs::trace_collect()) {
+        EXPECT_FALSE(cr.rec.event == obs::trace_ev::kUser &&
+                     cr.rec.arg == 42);
+    }
+}
+
+}  // namespace

@@ -1,0 +1,213 @@
+// Tests for tamp::obs with the instrumentation compiled IN.
+//
+// This TU forces TAMP_STATS=1 regardless of the build preset, which is
+// legal by the obs ODR rules (src/tamp/obs/config.hpp): everything whose
+// definition depends on the macro is a template, so this TU instantiates
+// the enabled counter<Tag>/trace<Backend> entities for its own local tags
+// no matter how the rest of the binary was configured.  To keep that
+// guarantee, this file may include ONLY tamp/obs headers from the library.
+
+#undef TAMP_STATS
+#define TAMP_STATS 1
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "tamp/obs/obs.hpp"
+#include "test_util.hpp"
+
+namespace {
+
+namespace obs = tamp::obs;
+using tamp_test::run_threads;
+
+// Local tags: each gets its own slot block, invisible to other TUs.
+struct agg_tag {
+    static constexpr const char* name = "test.agg";
+};
+struct hwm_tag {
+    static constexpr const char* name = "test.hwm";
+};
+struct sweep_tag {
+    static constexpr const char* name = "test.sweep";
+};
+struct snap_tag {
+    static constexpr const char* name = "test.snap";
+};
+
+static_assert(std::is_same_v<obs::counter<agg_tag>::backend,
+                             obs::stats_enabled_backend>,
+              "this TU must compile the enabled backend");
+
+// ------------------------------------------------------------ counters
+
+// The perfbook exactness claim: once writers quiesce (run_threads joins),
+// the sweep equals the true event count, even though every update was a
+// relaxed non-RMW store.
+TEST(ObsCounter, AggregationIsExactAfterQuiescence) {
+    const std::uint64_t before = obs::counter<agg_tag>::total();
+    constexpr std::size_t kThreads = 8;
+    constexpr std::uint64_t kPerThread = 20000;
+    run_threads(kThreads, [&](std::size_t me) {
+        for (std::uint64_t k = 0; k < kPerThread; ++k) {
+            obs::counter<agg_tag>::inc();
+        }
+        obs::counter<agg_tag>::inc(me);  // distinct tails per thread
+    });
+    const std::uint64_t expected =
+        kThreads * kPerThread + (kThreads * (kThreads - 1)) / 2;
+    EXPECT_EQ(obs::counter<agg_tag>::total() - before, expected);
+}
+
+TEST(ObsCounter, MaxCounterKeepsGlobalHighWaterMark) {
+    run_threads(4, [](std::size_t me) {
+        obs::max_counter<hwm_tag>::observe(10 * (me + 1));
+        obs::max_counter<hwm_tag>::observe(5);  // lower: must not regress
+    });
+    EXPECT_EQ(obs::max_counter<hwm_tag>::total(), 40u);
+}
+
+// A single sweeper racing live mutators must see nondecreasing totals:
+// every slot is monotone and consecutive sweeps read each slot later.
+// (Also the TSan witness that the relaxed read/write protocol is race-free.)
+TEST(ObsCounter, ConcurrentSweepIsMonotone) {
+    const std::uint64_t before = obs::counter<sweep_tag>::total();
+    std::atomic<bool> stop{false};
+    std::atomic<std::uint64_t> mutated{0};
+    constexpr std::size_t kMutators = 4;
+    constexpr std::uint64_t kPerThread = 50000;
+    run_threads(kMutators + 1, [&](std::size_t me) {
+        if (me == 0) {  // sweeper
+            std::uint64_t prev = 0;
+            while (!stop.load(std::memory_order_acquire)) {
+                const std::uint64_t now =
+                    obs::counter<sweep_tag>::total() - before;
+                EXPECT_GE(now, prev);
+                prev = now;
+            }
+        } else {
+            for (std::uint64_t k = 0; k < kPerThread; ++k) {
+                obs::counter<sweep_tag>::inc();
+            }
+            if (mutated.fetch_add(1) + 1 == kMutators) {
+                stop.store(true, std::memory_order_release);
+            }
+        }
+    });
+    EXPECT_EQ(obs::counter<sweep_tag>::total() - before,
+              kMutators * kPerThread);
+}
+
+TEST(ObsCounter, SnapshotContainsTouchedCountersSorted) {
+    obs::counter<snap_tag>::inc(3);
+    const std::vector<obs::counter_sample> snap = obs::snapshot();
+    bool found = false;
+    for (std::size_t i = 0; i < snap.size(); ++i) {
+        if (i > 0) {
+            EXPECT_LE(std::string(snap[i - 1].name),
+                      std::string(snap[i].name));
+        }
+        if (std::string(snap[i].name) == "test.snap") {
+            found = true;
+            EXPECT_EQ(snap[i].kind, obs::counter_kind::kSum);
+            EXPECT_GE(snap[i].value, 3u);
+        }
+    }
+    EXPECT_TRUE(found);
+}
+
+// --------------------------------------------------------------- tracing
+
+// Overfill one thread's ring and check that exactly the *last*
+// kTraceCapacity records survive, in append order.
+TEST(ObsTrace, RingKeepsLastCapacityRecordsInOrder) {
+    constexpr std::uint64_t kBase = 0xABCD00000000ull;  // unique arg space
+    constexpr std::uint64_t kExtra = 100;
+    const std::uint64_t total = obs::kTraceCapacity + kExtra;
+    run_threads(1, [&](std::size_t) {  // fresh thread => fresh ring
+        for (std::uint64_t i = 0; i < total; ++i) {
+            obs::trace(obs::trace_ev::kUser, kBase + i);
+        }
+    });
+    std::vector<std::uint64_t> args;
+    for (const obs::collected_record& cr : obs::trace_collect()) {
+        if (cr.rec.event == obs::trace_ev::kUser && cr.rec.arg >= kBase &&
+            cr.rec.arg < kBase + total) {
+            args.push_back(cr.rec.arg);
+        }
+    }
+    ASSERT_EQ(args.size(), obs::kTraceCapacity);
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        EXPECT_EQ(args[i], kBase + kExtra + i);  // oldest survivor first
+    }
+}
+
+// Minimal structural JSON validity: balanced braces/brackets outside of
+// strings, proper string termination, non-empty top level.
+bool json_well_formed(const std::string& s) {
+    std::vector<char> stack;
+    bool in_str = false, esc = false, saw_top = false;
+    for (char c : s) {
+        if (in_str) {
+            if (esc) {
+                esc = false;
+            } else if (c == '\\') {
+                esc = true;
+            } else if (c == '"') {
+                in_str = false;
+            }
+            continue;
+        }
+        switch (c) {
+            case '"': in_str = true; break;
+            case '{':
+            case '[': stack.push_back(c); saw_top = true; break;
+            case '}':
+                if (stack.empty() || stack.back() != '{') return false;
+                stack.pop_back();
+                break;
+            case ']':
+                if (stack.empty() || stack.back() != '[') return false;
+                stack.pop_back();
+                break;
+            default: break;
+        }
+    }
+    return saw_top && !in_str && !esc && stack.empty();
+}
+
+TEST(ObsTrace, JsonCheckerRejectsMalformedInput) {
+    EXPECT_TRUE(json_well_formed(R"({"a":[1,2,{"b":"}"}]})"));
+    EXPECT_FALSE(json_well_formed(R"({"a":[1,2})"));
+    EXPECT_FALSE(json_well_formed(R"({"a":"unterminated)"));
+    EXPECT_FALSE(json_well_formed("[}"));
+    EXPECT_FALSE(json_well_formed(""));
+}
+
+TEST(ObsTrace, DumpProducesWellFormedChromeTraceJson) {
+    obs::trace(obs::trace_ev::kLockAcquire, 7);
+    obs::trace(obs::trace_ev::kBackoff, 64);
+    obs::trace(obs::trace_ev::kStmAbort, 2);
+    const std::string path = testing::TempDir() + "tamp_obs_trace.json";
+    ASSERT_TRUE(obs::trace_dump(path));
+
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    std::stringstream buf;
+    buf << in.rdbuf();
+    const std::string text = buf.str();
+
+    EXPECT_TRUE(json_well_formed(text));
+    EXPECT_NE(text.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(text.find("\"lock_acquire\""), std::string::npos);
+    EXPECT_NE(text.find("\"backoff\""), std::string::npos);
+    EXPECT_NE(text.find("\"stm_abort\""), std::string::npos);
+}
+
+}  // namespace

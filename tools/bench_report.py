@@ -1,0 +1,256 @@
+#!/usr/bin/env python3
+"""Benchmark telemetry pipeline for the tamp harness.
+
+Runs one benchmark family (a ``bench_<family>`` binary built with the
+``stats`` preset so the tamp::obs counters are compiled in), merges the
+counter-annotated google-benchmark JSON into a schema-stable report, and
+diffs two such reports for throughput regressions.
+
+Produce a report:
+
+    python3 tools/bench_report.py --family locks --build-dir build-stats \
+        --out BENCH_locks.json
+
+Gate a change:
+
+    python3 tools/bench_report.py --diff BENCH_locks.main.json BENCH_locks.json
+
+The diff compares items/sec per (series, threads) point: a drop of more
+than --warn-pct (default 10%) warns, more than --fail-pct (default 25%)
+fails the run with exit status 1.  Counter columns are reported for
+context but never gate — they are diagnostic, not pass/fail.
+
+Report schema (``schema_version`` 1); series and points are sorted so
+reports diff cleanly under plain ``diff``:
+
+    {
+      "schema_version": 1,
+      "family": "locks",
+      "context": { ... benchmark library context, trimmed ... },
+      "series": [
+        { "name": "BM_TASLock",
+          "points": [
+            { "threads": 4,
+              "items_per_sec": 1.9e8,
+              "real_time_ns": 21.2,
+              "counters": { "tamp.spin.acquires": 1.1e7, ... } },
+            ...
+          ] },
+        ...
+      ]
+    }
+"""
+
+import argparse
+import json
+import os
+import re
+import subprocess
+import sys
+
+SCHEMA_VERSION = 1
+
+# Kept small on purpose: --quick is the CI smoke setting.  NOTE: the
+# benchmark library in this toolchain (1.7.x) takes a bare double for
+# --benchmark_min_time, not a "0.2s" duration string.
+DEFAULT_MIN_TIME = 0.2
+QUICK_MIN_TIME = 0.05
+
+_THREADS_RE = re.compile(r"/threads:(\d+)$")
+
+
+def fail(msg):
+    print(f"bench_report: error: {msg}", file=sys.stderr)
+    sys.exit(2)
+
+
+def split_name(raw_name):
+    """'BM_X/8/real_time/threads:4' -> ('BM_X/8', 4)."""
+    threads = 1
+    m = _THREADS_RE.search(raw_name)
+    if m:
+        threads = int(m.group(1))
+        raw_name = raw_name[: m.start()]
+    parts = [p for p in raw_name.split("/") if p != "real_time"]
+    return "/".join(parts), threads
+
+
+def run_family(family, build_dir, min_time, bench_filter):
+    binary = os.path.join(build_dir, "bench", f"bench_{family}")
+    if not os.path.exists(binary):
+        fail(
+            f"{binary} not found — build it first "
+            f"(cmake --preset stats && cmake --build --preset stats)"
+        )
+    cmd = [
+        binary,
+        f"--benchmark_min_time={min_time}",
+        "--benchmark_format=json",
+    ]
+    if bench_filter:
+        cmd.append(f"--benchmark_filter={bench_filter}")
+    print(f"bench_report: running {' '.join(cmd)}", file=sys.stderr)
+    proc = subprocess.run(cmd, stdout=subprocess.PIPE, text=True)
+    if proc.returncode != 0:
+        fail(f"{binary} exited with status {proc.returncode}")
+    try:
+        return json.loads(proc.stdout)
+    except json.JSONDecodeError as e:
+        fail(f"benchmark output is not valid JSON: {e}")
+
+
+def build_report(family, raw):
+    series = {}
+    for entry in raw.get("benchmarks", []):
+        if entry.get("run_type") == "aggregate":
+            continue
+        name, threads = split_name(entry["name"])
+        counters = {
+            k: v
+            for k, v in entry.items()
+            if k.startswith("tamp.") and isinstance(v, (int, float))
+        }
+        point = {
+            "threads": threads,
+            "items_per_sec": entry.get("items_per_second"),
+            "real_time_ns": entry.get("real_time")
+            if entry.get("time_unit") == "ns"
+            else None,
+            "counters": counters,
+        }
+        series.setdefault(name, []).append(point)
+
+    ctx = raw.get("context", {})
+    context = {
+        k: ctx.get(k)
+        for k in ("date", "host_name", "num_cpus", "mhz_per_cpu",
+                  "library_build_type")
+        if k in ctx
+    }
+    context["stats_compiled_in"] = any(
+        p["counters"] for pts in series.values() for p in pts
+    )
+
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "family": family,
+        "context": context,
+        "series": [
+            {"name": name, "points": sorted(pts, key=lambda p: p["threads"])}
+            for name, pts in sorted(series.items())
+        ],
+    }
+
+
+def load_report(path):
+    try:
+        with open(path) as f:
+            report = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"cannot read report {path}: {e}")
+    if report.get("schema_version") != SCHEMA_VERSION:
+        fail(
+            f"{path}: schema_version {report.get('schema_version')!r} "
+            f"!= {SCHEMA_VERSION}"
+        )
+    return report
+
+
+def index_points(report):
+    out = {}
+    for s in report["series"]:
+        for p in s["points"]:
+            out[(s["name"], p["threads"])] = p
+    return out
+
+
+def diff_reports(old_path, new_path, warn_pct, fail_pct):
+    old, new = load_report(old_path), load_report(new_path)
+    if old["family"] != new["family"]:
+        fail(f"family mismatch: {old['family']} vs {new['family']}")
+    old_pts, new_pts = index_points(old), index_points(new)
+
+    worst = 0.0
+    failures, warnings = [], []
+    for key in sorted(old_pts):
+        if key not in new_pts:
+            warnings.append(f"{key[0]}/threads:{key[1]}: missing from new run")
+            continue
+        o, n = old_pts[key]["items_per_sec"], new_pts[key]["items_per_sec"]
+        if not o or n is None:
+            continue
+        delta_pct = (n - o) / o * 100.0
+        tag = ""
+        if delta_pct < -fail_pct:
+            tag = "FAIL"
+            failures.append(key)
+        elif delta_pct < -warn_pct:
+            tag = "warn"
+            warnings.append(f"{key[0]}/threads:{key[1]}: {delta_pct:+.1f}%")
+        worst = min(worst, delta_pct)
+        print(
+            f"{key[0]}/threads:{key[1]}: {o:.3g} -> {n:.3g} items/s "
+            f"({delta_pct:+.1f}%) {tag}".rstrip()
+        )
+    for key in sorted(set(new_pts) - set(old_pts)):
+        print(f"{key[0]}/threads:{key[1]}: new point (no baseline)")
+
+    print(
+        f"\nbench_report: worst regression {worst:+.1f}% "
+        f"(warn beyond -{warn_pct:g}%, fail beyond -{fail_pct:g}%)"
+    )
+    if warnings:
+        print(f"bench_report: {len(warnings)} warning(s)")
+    if failures:
+        print(
+            f"bench_report: FAIL — {len(failures)} point(s) regressed "
+            f"beyond {fail_pct:g}%",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    mode = ap.add_mutually_exclusive_group(required=True)
+    mode.add_argument("--family", help="benchmark family (bench_<family>)")
+    mode.add_argument(
+        "--diff", nargs=2, metavar=("OLD", "NEW"),
+        help="diff two reports instead of running a family",
+    )
+    ap.add_argument("--build-dir", default="build-stats")
+    ap.add_argument("--out", help="output path (default BENCH_<family>.json)")
+    ap.add_argument(
+        "--min-time", type=float, default=DEFAULT_MIN_TIME,
+        help="per-benchmark min time, seconds (bare double)",
+    )
+    ap.add_argument(
+        "--quick", action="store_true",
+        help=f"CI smoke mode: min time {QUICK_MIN_TIME}s",
+    )
+    ap.add_argument("--filter", help="forwarded as --benchmark_filter")
+    ap.add_argument("--warn-pct", type=float, default=10.0)
+    ap.add_argument("--fail-pct", type=float, default=25.0)
+    args = ap.parse_args()
+
+    if args.diff:
+        sys.exit(diff_reports(*args.diff, args.warn_pct, args.fail_pct))
+
+    min_time = QUICK_MIN_TIME if args.quick else args.min_time
+    raw = run_family(args.family, args.build_dir, min_time, args.filter)
+    report = build_report(args.family, raw)
+    out = args.out or f"BENCH_{args.family}.json"
+    with open(out, "w") as f:
+        json.dump(report, f, indent=2, sort_keys=True)
+        f.write("\n")
+    npts = sum(len(s["points"]) for s in report["series"])
+    print(
+        f"bench_report: wrote {out} "
+        f"({len(report['series'])} series, {npts} points, "
+        f"stats_compiled_in={report['context']['stats_compiled_in']})"
+    )
+
+
+if __name__ == "__main__":
+    main()
