@@ -37,10 +37,27 @@
 
 namespace tamp::check {
 
+/// Which precedence relation the witness order must respect.
+///
+/// kRealTime is classic linearizability (Herlihy & Wing): if op A's
+/// response precedes op B's invocation, A must linearize before B.
+/// kProgramOrder keeps only same-thread order — i.e. sequential
+/// consistency of the completed history.  The weaker mode exists for the
+/// TAMP_SIM model checker: its memory model (like C++11's) is not
+/// multi-copy-atomic, so an acquire/release structure can legally give a
+/// reader a slightly stale view, which violates real-time linearizability
+/// without being a bug on any C++11 implementation.  See
+/// tamp/sim/explore.hpp.
+enum class Precedence {
+    kRealTime,
+    kProgramOrder,
+};
+
 struct LinearizeOptions {
     /// Cap on distinct configurations explored before the search gives
     /// up; `CheckResult::complete` is false when the cap is hit.
     std::size_t max_configurations = 1u << 22;  // ~4M
+    Precedence precedence = Precedence::kRealTime;
 };
 
 struct CheckResult {
@@ -151,21 +168,35 @@ CheckResult linearize(const std::vector<Operation>& history,
 
         // Minimal response among unchosen ops bounds the candidates: an
         // op whose invocation is later than some unchosen op's response
-        // must come after it, so it is not minimal.
+        // must come after it, so it is not minimal.  (kRealTime only.)
         std::uint64_t min_response = ~std::uint64_t{0};
-        for (std::size_t k = 0; k < n; ++k) {
-            const std::size_t idx = by_invoke[k];
-            if (!taken[idx]) {
-                min_response = std::min(min_response, history[idx].response);
+        if (opts.precedence == Precedence::kRealTime) {
+            for (std::size_t k = 0; k < n; ++k) {
+                const std::size_t idx = by_invoke[k];
+                if (!taken[idx]) {
+                    min_response =
+                        std::min(min_response, history[idx].response);
+                }
             }
         }
+
+        // Under kProgramOrder the candidates are instead the earliest
+        // unchosen op of each thread (invoke order within a thread is
+        // program order — HistoryRecorder stamps monotonically).
+        std::uint64_t offered_threads = 0;  // bitset; thread ids are small
 
         std::vector<std::size_t> frontier;
         for (std::size_t k = 0; k < n; ++k) {
             const std::size_t idx = by_invoke[k];
             if (taken[idx]) continue;
             const Operation& op = history[idx];
-            if (op.invoke > min_response) break;  // by_invoke is sorted
+            if (opts.precedence == Precedence::kRealTime) {
+                if (op.invoke > min_response) break;  // by_invoke is sorted
+            } else {
+                const std::uint64_t bit = 1ull << (op.thread & 63u);
+                if (offered_threads & bit) continue;  // not thread-minimal
+                offered_threads |= bit;
+            }
             frontier.push_back(idx);
             State next = state;
             if (!Spec::apply(next, op)) continue;

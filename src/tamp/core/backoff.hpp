@@ -19,6 +19,7 @@
 #include "tamp/obs/counter.hpp"
 #include "tamp/obs/events.hpp"
 #include "tamp/obs/trace.hpp"
+#include "tamp/sim/hooks.hpp"
 
 #if defined(__x86_64__) || defined(__i386__)
 #include <immintrin.h>
@@ -59,11 +60,16 @@ inline void spin_for(std::uint32_t n) noexcept {
 /// Usage:  SpinWait w;  while (<condition>) w.spin();
 class SpinWait {
   public:
-    void spin() noexcept {
+    // Not noexcept: under TAMP_SIM the scheduler may unwind an aborted
+    // execution through this call.
+    void spin() {
         // Every spin loop in the library funnels through here, so this one
         // counter is the global spin-iteration meter (no-op unless
         // TAMP_STATS).
         obs::counter<obs::ev::spin_iters>::inc();
+        // Under an active TAMP_SIM exploration the pause becomes a schedule
+        // point instead (simulated time must not wait on wall time).
+        if (sim::spin_hint_if_simulated()) return;
         if (spins_ < kSpinLimit) {
             cpu_relax();
             ++spins_;
@@ -96,8 +102,10 @@ class Backoff {
                      std::uint32_t max_units = 1024) noexcept
         : min_(min_units ? min_units : 1), max_(max_units), limit_(min_) {}
 
-    /// Pause for a random duration and escalate the limit.
-    void backoff() noexcept {
+    /// Pause for a random duration and escalate the limit.  Not noexcept:
+    /// see SpinWait::spin.
+    void backoff() {
+        if (sim::spin_hint_if_simulated()) return;
         const std::uint32_t delay = rng_.next_below(limit_) + 1;
         obs::counter<obs::ev::backoff_entries>::inc();
         obs::counter<obs::ev::backoff_units>::inc(delay);

@@ -17,6 +17,8 @@
 #include <cassert>
 #include <cstdint>
 
+#include "tamp/sim/atomic.hpp"
+
 namespace tamp {
 
 /// A raw (non-atomic) pointer-with-mark value.  `T*` must be at least
@@ -111,7 +113,7 @@ class AtomicMarkedPtr {
                             (bits & 1u) != 0);
     }
 
-    std::atomic<std::uintptr_t> cell_;
+    tamp::atomic<std::uintptr_t> cell_;
 };
 
 /// The book's `AtomicStampedReference`, specialized to small indices: packs
@@ -151,7 +153,7 @@ class AtomicStampedIndex {
                (index & kIndexMask);
     }
 
-    std::atomic<std::uint64_t> cell_;
+    tamp::atomic<std::uint64_t> cell_;
 };
 
 }  // namespace tamp

@@ -20,6 +20,7 @@
 
 #include "tamp/lists/keyed.hpp"
 #include "tamp/reclaim/epoch.hpp"
+#include "tamp/sim/atomic.hpp"
 
 namespace tamp {
 
@@ -29,8 +30,8 @@ class LazyListSet {
         NodeKind kind;
         std::uint64_t key;
         T value;
-        std::atomic<Node*> next;
-        std::atomic<bool> marked{false};
+        tamp::atomic<Node*> next;
+        tamp::atomic<bool> marked{false};
         std::mutex mu;
 
         Node(NodeKind k, std::uint64_t h, const T& v, Node* n)

@@ -18,6 +18,7 @@
 
 #include "tamp/lists/keyed.hpp"
 #include "tamp/reclaim/epoch.hpp"
+#include "tamp/sim/atomic.hpp"
 
 namespace tamp {
 
@@ -27,7 +28,7 @@ class OptimisticListSet {
         NodeKind kind;
         std::uint64_t key;
         T value;
-        std::atomic<Node*> next;
+        tamp::atomic<Node*> next;
         std::mutex mu;
 
         void lock() { mu.lock(); }

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "tamp/core/cacheline.hpp"
+#include "tamp/sim/atomic.hpp"
 
 namespace tamp {
 
@@ -69,8 +70,8 @@ class BakeryLock {
     }
 
     std::size_t n_;
-    std::vector<Padded<std::atomic<bool>>> flag_;
-    std::vector<Padded<std::atomic<std::uint64_t>>> label_;
+    std::vector<Padded<tamp::atomic<bool>>> flag_;
+    std::vector<Padded<tamp::atomic<std::uint64_t>>> label_;
 };
 
 }  // namespace tamp

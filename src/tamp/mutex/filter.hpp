@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "tamp/core/cacheline.hpp"
+#include "tamp/sim/atomic.hpp"
 
 namespace tamp {
 
@@ -66,8 +67,8 @@ class FilterLock {
     // Padded: each thread writes its own level slot on every acquisition;
     // sharing lines would serialize unrelated threads through the coherence
     // protocol (the false-sharing trap of Appendix B.6).
-    std::vector<Padded<std::atomic<int>>> level_;
-    std::vector<Padded<std::atomic<int>>> victim_;
+    std::vector<Padded<tamp::atomic<int>>> level_;
+    std::vector<Padded<tamp::atomic<int>>> victim_;
 };
 
 }  // namespace tamp

@@ -15,6 +15,7 @@
 #include <atomic>
 
 #include "tamp/core/backoff.hpp"
+#include "tamp/sim/atomic.hpp"
 #include <cassert>
 #include <cstddef>
 
@@ -44,7 +45,7 @@ class LockOne {
     }
 
   private:
-    std::atomic<bool> flag_[2] = {false, false};
+    tamp::atomic<bool> flag_[2] = {false, false};
 };
 
 /// LockTwo (Fig. 2.4).  Complements LockOne: works only when lock() calls
@@ -74,7 +75,7 @@ class LockTwo {
     }
 
   private:
-    std::atomic<int> victim_{-1};
+    tamp::atomic<int> victim_{-1};
 };
 
 /// The Peterson lock (Fig. 2.6).  Starvation-free two-thread mutual
@@ -102,9 +103,9 @@ class PetersonLock {
     // Unpadded on purpose, faithful to Fig. 2.6: two threads by
     // construction, and the lock/unlock protocol touches flag_ and
     // victim_ together anyway.
-    std::atomic<bool> flag_[2] = {false, false};
+    tamp::atomic<bool> flag_[2] = {false, false};
     // tamp-lint: allow(atomic-align)
-    std::atomic<int> victim_{-1};
+    tamp::atomic<int> victim_{-1};
 };
 
 }  // namespace tamp

@@ -14,6 +14,8 @@
 #include <cstddef>
 #include <mutex>
 
+#include "tamp/sim/atomic.hpp"
+
 namespace tamp {
 
 template <typename T>
@@ -117,7 +119,7 @@ class BoundedQueue {
   private:
     std::size_t capacity_;
     // The one field both sides touch: the book's "shared hot spot" remark.
-    std::atomic<std::size_t> size_{0};
+    tamp::atomic<std::size_t> size_{0};
 
     std::mutex enq_mu_;  // protects tail_
     std::condition_variable not_full_;

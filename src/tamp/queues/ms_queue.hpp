@@ -28,6 +28,7 @@
 #include "tamp/obs/counter.hpp"
 #include "tamp/obs/events.hpp"
 #include "tamp/reclaim/hazard_pointers.hpp"
+#include "tamp/sim/atomic.hpp"
 
 namespace tamp {
 
@@ -35,7 +36,7 @@ template <typename T>
 class LockFreeQueue {
     struct Node {
         T value{};
-        std::atomic<Node*> next{nullptr};
+        tamp::atomic<Node*> next{nullptr};
     };
 
   public:
@@ -139,8 +140,8 @@ class LockFreeQueue {
     }
 
     // Dequeuers hammer head_, enqueuers tail_: separate their lines.
-    alignas(kCacheLineSize) std::atomic<Node*> head_;
-    alignas(kCacheLineSize) std::atomic<Node*> tail_;
+    alignas(kCacheLineSize) tamp::atomic<Node*> head_;
+    alignas(kCacheLineSize) tamp::atomic<Node*> tail_;
 };
 
 }  // namespace tamp

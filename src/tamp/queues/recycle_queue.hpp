@@ -32,6 +32,7 @@
 #include "tamp/core/backoff.hpp"
 #include "tamp/core/cacheline.hpp"
 #include "tamp/core/marked_ptr.hpp"
+#include "tamp/sim/atomic.hpp"
 
 namespace tamp {
 
@@ -48,10 +49,10 @@ class RecyclingQueue {
         // Atomic: a stale dequeuer may read this cell while a recycling
         // enqueuer overwrites it; the reader's stamped CAS fails and the
         // value is discarded, but the read itself must be race-free.
-        std::atomic<T> value{};
+        tamp::atomic<T> value{};
         AtomicStampedIndex next{kNil, 0};
         // Free-list link (only used while the node is free).
-        std::atomic<std::uint64_t> free_next{kNil};
+        tamp::atomic<std::uint64_t> free_next{kNil};
     };
 
   public:

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "tamp/core/cacheline.hpp"
+#include "tamp/sim/atomic.hpp"
 
 namespace tamp {
 
@@ -74,8 +75,8 @@ class WaitFreeTwoThreadQueue {
     std::vector<T> items_;
     // Head and tail each have one writer; padding keeps the enqueuer's and
     // dequeuer's hot lines apart.
-    Padded<std::atomic<std::uint64_t>> head_{};
-    Padded<std::atomic<std::uint64_t>> tail_{};
+    Padded<tamp::atomic<std::uint64_t>> head_{};
+    Padded<tamp::atomic<std::uint64_t>> tail_{};
 };
 
 }  // namespace tamp

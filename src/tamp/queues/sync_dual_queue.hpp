@@ -25,6 +25,7 @@
 #include "tamp/core/backoff.hpp"
 #include "tamp/core/cacheline.hpp"
 #include "tamp/reclaim/epoch.hpp"
+#include "tamp/sim/atomic.hpp"
 
 namespace tamp {
 
@@ -34,8 +35,8 @@ class SynchronousDualQueue {
 
     struct Node {
         Kind kind;
-        std::atomic<T*> item;
-        std::atomic<Node*> next{nullptr};
+        tamp::atomic<T*> item;
+        tamp::atomic<Node*> next{nullptr};
     };
 
   public:
@@ -233,8 +234,8 @@ class SynchronousDualQueue {
 
   private:
     // Fulfillers hammer head_, appenders tail_: separate their lines.
-    alignas(kCacheLineSize) std::atomic<Node*> head_;
-    alignas(kCacheLineSize) std::atomic<Node*> tail_;
+    alignas(kCacheLineSize) tamp::atomic<Node*> head_;
+    alignas(kCacheLineSize) tamp::atomic<Node*> tail_;
 };
 
 }  // namespace tamp

@@ -90,8 +90,11 @@ class HazardSlot {
 
     /// The protect loop: publish the pointer, then re-read the source to
     /// make sure it was not retired in between.  On success the returned
-    /// node cannot be freed while this slot holds it.
-    T* protect(const std::atomic<T*>& src) {
+    /// node cannot be freed while this slot holds it.  Templated on the
+    /// atomic cell so both std::atomic<T*> and the tamp::atomic facade
+    /// (under TAMP_SIM) are accepted.
+    template <typename AtomicPtr>
+    T* protect(const AtomicPtr& src) {
         T* p = src.load(std::memory_order_acquire);
         while (true) {
             // seq_cst store: the publication must be visible to any

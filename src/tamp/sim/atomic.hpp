@@ -1,0 +1,271 @@
+// tamp/sim/atomic.hpp
+//
+// The `tamp::atomic<T>` / `tamp::atomic_flag` facade: the single atomic
+// type the mutex, spin, stacks, queues, and lists families declare their
+// shared state with.
+//
+// TAMP_SIM=0 (the default): a pure alias of std::atomic — the *same type*,
+// so layout and codegen are identical by construction and every
+// std::atomic property (is_always_lock_free, wait/notify, …) is available
+// unchanged.  tests/sim_facade_test.cpp static_asserts the identity.
+//
+// TAMP_SIM=1 (the `sim` preset): a simulated atomic.  Every operation
+// first checks whether a sim exploration is active; outside exploration
+// it falls through to a real std::atomic member (`cell_`), so ordinary
+// multithreaded tests still run correctly in a sim build.  During
+// exploration the operation becomes a schedule point: the scheduler picks
+// the next thread to run and — for loads — which recent store to return,
+// per the simplified C++11 model in tamp/sim/scheduler.hpp.  Values are
+// kept in a small per-object ring (`ring_`) so the scheduler itself stays
+// type-erased; `cell_` is seeded into the ring on first simulated access
+// and the newest ring value is flushed back after each execution, keeping
+// objects that outlive an exploration coherent.
+//
+// Onboarding a new structure (see README "Model checking"): declare the
+// shared fields as tamp::atomic<T>, keep the memory_order arguments
+// exactly as std::atomic takes them, and avoid holding a std::mutex
+// across facade accesses (the cooperative scheduler cannot preempt a
+// mutex holder, so such structures must not run under explore()).
+
+#pragma once
+
+#include <atomic>
+
+#include "tamp/sim/config.hpp"
+
+#if !TAMP_SIM
+
+namespace tamp {
+
+template <typename T>
+using atomic = std::atomic<T>;
+using atomic_flag = std::atomic_flag;
+
+}  // namespace tamp
+
+#else  // TAMP_SIM
+
+#include <cstring>
+#include <source_location>
+#include <type_traits>
+
+#include "tamp/sim/scheduler.hpp"
+
+namespace tamp {
+
+namespace sim_detail {
+
+/// std::atomic's derived failure order for the one-order CAS overloads.
+inline constexpr std::memory_order cas_fail_order(
+    std::memory_order mo) noexcept {
+    if (mo == std::memory_order_acq_rel) return std::memory_order_acquire;
+    if (mo == std::memory_order_release) return std::memory_order_relaxed;
+    return mo;
+}
+
+}  // namespace sim_detail
+
+template <typename T>
+class atomic {
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "tamp::atomic<T> requires trivially copyable T");
+
+  public:
+    static constexpr bool is_always_lock_free =
+        std::atomic<T>::is_always_lock_free;
+
+    constexpr atomic() noexcept : atomic(T{}) {}
+    constexpr atomic(T v) noexcept : cell_(v), ring_{} { ring_[0] = v; }
+    ~atomic() { sim::detail::scheduler().forget(self()); }
+
+    atomic(const atomic&) = delete;
+    atomic& operator=(const atomic&) = delete;
+
+    bool is_lock_free() const noexcept { return cell_.is_lock_free(); }
+
+    T load(std::memory_order mo = std::memory_order_seq_cst,
+           const std::source_location& loc =
+               std::source_location::current()) const {
+        if (!simulated()) return cell_.load(mo);
+        const int slot = sim::detail::scheduler().on_load(self(), &seed_fn,
+                                                          &flush_fn, mo, loc);
+        return ring_[slot];
+    }
+
+    void store(T v, std::memory_order mo = std::memory_order_seq_cst,
+               const std::source_location& loc =
+                   std::source_location::current()) {
+        if (!simulated()) {
+            cell_.store(v, mo);
+            return;
+        }
+        const int slot = sim::detail::scheduler().on_store(self(), &seed_fn,
+                                                           &flush_fn, mo, loc);
+        ring_[slot] = v;
+    }
+
+    operator T() const { return load(); }
+    T operator=(T v) {
+        store(v);
+        return v;
+    }
+
+    T exchange(T v, std::memory_order mo = std::memory_order_seq_cst,
+               const std::source_location& loc =
+                   std::source_location::current()) {
+        if (!simulated()) return cell_.exchange(v, mo);
+        return rmw_apply([v](T) { return v; }, mo, loc);
+    }
+
+    bool compare_exchange_strong(T& expected, T desired,
+                                 std::memory_order success,
+                                 std::memory_order failure,
+                                 const std::source_location& loc =
+                                     std::source_location::current()) {
+        if (!simulated()) {
+            return cell_.compare_exchange_strong(expected, desired, success,
+                                                 failure);
+        }
+        auto& s = sim::detail::scheduler();
+        const int rslot = s.rmw_begin(self(), &seed_fn, &flush_fn, loc);
+        T cur = ring_[rslot];
+        if (std::memcmp(&cur, &expected, sizeof(T)) == 0) {
+            const int wslot = s.rmw_commit(self(), success, loc);
+            ring_[wslot] = desired;
+            return true;
+        }
+        s.rmw_abandon(self(), failure, loc);
+        expected = cur;
+        return false;
+    }
+
+    bool compare_exchange_strong(T& expected, T desired,
+                                 std::memory_order mo =
+                                     std::memory_order_seq_cst,
+                                 const std::source_location& loc =
+                                     std::source_location::current()) {
+        return compare_exchange_strong(expected, desired, mo,
+                                       sim_detail::cas_fail_order(mo), loc);
+    }
+
+    // The simulated weak CAS never fails spuriously (a deliberate search-
+    // space reduction; scheduler.hpp documents the approximation).
+    bool compare_exchange_weak(T& expected, T desired,
+                               std::memory_order success,
+                               std::memory_order failure,
+                               const std::source_location& loc =
+                                   std::source_location::current()) {
+        if (!simulated()) {
+            return cell_.compare_exchange_weak(expected, desired, success,
+                                               failure);
+        }
+        return compare_exchange_strong(expected, desired, success, failure,
+                                       loc);
+    }
+
+    bool compare_exchange_weak(T& expected, T desired,
+                               std::memory_order mo =
+                                   std::memory_order_seq_cst,
+                               const std::source_location& loc =
+                                   std::source_location::current()) {
+        return compare_exchange_weak(expected, desired, mo,
+                                     sim_detail::cas_fail_order(mo), loc);
+    }
+
+    T fetch_add(T delta, std::memory_order mo = std::memory_order_seq_cst,
+                const std::source_location& loc =
+                    std::source_location::current())
+        requires std::is_integral_v<T> && (!std::is_same_v<T, bool>)
+    {
+        if (!simulated()) return cell_.fetch_add(delta, mo);
+        return rmw_apply([delta](T v) { return static_cast<T>(v + delta); },
+                         mo, loc);
+    }
+
+    T fetch_sub(T delta, std::memory_order mo = std::memory_order_seq_cst,
+                const std::source_location& loc =
+                    std::source_location::current())
+        requires std::is_integral_v<T> && (!std::is_same_v<T, bool>)
+    {
+        if (!simulated()) return cell_.fetch_sub(delta, mo);
+        return rmw_apply([delta](T v) { return static_cast<T>(v - delta); },
+                         mo, loc);
+    }
+
+    T fetch_and(T mask, std::memory_order mo = std::memory_order_seq_cst,
+                const std::source_location& loc =
+                    std::source_location::current())
+        requires std::is_integral_v<T> && (!std::is_same_v<T, bool>)
+    {
+        if (!simulated()) return cell_.fetch_and(mask, mo);
+        return rmw_apply([mask](T v) { return static_cast<T>(v & mask); },
+                         mo, loc);
+    }
+
+    T fetch_or(T mask, std::memory_order mo = std::memory_order_seq_cst,
+               const std::source_location& loc =
+                   std::source_location::current())
+        requires std::is_integral_v<T> && (!std::is_same_v<T, bool>)
+    {
+        if (!simulated()) return cell_.fetch_or(mask, mo);
+        return rmw_apply([mask](T v) { return static_cast<T>(v | mask); },
+                         mo, loc);
+    }
+
+  private:
+    static bool simulated() { return sim::detail::scheduler().active(); }
+
+    void* self() const { return const_cast<atomic*>(this); }
+
+    static void seed_fn(void* o) {
+        auto* a = static_cast<atomic*>(o);
+        a->ring_[0] = a->cell_.load(std::memory_order_relaxed);
+    }
+    static void flush_fn(void* o, int slot) {
+        auto* a = static_cast<atomic*>(o);
+        a->cell_.store(a->ring_[slot], std::memory_order_relaxed);
+    }
+
+    template <typename F>
+    T rmw_apply(F f, std::memory_order mo, const std::source_location& loc) {
+        auto& s = sim::detail::scheduler();
+        const int rslot = s.rmw_begin(self(), &seed_fn, &flush_fn, loc);
+        const T old = ring_[rslot];
+        const int wslot = s.rmw_commit(self(), mo, loc);
+        ring_[wslot] = f(old);
+        return old;
+    }
+
+    // cell_ first so std::atomic's (possibly stricter) alignment governs
+    // the object.  mutable: const loads still route through the scheduler.
+    mutable std::atomic<T> cell_;
+    mutable T ring_[sim::kHistoryDepth];
+};
+
+class atomic_flag {
+  public:
+    constexpr atomic_flag() noexcept = default;
+
+    bool test_and_set(std::memory_order mo = std::memory_order_seq_cst,
+                      const std::source_location& loc =
+                          std::source_location::current()) {
+        return b_.exchange(true, mo, loc);
+    }
+    void clear(std::memory_order mo = std::memory_order_seq_cst,
+               const std::source_location& loc =
+                   std::source_location::current()) {
+        b_.store(false, mo, loc);
+    }
+    bool test(std::memory_order mo = std::memory_order_seq_cst,
+              const std::source_location& loc =
+                  std::source_location::current()) const {
+        return b_.load(mo, loc);
+    }
+
+  private:
+    atomic<bool> b_{false};
+};
+
+}  // namespace tamp
+
+#endif  // TAMP_SIM

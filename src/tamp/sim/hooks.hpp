@@ -1,0 +1,32 @@
+// tamp/sim/hooks.hpp
+//
+// The one hook non-atomic code needs: spin-loop reporting.  SpinWait and
+// Backoff (tamp/core/backoff.hpp) call spin_hint_if_simulated() at the
+// top of every pause; under an active TAMP_SIM exploration that turns the
+// pause into a schedule point (and, after a short streak, parks the
+// thread until some store lands — the scheduler's bounded-spin handling),
+// and the real pause is skipped so simulated time does not wait on wall
+// time.  In TAMP_SIM=OFF builds this is a constant false the optimizer
+// deletes.
+
+#pragma once
+
+#include "tamp/sim/config.hpp"
+
+#if TAMP_SIM
+#include "tamp/sim/scheduler.hpp"
+#endif
+
+namespace tamp::sim {
+
+#if TAMP_SIM
+inline bool spin_hint_if_simulated() {
+    if (!detail::scheduler().active()) return false;
+    detail::scheduler().spin_hint();
+    return true;
+}
+#else
+inline constexpr bool spin_hint_if_simulated() noexcept { return false; }
+#endif
+
+}  // namespace tamp::sim

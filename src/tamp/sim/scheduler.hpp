@@ -1,0 +1,1119 @@
+// tamp/sim/scheduler.hpp
+//
+// The cooperative model-checking scheduler behind the tamp::atomic facade
+// (Relacy / Loom / CHESS lineage; see PAPERS.md).  Only compiled when
+// TAMP_SIM=1 — tamp/sim/atomic.hpp includes this header under the macro.
+//
+// Execution model
+// ---------------
+// A test body runs on the *controller* (the thread that called
+// sim::explore).  It spawns up to kMaxSimThreads sim::threads, which map
+// onto a persistent worker pool (persistent so tamp::thread_id() stays
+// dense and stable across the thousands of executions one exploration
+// runs).  Exactly one of {controller, workers} is ever running: a token is
+// handed from thread to thread at every *schedule point* (each facade
+// load/store/RMW, sim::yield, sim::fence, and the spin hints the backoff
+// helpers emit).  At each schedule point the scheduler makes a recorded
+// *decision*: which thread runs next, and — for loads — which of the
+// location's recent stores to return.  The decision sequence is the
+// execution's identity: DFS backtracking enumerates it exhaustively,
+// random walk and PCT sample it, and replay forces a recorded sequence
+// byte for byte.
+//
+// Memory model (deliberately simplified)
+// --------------------------------------
+// Per atomic location the scheduler keeps the last kHistoryDepth store
+// records; the *values* live in a ring owned by the tamp::atomic object
+// itself so the scheduler stays type-erased.  Vector clocks implement
+// happens-before: a load may return a stale store unless some newer store
+// to the same location already happens-before the loading thread; acquire
+// loads join the store's release clock; release stores capture the
+// storer's clock; RMWs always read the newest store and carry the release
+// sequence; fences are approximated with pending-acquire / fence-release
+// clocks.  seq_cst operations additionally merge with a global SC clock,
+// which models SC *stronger* than C++11 (interleaving-consistent): the
+// checker can miss exotic SC-only outcomes (IRIW-style), but everything
+// it reports is a real relaxed/acquire/release behavior.  CAS failures
+// read the newest value and weak CASes never fail spuriously — both
+// reduce the search space at the cost of a few more missed behaviors.
+//
+// Liveness
+// --------
+// Spin loops are the classic state-space killer.  Two mechanisms bound
+// them: threads that signal sim::spin_hint() (SpinWait / Backoff do) park
+// after a short streak and wake on any store; threads that issue many
+// consecutive loads without storing are parked the same way.  If every
+// live thread is parked, the scheduler force-wakes them once with
+// "newest value only" reads; if they all park again with no intervening
+// store, no thread can ever make progress and a deadlock is reported.
+// Executions that exceed max_steps are reported as livelock.
+
+#pragma once
+
+#include "tamp/sim/config.hpp"
+
+#if TAMP_SIM
+
+#include <array>
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <source_location>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+namespace tamp::sim {
+
+// ---------------------------------------------------------------------------
+// Public option/result types
+// ---------------------------------------------------------------------------
+
+enum class Strategy {
+    kExhaustive,  // DFS with preemption bounding; terminates with a verdict
+    kRandom,      // uniform random decisions, max_executions samples
+    kPct,         // PCT-style priority schedules, random value choices
+};
+
+enum class ViolationKind {
+    kNone,
+    kAssert,    // sim::assert_always / sim::fail / linearizability failure
+    kDeadlock,  // every live thread parked with no store able to wake one
+    kLivelock,  // execution exceeded max_steps schedule points
+};
+
+struct ExploreOptions {
+    Strategy strategy = Strategy::kExhaustive;
+    std::uint64_t seed = 1;
+    int max_executions = 20000;
+    int max_steps = 20000;
+    int preemption_bound = 2;  // exhaustive only; < 0 means unbounded
+    int stale_budget = 4;      // stale-value load choices per thread per exec
+    int pct_depth = 3;         // PCT priority-change points
+    bool print_on_failure = true;
+};
+
+struct ExploreResult {
+    bool ok = true;
+    ViolationKind kind = ViolationKind::kNone;
+    std::string message;
+    std::uint64_t seed = 0;
+    int failing_execution = -1;
+    std::vector<std::uint8_t> trace;  // decision bytes of the failing exec
+    int executions = 0;
+    std::uint64_t total_steps = 0;
+    bool exhausted = false;  // exhaustive search ran out of schedules (proof
+                             // within the model, bounds, and budget)
+};
+
+enum class AccessKind { kLoad, kStore, kRmw, kFence };
+
+/// One static occurrence of a facade access (file:line:column), recorded
+/// for the ordering oracle and for stale-read attribution in reports.
+struct SiteInfo {
+    std::string file;
+    int line = 0;
+    int column = 0;
+    AccessKind kind = AccessKind::kLoad;
+    std::memory_order order = std::memory_order_seq_cst;  // declared order
+    std::uint64_t hits = 0;
+};
+
+/// Thrown through user code to unwind a worker when an execution aborts
+/// (violation found, or teardown).  Caught by the scheduler; user code
+/// must let it propagate (RAII cleanup runs normally).
+struct execution_aborted {};
+
+namespace detail {
+
+inline constexpr int kCtl = kMaxSimThreads;      // controller clock index
+inline constexpr int kSpinParkStreak = 3;        // spin hints before parking
+inline constexpr int kLoadParkStreak = 64;       // bare loads before parking
+
+using Clock = std::array<std::uint32_t, kMaxSimThreads + 1>;
+
+inline void join_clock(Clock& into, const Clock& from) noexcept {
+    for (std::size_t i = 0; i < into.size(); ++i) {
+        if (from[i] > into[i]) into[i] = from[i];
+    }
+}
+
+inline bool has_acquire(std::memory_order mo) noexcept {
+    return mo == std::memory_order_acquire || mo == std::memory_order_consume ||
+           mo == std::memory_order_acq_rel || mo == std::memory_order_seq_cst;
+}
+inline bool has_release(std::memory_order mo) noexcept {
+    return mo == std::memory_order_release ||
+           mo == std::memory_order_acq_rel || mo == std::memory_order_seq_cst;
+}
+
+inline const char* order_name(std::memory_order mo) noexcept {
+    switch (mo) {
+        case std::memory_order_relaxed: return "relaxed";
+        case std::memory_order_consume: return "consume";
+        case std::memory_order_acquire: return "acquire";
+        case std::memory_order_release: return "release";
+        case std::memory_order_acq_rel: return "acq_rel";
+        default: return "seq_cst";
+    }
+}
+
+inline std::uint64_t splitmix64(std::uint64_t x) noexcept {
+    x += 0x9E3779B97F4A7C15ull;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+    return x ^ (x >> 31);
+}
+
+/// The worker tid of the calling thread, or -1 (controller / outsider).
+inline thread_local int t_sim_tid = -1;
+
+class Scheduler {
+  public:
+    using FlushFn = void (*)(void*, int);  // copy ring[slot] back to cell
+    using SeedFn = void (*)(void*);        // copy cell into ring[0]
+
+    static Scheduler& instance() {
+        static Scheduler s;
+        return s;
+    }
+
+    /// True while an exploration is between begin/end of an execution.
+    /// The facade's fast path checks this before entering the scheduler.
+    bool active() const noexcept {
+        return active_.load(std::memory_order_acquire);
+    }
+
+    // -- exploration driver -------------------------------------------------
+
+    ExploreResult explore(const ExploreOptions& opts,
+                          const std::function<void()>& body) {
+        return run(opts, body, /*replay_exec=*/-1, nullptr);
+    }
+
+    /// Re-run exactly one execution, forcing the recorded decision bytes.
+    ExploreResult replay(const ExploreOptions& opts, int exec_index,
+                         const std::vector<std::uint8_t>& trace,
+                         const std::function<void()>& body) {
+        return run(opts, body, exec_index < 0 ? 0 : exec_index, &trace);
+    }
+
+    // -- facade entry points (worker or controller, token held) -------------
+
+    int on_load(void* obj, SeedFn seed, FlushFn flush, std::memory_order mo,
+                const std::source_location& loc) {
+        const int tid = t_sim_tid;
+        if (tid < 0) return controller_load(obj, seed, flush);
+        Worker& w = workers_[tid];
+        if (w.load_streak >= kLoadParkStreak) {
+            w.load_streak = 0;
+            w.status = Status::kParked;
+        }
+        schedule(tid);
+        Location& l = lookup(obj, seed, flush, tid);
+        mo = note_site(loc, AccessKind::kLoad, mo);
+        w.clock[tid]++;
+        if (mo == std::memory_order_seq_cst) merge_sc(w.clock);
+
+        // Eligible stores, newest first.  Walk backwards; stop at the
+        // coherence floor or at the first record some newer record makes
+        // hb-obsolete (that record shadows everything older too).
+        const int n = static_cast<int>(l.records.size());
+        int eligible = 1;  // the newest record is always eligible
+        for (int i = n - 2; i >= 0; --i) {
+            const StoreRecord& r = l.records[static_cast<std::size_t>(i)];
+            if (r.seq < l.last_seen[static_cast<std::size_t>(tid)]) break;
+            bool obsolete = false;
+            for (int j = i + 1; j < n; ++j) {
+                const StoreRecord& r2 =
+                    l.records[static_cast<std::size_t>(j)];
+                if (r2.store_clock[static_cast<std::size_t>(r2.storer)] <=
+                    w.clock[static_cast<std::size_t>(r2.storer)]) {
+                    obsolete = true;
+                    break;
+                }
+            }
+            if (obsolete) break;
+            ++eligible;
+        }
+        if (w.force_newest || w.stale_reads >= opts_.stale_budget) {
+            eligible = 1;
+        }
+        const int choice = eligible > 1 ? decide(eligible) : 0;
+        const StoreRecord& rec =
+            l.records[static_cast<std::size_t>(n - 1 - choice)];
+        l.last_seen[static_cast<std::size_t>(tid)] = rec.seq;
+        join_clock(w.pending_acquire, rec.release_clock);
+        if (has_acquire(mo)) join_clock(w.clock, rec.release_clock);
+        if (choice > 0) {
+            w.stale_reads++;
+            note_stale(loc, mo, rec.seq, l.records.back().seq);
+        }
+        w.load_streak++;
+        return rec.slot;
+    }
+
+    int on_store(void* obj, SeedFn seed, FlushFn flush, std::memory_order mo,
+                 const std::source_location& loc) {
+        const int tid = t_sim_tid;
+        if (tid < 0) return controller_store(obj, seed, flush);
+        Worker& w = workers_[tid];
+        schedule(tid);
+        Location& l = lookup(obj, seed, flush, tid);
+        mo = note_site(loc, AccessKind::kStore, mo);
+        w.clock[tid]++;
+        if (mo == std::memory_order_seq_cst) merge_sc(w.clock);
+        const Clock& rel = has_release(mo) ? w.clock : w.fence_release;
+        return push_record(l, tid, w.clock, rel, w);
+    }
+
+    /// RMW protocol: begin (schedule point, returns the newest slot to
+    /// read), then either commit (writes a record, returns the slot to
+    /// write the new value into) or abandon (failed CAS: counts as a load
+    /// of the newest value at the failure order).  No schedule point
+    /// between begin and commit/abandon, so the RMW stays atomic.
+    int rmw_begin(void* obj, SeedFn seed, FlushFn flush,
+                  const std::source_location&) {
+        const int tid = t_sim_tid;
+        if (tid < 0) return controller_load(obj, seed, flush);
+        Worker& w = workers_[tid];
+        if (w.load_streak >= kLoadParkStreak) {
+            w.load_streak = 0;
+            w.status = Status::kParked;
+        }
+        schedule(tid);
+        Location& l = lookup(obj, seed, flush, tid);
+        return l.records.back().slot;
+    }
+
+    int rmw_commit(void* obj, std::memory_order mo,
+                   const std::source_location& loc) {
+        const int tid = t_sim_tid;
+        if (tid < 0) return controller_rmw_commit(obj);
+        Worker& w = workers_[tid];
+        Location& l = locations_.at(obj);
+        mo = note_site(loc, AccessKind::kRmw, mo);
+        w.clock[tid]++;
+        if (mo == std::memory_order_seq_cst) merge_sc(w.clock);
+        const StoreRecord& prev = l.records.back();
+        join_clock(w.pending_acquire, prev.release_clock);
+        if (has_acquire(mo)) join_clock(w.clock, prev.release_clock);
+        // Release-sequence carry: an RMW continues the sequence headed by
+        // the store it read from, whatever its own order.
+        Clock rel = prev.release_clock;
+        join_clock(rel, has_release(mo) ? w.clock : w.fence_release);
+        return push_record(l, tid, w.clock, rel, w);
+    }
+
+    void rmw_abandon(void* obj, std::memory_order fail_mo,
+                     const std::source_location& loc) {
+        const int tid = t_sim_tid;
+        if (tid < 0) return;
+        Worker& w = workers_[tid];
+        Location& l = locations_.at(obj);
+        fail_mo = note_site(loc, AccessKind::kLoad, fail_mo);
+        w.clock[tid]++;
+        if (fail_mo == std::memory_order_seq_cst) merge_sc(w.clock);
+        const StoreRecord& prev = l.records.back();
+        join_clock(w.pending_acquire, prev.release_clock);
+        if (has_acquire(fail_mo)) join_clock(w.clock, prev.release_clock);
+        l.last_seen[static_cast<std::size_t>(tid)] = prev.seq;
+        w.load_streak++;
+    }
+
+    void fence(std::memory_order mo, const std::source_location& loc) {
+        const int tid = t_sim_tid;
+        if (tid < 0) return;
+        Worker& w = workers_[tid];
+        schedule(tid);
+        note_site(loc, AccessKind::kFence, mo);
+        w.clock[tid]++;
+        if (has_acquire(mo)) join_clock(w.clock, w.pending_acquire);
+        if (has_release(mo)) w.fence_release = w.clock;
+        if (mo == std::memory_order_seq_cst) merge_sc(w.clock);
+    }
+
+    void yield_point() {
+        const int tid = t_sim_tid;
+        if (tid < 0) return;
+        schedule(tid);
+    }
+
+    /// Emitted by SpinWait::spin / Backoff::backoff.  A short streak of
+    /// hints parks the thread until any store lands (the streak survives
+    /// the thread's own stores: retry loops store on every failed RMW).
+    void spin_hint() {
+        const int tid = t_sim_tid;
+        if (tid < 0) return;
+        Worker& w = workers_[tid];
+        w.spin_streak++;
+        if (w.spin_streak >= kSpinParkStreak) {
+            w.spin_streak = 0;
+            w.status = Status::kParked;
+        }
+        schedule(tid);
+    }
+
+    void forget(void* obj) {
+        std::lock_guard<std::mutex> lk(registry_mu_);
+        locations_.erase(obj);
+    }
+
+    // -- violations ----------------------------------------------------------
+
+    void fail_now(const std::string& msg) {
+        if (!active()) {
+            std::fprintf(stderr, "tamp::sim failure outside exploration: %s\n",
+                         msg.c_str());
+            std::abort();
+        }
+        if (aborting_) {
+            // Already unwinding; keep the first violation, just unwind.
+            if (t_sim_tid >= 0) throw execution_aborted{};
+            return;
+        }
+        set_violation(ViolationKind::kAssert, msg);
+        aborting_ = true;
+        if (t_sim_tid >= 0) throw execution_aborted{};
+        // On the controller: record and let the body run out; joins still
+        // complete because workers unwind when next scheduled.
+    }
+
+    void assert_now(bool cond, const char* msg) {
+        if (!cond) fail_now(msg ? msg : "sim::assert_always failed");
+    }
+
+    /// True while the current execution is unwinding after a violation;
+    /// controller-side checks should stay quiet then.
+    bool unwinding() const noexcept { return active() && aborting_; }
+
+    int execution_index() const noexcept { return exec_index_; }
+
+    // -- sim::thread support -------------------------------------------------
+
+    int spawn(std::function<void()> body) {
+        if (!active() || t_sim_tid >= 0) {
+            std::fprintf(stderr,
+                         "tamp::sim: sim::thread may only be created by the "
+                         "exploration body (controller)\n");
+            std::abort();
+        }
+        if (spawned_ >= kMaxSimThreads) {
+            std::fprintf(stderr, "tamp::sim: more than %d sim::threads\n",
+                         kMaxSimThreads);
+            std::abort();
+        }
+        const int tid = spawned_++;
+        Worker& w = workers_[static_cast<std::size_t>(tid)];
+        w.clock.fill(0);
+        join_clock(w.clock, controller_clock_);
+        w.clock[static_cast<std::size_t>(tid)] = 1;
+        w.pending_acquire.fill(0);
+        w.fence_release.fill(0);
+        w.spin_streak = 0;
+        w.load_streak = 0;
+        w.stale_reads = 0;
+        w.force_newest = false;
+        w.status = Status::kRunnable;
+        controller_clock_[kCtl]++;
+        {
+            std::lock_guard<std::mutex> lk(w.m);
+            w.body = std::move(body);
+            w.body_ready = true;
+        }
+        // No token handed out yet: workers first run when the controller
+        // blocks in join(), so all threads exist before scheduling starts.
+        return tid;
+    }
+
+    void join(int tid) {
+        Worker& w = workers_[static_cast<std::size_t>(tid)];
+        if (w.status != Status::kFinished) {
+            controller_waiting_ = tid;
+            std::vector<int> cands = runnable_candidates(-1);
+            if (cands.empty()) cands = resolve_stall(-1);
+            const int next = pick_next(std::move(cands), -1);
+            {
+                std::lock_guard<std::mutex> lk(ctl_m_);
+                ctl_token_ = false;
+            }
+            give_token(next);
+            {
+                std::unique_lock<std::mutex> lk(ctl_m_);
+                ctl_cv_.wait(lk, [&] { return ctl_token_; });
+            }
+            controller_waiting_ = -1;
+        }
+        join_clock(controller_clock_, w.clock);
+        controller_clock_[kCtl]++;
+    }
+
+    // -- ordering oracle hooks ----------------------------------------------
+
+    void set_order_override(const std::string& site_key,
+                            std::memory_order mo) {
+        overrides_[site_key] = mo;
+    }
+    void clear_order_overrides() { overrides_.clear(); }
+    void clear_sites() { sites_.clear(); }
+    std::map<std::string, SiteInfo> sites() const { return sites_; }
+
+  private:
+    enum class Status { kIdle, kRunnable, kParked, kFinished };
+
+    struct Worker {
+        std::thread th;
+        std::mutex m;
+        std::condition_variable cv;
+        bool has_token = false;
+        bool body_ready = false;
+        bool shutdown = false;
+        std::function<void()> body;
+        // Execution state, touched only by the token holder.
+        Status status = Status::kIdle;
+        Clock clock{};
+        Clock pending_acquire{};
+        Clock fence_release{};
+        int spin_streak = 0;
+        int load_streak = 0;
+        int stale_reads = 0;
+        bool force_newest = false;
+    };
+
+    struct StoreRecord {
+        int slot = 0;
+        std::uint64_t seq = 0;
+        int storer = kCtl;    // clock index of the storing thread
+        Clock store_clock{};  // storer's clock at the store (hb test)
+        Clock release_clock{};  // what an acquire load of this record joins
+    };
+
+    struct Location {
+        FlushFn flush = nullptr;
+        std::uint64_t seq_counter = 0;
+        std::deque<StoreRecord> records;
+        std::array<std::uint64_t, kMaxSimThreads + 1> last_seen{};
+    };
+
+    struct Decision {
+        std::uint8_t chosen;
+        std::uint8_t count;
+    };
+
+    struct Violation {
+        ViolationKind kind = ViolationKind::kNone;
+        std::string message;
+    };
+
+    Scheduler() = default;
+
+    ~Scheduler() {
+        for (auto& w : workers_) {
+            {
+                std::lock_guard<std::mutex> lk(w.m);
+                w.shutdown = true;
+            }
+            w.cv.notify_all();
+            if (w.th.joinable()) w.th.join();
+        }
+    }
+
+    // -- pool / token machinery ---------------------------------------------
+
+    void ensure_pool() {
+        if (pool_started_) return;
+        pool_started_ = true;
+        for (int i = 0; i < kMaxSimThreads; ++i) {
+            workers_[static_cast<std::size_t>(i)].th =
+                std::thread([this, i] { worker_loop(i); });
+        }
+    }
+
+    void worker_loop(int tid) {
+        t_sim_tid = tid;
+        Worker& w = workers_[static_cast<std::size_t>(tid)];
+        for (;;) {
+            {
+                std::unique_lock<std::mutex> lk(w.m);
+                w.cv.wait(lk, [&] {
+                    return (w.has_token && w.body_ready) || w.shutdown;
+                });
+                if (w.shutdown) return;
+            }
+            try {
+                w.body();
+            } catch (const execution_aborted&) {
+            }
+            {
+                std::lock_guard<std::mutex> lk(w.m);
+                w.body_ready = false;
+            }
+            on_worker_finished(tid);
+        }
+    }
+
+    void give_token(int tid) {
+        Worker& w = workers_[static_cast<std::size_t>(tid)];
+        {
+            std::lock_guard<std::mutex> lk(w.m);
+            w.has_token = true;
+        }
+        w.cv.notify_one();
+    }
+
+    void give_controller_token() {
+        {
+            std::lock_guard<std::mutex> lk(ctl_m_);
+            ctl_token_ = true;
+        }
+        ctl_cv_.notify_one();
+    }
+
+    void wait_for_token(int tid) {
+        Worker& w = workers_[static_cast<std::size_t>(tid)];
+        std::unique_lock<std::mutex> lk(w.m);
+        w.cv.wait(lk, [&] { return w.has_token || w.shutdown; });
+    }
+
+    void release_token(int tid) {
+        Worker& w = workers_[static_cast<std::size_t>(tid)];
+        std::lock_guard<std::mutex> lk(w.m);
+        w.has_token = false;
+    }
+
+    // -- scheduling ----------------------------------------------------------
+
+    void check_abort() {
+        if (aborting_ && t_sim_tid >= 0) throw execution_aborted{};
+    }
+
+    void schedule(int tid) {
+        check_abort();
+        if (++steps_ > static_cast<std::uint64_t>(opts_.max_steps)) {
+            if (!aborting_) {
+                set_violation(ViolationKind::kLivelock,
+                              "execution exceeded max_steps = " +
+                                  std::to_string(opts_.max_steps) +
+                                  " schedule points without terminating");
+                aborting_ = true;
+            }
+            throw execution_aborted{};
+        }
+        std::vector<int> cands = runnable_candidates(tid);
+        if (cands.empty()) cands = resolve_stall(tid);
+        const int next = pick_next(std::move(cands), tid);
+        if (next != tid) {
+            release_token(tid);
+            give_token(next);
+            wait_for_token(tid);
+        }
+        check_abort();
+    }
+
+    void on_worker_finished(int tid) {
+        Worker& w = workers_[static_cast<std::size_t>(tid)];
+        w.status = Status::kFinished;
+        release_token(tid);
+        if (controller_waiting_ == tid) {
+            give_controller_token();
+            return;
+        }
+        std::vector<int> cands = runnable_candidates(-1);
+        if (cands.empty()) {
+            if (nonfinished_count() == 0) {
+                // Everyone done: only the controller can want the token.
+                give_controller_token();
+                return;
+            }
+            cands = resolve_stall(-1);
+        }
+        give_token(pick_next(std::move(cands), -1));
+    }
+
+    /// Runnable worker tids, current thread first when runnable.
+    std::vector<int> runnable_candidates(int current) const {
+        std::vector<int> out;
+        if (current >= 0 &&
+            workers_[static_cast<std::size_t>(current)].status ==
+                Status::kRunnable) {
+            out.push_back(current);
+        }
+        for (int i = 0; i < spawned_; ++i) {
+            if (i == current) continue;
+            if (workers_[static_cast<std::size_t>(i)].status ==
+                Status::kRunnable) {
+                out.push_back(i);
+            }
+        }
+        return out;
+    }
+
+    int nonfinished_count() const {
+        int n = 0;
+        for (int i = 0; i < spawned_; ++i) {
+            const Status s = workers_[static_cast<std::size_t>(i)].status;
+            if (s == Status::kRunnable || s == Status::kParked) ++n;
+        }
+        return n;
+    }
+
+    /// No runnable thread: either force-wake the parked ones (once per
+    /// store generation) or report deadlock.  Returns new candidates.
+    std::vector<int> resolve_stall(int current) {
+        if (aborting_) {
+            unpark_all(false);
+            return runnable_candidates(current);
+        }
+        if (nonfinished_count() == 0) {
+            std::fprintf(stderr, "tamp::sim: scheduler stalled with no live "
+                                 "threads (token lost)\n");
+            std::abort();
+        }
+        if (forcewake_mark_ == store_count_) {
+            std::ostringstream os;
+            os << "deadlock: every live thread is parked in a spin loop and "
+                  "no future store can wake one (threads";
+            for (int i = 0; i < spawned_; ++i) {
+                if (workers_[static_cast<std::size_t>(i)].status ==
+                    Status::kParked) {
+                    os << " T" << i;
+                }
+            }
+            os << " are spinning on values that will never change)";
+            set_violation(ViolationKind::kDeadlock, os.str());
+            aborting_ = true;
+            unpark_all(false);
+            return runnable_candidates(current);
+        }
+        // Give each parked thread one pass over the *newest* values; if
+        // none makes progress (no store) before they all park again, the
+        // next stall is a real deadlock.
+        forcewake_mark_ = store_count_;
+        unpark_all(true);
+        return runnable_candidates(current);
+    }
+
+    void unpark_all(bool force_newest) {
+        for (int i = 0; i < spawned_; ++i) {
+            Worker& w = workers_[static_cast<std::size_t>(i)];
+            if (w.status == Status::kParked) {
+                w.status = Status::kRunnable;
+                w.force_newest = force_newest;
+            } else if (!force_newest) {
+                w.force_newest = false;
+            }
+        }
+    }
+
+    int pick_next(std::vector<int> cands, int current) {
+        const bool cur_in = !cands.empty() && cands.front() == current;
+        if (!replaying_ && opts_.strategy == Strategy::kExhaustive &&
+            opts_.preemption_bound >= 0 && cur_in &&
+            preemptions_ >= opts_.preemption_bound) {
+            cands.assign(1, current);
+        }
+        int idx = 0;
+        if (cands.size() > 1) {
+            if (opts_.strategy == Strategy::kPct && !replaying_) {
+                apply_pct_change_points(current);
+                idx = 0;
+                for (std::size_t i = 1; i < cands.size(); ++i) {
+                    if (priorities_[static_cast<std::size_t>(cands[i])] >
+                        priorities_[static_cast<std::size_t>(cands[idx])]) {
+                        idx = static_cast<int>(i);
+                    }
+                }
+                record_decision(static_cast<std::uint8_t>(idx),
+                                static_cast<std::uint8_t>(cands.size()));
+            } else {
+                idx = decide(static_cast<int>(cands.size()));
+            }
+        }
+        const int next = cands[static_cast<std::size_t>(idx)];
+        if (cur_in && next != current) preemptions_++;
+        return next;
+    }
+
+    void apply_pct_change_points(int current) {
+        if (current < 0) return;
+        for (std::uint64_t cp : pct_change_points_) {
+            if (steps_ == cp) {
+                priorities_[static_cast<std::size_t>(current)] =
+                    pct_low_priority_--;
+            }
+        }
+    }
+
+    // -- decisions -----------------------------------------------------------
+
+    int decide(int count) {
+        std::uint8_t chosen = 0;
+        const std::size_t pos = path_.size();
+        if (replaying_) {
+            if (pos < replay_trace_.size()) chosen = replay_trace_[pos];
+            if (chosen >= count) chosen = static_cast<std::uint8_t>(count - 1);
+        } else if (opts_.strategy == Strategy::kExhaustive) {
+            if (pos < prefix_.size()) {
+                chosen = prefix_[pos].chosen;
+                if (chosen >= count) {
+                    chosen = static_cast<std::uint8_t>(count - 1);
+                }
+            }
+        } else {
+            chosen = static_cast<std::uint8_t>(
+                rng_next() % static_cast<std::uint64_t>(count));
+        }
+        record_decision(chosen, static_cast<std::uint8_t>(count));
+        return chosen;
+    }
+
+    void record_decision(std::uint8_t chosen, std::uint8_t count) {
+        path_.push_back(Decision{chosen, count});
+    }
+
+    std::uint64_t rng_next() noexcept {
+        std::uint64_t x = rng_state_;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        rng_state_ = x;
+        return x * 0x2545F4914F6CDD1Dull;
+    }
+
+    /// DFS backtrack: keep the longest prefix whose last decision still
+    /// has an untried alternative, advance it.  False = space exhausted.
+    bool backtrack() {
+        prefix_ = path_;
+        while (!prefix_.empty() &&
+               prefix_.back().chosen + 1 >= prefix_.back().count) {
+            prefix_.pop_back();
+        }
+        if (prefix_.empty()) return false;
+        prefix_.back().chosen++;
+        return true;
+    }
+
+    // -- locations -----------------------------------------------------------
+
+    Location& lookup(void* obj, SeedFn seed, FlushFn flush, int accessor) {
+        std::lock_guard<std::mutex> lk(registry_mu_);
+        auto [it, fresh] = locations_.try_emplace(obj);
+        Location& l = it->second;
+        if (fresh) {
+            l.flush = flush;
+            seed(obj);  // ring[0] = current cell value
+            StoreRecord init;
+            init.slot = 0;
+            init.seq = 0;
+            init.storer = accessor < 0 ? kCtl : accessor;
+            init.store_clock = clock_of(accessor);
+            init.release_clock = init.store_clock;
+            l.records.push_back(init);
+        }
+        return l;
+    }
+
+    const Clock& clock_of(int accessor) const {
+        return accessor < 0 ? controller_clock_
+                            : workers_[static_cast<std::size_t>(accessor)].clock;
+    }
+
+    int push_record(Location& l, int storer_idx, const Clock& store_clock,
+                    const Clock& release_clock, Worker& w) {
+        int slot;
+        if (l.records.size() >= static_cast<std::size_t>(kHistoryDepth)) {
+            slot = l.records.front().slot;
+            l.records.pop_front();
+        } else {
+            slot = static_cast<int>(l.records.size());
+        }
+        StoreRecord rec;
+        rec.slot = slot;
+        rec.seq = ++l.seq_counter;
+        rec.storer = storer_idx;
+        rec.store_clock = store_clock;
+        rec.release_clock = release_clock;
+        l.records.push_back(rec);
+        l.last_seen[static_cast<std::size_t>(storer_idx)] = rec.seq;
+        ++store_count_;
+        unpark_all(false);
+        // The store resets the *load* streak (the thread is plainly not in
+        // a pure-load wait loop) but deliberately not the spin streak: a
+        // failed-RMW retry loop (TAS lock, CAS loops) stores on every
+        // iteration, and must still park after a short streak of hints or
+        // a spinning thread under a held lock never yields the schedule.
+        w.load_streak = 0;
+        w.force_newest = false;
+        return slot;
+    }
+
+    // Controller accesses run outside the schedule (setup/teardown between
+    // joins): immediate, newest-value, seq_cst-like.
+    int controller_load(void* obj, SeedFn seed, FlushFn flush) {
+        Location& l = lookup(obj, seed, flush, -1);
+        const StoreRecord& rec = l.records.back();
+        l.last_seen[kCtl] = rec.seq;
+        join_clock(controller_clock_, rec.release_clock);
+        return rec.slot;
+    }
+
+    int controller_store(void* obj, SeedFn seed, FlushFn flush) {
+        Location& l = lookup(obj, seed, flush, -1);
+        controller_clock_[kCtl]++;
+        // Dummy worker for the streak/park bookkeeping push_record resets.
+        return push_record(l, kCtl, controller_clock_, controller_clock_,
+                           ctl_dummy_);
+    }
+
+    int controller_rmw_commit(void* obj) {
+        Location& l = locations_.at(obj);
+        controller_clock_[kCtl]++;
+        join_clock(controller_clock_, l.records.back().release_clock);
+        return push_record(l, kCtl, controller_clock_, controller_clock_,
+                           ctl_dummy_);
+    }
+
+    // -- sites / oracle ------------------------------------------------------
+
+    static std::string site_key(const std::source_location& loc) {
+        std::string k = loc.file_name();
+        k += ':';
+        k += std::to_string(loc.line());
+        k += ':';
+        k += std::to_string(loc.column());
+        return k;
+    }
+
+    /// Record the access site and return the (possibly overridden)
+    /// effective order for this access.
+    std::memory_order note_site(const std::source_location& loc,
+                                AccessKind kind, std::memory_order mo) {
+        const std::string key = site_key(loc);
+        SiteInfo& s = sites_[key];
+        if (s.hits == 0) {
+            s.file = loc.file_name();
+            s.line = static_cast<int>(loc.line());
+            s.column = static_cast<int>(loc.column());
+            s.kind = kind;
+            s.order = mo;
+        }
+        s.hits++;
+        auto it = overrides_.find(key);
+        return it == overrides_.end() ? mo : it->second;
+    }
+
+    void note_stale(const std::source_location& loc, std::memory_order mo,
+                    std::uint64_t got_seq, std::uint64_t newest_seq) {
+        if (stale_log_.size() >= 8) stale_log_.erase(stale_log_.begin());
+        std::ostringstream os;
+        os << loc.file_name() << ":" << loc.line() << " load("
+           << order_name(mo) << ") returned store #" << got_seq
+           << " (newest #" << newest_seq << ")";
+        stale_log_.push_back(os.str());
+    }
+
+    void merge_sc(Clock& thread_clock) {
+        join_clock(thread_clock, sc_clock_);
+        join_clock(sc_clock_, thread_clock);
+    }
+
+    void set_violation(ViolationKind kind, const std::string& msg) {
+        if (violation_.kind != ViolationKind::kNone) return;
+        violation_.kind = kind;
+        std::ostringstream os;
+        os << msg << "\n  execution #" << exec_index_ << ", step " << steps_;
+        if (!stale_log_.empty()) {
+            os << "\n  recent stale reads (candidate ordering culprits):";
+            for (const auto& s : stale_log_) os << "\n    " << s;
+        }
+        violation_.message = os.str();
+    }
+
+    // -- execution lifecycle -------------------------------------------------
+
+    void begin_execution(int exec) {
+        {
+            std::lock_guard<std::mutex> lk(registry_mu_);
+            locations_.clear();
+        }
+        exec_index_ = exec;
+        steps_ = 0;
+        preemptions_ = 0;
+        store_count_ = 0;
+        forcewake_mark_ = ~std::uint64_t{0};
+        aborting_ = false;
+        violation_ = Violation{};
+        path_.clear();
+        spawned_ = 0;
+        sc_clock_.fill(0);
+        controller_clock_.fill(0);
+        controller_clock_[kCtl] = 1;
+        ctl_token_ = true;
+        controller_waiting_ = -1;
+        stale_log_.clear();
+        rng_state_ = splitmix64(opts_.seed ^
+                                (static_cast<std::uint64_t>(exec) + 1) *
+                                    0x9E3779B97F4A7C15ull);
+        if (rng_state_ == 0) rng_state_ = 1;
+        for (auto& w : workers_) {
+            w.status = Status::kIdle;
+            w.clock.fill(0);
+            w.pending_acquire.fill(0);
+            w.fence_release.fill(0);
+            w.spin_streak = 0;
+            w.load_streak = 0;
+            w.stale_reads = 0;
+            w.force_newest = false;
+        }
+        if (opts_.strategy == Strategy::kPct) {
+            for (auto& p : priorities_) {
+                p = 1000 + static_cast<std::int64_t>(rng_next() % 1000000);
+            }
+            pct_low_priority_ = 999;
+            pct_change_points_.clear();
+            for (int i = 1; i < opts_.pct_depth; ++i) {
+                pct_change_points_.push_back(
+                    1 + rng_next() % static_cast<std::uint64_t>(
+                                         opts_.max_steps > 1
+                                             ? opts_.max_steps - 1
+                                             : 1));
+            }
+        }
+    }
+
+    void end_execution() {
+        std::lock_guard<std::mutex> lk(registry_mu_);
+        for (auto& [obj, l] : locations_) {
+            if (l.flush && !l.records.empty()) {
+                l.flush(obj, l.records.back().slot);
+            }
+        }
+    }
+
+    ExploreResult run(const ExploreOptions& opts,
+                      const std::function<void()>& body, int replay_exec,
+                      const std::vector<std::uint8_t>* replay_trace) {
+        if (active()) {
+            std::fprintf(stderr, "tamp::sim: nested explore() calls are not "
+                                 "supported\n");
+            std::abort();
+        }
+        ensure_pool();
+        opts_ = opts;
+        replaying_ = replay_trace != nullptr;
+        if (replaying_) replay_trace_ = *replay_trace;
+        prefix_.clear();
+        ExploreResult res;
+        res.seed = opts.seed;
+        active_.store(true, std::memory_order_release);
+        int exec = replaying_ ? replay_exec : 0;
+        for (;;) {
+            begin_execution(exec);
+            body();
+            end_execution();
+            ++exec;
+            res.executions++;
+            res.total_steps += steps_;
+            if (violation_.kind != ViolationKind::kNone) {
+                res.ok = false;
+                res.kind = violation_.kind;
+                res.message = violation_.message;
+                res.failing_execution = exec_index_;
+                res.trace.clear();
+                for (const Decision& d : path_) res.trace.push_back(d.chosen);
+                if (opts.print_on_failure) print_failure(res);
+                break;
+            }
+            if (replaying_) break;
+            if (opts.strategy == Strategy::kExhaustive) {
+                if (!backtrack()) {
+                    res.exhausted = true;
+                    break;
+                }
+            }
+            if (res.executions >= opts.max_executions) break;
+        }
+        active_.store(false, std::memory_order_release);
+        replaying_ = false;
+        return res;
+    }
+
+    static void print_failure(const ExploreResult& res) {
+        std::ostringstream os;
+        os << "tamp::sim: VIOLATION ("
+           << (res.kind == ViolationKind::kAssert
+                   ? "assert"
+                   : res.kind == ViolationKind::kDeadlock ? "deadlock"
+                                                          : "livelock")
+           << ")\n  " << res.message << "\n  replay: seed=" << res.seed
+           << " execution=" << res.failing_execution << " trace=";
+        static const char* hex = "0123456789abcdef";
+        for (std::uint8_t b : res.trace) {
+            os << hex[b >> 4] << hex[b & 0xF];
+        }
+        os << "\n";
+        std::fputs(os.str().c_str(), stderr);
+    }
+
+    // -- state ---------------------------------------------------------------
+
+    std::atomic<bool> active_{false};
+    bool pool_started_ = false;
+    std::array<Worker, kMaxSimThreads> workers_;
+    Worker ctl_dummy_;  // streak bookkeeping sink for controller stores
+
+    std::mutex ctl_m_;
+    std::condition_variable ctl_cv_;
+    bool ctl_token_ = true;
+    int controller_waiting_ = -1;
+    Clock controller_clock_{};
+
+    ExploreOptions opts_;
+    int exec_index_ = 0;
+    int spawned_ = 0;
+    std::uint64_t steps_ = 0;
+    int preemptions_ = 0;
+    std::uint64_t store_count_ = 0;
+    std::uint64_t forcewake_mark_ = ~std::uint64_t{0};
+    bool aborting_ = false;
+    Violation violation_;
+    std::vector<std::string> stale_log_;
+
+    std::vector<Decision> path_;
+    std::vector<Decision> prefix_;
+    bool replaying_ = false;
+    std::vector<std::uint8_t> replay_trace_;
+    std::uint64_t rng_state_ = 1;
+
+    std::array<std::int64_t, kMaxSimThreads> priorities_{};
+    std::int64_t pct_low_priority_ = 0;
+    std::vector<std::uint64_t> pct_change_points_;
+
+    Clock sc_clock_{};
+
+    std::mutex registry_mu_;
+    std::unordered_map<void*, Location> locations_;
+    std::map<std::string, SiteInfo> sites_;
+    std::unordered_map<std::string, std::memory_order> overrides_;
+};
+
+inline Scheduler& scheduler() { return Scheduler::instance(); }
+
+/// True when the calling thread's facade accesses must be simulated.
+inline bool on_sim_path() {
+    return scheduler().active();
+}
+
+}  // namespace detail
+}  // namespace tamp::sim
+
+#endif  // TAMP_SIM

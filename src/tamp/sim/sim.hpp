@@ -1,0 +1,13 @@
+// tamp/sim/sim.hpp
+//
+// Umbrella header for the model-checking layer: the tamp::atomic facade,
+// sim::thread, and (in TAMP_SIM builds) the exploration API.  Structures
+// only need tamp/sim/atomic.hpp; tests include this.
+
+#pragma once
+
+#include "tamp/sim/atomic.hpp"
+#include "tamp/sim/config.hpp"
+#include "tamp/sim/explore.hpp"
+#include "tamp/sim/hooks.hpp"
+#include "tamp/sim/thread.hpp"

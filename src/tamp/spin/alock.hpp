@@ -19,6 +19,7 @@
 
 #include "tamp/core/cacheline.hpp"
 #include "tamp/core/thread_registry.hpp"
+#include "tamp/sim/atomic.hpp"
 
 namespace tamp {
 
@@ -60,8 +61,8 @@ class ALock {
 
   private:
     std::size_t size_;
-    std::atomic<std::size_t> tail_{0};
-    std::vector<Padded<std::atomic<bool>>> flag_;
+    tamp::atomic<std::size_t> tail_{0};
+    std::vector<Padded<tamp::atomic<bool>>> flag_;
     std::vector<Padded<std::size_t>> my_slot_;
 };
 

@@ -12,6 +12,7 @@
 #include <cstdint>
 
 #include "tamp/core/backoff.hpp"
+#include "tamp/sim/atomic.hpp"
 
 namespace tamp {
 
@@ -21,7 +22,7 @@ class BackoffLock {
                          std::uint32_t max_delay = 4096) noexcept
         : min_delay_(min_delay), max_delay_(max_delay) {}
 
-    void lock() noexcept {
+    void lock() {
         // Backoff state is per-acquisition (stack-local), as in Fig. 7.5:
         // contention observed during this acquisition should not penalize
         // the next one.
@@ -39,17 +40,17 @@ class BackoffLock {
         if (failures != 0) obs::trace(obs::trace_ev::kLockAcquire, failures);
     }
 
-    bool try_lock() noexcept {
+    bool try_lock() {
         return !state_.load(std::memory_order_relaxed) &&
                !state_.exchange(true, std::memory_order_acquire);
     }
 
-    void unlock() noexcept {
+    void unlock() {
         state_.store(false, std::memory_order_release);
     }
 
   private:
-    std::atomic<bool> state_{false};
+    tamp::atomic<bool> state_{false};
     std::uint32_t min_delay_;
     std::uint32_t max_delay_;
 };

@@ -23,6 +23,7 @@
 
 #include "tamp/core/cacheline.hpp"
 #include "tamp/core/thread_registry.hpp"
+#include "tamp/sim/atomic.hpp"
 
 namespace tamp {
 
@@ -63,7 +64,7 @@ class CLHLock {
 
   private:
     struct QNode {
-        std::atomic<bool> locked{false};
+        tamp::atomic<bool> locked{false};
     };
 
     QNode* allocate() {
@@ -75,7 +76,7 @@ class CLHLock {
     }
 
     std::size_t capacity_;
-    std::atomic<QNode*> tail_{nullptr};
+    tamp::atomic<QNode*> tail_{nullptr};
     // Per-slot node/pred — the book's two ThreadLocal<QNode> fields.  Plain
     // pointers: each slot is touched only by the thread owning that id.
     std::vector<QNode*> my_node_;

@@ -31,6 +31,7 @@
 #include "tamp/core/marked_ptr.hpp"
 #include "tamp/core/random.hpp"
 #include "tamp/core/thread_registry.hpp"
+#include "tamp/sim/atomic.hpp"
 
 namespace tamp {
 
@@ -74,9 +75,9 @@ class CompositeLock {
     enum class State : int { kFree, kWaiting, kReleased, kAborted };
 
     struct QNode {
-        std::atomic<State> state{State::kFree};
+        tamp::atomic<State> state{State::kFree};
         // Predecessor index, meaningful only while state == kAborted.
-        std::atomic<std::uint64_t> pred{0};
+        tamp::atomic<std::uint64_t> pred{0};
     };
 
     static constexpr std::uint64_t kNone = (1ull << 48) - 1;

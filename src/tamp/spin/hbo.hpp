@@ -21,6 +21,7 @@
 
 #include "tamp/core/backoff.hpp"
 #include "tamp/core/thread_registry.hpp"
+#include "tamp/sim/atomic.hpp"
 
 namespace tamp {
 
@@ -75,7 +76,7 @@ class HBOLock {
     }
 
   private:
-    std::atomic<int> state_{kFree};
+    tamp::atomic<int> state_{kFree};
     std::size_t cluster_size_;
     std::uint32_t local_min_, local_max_, remote_min_, remote_max_;
 };

@@ -36,6 +36,7 @@
 #include "tamp/core/backoff.hpp"
 #include "tamp/core/cacheline.hpp"
 #include "tamp/core/thread_registry.hpp"
+#include "tamp/sim/atomic.hpp"
 
 namespace tamp {
 
@@ -86,7 +87,7 @@ class HCLHLock {
         }
 
       private:
-        std::atomic<std::uint32_t> state_{kSuccessorMustWait};
+        tamp::atomic<std::uint32_t> state_{kSuccessorMustWait};
     };
 
   public:
@@ -172,8 +173,8 @@ class HCLHLock {
 
     std::size_t clusters_;
     std::size_t cluster_size_;
-    std::vector<Padded<std::atomic<QNode*>>> local_queues_;
-    std::atomic<QNode*> global_queue_{nullptr};
+    std::vector<Padded<tamp::atomic<QNode*>>> local_queues_;
+    tamp::atomic<QNode*> global_queue_{nullptr};
     std::vector<QNode*> my_node_;
     std::vector<Padded<SlotCache>> cache_;
     std::mutex arena_mu_;

@@ -21,6 +21,7 @@
 
 #include "tamp/core/cacheline.hpp"
 #include "tamp/core/thread_registry.hpp"
+#include "tamp/sim/atomic.hpp"
 
 namespace tamp {
 
@@ -71,8 +72,8 @@ class MCSLock {
 
   private:
     struct QNode {
-        std::atomic<bool> locked{false};
-        std::atomic<QNode*> next{nullptr};
+        tamp::atomic<bool> locked{false};
+        tamp::atomic<QNode*> next{nullptr};
     };
 
     QNode* my_node() {
@@ -81,7 +82,7 @@ class MCSLock {
         return &nodes_[id].value;
     }
 
-    std::atomic<QNode*> tail_{nullptr};
+    tamp::atomic<QNode*> tail_{nullptr};
     // MCS nodes never migrate between threads, so a fixed per-slot array
     // (padded against false sharing) suffices — no allocation on any path.
     std::vector<Padded<QNode>> nodes_;

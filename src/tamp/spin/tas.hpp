@@ -16,13 +16,14 @@
 #include <cstdint>
 
 #include "tamp/core/backoff.hpp"
+#include "tamp/sim/atomic.hpp"
 
 namespace tamp {
 
 /// Test-and-set lock (Fig. 7.2).
 class TASLock {
   public:
-    void lock() noexcept {
+    void lock() {
         // acquire on success orders the critical section after the
         // acquisition, exactly as a Java getAndSet (volatile RMW) would.
         SpinWait w;
@@ -36,28 +37,28 @@ class TASLock {
         if (failures != 0) obs::trace(obs::trace_ev::kLockAcquire, failures);
     }
 
-    bool try_lock() noexcept {
+    bool try_lock() {
         return !state_.exchange(true, std::memory_order_acquire);
     }
 
-    void unlock() noexcept {
+    void unlock() {
         state_.store(false, std::memory_order_release);
     }
 
     /// Probe without acquiring — the quiesce step of resizable hash sets
     /// (§13.2.3) needs to observe "nobody holds this" without taking it.
-    bool is_locked() const noexcept {
+    bool is_locked() const {
         return state_.load(std::memory_order_acquire);
     }
 
   private:
-    std::atomic<bool> state_{false};
+    tamp::atomic<bool> state_{false};
 };
 
 /// Test-and-test-and-set lock (Fig. 7.3).
 class TTASLock {
   public:
-    void lock() noexcept {
+    void lock() {
         SpinWait w;
         std::uint64_t failures = 0;
         while (true) {
@@ -72,22 +73,22 @@ class TTASLock {
         if (failures != 0) obs::trace(obs::trace_ev::kLockAcquire, failures);
     }
 
-    bool try_lock() noexcept {
+    bool try_lock() {
         return !state_.load(std::memory_order_relaxed) &&
                !state_.exchange(true, std::memory_order_acquire);
     }
 
-    void unlock() noexcept {
+    void unlock() {
         state_.store(false, std::memory_order_release);
     }
 
     /// Probe without acquiring (see TASLock::is_locked).
-    bool is_locked() const noexcept {
+    bool is_locked() const {
         return state_.load(std::memory_order_acquire);
     }
 
   private:
-    std::atomic<bool> state_{false};
+    tamp::atomic<bool> state_{false};
 };
 
 }  // namespace tamp

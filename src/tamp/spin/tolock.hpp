@@ -30,6 +30,7 @@
 
 #include "tamp/core/cacheline.hpp"
 #include "tamp/core/thread_registry.hpp"
+#include "tamp/sim/atomic.hpp"
 
 namespace tamp {
 
@@ -110,7 +111,7 @@ class TOLock {
 
   private:
     struct QNode {
-        std::atomic<QNode*> pred{nullptr};
+        tamp::atomic<QNode*> pred{nullptr};
     };
 
     // Distinguished sentinel ("AVAILABLE" in the book).
@@ -141,7 +142,7 @@ class TOLock {
     }
 
     std::size_t capacity_;
-    std::atomic<QNode*> tail_{nullptr};
+    tamp::atomic<QNode*> tail_{nullptr};
     std::vector<QNode*> my_node_;
     std::vector<Padded<SlotCache>> cache_;
     std::mutex arena_mu_;

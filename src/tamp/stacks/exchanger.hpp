@@ -24,6 +24,7 @@
 #include <cstdint>
 
 #include "tamp/core/backoff.hpp"
+#include "tamp/sim/atomic.hpp"
 
 namespace tamp {
 
@@ -113,7 +114,7 @@ class LockFreeExchanger {
         return reinterpret_cast<T*>(bits & ~kTagMask);
     }
 
-    std::atomic<std::uintptr_t> slot_{kEmpty};
+    tamp::atomic<std::uintptr_t> slot_{kEmpty};
 };
 
 }  // namespace tamp

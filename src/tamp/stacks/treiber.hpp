@@ -19,6 +19,7 @@
 
 #include "tamp/core/backoff.hpp"
 #include "tamp/reclaim/hazard_pointers.hpp"
+#include "tamp/sim/atomic.hpp"
 
 namespace tamp {
 
@@ -88,7 +89,7 @@ class LockFreeStack {
         while (!try_push_node(node)) backoff.backoff();
     }
 
-    std::atomic<Node*> top_{nullptr};
+    tamp::atomic<Node*> top_{nullptr};
 };
 
 }  // namespace tamp

@@ -1,0 +1,311 @@
+// tests/sim_bugs_test.cpp
+//
+// Seeded-bug corpus: deliberately broken variants of three book
+// algorithms, each defined locally in this file next to its fixed twin.
+// The checker must (a) find every seeded bug within a bounded budget and
+// (b) replay the failing schedule deterministically from the printed
+// (seed, execution, trace) coordinates — the acceptance criteria of the
+// sim milestone.
+//
+// Only built meaningfully under the `sim` preset (TAMP_SIM=ON).
+
+#include "tamp/sim/sim.hpp"
+
+#include <gtest/gtest.h>
+
+#if !TAMP_SIM
+
+TEST(SimBugs, RequiresTampSimBuild) {
+    GTEST_SKIP() << "model checker not compiled in (configure with "
+                    "-DTAMP_SIM=ON, or use the `sim` preset)";
+}
+
+#else  // TAMP_SIM
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+
+#include "tamp/core/backoff.hpp"
+#include "tamp/queues/ms_queue.hpp"
+
+namespace {
+
+namespace sim = tamp::sim;
+
+// ===========================================================================
+// Bug 1 — Peterson with relaxed stores (the §2.6 algorithm as famously
+// miscompiled onto relaxed hardware: the flag/victim writes may not be
+// visible before the other thread's doorway reads, and both enter).
+// ===========================================================================
+
+class RelaxedPeterson {
+  public:
+    void lock(int me) {
+        const int other = 1 - me;
+        flag_[me].store(true, std::memory_order_relaxed);  // BUG: relaxed
+        victim_.store(me, std::memory_order_relaxed);      // BUG: relaxed
+        tamp::SpinWait w;
+        while (flag_[other].load(std::memory_order_relaxed) &&
+               victim_.load(std::memory_order_relaxed) == me) {
+            w.spin();
+        }
+    }
+    void unlock(int me) {
+        flag_[me].store(false, std::memory_order_relaxed);
+    }
+
+  private:
+    tamp::atomic<bool> flag_[2] = {false, false};
+    tamp::atomic<int> victim_{-1};
+};
+
+void relaxed_peterson_body() {
+    RelaxedPeterson lk;
+    tamp::atomic<int> in_cs{0};
+    auto section = [&](int me) {
+        lk.lock(me);
+        // RMWs read the newest value in every schedule, so this occupancy
+        // count is exact; the yield is the preemption window inside the
+        // critical section.
+        const int occupants = in_cs.fetch_add(1, std::memory_order_relaxed);
+        sim::assert_always(occupants == 0,
+                           "mutual exclusion violated: two threads in CS");
+        sim::yield();
+        in_cs.fetch_sub(1, std::memory_order_relaxed);
+        lk.unlock(me);
+    };
+    sim::thread a([&] { section(0); });
+    sim::thread b([&] { section(1); });
+    a.join();
+    b.join();
+}
+
+TEST(SimBugs, RelaxedPetersonViolatesMutualExclusion) {
+    sim::ExploreOptions opts;
+    opts.print_on_failure = false;
+    const auto res = sim::explore(opts, relaxed_peterson_body);
+    ASSERT_FALSE(res.ok) << "seeded bug not found in "
+                         << res.executions << " executions";
+    EXPECT_EQ(res.kind, sim::ViolationKind::kAssert);
+
+    const auto again = sim::replay(opts, res, relaxed_peterson_body);
+    EXPECT_FALSE(again.ok);
+    EXPECT_EQ(again.kind, res.kind);
+    EXPECT_EQ(again.trace, res.trace);
+}
+
+// ===========================================================================
+// Bug 2 — Treiber stack pop with the acquire dropped: the popper wins the
+// CAS on top but reads the node's payload without synchronizing with the
+// pusher that initialized it, and can observe the pre-push contents.
+// ===========================================================================
+
+struct LeakyNode {
+    tamp::atomic<int> value{0};
+    LeakyNode* next = nullptr;
+};
+
+// Nodes come from a caller-owned pool: no reclamation, trivially safe to
+// unwind through (the whole point of the test is the ordering bug).
+class RelaxedPopStack {
+  public:
+    explicit RelaxedPopStack(std::array<LeakyNode, 4>& pool) : pool_(pool) {}
+
+    void push(int v) {
+        LeakyNode* n = &pool_[used_++];
+        n->value.store(v, std::memory_order_relaxed);  // payload init
+        LeakyNode* top = top_.load(std::memory_order_relaxed);
+        do {
+            n->next = top;
+        } while (!top_.compare_exchange_strong(top, n,
+                                               std::memory_order_release,
+                                               std::memory_order_relaxed));
+    }
+
+    /// Returns the popped payload, or -1 when empty.
+    int pop() {
+        LeakyNode* top = top_.load(std::memory_order_relaxed);
+        while (top != nullptr) {
+            // BUG: success order should be acquire (or the load above
+            // should be) — without it the payload read below does not
+            // synchronize with the pusher's initialization.
+            if (top_.compare_exchange_strong(top, top->next,
+                                             std::memory_order_relaxed,
+                                             std::memory_order_relaxed)) {
+                return top->value.load(std::memory_order_relaxed);
+            }
+        }
+        return -1;
+    }
+
+    /// The fixed twin of pop(): acquire on the CAS restores the
+    /// synchronizes-with edge to the pusher's payload initialization.
+    int pop_acquire() {
+        LeakyNode* top = top_.load(std::memory_order_relaxed);
+        while (top != nullptr) {
+            if (top_.compare_exchange_strong(top, top->next,
+                                             std::memory_order_acquire,
+                                             std::memory_order_relaxed)) {
+                return top->value.load(std::memory_order_relaxed);
+            }
+        }
+        return -1;
+    }
+
+  private:
+    tamp::atomic<LeakyNode*> top_{nullptr};
+    std::array<LeakyNode, 4>& pool_;
+    int used_ = 0;  // pusher-thread only
+};
+
+void relaxed_pop_body() {
+    std::array<LeakyNode, 4> pool{};
+    RelaxedPopStack s(pool);
+    sim::thread a([&] { s.push(42); });
+    sim::thread b([&] {
+        const int got = s.pop();
+        // Empty (-1) is a legal outcome; popping the pre-initialization
+        // payload (0) is the seeded bug.
+        sim::assert_always(got == -1 || got == 42,
+                           "pop observed uninitialized payload");
+    });
+    a.join();
+    b.join();
+}
+
+TEST(SimBugs, TreiberPopWithoutAcquireReadsStalePayload) {
+    sim::ExploreOptions opts;
+    opts.print_on_failure = false;
+    const auto res = sim::explore(opts, relaxed_pop_body);
+    ASSERT_FALSE(res.ok) << "seeded bug not found in "
+                         << res.executions << " executions";
+    EXPECT_EQ(res.kind, sim::ViolationKind::kAssert);
+
+    const auto again = sim::replay(opts, res, relaxed_pop_body);
+    EXPECT_FALSE(again.ok);
+    EXPECT_EQ(again.kind, res.kind);
+    EXPECT_EQ(again.trace, res.trace);
+}
+
+// The fixed twin: same stack with the acquire restored passes the same
+// exploration exhaustively.
+void acquire_pop_body() {
+    std::array<LeakyNode, 4> pool{};
+    RelaxedPopStack s(pool);
+    sim::thread a([&] { s.push(42); });
+    sim::thread b([&] {
+        const int got = s.pop_acquire();
+        sim::assert_always(got == -1 || got == 42,
+                           "acquire pop must never see stale payload");
+    });
+    a.join();
+    b.join();
+}
+
+TEST(SimBugs, TreiberPopWithAcquirePassesExhaustively) {
+    sim::ExploreOptions opts;
+    const auto res = sim::explore(opts, acquire_pop_body);
+    EXPECT_TRUE(res.ok) << res.message;
+    EXPECT_TRUE(res.exhausted);
+}
+
+// ===========================================================================
+// Bug 3 — Michael–Scott queue that never swings the tail: the enqueue
+// links its node but neither advances the tail itself nor helps a lagging
+// tail forward (the two halves of Fig. 10.10's protocol).  The next
+// enqueuer then spins on a permanently lagging tail: a global progress
+// failure the scheduler reports as deadlock once every thread is parked
+// and no store can ever wake one.
+// ===========================================================================
+
+struct LaggyNode {
+    int v = 0;
+    tamp::atomic<LaggyNode*> next{nullptr};
+};
+
+class NoHelpQueue {
+  public:
+    explicit NoHelpQueue(std::array<LaggyNode, 4>& pool) : pool_(pool) {
+        head_.store(&pool_[0], std::memory_order_relaxed);
+        tail_.store(&pool_[0], std::memory_order_relaxed);
+    }
+
+    void enqueue(int v) {
+        LaggyNode* n = &pool_[used_.fetch_add(1, std::memory_order_relaxed)];
+        n->v = v;
+        tamp::SpinWait w;
+        while (true) {
+            LaggyNode* last = tail_.load(std::memory_order_acquire);
+            LaggyNode* next = last->next.load(std::memory_order_acquire);
+            if (next == nullptr) {
+                LaggyNode* expected = nullptr;
+                if (last->next.compare_exchange_strong(
+                        expected, n, std::memory_order_release,
+                        std::memory_order_acquire)) {
+                    return;  // BUG: tail_ never swung after linking
+                }
+            }
+            // BUG: lagging tail never helped forward either
+            w.spin();
+        }
+    }
+
+  private:
+    tamp::atomic<LaggyNode*> head_{nullptr};
+    tamp::atomic<LaggyNode*> tail_{nullptr};
+    tamp::atomic<int> used_{1};  // pool_[0] is the sentinel
+    std::array<LaggyNode, 4>& pool_;
+};
+
+void no_help_body() {
+    std::array<LaggyNode, 4> pool{};
+    NoHelpQueue q(pool);
+    sim::thread a([&] { q.enqueue(1); });
+    sim::thread b([&] { q.enqueue(2); });
+    a.join();
+    b.join();
+}
+
+TEST(SimBugs, MsQueueWithoutTailHelpingStallsForever) {
+    sim::ExploreOptions opts;
+    opts.print_on_failure = false;
+    const auto res = sim::explore(opts, no_help_body);
+    ASSERT_FALSE(res.ok) << "seeded bug not found in "
+                         << res.executions << " executions";
+    // The second enqueuer can never make progress: all threads end up
+    // parked with no store left to wake them.
+    EXPECT_EQ(res.kind, sim::ViolationKind::kDeadlock) << res.message;
+
+    const auto again = sim::replay(opts, res, no_help_body);
+    EXPECT_FALSE(again.ok);
+    EXPECT_EQ(again.kind, res.kind);
+    EXPECT_EQ(again.trace, res.trace);
+}
+
+// The fixed twin: the real Michael–Scott queue (self-swing + helping)
+// completes the same workload under exploration.
+TEST(SimBugs, RealMsQueueCompletesSameWorkload) {
+    sim::ExploreOptions opts;
+    opts.max_executions = 5000;
+    const auto res = sim::explore(opts, [] {
+        tamp::LockFreeQueue<int> q;
+        sim::thread a([&] { q.enqueue(1); });
+        sim::thread b([&] { q.enqueue(2); });
+        a.join();
+        b.join();
+        if (!sim::unwinding()) {
+            int x = 0, y = 0;
+            sim::assert_always(q.try_dequeue(x) && q.try_dequeue(y),
+                               "both enqueued values must be present");
+            sim::assert_always((x == 1 && y == 2) || (x == 2 && y == 1),
+                               "dequeue lost or duplicated a value");
+        }
+    });
+    EXPECT_TRUE(res.ok) << res.message;
+    EXPECT_GT(res.executions, 1);
+}
+
+}  // namespace
+
+#endif  // TAMP_SIM

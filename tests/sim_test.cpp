@@ -1,0 +1,342 @@
+// tests/sim_test.cpp
+//
+// Unit tests for the tamp::sim model checker itself: the relaxed-memory
+// value model, mutual-exclusion checking over the real book locks,
+// linearizability wiring over the real lock-free structures, deterministic
+// replay, deadlock detection, and the ordering oracle.
+//
+// Built in every configuration; the checker only exists under the `sim`
+// preset (TAMP_SIM=ON), so the default build compiles a single skip.
+
+#include "tamp/sim/sim.hpp"
+
+#include <gtest/gtest.h>
+
+#if !TAMP_SIM
+
+TEST(Sim, RequiresTampSimBuild) {
+    GTEST_SKIP() << "model checker not compiled in (configure with "
+                    "-DTAMP_SIM=ON, or use the `sim` preset)";
+}
+
+#else  // TAMP_SIM
+
+#include <atomic>
+#include <cstdint>
+
+#include "tamp/check/recorder.hpp"
+#include "tamp/check/specs.hpp"
+#include "tamp/mutex/peterson.hpp"
+#include "tamp/queues/ms_queue.hpp"
+#include "tamp/spin/tas.hpp"
+#include "tamp/stacks/treiber.hpp"
+
+namespace {
+
+using tamp::check::HistoryRecorder;
+using tamp::check::kNoValue;
+using tamp::check::Op;
+namespace sim = tamp::sim;
+
+// ---------------------------------------------------------------------------
+// Value model: stale reads exist under relaxed, vanish under release/acquire
+// ---------------------------------------------------------------------------
+
+struct MessageBox {
+    tamp::atomic<int> data{0};
+    tamp::atomic<int> flag{0};
+};
+
+TEST(SimModel, RelaxedMessagePassingIsCaught) {
+    sim::ExploreOptions opts;
+    auto res = sim::explore(opts, [] {
+        MessageBox b;
+        sim::thread w([&] {
+            b.data.store(1, std::memory_order_relaxed);
+            b.flag.store(1, std::memory_order_relaxed);
+        });
+        sim::thread r([&] {
+            if (b.flag.load(std::memory_order_relaxed) == 1) {
+                sim::assert_always(
+                    b.data.load(std::memory_order_relaxed) == 1,
+                    "flag observed but data still stale");
+            }
+        });
+        w.join();
+        r.join();
+    });
+    EXPECT_FALSE(res.ok);
+    EXPECT_EQ(res.kind, sim::ViolationKind::kAssert);
+    EXPECT_FALSE(res.trace.empty());
+}
+
+TEST(SimModel, ReleaseAcquirePublicationIsProven) {
+    sim::ExploreOptions opts;
+    auto res = sim::explore(opts, [] {
+        MessageBox b;
+        sim::thread w([&] {
+            b.data.store(1, std::memory_order_relaxed);
+            b.flag.store(1, std::memory_order_release);
+        });
+        sim::thread r([&] {
+            if (b.flag.load(std::memory_order_acquire) == 1) {
+                sim::assert_always(
+                    b.data.load(std::memory_order_relaxed) == 1,
+                    "release/acquire edge must publish data");
+            }
+        });
+        w.join();
+        r.join();
+    });
+    EXPECT_TRUE(res.ok) << res.message;
+    EXPECT_TRUE(res.exhausted);
+    EXPECT_GT(res.executions, 1);
+}
+
+TEST(SimModel, RmwAlwaysReadsNewest) {
+    sim::ExploreOptions opts;
+    auto res = sim::explore(opts, [] {
+        tamp::atomic<int> c{0};
+        sim::thread a([&] { c.fetch_add(1, std::memory_order_relaxed); });
+        sim::thread b([&] { c.fetch_add(1, std::memory_order_relaxed); });
+        a.join();
+        b.join();
+        // Even fully relaxed, atomic RMWs never lose updates.
+        sim::assert_always(c.load(std::memory_order_relaxed) == 2,
+                           "lost RMW update");
+    });
+    EXPECT_TRUE(res.ok) << res.message;
+    EXPECT_TRUE(res.exhausted);
+}
+
+// ---------------------------------------------------------------------------
+// Mutual exclusion over the real book locks
+// ---------------------------------------------------------------------------
+
+// Occupancy probe: the RMW pair gives the scheduler a preemption window
+// inside the critical section, and RMWs always read the newest value, so
+// the count is exact in every interleaving.
+template <typename EnterCs, typename ExitCs>
+void occupancy_section(tamp::atomic<int>& in_cs, EnterCs&& enter,
+                       ExitCs&& exit) {
+    enter();
+    const int occupants = in_cs.fetch_add(1, std::memory_order_relaxed);
+    sim::assert_always(occupants == 0, "two threads in the critical section");
+    sim::yield();
+    in_cs.fetch_sub(1, std::memory_order_relaxed);
+    exit();
+}
+
+TEST(SimLocks, PetersonMutualExclusionHolds) {
+    sim::ExploreOptions opts;
+    auto res = sim::explore(opts, [] {
+        tamp::PetersonLock lk;
+        tamp::atomic<int> in_cs{0};
+        sim::thread a([&] {
+            occupancy_section(in_cs, [&] { lk.lock(0); }, [&] { lk.unlock(0); });
+        });
+        sim::thread b([&] {
+            occupancy_section(in_cs, [&] { lk.lock(1); }, [&] { lk.unlock(1); });
+        });
+        a.join();
+        b.join();
+    });
+    EXPECT_TRUE(res.ok) << res.message;
+    EXPECT_TRUE(res.exhausted);
+}
+
+TEST(SimLocks, TasLockMutualExclusionHolds) {
+    sim::ExploreOptions opts;
+    auto res = sim::explore(opts, [] {
+        tamp::TASLock lk;
+        tamp::atomic<int> in_cs{0};
+        sim::thread a([&] {
+            occupancy_section(in_cs, [&] { lk.lock(); }, [&] { lk.unlock(); });
+        });
+        sim::thread b([&] {
+            occupancy_section(in_cs, [&] { lk.lock(); }, [&] { lk.unlock(); });
+        });
+        a.join();
+        b.join();
+    });
+    EXPECT_TRUE(res.ok) << res.message;
+    EXPECT_TRUE(res.exhausted);
+}
+
+// LockOne (Fig. 2.3) deadlocks when the two lock() calls interleave — the
+// book's own counterexample, detected as such.
+TEST(SimLocks, LockOneInterleavedAcquireDeadlocks) {
+    sim::ExploreOptions opts;
+    auto res = sim::explore(opts, [] {
+        tamp::LockOne lk;
+        sim::thread a([&] {
+            lk.lock(0);
+            lk.unlock(0);
+        });
+        sim::thread b([&] {
+            lk.lock(1);
+            lk.unlock(1);
+        });
+        a.join();
+        b.join();
+    });
+    EXPECT_FALSE(res.ok);
+    EXPECT_EQ(res.kind, sim::ViolationKind::kDeadlock);
+}
+
+// ---------------------------------------------------------------------------
+// Linearizability wiring: every explored schedule gets a full spec check
+// ---------------------------------------------------------------------------
+
+TEST(SimLinearize, TreiberStackUnderExploration) {
+    sim::ExploreOptions opts;
+    opts.max_executions = 5000;
+    auto res = sim::explore(opts, [] {
+        tamp::LockFreeStack<int> s;
+        HistoryRecorder rec(2);
+        sim::thread a([&] {
+            rec.record(0, Op::kPush, 1, [&] { s.push(1); });
+            rec.record(0, Op::kPush, 2, [&] { s.push(2); });
+        });
+        sim::thread b([&] {
+            for (int i = 0; i < 2; ++i) {
+                rec.record(1, Op::kPop, 0, [&]() -> std::int64_t {
+                    int out = 0;
+                    return s.try_pop(out) ? out : kNoValue;
+                });
+            }
+        });
+        a.join();
+        b.join();
+        sim::expect_linearizable<tamp::check::StackSpec>(rec);
+    });
+    EXPECT_TRUE(res.ok) << res.message;
+    EXPECT_GT(res.executions, 1);
+}
+
+TEST(SimLinearize, MichaelScottQueueUnderExploration) {
+    sim::ExploreOptions opts;
+    opts.max_executions = 5000;
+    auto res = sim::explore(opts, [] {
+        tamp::LockFreeQueue<int> q;
+        HistoryRecorder rec(2);
+        sim::thread a([&] {
+            rec.record(0, Op::kEnqueue, 1, [&] { q.enqueue(1); });
+            rec.record(0, Op::kEnqueue, 2, [&] { q.enqueue(2); });
+        });
+        sim::thread b([&] {
+            for (int i = 0; i < 2; ++i) {
+                rec.record(1, Op::kDequeue, 0, [&]() -> std::int64_t {
+                    int out = 0;
+                    return q.try_dequeue(out) ? out : kNoValue;
+                });
+            }
+        });
+        a.join();
+        b.join();
+        sim::expect_linearizable<tamp::check::QueueSpec>(rec);
+    });
+    EXPECT_TRUE(res.ok) << res.message;
+    EXPECT_GT(res.executions, 1);
+}
+
+// ---------------------------------------------------------------------------
+// Replay: the printed (seed, execution, trace) coordinates reproduce the
+// exact failing schedule
+// ---------------------------------------------------------------------------
+
+void relaxed_mp_body() {
+    MessageBox b;
+    sim::thread w([&] {
+        b.data.store(1, std::memory_order_relaxed);
+        b.flag.store(1, std::memory_order_relaxed);
+    });
+    sim::thread r([&] {
+        if (b.flag.load(std::memory_order_relaxed) == 1) {
+            sim::assert_always(b.data.load(std::memory_order_relaxed) == 1,
+                               "flag observed but data still stale");
+        }
+    });
+    w.join();
+    r.join();
+}
+
+TEST(SimReplay, FailingScheduleReplaysDeterministically) {
+    sim::ExploreOptions opts;
+    opts.print_on_failure = false;
+    const auto first = sim::explore(opts, relaxed_mp_body);
+    ASSERT_FALSE(first.ok);
+    ASSERT_FALSE(first.trace.empty());
+
+    for (int i = 0; i < 3; ++i) {
+        const auto again = sim::replay(opts, first, relaxed_mp_body);
+        EXPECT_FALSE(again.ok);
+        EXPECT_EQ(again.kind, first.kind);
+        EXPECT_EQ(again.trace, first.trace);
+    }
+}
+
+TEST(SimReplay, RandomStrategyFailureReplaysFromSeed) {
+    sim::ExploreOptions opts;
+    opts.strategy = sim::Strategy::kRandom;
+    opts.seed = 0xbadc0ffee;
+    opts.max_executions = 5000;
+    opts.print_on_failure = false;
+    const auto first = sim::explore(opts, relaxed_mp_body);
+    ASSERT_FALSE(first.ok);
+
+    const auto again = sim::replay(opts, first, relaxed_mp_body);
+    EXPECT_FALSE(again.ok);
+    EXPECT_EQ(again.kind, first.kind);
+    EXPECT_EQ(again.trace, first.trace);
+}
+
+// ---------------------------------------------------------------------------
+// Ordering oracle
+// ---------------------------------------------------------------------------
+
+TEST(SimOracle, SeparatesLoadBearingFromRelaxableOrders) {
+    sim::ExploreOptions opts;
+    // Body: classic message passing where *both* stores are release and
+    // *both* loads are acquire.  Only the flag pair is load-bearing; the
+    // data pair rides on it and should surface as candidate relaxations.
+    auto body = [] {
+        MessageBox b;
+        sim::thread w([&] {
+            b.data.store(1, std::memory_order_release);
+            b.flag.store(1, std::memory_order_release);
+        });
+        sim::thread r([&] {
+            if (b.flag.load(std::memory_order_acquire) == 1) {
+                sim::assert_always(
+                    b.data.load(std::memory_order_acquire) == 1,
+                    "flag observed but data still stale");
+            }
+        });
+        w.join();
+        r.join();
+    };
+
+    const auto rep = sim::audit_orderings(opts, body);
+    ASSERT_TRUE(rep.baseline_ok) << rep.baseline_message;
+    ASSERT_EQ(rep.entries.size(), 4u) << rep.summary();
+
+    int candidates = 0, load_bearing = 0;
+    for (const auto& e : rep.entries) {
+        if (e.candidate) {
+            ++candidates;
+            EXPECT_EQ(e.weakest_passing, std::memory_order_relaxed);
+        } else {
+            ++load_bearing;
+            EXPECT_FALSE(e.counterexample.empty());
+        }
+    }
+    // data.store(release) and data.load(acquire) relax; the flag pair is
+    // what actually synchronizes.
+    EXPECT_EQ(candidates, 2) << rep.summary();
+    EXPECT_EQ(load_bearing, 2) << rep.summary();
+}
+
+}  // namespace
+
+#endif  // TAMP_SIM

@@ -164,7 +164,26 @@ def index_points(report):
     return out
 
 
-def diff_reports(old_path, new_path, warn_pct, fail_pct):
+def print_counter_deltas(old_point, new_point, indent="    "):
+    """Per-point tamp.* counter deltas (present when the run was made
+    against a TAMP_STATS build): the why behind a throughput delta —
+    e.g. a regressed lock shows its spin_iters/backoff_units exploding
+    before items/s says anything."""
+    oc = old_point.get("counters") or {}
+    nc = new_point.get("counters") or {}
+    for key in sorted(set(oc) | set(nc)):
+        o, n = oc.get(key), nc.get(key)
+        if o is None or n is None:
+            print(f"{indent}{key}: {o} -> {n} (no baseline)")
+        elif o:
+            print(f"{indent}{key}: {o:.4g} -> {n:.4g} "
+                  f"({(n - o) / o * 100.0:+.1f}%)")
+        elif n:
+            print(f"{indent}{key}: 0 -> {n:.4g}")
+
+
+def diff_reports(old_path, new_path, warn_pct, fail_pct,
+                 show_counters=False):
     old, new = load_report(old_path), load_report(new_path)
     if old["family"] != new["family"]:
         fail(f"family mismatch: {old['family']} vs {new['family']}")
@@ -192,6 +211,10 @@ def diff_reports(old_path, new_path, warn_pct, fail_pct):
             f"{key[0]}/threads:{key[1]}: {o:.3g} -> {n:.3g} items/s "
             f"({delta_pct:+.1f}%) {tag}".rstrip()
         )
+        # Counters ride along: always for regressed points (they are the
+        # first diagnostic to read), for every point with --show-counters.
+        if show_counters or tag:
+            print_counter_deltas(old_pts[key], new_pts[key])
     for key in sorted(set(new_pts) - set(old_pts)):
         print(f"{key[0]}/threads:{key[1]}: new point (no baseline)")
 
@@ -232,10 +255,16 @@ def main():
     ap.add_argument("--filter", help="forwarded as --benchmark_filter")
     ap.add_argument("--warn-pct", type=float, default=10.0)
     ap.add_argument("--fail-pct", type=float, default=25.0)
+    ap.add_argument(
+        "--show-counters", action="store_true",
+        help="with --diff: print tamp.* counter deltas for every point, "
+             "not only regressed ones",
+    )
     args = ap.parse_args()
 
     if args.diff:
-        sys.exit(diff_reports(*args.diff, args.warn_pct, args.fail_pct))
+        sys.exit(diff_reports(*args.diff, args.warn_pct, args.fail_pct,
+                              args.show_counters))
 
     min_time = QUICK_MIN_TIME if args.quick else args.min_time
     raw = run_family(args.family, args.build_dir, min_time, args.filter)

@@ -31,6 +31,17 @@ follow (see README "Correctness tooling"):
                        exempt — padding every node would bloat the very
                        structures the book sizes carefully.
 
+  raw-atomic           direct std::atomic / std::atomic_flag inside the
+                       facade-migrated families (src/tamp/{mutex,spin,
+                       stacks,queues,lists}/).  Those families declare
+                       shared state as tamp::atomic (tamp/sim/atomic.hpp)
+                       so the TAMP_SIM model checker can schedule every
+                       access; a raw std::atomic is invisible to the
+                       checker.  Other directories (core/, obs/, sim/,
+                       reclaim/, check/, ...) are out of scope — the
+                       scheduler itself and the infrastructure it rides on
+                       must obviously stay on std::atomic.
+
 Escape hatch: a finding on line N is suppressed when line N or line N-1
 carries `// tamp-lint: allow(<rule>)` (comma-separate several rules), and
 a whole file opts out of one rule with `// tamp-lint: allow-file(<rule>)`.
@@ -57,7 +68,19 @@ RULES = {
                      "std::atomic",
     "atomic-align": "adjacent atomic members false-share; pad hot atomics "
                     "with alignas(kCacheLineSize)",
+    "raw-atomic": "raw std::atomic in a facade-migrated family; use "
+                  "tamp::atomic (tamp/sim/atomic.hpp) so TAMP_SIM can "
+                  "schedule the access",
 }
+
+# Directories (under src/tamp/) whose families have been migrated onto the
+# tamp::atomic facade; the raw-atomic rule fires only inside these.
+FACADE_DIRS = ("mutex", "spin", "stacks", "queues", "lists")
+
+
+def in_facade_scope(path):
+    norm = os.path.abspath(path).replace(os.sep, "/")
+    return any("/tamp/%s/" % d in norm for d in FACADE_DIRS)
 
 ALLOW_RE = re.compile(r"tamp-lint:\s*allow\(([a-z\-, ]+)\)")
 ALLOW_FILE_RE = re.compile(r"tamp-lint:\s*allow-file\(([a-z\-, ]+)\)")
@@ -193,6 +216,7 @@ def line_of(text, idx, line_starts):
 
 def scan_file(path, raw_text):
     """Return list of findings: (line, rule, message)."""
+    raw_atomic_scope = in_facade_scope(path)
     text = strip_comments_and_strings(raw_text)
     raw_lines = raw_text.splitlines()
     line_starts = [0]
@@ -268,7 +292,14 @@ def scan_file(path, raw_text):
                     if orders and orders[0] == "relaxed":
                         findings.append((line, "cas-relaxed-success",
                                          RULES["cas-relaxed-success"]))
+            elif word == "atomic_flag" and text[i - 5:i] == "std::":
+                if raw_atomic_scope:
+                    findings.append((line_of(text, i, line_starts),
+                                     "raw-atomic", RULES["raw-atomic"]))
             elif word == "atomic" and text[i - 5:i] == "std::":
+                if raw_atomic_scope:
+                    findings.append((line_of(text, i, line_starts),
+                                     "raw-atomic", RULES["raw-atomic"]))
                 cid = innermost_class()
                 if cid is not None and text[end:end + 1] == "<":
                     close = matching_angle(text, end)
@@ -333,6 +364,104 @@ def lint_path(path, rules):
     return out
 
 
+# --------------------------------------------------------------------------
+# Self-test fixtures: (relative path, source, expected {(line, rule)}).
+# The relative path matters — raw-atomic is scoped by directory.
+# --------------------------------------------------------------------------
+SELF_TEST_CASES = [
+    ("src/tamp/spin/raw.hpp",
+     "#include <atomic>\n"
+     "class L {\n"
+     "    std::atomic<bool> state_{false};\n"
+     "};\n",
+     {(3, "raw-atomic")}),
+
+    ("src/tamp/queues/raw_flag.hpp",
+     "#include <atomic>\n"
+     "class Q {\n"
+     "    std::atomic_flag busy_ = ATOMIC_FLAG_INIT;\n"
+     "};\n",
+     {(3, "raw-atomic")}),
+
+    ("src/tamp/spin/allowed.hpp",
+     "#include <atomic>\n"
+     "class L {\n"
+     "    // tamp-lint: allow(raw-atomic)\n"
+     "    std::atomic<bool> state_{false};\n"
+     "};\n",
+     set()),
+
+    # Out of facade scope: core/ (and sim/ itself) may use std::atomic.
+    ("src/tamp/core/ok.hpp",
+     "#include <atomic>\n"
+     "class C {\n"
+     "    std::atomic<int> v_{0};\n"
+     "};\n",
+     set()),
+
+    # The facade type is what the families are expected to use.
+    ("src/tamp/stacks/facade.hpp",
+     "#include \"tamp/sim/atomic.hpp\"\n"
+     "class S {\n"
+     "    tamp::atomic<int> top_{0};\n"
+     "};\n",
+     set()),
+
+    # std::atomic in a *comment* must not fire.
+    ("src/tamp/lists/comment.hpp",
+     "// a std::atomic<int> mentioned in prose only\n"
+     "class N {\n"
+     "    tamp::atomic<int> x_{0};\n"
+     "};\n",
+     set()),
+
+    ("src/tamp/core/cas.hpp",
+     "#include <atomic>\n"
+     "inline void f(std::atomic<int>& a) {\n"
+     "    int e = 0;\n"
+     "    while (!a.compare_exchange_strong(e, 1)) {\n"
+     "    }\n"
+     "    a.compare_exchange_weak(e, 2, std::memory_order_relaxed);\n"
+     "}\n",
+     {(4, "cas-strong-loop"), (6, "cas-relaxed-success")}),
+
+    ("src/tamp/core/vol.hpp",
+     "inline volatile int g = 0;\n",
+     {(1, "volatile-sync")}),
+
+    ("src/tamp/core/align.hpp",
+     "#include <atomic>\n"
+     "class P {\n"
+     "    std::atomic<int> a_{0};\n"
+     "    std::atomic<int> b_{0};\n"
+     "};\n",
+     {(3, "atomic-align"), (4, "atomic-align")}),
+]
+
+
+def self_test():
+    import tempfile
+
+    failures = []
+    with tempfile.TemporaryDirectory() as td:
+        for relpath, source, expected in SELF_TEST_CASES:
+            path = os.path.join(td, relpath)
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            with open(path, "w", encoding="utf-8") as f:
+                f.write(source)
+            got = {(line, rule)
+                   for _, line, rule, _ in lint_path(path, set(RULES))}
+            if got != expected:
+                failures.append((relpath, sorted(expected), sorted(got)))
+    for relpath, expected, got in failures:
+        print("self-test FAIL %s\n  expected: %s\n  got:      %s"
+              % (relpath, expected, got), file=sys.stderr)
+    if failures:
+        return 1
+    print("lint_atomics: self-test OK (%d fixtures)" % len(SELF_TEST_CASES))
+    return 0
+
+
 def main():
     ap = argparse.ArgumentParser(
         description="tamp atomics lint (see module docstring)")
@@ -342,12 +471,17 @@ def main():
     ap.add_argument("--rule", action="append", default=[],
                     choices=sorted(RULES), help="restrict to these rules")
     ap.add_argument("--list-rules", action="store_true")
+    ap.add_argument("--self-test", action="store_true",
+                    help="run the linter over its built-in fixtures")
     args = ap.parse_args()
 
     if args.list_rules:
         for rule in sorted(RULES):
             print("%-20s %s" % (rule, RULES[rule]))
         return 0
+
+    if args.self_test:
+        return self_test()
 
     roots = args.root or [
         os.path.join(os.path.dirname(os.path.abspath(__file__)), os.pardir,
