@@ -52,6 +52,14 @@ struct hp_scans {
 struct hp_retire_list_hwm {  // per-thread retire-list high-water mark
     static constexpr const char* name = "hp.retire_list_hwm";
 };
+struct hp_freed_per_scan_hwm {  // batching quality: best single-scan haul
+    static constexpr const char* name = "hp.freed_per_scan_hwm";
+};
+
+// --- asymmetric fencing (reclaim/asym_fence.cpp) ------------------------
+struct reclaim_membarriers {  // heavy barriers issued by scans/collects
+    static constexpr const char* name = "reclaim.membarriers";
+};
 
 // --- epoch reclamation (reclaim/epoch.cpp) ------------------------------
 struct epoch_retired {

@@ -1,5 +1,6 @@
 #include "tamp/reclaim/epoch.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <mutex>
 #include <vector>
@@ -8,6 +9,7 @@
 #include "tamp/obs/counter.hpp"
 #include "tamp/obs/events.hpp"
 #include "tamp/obs/trace.hpp"
+#include "tamp/reclaim/asym_fence.hpp"
 
 namespace tamp {
 
@@ -20,133 +22,256 @@ struct RetiredNode {
 
 constexpr std::uint64_t kInactive = ~std::uint64_t{0};
 
-}  // namespace
+// A batch of nodes all retired while the global epoch had one value.
+struct EpochBucket {
+    std::uint64_t epoch = 0;
+    std::vector<RetiredNode> nodes;
+};
 
-struct EpochDomain::Impl {
-    struct alignas(kCacheLineSize) ThreadRecord {
-        // kInactive when unpinned, otherwise the epoch the thread pinned.
-        std::atomic<std::uint64_t> epoch{kInactive};
-        // Nesting depth — only the outermost guard pins/unpins.  Plain:
-        // touched only by the owning thread.
-        std::uint32_t nesting = 0;
-    };
+// Per-thread epoch record: pin state for the grace-period protocol plus
+// the thread's private retire buckets.  Retiring is entirely local — no
+// lock, no shared cacheline; buckets are flushed in batches once the
+// global epoch has moved two past their tag.  `epoch` is read by every
+// collector; everything else is owner-only except pending_approx
+// (owner-written, summed by pending()).
+struct alignas(kCacheLineSize) EpochRec {
+    std::atomic<std::uint64_t> epoch{kInactive};
+    std::uint32_t nesting = 0;
+    EpochBucket buckets[3];
+    std::size_t since_collect = 0;
+    alignas(kCacheLineSize) std::atomic<std::size_t> pending_approx{0};
 
-    alignas(kCacheLineSize) std::atomic<std::uint64_t> global_epoch{0};
-    ThreadRecord records[kMaxThreads];
-    alignas(kCacheLineSize) std::atomic<std::size_t> max_tid{0};
+    EpochRec();
+    ~EpochRec();
+    EpochRec(const EpochRec&) = delete;
+    EpochRec& operator=(const EpochRec&) = delete;
 
-    // Retired nodes, bucketed by the epoch they were retired in (mod 3):
-    // bucket (e - 2) mod 3 is free to reclaim once global epoch is e.
-    // Buckets are shared, so a mutex guards them; retirement batches make
-    // the lock cheap relative to the operations being protected.
-    std::mutex bucket_mu;
-    std::vector<RetiredNode> buckets[3];
-
-    alignas(kCacheLineSize) std::atomic<std::size_t> pending_count{0};
-    alignas(kCacheLineSize) std::atomic<std::size_t> since_collect{0};
-
-    void note_tid(std::size_t tid) {
-        // Monotonic-max bookkeeping only, as in HazardDomain.
-        std::size_t seen = max_tid.load(std::memory_order_relaxed);
-        // tamp-lint: allow(cas-relaxed-success)
-        while (tid > seen && !max_tid.compare_exchange_weak(
-                                 seen, tid, std::memory_order_relaxed)) {
-        }
+    std::size_t local_pending() const {
+        return buckets[0].nodes.size() + buckets[1].nodes.size() +
+               buckets[2].nodes.size();
     }
 };
 
-EpochDomain::EpochDomain() : impl_(new Impl()) {}
+EpochRec& epoch_rec() {
+    thread_local EpochRec rec;
+    return rec;
+}
+
+}  // namespace
+
+struct EpochDomain::Impl {
+    alignas(kCacheLineSize) std::atomic<std::uint64_t> global_epoch{0};
+
+    // Registry of live per-thread records (collectors walk it to find
+    // stragglers; pending() sums it) and buckets orphaned by exited
+    // threads, adopted by later collects.
+    std::mutex mu;
+    std::vector<EpochRec*> records;
+    std::vector<EpochBucket> orphans;
+    alignas(kCacheLineSize) std::atomic<bool> has_orphans{false};
+    alignas(kCacheLineSize) std::atomic<std::size_t> orphan_count{0};
+};
+
+namespace {
+
+EpochDomain::Impl* g_impl = nullptr;
+
+void free_nodes(std::vector<RetiredNode>& nodes) {
+    for (const RetiredNode& rn : nodes) {
+        TAMP_TSAN_ACQUIRE(rn.ptr);  // pairs with RELEASE in retire()
+        rn.deleter(rn.ptr);
+    }
+    nodes.clear();
+}
+
+EpochRec::EpochRec() {
+    EpochDomain::global();
+    std::lock_guard<std::mutex> guard(g_impl->mu);
+    g_impl->records.push_back(this);
+}
+
+EpochRec::~EpochRec() {
+    auto* impl = g_impl;
+    if (impl == nullptr) return;
+    std::lock_guard<std::mutex> guard(impl->mu);
+    auto it = std::find(impl->records.begin(), impl->records.end(), this);
+    if (it != impl->records.end()) impl->records.erase(it);
+    std::size_t moved = 0;
+    for (EpochBucket& b : buckets) {
+        if (b.nodes.empty()) continue;
+        moved += b.nodes.size();
+        impl->orphans.push_back(std::move(b));
+    }
+    if (moved != 0) {
+        impl->orphan_count.fetch_add(moved, std::memory_order_relaxed);
+        impl->has_orphans.store(true, std::memory_order_release);
+    }
+}
+
+}  // namespace
+
+EpochDomain::EpochDomain() : impl_(new Impl()) { asym::init(); }
 
 EpochDomain& EpochDomain::global() {
-    static EpochDomain* d = new EpochDomain();  // leaked, as HazardDomain
+    // Leaked, as HazardDomain: detached threads may retire late.
+    static EpochDomain* d = [] {
+        auto* dom = new EpochDomain();
+        g_impl = dom->impl_;
+        return dom;
+    }();
     return *d;
 }
 
 void EpochDomain::enter() {
-    const std::size_t tid = thread_id();
-    impl_->note_tid(tid);
-    auto& rec = impl_->records[tid];
+    auto& rec = epoch_rec();
     if (rec.nesting++ > 0) return;  // already pinned by an outer guard
-    // Publish the epoch we observe.  seq_cst: the pin must be globally
-    // visible before we read any shared pointer, or a collector could
-    // advance past us while we hold an old-epoch reference.
+    // Publish the epoch we observe.  The pin must be globally visible
+    // before we read any shared pointer, or a collector could advance
+    // past us while we hold an old-epoch reference.  Under the
+    // asymmetric protocol the collector's membarrier provides that
+    // ordering and the pin is a plain release store; the fallback pays
+    // the classic seq_cst publication.
     const std::uint64_t e =
-        impl_->global_epoch.load(std::memory_order_seq_cst);
-    rec.epoch.store(e, std::memory_order_seq_cst);
+        impl_->global_epoch.load(std::memory_order_acquire);
+    if (asym::enabled()) {
+        rec.epoch.store(e, std::memory_order_release);
+        asym::light_barrier();
+    } else {
+        // tamp-lint: allow(seqcst-store-reclaim)
+        rec.epoch.store(e, std::memory_order_seq_cst);
+    }
 }
 
 void EpochDomain::exit() {
-    auto& rec = impl_->records[thread_id()];
+    auto& rec = epoch_rec();
     assert(rec.nesting > 0);
     if (--rec.nesting > 0) return;
     rec.epoch.store(kInactive, std::memory_order_release);
 }
 
 void EpochDomain::retire(void* p, void (*deleter)(void*)) {
+    auto& rec = epoch_rec();
     // The retirer's accesses to *p happen-before the eventual free two
-    // epochs later.  The grace-period argument rides on seq_cst pin
-    // publication, which TSan cannot follow onto `p` itself; state the
-    // edge explicitly (paired with ACQUIRE in collect()).
+    // epochs later.  The grace-period argument rides on the pin/advance
+    // protocol, which TSan cannot follow onto `p` itself; state the edge
+    // explicitly (paired with ACQUIRE before the deleter runs).
     TAMP_TSAN_RELEASE(p);
     const std::uint64_t e =
         impl_->global_epoch.load(std::memory_order_acquire);
-    {
-        std::lock_guard<std::mutex> guard(impl_->bucket_mu);
-        impl_->buckets[e % 3].push_back(RetiredNode{p, deleter});
+    EpochBucket& b = rec.buckets[e % 3];
+    if (b.epoch != e) {
+        // The slot last held epoch e-3 (same residue, smaller): its
+        // grace period expired long ago, so free in place — this is the
+        // amortized reclamation point of the lock-free fast path.  Swap
+        // the batch out first: a deleter may itself retire into this
+        // bucket (node chains).
+        std::vector<RetiredNode> stale;
+        stale.swap(b.nodes);
+        b.epoch = e;
+        free_nodes(stale);
     }
+    b.nodes.push_back(RetiredNode{p, deleter});
+    rec.pending_approx.store(rec.local_pending(),
+                             std::memory_order_relaxed);
     obs::counter<obs::ev::epoch_retired>::inc();
-    impl_->pending_count.fetch_add(1, std::memory_order_relaxed);
-    if (impl_->since_collect.fetch_add(1, std::memory_order_relaxed) + 1 >=
-        kCollectThreshold) {
-        impl_->since_collect.store(0, std::memory_order_relaxed);
+    if (++rec.since_collect >= kCollectThreshold) {
+        rec.since_collect = 0;
         collect();
     }
 }
 
 void EpochDomain::collect() {
     obs::counter<obs::ev::epoch_collects>::inc();
+    auto& rec = epoch_rec();
     const std::uint64_t e =
         impl_->global_epoch.load(std::memory_order_seq_cst);
+    // Make every reader's pin publication visible before judging
+    // stragglers (membarrier under the asymmetric protocol; the fallback
+    // pins are seq_cst stores pairing with the seq_cst loads below).
+    asym::heavy_barrier();
     // The epoch may advance only if every pinned thread has observed it.
-    const std::size_t upper =
-        impl_->max_tid.load(std::memory_order_acquire) + 1;
-    for (std::size_t t = 0; t < upper && t < kMaxThreads; ++t) {
-        const std::uint64_t te =
-            impl_->records[t].epoch.load(std::memory_order_seq_cst);
-        if (te != kInactive && te < e) return;  // straggler: cannot advance
-    }
-    // Advance e -> e+1 (one winner; losers' work was equivalent).
-    std::uint64_t expected = e;
-    if (!impl_->global_epoch.compare_exchange_strong(
-            expected, e + 1, std::memory_order_seq_cst)) {
-        return;
-    }
-    obs::counter<obs::ev::epoch_advances>::inc();
-    obs::trace(obs::trace_ev::kEpochAdvance, e + 1);
-    // Bucket (e+1) mod 3 ≡ (e-2) mod 3 was retired two epochs ago: no
-    // pinned thread can still reference its nodes.  Free it — after
-    // swapping it out under the lock, so a concurrent retire into the
-    // *new* epoch's bucket (same slot) is not freed early.
-    std::vector<RetiredNode> to_free;
+    std::uint64_t cur = e;
+    bool advance = true;
     {
-        std::lock_guard<std::mutex> guard(impl_->bucket_mu);
-        to_free.swap(impl_->buckets[(e + 1) % 3]);
+        std::lock_guard<std::mutex> guard(impl_->mu);
+        for (const EpochRec* r : impl_->records) {
+            const std::uint64_t te =
+                r->epoch.load(std::memory_order_seq_cst);
+            if (te != kInactive && te < e) {
+                advance = false;  // straggler: cannot advance
+                break;
+            }
+        }
     }
-    for (const RetiredNode& rn : to_free) {
-        TAMP_TSAN_ACQUIRE(rn.ptr);  // pairs with RELEASE in retire()
-        rn.deleter(rn.ptr);
-        impl_->pending_count.fetch_sub(1, std::memory_order_relaxed);
+    if (advance) {
+        // Advance e -> e+1 (one winner; losers' work was equivalent).
+        std::uint64_t expected = e;
+        if (impl_->global_epoch.compare_exchange_strong(
+                expected, e + 1, std::memory_order_seq_cst)) {
+            cur = e + 1;
+            obs::counter<obs::ev::epoch_advances>::inc();
+            obs::trace(obs::trace_ev::kEpochAdvance, cur);
+        } else {
+            cur = expected;  // somebody else advanced; use their epoch
+        }
     }
-    obs::counter<obs::ev::epoch_freed>::inc(to_free.size());
+    // Flush every local bucket whose grace period has passed: a node
+    // retired at epoch t is unreachable to threads pinned at t (the
+    // unlink preceded the retire) and those pinned before t blocked the
+    // advance, so two advances later nobody can hold it.
+    std::uint64_t freed = 0;
+    for (EpochBucket& b : rec.buckets) {
+        if (!b.nodes.empty() && b.epoch + 2 <= cur) {
+            freed += b.nodes.size();
+            std::vector<RetiredNode> stale;
+            stale.swap(b.nodes);  // deleters may retire into this bucket
+            free_nodes(stale);
+        }
+    }
+    rec.pending_approx.store(rec.local_pending(),
+                             std::memory_order_relaxed);
+    // Adopt orphaned buckets that are old enough; leave younger ones for
+    // a later collect.
+    if (impl_->has_orphans.load(std::memory_order_acquire)) {
+        std::vector<EpochBucket> adopted;
+        {
+            std::lock_guard<std::mutex> guard(impl_->mu);
+            auto& orph = impl_->orphans;
+            for (auto it = orph.begin(); it != orph.end();) {
+                if (it->epoch + 2 <= cur) {
+                    adopted.push_back(std::move(*it));
+                    it = orph.erase(it);
+                } else {
+                    ++it;
+                }
+            }
+            if (orph.empty()) {
+                impl_->has_orphans.store(false, std::memory_order_relaxed);
+            }
+        }
+        for (EpochBucket& b : adopted) {
+            freed += b.nodes.size();
+            impl_->orphan_count.fetch_sub(b.nodes.size(),
+                                          std::memory_order_relaxed);
+            free_nodes(b.nodes);
+        }
+    }
+    obs::counter<obs::ev::epoch_freed>::inc(freed);
 }
 
 void EpochDomain::drain() {
-    // With no thread pinned, three advances flush all three buckets.
+    // With no thread pinned, a few advances age out all three local
+    // buckets and any orphans.
     for (int i = 0; i < 4 && pending() > 0; ++i) collect();
 }
 
 std::size_t EpochDomain::pending() const {
-    return impl_->pending_count.load(std::memory_order_relaxed);
+    std::size_t n = impl_->orphan_count.load(std::memory_order_relaxed);
+    std::lock_guard<std::mutex> guard(impl_->mu);
+    for (const EpochRec* r : impl_->records) {
+        n += r->pending_approx.load(std::memory_order_relaxed);
+    }
+    return n;
 }
 
 std::uint64_t EpochDomain::current_epoch() const {

@@ -12,9 +12,15 @@
 // pinned threads have caught up with it.
 //
 // Trade-off vs hazard pointers, measured by `bench_reclaim`: EBR reads
-// are nearly free (one flag store per *operation*, not per node), but a
-// single stalled reader blocks reclamation globally; HP bounds garbage per
-// thread but pays a fence per pointer.
+// are nearly free (one pin store per *operation*, not per node), but a
+// single stalled reader blocks reclamation globally; HP bounds garbage
+// per thread but publishes per pointer.  With the asymmetric-fence
+// protocol (tamp/reclaim/asym_fence.hpp) both pay only a release store
+// plus compiler barrier on the read side — the collector's membarrier
+// carries the store-load ordering — and retirement is thread-local:
+// nodes land in per-thread epoch-tagged buckets and are freed in batches
+// once the global epoch has advanced two past their tag, with no shared
+// lock on the retire path.
 
 #pragma once
 
@@ -29,7 +35,7 @@ namespace tamp {
 
 class EpochDomain {
   public:
-    /// Retirements between advance/collect attempts.
+    /// Per-thread retirements between advance/collect attempts.
     static constexpr std::size_t kCollectThreshold = 64;
 
     static EpochDomain& global();

@@ -1,27 +1,18 @@
 #include "tamp/reclaim/hazard_pointers.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <cstdio>
 #include <cstdlib>
+#include <functional>
 #include <mutex>
-#include <unordered_set>
-#include <vector>
 
-#include "tamp/check/tsan_annotate.hpp"
-#include "tamp/obs/counter.hpp"
-#include "tamp/obs/events.hpp"
 #include "tamp/obs/trace.hpp"
 
 namespace tamp {
 
-namespace {
-
-struct RetiredNode {
-    void* ptr;
-    void (*deleter)(void*);
-};
-
-}  // namespace
+using reclaim_detail::HpThreadRecord;
+using reclaim_detail::RetiredNode;
 
 struct HazardDomain::Impl {
     struct alignas(kCacheLineSize) SlotBlock {
@@ -32,36 +23,19 @@ struct HazardDomain::Impl {
     // Highest thread id that has ever touched a slot: bounds scan cost.
     alignas(kCacheLineSize) std::atomic<std::size_t> max_tid{0};
 
-    // Retirees orphaned by exited threads, adopted by later scans.
-    std::mutex orphan_mu;
+    // Registry of live per-thread records (pending() sums them) and the
+    // retirees orphaned by exited threads, adopted by later scans.
+    std::mutex mu;
+    std::vector<HpThreadRecord*> records;
     std::vector<RetiredNode> orphans;
-
-    alignas(kCacheLineSize) std::atomic<std::size_t> pending_count{0};
+    alignas(kCacheLineSize) std::atomic<bool> has_orphans{false};
+    // Registered-record count, read by scans to adapt the threshold.
+    alignas(kCacheLineSize) std::atomic<std::size_t> live_records{0};
 };
 
 namespace {
 
 HazardDomain::Impl* g_impl = nullptr;
-
-// Thread-local retirement buffer.  Its destructor (thread exit) moves any
-// leftovers to the orphan list.
-struct LocalRetired {
-    std::vector<RetiredNode> nodes;
-    ~LocalRetired() {
-        if (nodes.empty()) return;
-        std::lock_guard<std::mutex> guard(g_impl->orphan_mu);
-        g_impl->orphans.insert(g_impl->orphans.end(), nodes.begin(),
-                               nodes.end());
-    }
-};
-
-LocalRetired& local_retired() {
-    thread_local LocalRetired lr;
-    return lr;
-}
-
-// Per-thread bitmask of claimed hazard-slot indices.
-thread_local unsigned g_claimed_slots = 0;
 
 }  // namespace
 
@@ -71,6 +45,7 @@ HazardDomain::HazardDomain() : impl_(new Impl()) {
             s.store(nullptr, std::memory_order_relaxed);
         }
     }
+    asym::init();
 }
 
 HazardDomain& HazardDomain::global() {
@@ -85,72 +60,71 @@ HazardDomain& HazardDomain::global() {
 
 std::atomic<const void*>& HazardDomain::slot(std::size_t k) {
     assert(k < kSlotsPerThread);
-    const std::size_t tid = thread_id();
-    // Keep the scan bound tight: remember the highest slot-block in use.
-    // Monotonic-max bookkeeping only — the scan's acquire load pairs with
-    // the slot stores, not with this.
-    std::size_t seen = impl_->max_tid.load(std::memory_order_relaxed);
-    // tamp-lint: allow(cas-relaxed-success)
-    while (tid > seen && !impl_->max_tid.compare_exchange_weak(
-                             seen, tid, std::memory_order_relaxed)) {
-    }
-    return impl_->blocks[tid].slots[k];
-}
-
-void HazardDomain::retire(void* p, void (*deleter)(void*)) {
-    auto& lr = local_retired();
-    // The retirer's accesses to *p happen-before the eventual free.  TSan
-    // cannot derive this edge from the hazard-scan argument (it rides on
-    // the seq_cst total order of slot publications, not on a
-    // release/acquire pair on `p` itself), so state it explicitly.
-    TAMP_TSAN_RELEASE(p);
-    lr.nodes.push_back(RetiredNode{p, deleter});
-    obs::counter<obs::ev::hp_retired>::inc();
-    obs::max_counter<obs::ev::hp_retire_list_hwm>::observe(lr.nodes.size());
-    impl_->pending_count.fetch_add(1, std::memory_order_relaxed);
-    if (lr.nodes.size() >= kScanThreshold) scan();
+    return reclaim_detail::hp_record().slots[k];
 }
 
 void HazardDomain::scan() {
-    auto& lr = local_retired();
+    auto& rec = reclaim_detail::hp_record();
     // Adopt orphans so nodes retired by dead threads still get freed.
-    {
-        std::lock_guard<std::mutex> guard(impl_->orphan_mu);
+    // The flag keeps the common no-orphans scan lock-free.
+    if (impl_->has_orphans.load(std::memory_order_acquire)) {
+        std::lock_guard<std::mutex> guard(impl_->mu);
         if (!impl_->orphans.empty()) {
-            lr.nodes.insert(lr.nodes.end(), impl_->orphans.begin(),
-                            impl_->orphans.end());
+            rec.retired.insert(rec.retired.end(), impl_->orphans.begin(),
+                               impl_->orphans.end());
             impl_->orphans.clear();
         }
+        impl_->has_orphans.store(false, std::memory_order_relaxed);
     }
-    // Stage 1: snapshot every published hazard.  The seq_cst loads pair
-    // with the seq_cst publication stores in HazardSlot::protect.
-    std::unordered_set<const void*> protected_ptrs;
+    // Adapt the threshold to the live-thread count: scanning S slots is
+    // only amortized O(1) per retirement if the batch R grows with S
+    // (Michael's R ≥ H·(1+ε) rule, ε = 1 here).
+    const std::size_t live = impl_->live_records.load(std::memory_order_relaxed);
+    rec.scan_threshold =
+        std::max(kScanThreshold, 2 * kSlotsPerThread * live);
+
+    // Stage 1: make every reader's publication visible (membarrier under
+    // the asymmetric protocol; under the fallback the seq_cst loads below
+    // pair with the seq_cst publication stores), then snapshot all
+    // published hazards into a sorted array — O(S log S) once, O(log S)
+    // per retiree below, instead of a hash-set probe per retiree.
+    asym::heavy_barrier();
+    std::vector<const void*> protected_ptrs;
+    protected_ptrs.reserve(2 * kSlotsPerThread);
     const std::size_t upper =
-        impl_->max_tid.load(std::memory_order_acquire) + 1;
-    for (std::size_t t = 0; t < upper && t < kMaxThreads; ++t) {
+        std::min(impl_->max_tid.load(std::memory_order_acquire) + 1,
+                 kMaxThreads);
+    for (std::size_t t = 0; t < upper; ++t) {
         for (std::size_t k = 0; k < kSlotsPerThread; ++k) {
             const void* p =
                 impl_->blocks[t].slots[k].load(std::memory_order_seq_cst);
-            if (p != nullptr) protected_ptrs.insert(p);
+            if (p != nullptr) protected_ptrs.push_back(p);
         }
     }
+    std::sort(protected_ptrs.begin(), protected_ptrs.end(),
+              std::less<const void*>());
+
     // Stage 2: free what nobody protects; keep the rest for next time.
-    std::vector<RetiredNode> keep;
-    keep.reserve(lr.nodes.size());
+    // Swap the list out first so a deleter that itself retires (node
+    // chains) appends to a coherent list instead of the one we iterate.
+    std::vector<RetiredNode> work;
+    work.swap(rec.retired);
     std::uint64_t freed = 0;
-    for (const RetiredNode& rn : lr.nodes) {
-        if (protected_ptrs.count(rn.ptr) != 0) {
-            keep.push_back(rn);
+    for (const RetiredNode& rn : work) {
+        if (std::binary_search(protected_ptrs.begin(), protected_ptrs.end(),
+                               static_cast<const void*>(rn.ptr),
+                               std::less<const void*>())) {
+            rec.retired.push_back(rn);
         } else {
             TAMP_TSAN_ACQUIRE(rn.ptr);  // pairs with RELEASE in retire()
             rn.deleter(rn.ptr);
             ++freed;
-            impl_->pending_count.fetch_sub(1, std::memory_order_relaxed);
         }
     }
-    lr.nodes = std::move(keep);
+    rec.pending_approx.store(rec.retired.size(), std::memory_order_relaxed);
     obs::counter<obs::ev::hp_scans>::inc();
     obs::counter<obs::ev::hp_freed>::inc(freed);
+    obs::max_counter<obs::ev::hp_freed_per_scan_hwm>::observe(freed);
     obs::trace(obs::trace_ev::kHpScan, freed);
 }
 
@@ -160,18 +134,53 @@ void HazardDomain::drain() {
 }
 
 std::size_t HazardDomain::pending() const {
-    return impl_->pending_count.load(std::memory_order_relaxed);
+    std::lock_guard<std::mutex> guard(impl_->mu);
+    std::size_t n = impl_->orphans.size();
+    for (const HpThreadRecord* r : impl_->records) {
+        n += r->pending_approx.load(std::memory_order_relaxed);
+    }
+    return n;
 }
 
-namespace detail {
+namespace reclaim_detail {
 
-std::size_t hp_claim_slot_index() {
-    for (std::size_t k = 0; k < HazardDomain::kSlotsPerThread; ++k) {
-        if ((g_claimed_slots & (1u << k)) == 0) {
-            g_claimed_slots |= (1u << k);
-            return k;
-        }
+HpThreadRecord::HpThreadRecord()
+    : scan_threshold(HazardDomain::kScanThreshold) {
+    HazardDomain& dom = HazardDomain::global();
+    auto* impl = dom.impl_;
+    const std::size_t tid = thread_id();
+    // Keep the scan bound tight: remember the highest slot-block in use.
+    // Monotonic-max bookkeeping only — the scan's acquire load pairs with
+    // the slot stores, not with this.
+    std::size_t seen = impl->max_tid.load(std::memory_order_relaxed);
+    // tamp-lint: allow(cas-relaxed-success)
+    while (tid > seen && !impl->max_tid.compare_exchange_weak(
+                             seen, tid, std::memory_order_relaxed)) {
     }
+    slots = impl->blocks[tid].slots;
+    retired.reserve(HazardDomain::kScanThreshold);
+    std::lock_guard<std::mutex> guard(impl->mu);
+    impl->records.push_back(this);
+    impl->live_records.store(impl->records.size(),
+                             std::memory_order_relaxed);
+}
+
+HpThreadRecord::~HpThreadRecord() {
+    auto* impl = g_impl;
+    if (impl == nullptr) return;
+    std::lock_guard<std::mutex> guard(impl->mu);
+    auto it = std::find(impl->records.begin(), impl->records.end(), this);
+    if (it != impl->records.end()) impl->records.erase(it);
+    impl->live_records.store(impl->records.size(),
+                             std::memory_order_relaxed);
+    if (!retired.empty()) {
+        impl->orphans.insert(impl->orphans.end(), retired.begin(),
+                             retired.end());
+        impl->has_orphans.store(true, std::memory_order_release);
+    }
+}
+
+void hp_slot_overflow() {
     std::fprintf(stderr,
                  "tamp: more than %zu simultaneous hazard slots in one "
                  "thread\n",
@@ -179,10 +188,6 @@ std::size_t hp_claim_slot_index() {
     std::abort();
 }
 
-void hp_release_slot_index(std::size_t idx) {
-    g_claimed_slots &= ~(1u << idx);
-}
-
-}  // namespace detail
+}  // namespace reclaim_detail
 
 }  // namespace tamp

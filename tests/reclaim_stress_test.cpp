@@ -12,6 +12,7 @@
 #include <atomic>
 #include <cstddef>
 
+#include "tamp/reclaim/asym_fence.hpp"
 #include "tamp/reclaim/epoch.hpp"
 #include "tamp/reclaim/hazard_pointers.hpp"
 #include "test_util.hpp"
@@ -89,6 +90,152 @@ TEST(ReclaimStress, EpochChurn) {
     delete shared.load(std::memory_order_relaxed);
     EpochDomain::global().drain();
     EXPECT_EQ(EpochDomain::global().pending(), 0u);
+}
+
+// Restores the asymmetric-fence state even when an EXPECT fails.  Flips
+// are only legal at quiescence, so construct/destroy with no reclamation
+// traffic in flight.
+struct FallbackScope {
+    bool prev = asym::set_enabled_for_test(false);
+    ~FallbackScope() { asym::set_enabled_for_test(prev); }
+};
+
+// The same churn as above, forced down the membarrier-less fallback
+// (seq_cst publications pairing with the scan's seq_cst loads) — the
+// path non-Linux / TSan / seccomp'd builds run unconditionally.  Catches
+// protocol rot in the branch most dev machines never take.
+TEST(ReclaimStress, FallbackFenceChurn) {
+    constexpr std::size_t kIters = 2000;
+    const std::size_t threads = test_threads(4);
+    FallbackScope fallback;
+    ASSERT_FALSE(asym::enabled());
+
+    std::atomic<Box*> shared{new Box{-1}};
+    run_threads(threads, [&](std::size_t me) {
+        for (std::size_t i = 0; i < kIters; ++i) {
+            if (me == 0) {
+                Box* fresh = new Box{static_cast<long>(i)};
+                Box* old = shared.exchange(fresh, std::memory_order_acq_rel);
+                hazard_retire(old);
+            } else {
+                HazardSlot<Box> hp;
+                Box* b = hp.protect(shared);
+                (void)b->payload;
+            }
+        }
+    });
+    delete shared.load(std::memory_order_relaxed);
+    HazardDomain::global().drain();
+    EXPECT_EQ(HazardDomain::global().pending(), 0u);
+
+    std::atomic<Box*> eshared{new Box{-1}};
+    run_threads(threads, [&](std::size_t me) {
+        for (std::size_t i = 0; i < kIters; ++i) {
+            EpochGuard guard;
+            if (i % 4 == me % 4) {
+                Box* fresh = new Box{static_cast<long>(i)};
+                Box* old =
+                    eshared.exchange(fresh, std::memory_order_acq_rel);
+                epoch_retire(old);
+            } else {
+                Box* b = eshared.load(std::memory_order_acquire);
+                (void)b->payload;
+            }
+        }
+    });
+    delete eshared.load(std::memory_order_relaxed);
+    EpochDomain::global().drain();
+    EXPECT_EQ(EpochDomain::global().pending(), 0u);
+}
+
+// Deleter that counts, so the churn tests below can prove every retired
+// node was actually freed (not leaked in an orphan list).
+std::atomic<std::size_t> g_deleted{0};
+void counted_delete(void* p) {
+    g_deleted.fetch_add(1, std::memory_order_relaxed);
+    delete static_cast<Box*>(p);
+}
+
+// Thread churn: waves of short-lived writers retire a handful of nodes
+// each — far below the scan threshold — and exit, orphaning their retire
+// lists, while one long-lived reader keeps protecting across the waves.
+// A final drain on a thread that retired nothing must adopt and free
+// every orphan.
+TEST(ReclaimStress, HazardThreadChurnAdoptsOrphans) {
+    constexpr std::size_t kWaves = 8;
+    constexpr std::size_t kPerThread = 32;
+    const std::size_t writers = test_threads(4);
+    g_deleted.store(0, std::memory_order_relaxed);
+
+    std::atomic<Box*> shared{new Box{-1}};
+    std::atomic<bool> stop{false};
+    std::thread reader([&] {
+        while (!stop.load(std::memory_order_acquire)) {
+            HazardSlot<Box> hp;
+            Box* b = hp.protect(shared);
+            (void)b->payload;
+        }
+    });
+
+    std::size_t retired = 0;
+    for (std::size_t w = 0; w < kWaves; ++w) {
+        run_threads(writers, [&](std::size_t) {
+            for (std::size_t i = 0; i < kPerThread; ++i) {
+                Box* fresh = new Box{static_cast<long>(i)};
+                Box* old =
+                    shared.exchange(fresh, std::memory_order_acq_rel);
+                HazardDomain::global().retire(old, counted_delete);
+            }
+        });  // writers exit here, mid-retire: lists become orphans
+        retired += writers * kPerThread;
+    }
+    stop.store(true, std::memory_order_release);
+    reader.join();
+
+    HazardDomain::global().retire(shared.load(std::memory_order_relaxed),
+                                  counted_delete);
+    ++retired;
+    HazardDomain::global().drain();
+    EXPECT_EQ(HazardDomain::global().pending(), 0u);
+    EXPECT_EQ(g_deleted.load(std::memory_order_relaxed), retired);
+}
+
+// Same churn against the epoch domain: exiting threads orphan their
+// epoch-tagged buckets; later collects adopt them once the grace period
+// has passed.
+TEST(ReclaimStress, EpochThreadChurnAdoptsOrphans) {
+    constexpr std::size_t kWaves = 8;
+    constexpr std::size_t kPerThread = 32;
+    const std::size_t writers = test_threads(4);
+    g_deleted.store(0, std::memory_order_relaxed);
+
+    std::atomic<Box*> shared{new Box{-1}};
+    std::size_t retired = 0;
+    for (std::size_t w = 0; w < kWaves; ++w) {
+        run_threads(writers, [&](std::size_t me) {
+            for (std::size_t i = 0; i < kPerThread; ++i) {
+                EpochGuard guard;
+                if (i % 2 == me % 2) {
+                    Box* fresh = new Box{static_cast<long>(i)};
+                    Box* old =
+                        shared.exchange(fresh, std::memory_order_acq_rel);
+                    EpochDomain::global().retire(old, counted_delete);
+                } else {
+                    Box* b = shared.load(std::memory_order_acquire);
+                    (void)b->payload;
+                }
+            }
+        });  // writers exit pinned-free but with non-empty buckets
+    }
+    // Writers retired one node per (i, me) pair with i % 2 == me % 2.
+    retired = kWaves * writers * (kPerThread / 2);
+
+    EpochDomain::global().retire(shared.load(std::memory_order_relaxed),
+                                 counted_delete);
+    ++retired;
+    EpochDomain::global().drain();
+    EXPECT_EQ(EpochDomain::global().pending(), 0u);
+    EXPECT_EQ(g_deleted.load(std::memory_order_relaxed), retired);
 }
 
 }  // namespace

@@ -306,6 +306,58 @@ TEST(SimBugs, RealMsQueueCompletesSameWorkload) {
     EXPECT_GT(res.executions, 1);
 }
 
+// ===========================================================================
+// Bug 4 — hazard-pointer protect without the store-load handshake: the
+// publication is a release store and the re-validation an acquire load,
+// i.e. the asymmetric-fence *read side* without the scanner's membarrier
+// making it visible (tamp/reclaim/asym_fence.hpp).  The re-read can miss
+// the unlink, so the reader keeps a node the scanner concurrently frees —
+// exactly the failure the heavy barrier (or the seq_cst fallback) closes.
+// ===========================================================================
+
+void unfenced_protect_body() {
+    tamp::atomic<int> src{0};    // which node the structure points at
+    tamp::atomic<int> slot{-1};  // the reader's published hazard
+    tamp::atomic<int> freed0{0};
+    int reader_holds = -1;
+
+    sim::thread reader([&] {
+        int p = src.load(std::memory_order_acquire);
+        while (true) {
+            slot.store(p, std::memory_order_release);  // BUG: no handshake
+            const int again = src.load(std::memory_order_acquire);
+            if (again == p) break;
+            p = again;
+        }
+        reader_holds = p;
+    });
+    sim::thread reclaimer([&] {
+        src.store(1, std::memory_order_seq_cst);
+        if (slot.load(std::memory_order_seq_cst) != 0) {
+            freed0.store(1, std::memory_order_relaxed);
+        }
+    });
+    reader.join();
+    reclaimer.join();
+    sim::assert_always(!(reader_holds == 0 &&
+                         freed0.load(std::memory_order_relaxed) == 1),
+                       "reader holds node 0 after the scan freed it");
+}
+
+TEST(SimBugs, HazardProtectWithoutHandshakeMissesUnlink) {
+    sim::ExploreOptions opts;
+    opts.print_on_failure = false;
+    const auto res = sim::explore(opts, unfenced_protect_body);
+    ASSERT_FALSE(res.ok) << "seeded bug not found in "
+                         << res.executions << " executions";
+    EXPECT_EQ(res.kind, sim::ViolationKind::kAssert);
+
+    const auto again = sim::replay(opts, res, unfenced_protect_body);
+    EXPECT_FALSE(again.ok);
+    EXPECT_EQ(again.kind, res.kind);
+    EXPECT_EQ(again.trace, res.trace);
+}
+
 }  // namespace
 
 #endif  // TAMP_SIM

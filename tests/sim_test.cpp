@@ -337,6 +337,63 @@ TEST(SimOracle, SeparatesLoadBearingFromRelaxableOrders) {
     EXPECT_EQ(load_bearing, 2) << rep.summary();
 }
 
+// ---------------------------------------------------------------------------
+// Reclamation: the hazard-pointer protect/scan handshake
+// ---------------------------------------------------------------------------
+//
+// Sim builds compile the reclamation fallback path (asym_fence.hpp turns
+// the membarrier protocol off under TAMP_SIM), so the protocol actually
+// running in this configuration is the one modeled here: protect publishes
+// the hazard with a seq_cst store and re-validates the source with a
+// seq_cst load; the scanner unlinks the node, then reads the slots
+// seq_cst.  Either the scanner's slot read sees the publication, or the
+// reader's re-read sees the unlink and retries — no schedule may do both
+// "reader keeps node 0" and "scanner frees node 0".
+//
+// Node identity is an index: `src` names the node the structure points at
+// (0, then 1 once the reclaimer swings it), `slot` is the reader's
+// published hazard (-1 = empty).
+
+TEST(SimReclaim, HazardProtectScanNeverFreesProtectedNode) {
+    sim::ExploreOptions opts;
+    auto res = sim::explore(opts, [] {
+        tamp::atomic<int> src{0};    // which node the structure points at
+        tamp::atomic<int> slot{-1};  // the reader's published hazard
+        tamp::atomic<int> freed0{0};
+        int reader_holds = -1;
+
+        sim::thread reader([&] {
+            // HazardSlot<T>::protect, fallback flavor.
+            int p = src.load(std::memory_order_acquire);
+            while (true) {
+                slot.store(p, std::memory_order_seq_cst);
+                const int again = src.load(std::memory_order_seq_cst);
+                if (again == p) break;
+                p = again;
+            }
+            reader_holds = p;
+        });
+        sim::thread reclaimer([&] {
+            // Unlink node 0 (making node 1 current), retire it, scan: the
+            // node is freed only if no published slot names it.
+            src.store(1, std::memory_order_seq_cst);
+            if (slot.load(std::memory_order_seq_cst) != 0) {
+                freed0.store(1, std::memory_order_relaxed);
+            }
+        });
+        reader.join();
+        reclaimer.join();
+        // The free can be scheduled after the reader's last step, so the
+        // invariant is an end-state property, not an in-thread assert.
+        sim::assert_always(!(reader_holds == 0 &&
+                             freed0.load(std::memory_order_relaxed) == 1),
+                           "scan freed a node the reader had protected");
+    });
+    EXPECT_TRUE(res.ok) << res.message;
+    EXPECT_TRUE(res.exhausted);
+    EXPECT_GT(res.executions, 1);
+}
+
 }  // namespace
 
 #endif  // TAMP_SIM

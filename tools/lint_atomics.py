@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Custom atomics lint for the tamp codebase.
 
-Four rules, each encoding a convention the concurrent code is expected to
+Six rules, each encoding a convention the concurrent code is expected to
 follow (see README "Correctness tooling"):
 
   cas-strong-loop      compare_exchange_strong inside a loop body or loop
@@ -42,6 +42,17 @@ follow (see README "Correctness tooling"):
                        scheduler itself and the infrastructure it rides on
                        must obviously stay on std::atomic.
 
+  seqcst-store-reclaim a `.store(..., memory_order_seq_cst)` inside
+                       src/tamp/reclaim/.  The reclamation read side runs
+                       the asymmetric-fence protocol (release store +
+                       compiler barrier; the scanner's membarrier carries
+                       the store-load ordering), so a seq_cst store there
+                       is either dead weight on the fast path or part of
+                       the deliberate fallback branch — which must say so
+                       with an annotation.  Other directories are out of
+                       scope: seq_cst stores elsewhere are an ordinary
+                       (if blunt) tool.
+
 Escape hatch: a finding on line N is suppressed when line N or line N-1
 carries `// tamp-lint: allow(<rule>)` (comma-separate several rules), and
 a whole file opts out of one rule with `// tamp-lint: allow-file(<rule>)`.
@@ -71,6 +82,9 @@ RULES = {
     "raw-atomic": "raw std::atomic in a facade-migrated family; use "
                   "tamp::atomic (tamp/sim/atomic.hpp) so TAMP_SIM can "
                   "schedule the access",
+    "seqcst-store-reclaim": "seq_cst store on the reclamation read side; "
+                            "the asymmetric-fence protocol wants a release "
+                            "store (annotate deliberate fallback branches)",
 }
 
 # Directories (under src/tamp/) whose families have been migrated onto the
@@ -81,6 +95,11 @@ FACADE_DIRS = ("mutex", "spin", "stacks", "queues", "lists")
 def in_facade_scope(path):
     norm = os.path.abspath(path).replace(os.sep, "/")
     return any("/tamp/%s/" % d in norm for d in FACADE_DIRS)
+
+
+def in_reclaim_scope(path):
+    norm = os.path.abspath(path).replace(os.sep, "/")
+    return "/tamp/reclaim/" in norm
 
 ALLOW_RE = re.compile(r"tamp-lint:\s*allow\(([a-z\-, ]+)\)")
 ALLOW_FILE_RE = re.compile(r"tamp-lint:\s*allow-file\(([a-z\-, ]+)\)")
@@ -217,6 +236,7 @@ def line_of(text, idx, line_starts):
 def scan_file(path, raw_text):
     """Return list of findings: (line, rule, message)."""
     raw_atomic_scope = in_facade_scope(path)
+    reclaim_scope = in_reclaim_scope(path)
     text = strip_comments_and_strings(raw_text)
     raw_lines = raw_text.splitlines()
     line_starts = [0]
@@ -292,6 +312,17 @@ def scan_file(path, raw_text):
                     if orders and orders[0] == "relaxed":
                         findings.append((line, "cas-relaxed-success",
                                          RULES["cas-relaxed-success"]))
+            elif (word == "store" and reclaim_scope and i > 0
+                  and text[i - 1] in ".>"):
+                j = text.find("(", end)
+                if j != -1 and text[end:j].strip() == "":
+                    close = matching_paren(text, j)
+                    orders = re.findall(r"memory_order_(\w+)",
+                                        text[j:close + 1])
+                    if "seq_cst" in orders:
+                        findings.append((line_of(text, i, line_starts),
+                                         "seqcst-store-reclaim",
+                                         RULES["seqcst-store-reclaim"]))
             elif word == "atomic_flag" and text[i - 5:i] == "std::":
                 if raw_atomic_scope:
                     findings.append((line_of(text, i, line_starts),
@@ -436,6 +467,40 @@ SELF_TEST_CASES = [
      "    std::atomic<int> b_{0};\n"
      "};\n",
      {(3, "atomic-align"), (4, "atomic-align")}),
+
+    # seq_cst store in reclaim/: fires on store, not on load.
+    ("src/tamp/reclaim/pub.hpp",
+     "#include <atomic>\n"
+     "inline void pub(std::atomic<int>& slot, std::atomic<int>& src) {\n"
+     "    slot.store(1, std::memory_order_seq_cst);\n"
+     "    (void)src.load(std::memory_order_seq_cst);\n"
+     "}\n",
+     {(3, "seqcst-store-reclaim")}),
+
+    # The annotated fallback branch is the sanctioned exception.
+    ("src/tamp/reclaim/fallback.hpp",
+     "#include <atomic>\n"
+     "inline void pub(std::atomic<int>& slot) {\n"
+     "    // tamp-lint: allow(seqcst-store-reclaim)\n"
+     "    slot.store(1, std::memory_order_seq_cst);\n"
+     "}\n",
+     set()),
+
+    # Release store in reclaim/ is the intended fast path: clean.
+    ("src/tamp/reclaim/light.hpp",
+     "#include <atomic>\n"
+     "inline void pub(std::atomic<int>& slot) {\n"
+     "    slot.store(1, std::memory_order_release);\n"
+     "}\n",
+     set()),
+
+    # Outside reclaim/, seq_cst stores are not this rule's business.
+    ("src/tamp/core/seqcst_ok.hpp",
+     "#include <atomic>\n"
+     "inline void pub(std::atomic<int>& flag) {\n"
+     "    flag.store(1, std::memory_order_seq_cst);\n"
+     "}\n",
+     set()),
 ]
 
 
