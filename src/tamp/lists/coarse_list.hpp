@@ -17,19 +17,18 @@ namespace tamp {
 template <std::totally_ordered T, typename KeyOf = DefaultKeyOf<T>>
 class CoarseListSet {
     struct Node {
-        NodeKind kind;
-        std::uint64_t key;
-        T value;
-        Node* next;
+        // Immutable once constructed; `next` only changes under the one
+        // big lock, so it is never written concurrently with anything.
+        const NodeKind kind;
+        const std::uint64_t key;
+        const T value;
+        Node* next;  // tamp-lint: allow(plain-shared-member)
     };
 
   public:
     using value_type = T;
 
-    CoarseListSet() {
-        tail_ = new Node{NodeKind::kTail, 0, T{}, nullptr};
-        head_ = new Node{NodeKind::kHead, 0, T{}, tail_};
-    }
+    CoarseListSet() = default;
 
     ~CoarseListSet() {
         Node* n = head_;
@@ -102,9 +101,11 @@ class CoarseListSet {
     }
 
     mutable std::mutex mu_;
-    Node* head_;
-    Node* tail_;
-    std::size_t size_ = 0;
+    // Sentinels: allocated once, immutable pointers for the set's lifetime
+    // (tail_ declared first so head_ can link to it).
+    Node* const tail_ = new Node{NodeKind::kTail, 0, T{}, nullptr};
+    Node* const head_ = new Node{NodeKind::kHead, 0, T{}, tail_};
+    std::size_t size_ = 0;  // tamp-lint: allow(plain-shared-member)
 };
 
 }  // namespace tamp

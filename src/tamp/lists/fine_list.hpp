@@ -24,10 +24,12 @@ namespace tamp {
 template <std::totally_ordered T, typename KeyOf = DefaultKeyOf<T>>
 class FineListSet {
     struct Node {
-        NodeKind kind;
-        std::uint64_t key;
-        T value;
-        Node* next;
+        // Immutable once constructed; `next` is only touched while holding
+        // this node's lock (hand-over-hand), never concurrently.
+        const NodeKind kind;
+        const std::uint64_t key;
+        const T value;
+        Node* next;  // tamp-lint: allow(plain-shared-member)
         std::mutex mu;
 
         void lock() { mu.lock(); }
@@ -37,10 +39,7 @@ class FineListSet {
   public:
     using value_type = T;
 
-    FineListSet() {
-        tail_ = new Node{NodeKind::kTail, 0, T{}, nullptr, {}};
-        head_ = new Node{NodeKind::kHead, 0, T{}, tail_, {}};
-    }
+    FineListSet() = default;
 
     ~FineListSet() {
         Node* n = head_;
@@ -127,8 +126,10 @@ class FineListSet {
   private:
     using Order = KeyedOrder<T>;
 
-    Node* head_;
-    Node* tail_;
+    // Sentinels: allocated once, immutable pointers for the set's lifetime
+    // (tail_ declared first so head_ can link to it).
+    Node* const tail_ = new Node{NodeKind::kTail, 0, T{}, nullptr, {}};
+    Node* const head_ = new Node{NodeKind::kHead, 0, T{}, tail_, {}};
 };
 
 }  // namespace tamp

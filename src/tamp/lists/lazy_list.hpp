@@ -27,9 +27,11 @@ namespace tamp {
 template <std::totally_ordered T, typename KeyOf = DefaultKeyOf<T>>
 class LazyListSet {
     struct Node {
-        NodeKind kind;
-        std::uint64_t key;
-        T value;
+        // Immutable once constructed — traversals read them unlocked, and
+        // const is what makes that race-free by construction.
+        const NodeKind kind;
+        const std::uint64_t key;
+        const T value;
         tamp::atomic<Node*> next;
         tamp::atomic<bool> marked{false};
         std::mutex mu;
@@ -44,10 +46,7 @@ class LazyListSet {
   public:
     using value_type = T;
 
-    LazyListSet() {
-        tail_ = new Node(NodeKind::kTail, 0, T{}, nullptr);
-        head_ = new Node(NodeKind::kHead, 0, T{}, tail_);
-    }
+    LazyListSet() = default;
 
     ~LazyListSet() {
         Node* n = head_;
@@ -151,8 +150,10 @@ class LazyListSet {
                pred->next.load(std::memory_order_acquire) == curr;
     }
 
-    Node* head_;
-    Node* tail_;
+    // Sentinels: allocated once, immutable pointers for the set's lifetime
+    // (tail_ declared first so head_ can link to it).
+    Node* const tail_ = new Node(NodeKind::kTail, 0, T{}, nullptr);
+    Node* const head_ = new Node(NodeKind::kHead, 0, T{}, tail_);
 };
 
 }  // namespace tamp

@@ -32,20 +32,18 @@ namespace tamp {
 template <std::totally_ordered T, typename KeyOf = DefaultKeyOf<T>>
 class LockFreeListSet {
     struct Node {
-        NodeKind kind;
-        std::uint64_t key;
-        T value;
+        // Immutable once constructed (only `next` ever changes), so plain
+        // reads during traversal are race-free by construction.
+        const NodeKind kind;
+        const std::uint64_t key;
+        const T value;
         AtomicMarkedPtr<Node> next;
     };
 
   public:
     using value_type = T;
 
-    LockFreeListSet() {
-        tail_ = new Node{NodeKind::kTail, 0, T{}, {}};
-        head_ = new Node{NodeKind::kHead, 0, T{}, {}};
-        head_->next.store(tail_, false);
-    }
+    LockFreeListSet() { head_->next.store(tail_, false); }
 
     ~LockFreeListSet() {
         Node* n = head_;
@@ -159,8 +157,10 @@ class LockFreeListSet {
         }
     }
 
-    Node* head_;
-    Node* tail_;
+    // Sentinels: allocated once, immutable pointers for the set's lifetime
+    // (tail_ initialized first; head_->next is wired in the constructor).
+    Node* const tail_ = new Node{NodeKind::kTail, 0, T{}, {}};
+    Node* const head_ = new Node{NodeKind::kHead, 0, T{}, {}};
 };
 
 }  // namespace tamp

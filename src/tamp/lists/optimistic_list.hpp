@@ -25,9 +25,11 @@ namespace tamp {
 template <std::totally_ordered T, typename KeyOf = DefaultKeyOf<T>>
 class OptimisticListSet {
     struct Node {
-        NodeKind kind;
-        std::uint64_t key;
-        T value;
+        // Immutable once constructed — traversals read them unlocked, and
+        // const is what makes that race-free by construction.
+        const NodeKind kind;
+        const std::uint64_t key;
+        const T value;
         tamp::atomic<Node*> next;
         std::mutex mu;
 
@@ -38,10 +40,7 @@ class OptimisticListSet {
   public:
     using value_type = T;
 
-    OptimisticListSet() {
-        tail_ = new Node{NodeKind::kTail, 0, T{}, nullptr, {}};
-        head_ = new Node{NodeKind::kHead, 0, T{}, tail_, {}};
-    }
+    OptimisticListSet() = default;
 
     ~OptimisticListSet() {
         Node* n = head_;
@@ -156,8 +155,10 @@ class OptimisticListSet {
         }
     }
 
-    Node* head_;
-    Node* tail_;
+    // Sentinels: allocated once, immutable pointers for the set's lifetime
+    // (tail_ declared first so head_ can link to it).
+    Node* const tail_ = new Node{NodeKind::kTail, 0, T{}, nullptr, {}};
+    Node* const head_ = new Node{NodeKind::kHead, 0, T{}, tail_, {}};
 };
 
 }  // namespace tamp

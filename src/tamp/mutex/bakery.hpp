@@ -69,7 +69,7 @@ class BakeryLock {
         return lk < lme || (lk == lme && k < me);
     }
 
-    std::size_t n_;
+    const std::size_t n_;
     std::vector<Padded<tamp::atomic<bool>>> flag_;
     std::vector<Padded<tamp::atomic<std::uint64_t>>> label_;
 };

@@ -63,7 +63,7 @@ class FilterLock {
         return false;
     }
 
-    std::size_t n_;
+    const std::size_t n_;
     // Padded: each thread writes its own level slot on every acquisition;
     // sharing lines would serialize unrelated threads through the coherence
     // protocol (the false-sharing trap of Appendix B.6).

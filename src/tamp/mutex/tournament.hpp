@@ -24,13 +24,11 @@ namespace tamp {
 
 class TournamentLock {
   public:
-    explicit TournamentLock(std::size_t n) : capacity_(n) {
+    // A complete binary tree with `leaves_` leaf locks has 2*leaves_-1
+    // nodes, stored heap-style: node k has parent (k-1)/2, root is 0.
+    explicit TournamentLock(std::size_t n)
+        : capacity_(n), leaves_(leaves_for(n)), nodes_(2 * leaves_ - 1) {
         assert(n >= 1);
-        leaves_ = 1;
-        while (leaves_ * 2 < n) leaves_ *= 2;  // leaves_ = 2^ceil(log2 n)/2
-        // A complete binary tree with `leaves_` leaf locks has 2*leaves_-1
-        // nodes, stored heap-style: node k has parent (k-1)/2, root is 0.
-        nodes_ = std::vector<Padded<PetersonLock>>(2 * leaves_ - 1);
     }
 
     void lock(std::size_t me) {
@@ -77,8 +75,15 @@ class TournamentLock {
         return path[i - 1] - 1;
     }
 
-    std::size_t capacity_;
-    std::size_t leaves_;
+    // leaves_ = 2^ceil(log2 n)/2
+    static std::size_t leaves_for(std::size_t n) {
+        std::size_t leaves = 1;
+        while (leaves * 2 < n) leaves *= 2;
+        return leaves;
+    }
+
+    const std::size_t capacity_;
+    const std::size_t leaves_;
     std::vector<Padded<PetersonLock>> nodes_;
 };
 

@@ -102,6 +102,17 @@ struct list_find_restarts {
     static constexpr const char* name = "list.find_restarts";
 };
 
+// --- model checker (sim/explore.hpp) ------------------------------------
+struct sim_schedules {  // executions explored across explore() calls
+    static constexpr const char* name = "sim.schedules";
+};
+struct sim_sleep_prunes {  // executions cut short by DPOR sleep sets
+    static constexpr const char* name = "sim.sleep_prunes";
+};
+struct sim_races {  // plain-memory data races detected
+    static constexpr const char* name = "sim.races";
+};
+
 // --- STM (stm/stm.hpp TL2 and stm/ofree_stm.hpp) ------------------------
 struct stm_commits {
     static constexpr const char* name = "stm.commits";

@@ -15,14 +15,19 @@
 #include <mutex>
 
 #include "tamp/sim/atomic.hpp"
+#include "tamp/sim/shared.hpp"
 
 namespace tamp {
 
 template <typename T>
 class BoundedQueue {
     struct Node {
-        T value{};
-        Node* next = nullptr;
+        // Written by an enqueuer holding enq_mu_, read by a dequeuer
+        // holding deq_mu_ — different locks, so the cross-thread ordering
+        // rests on the size_ acquire/release pair.  tamp::shared lets the
+        // sim race detector check exactly that claim.
+        tamp::shared<T> value{};
+        tamp::shared<Node*> next{nullptr};
     };
 
   public:
@@ -117,17 +122,17 @@ class BoundedQueue {
     std::size_t capacity() const { return capacity_; }
 
   private:
-    std::size_t capacity_;
+    const std::size_t capacity_;
     // The one field both sides touch: the book's "shared hot spot" remark.
     tamp::atomic<std::size_t> size_{0};
 
     std::mutex enq_mu_;  // protects tail_
     std::condition_variable not_full_;
-    Node* tail_;
+    Node* tail_;  // tamp-lint: allow(plain-shared-member)
 
     std::mutex deq_mu_;  // protects head_
     std::condition_variable not_empty_;
-    Node* head_;
+    Node* head_;  // tamp-lint: allow(plain-shared-member)
 };
 
 }  // namespace tamp

@@ -29,13 +29,17 @@
 #include "tamp/obs/events.hpp"
 #include "tamp/reclaim/hazard_pointers.hpp"
 #include "tamp/sim/atomic.hpp"
+#include "tamp/sim/shared.hpp"
 
 namespace tamp {
 
 template <typename T>
 class LockFreeQueue {
     struct Node {
-        T value{};
+        // Written by the enqueuer before the node is linked, read by the
+        // one dequeuer that wins the head CAS — plain, but cross-thread;
+        // tamp::shared has the sim race detector check the ordering claim.
+        tamp::shared<T> value{};
         tamp::atomic<Node*> next{nullptr};
     };
 

@@ -71,7 +71,7 @@ class WaitFreeTwoThreadQueue {
     }
 
   private:
-    std::size_t capacity_;
+    const std::size_t capacity_;
     std::vector<T> items_;
     // Head and tail each have one writer; padding keeps the enqueuer's and
     // dequeuer's hot lines apart.

@@ -34,7 +34,7 @@ class SynchronousDualQueue {
     enum class Kind : std::uint8_t { kItem, kReservation };
 
     struct Node {
-        Kind kind;
+        const Kind kind;  // immutable once constructed
         tamp::atomic<T*> item;
         tamp::atomic<Node*> next{nullptr};
     };

@@ -40,13 +40,22 @@
 
 #include "tamp/check/linearize.hpp"
 #include "tamp/check/recorder.hpp"
+#include "tamp/obs/events.hpp"
 #include "tamp/sim/scheduler.hpp"
 
 namespace tamp::sim {
 
 inline ExploreResult explore(const ExploreOptions& opts,
                              const std::function<void()>& body) {
-    return detail::scheduler().explore(opts, body);
+    ExploreResult res = detail::scheduler().explore(opts, body);
+    // tamp.sim.* telemetry: schedules explored, sleep-set prunes, races —
+    // swept by the stats harness alongside the structure counters (no-ops
+    // unless TAMP_STATS is on).
+    obs::counter<obs::ev::sim_schedules>::inc(
+        static_cast<std::uint64_t>(res.executions));
+    obs::counter<obs::ev::sim_sleep_prunes>::inc(res.sleep_set_prunes);
+    obs::counter<obs::ev::sim_races>::inc(res.races_found);
+    return res;
 }
 
 /// Re-run the failing execution of `failure` byte-for-byte.  `opts` must
@@ -190,8 +199,9 @@ inline std::vector<std::memory_order> demotion_ladder(AccessKind kind,
 /// declared order can be demoted are *candidate relaxations* (within the
 /// model, the bounds, and the schedules this body drives); sites where
 /// the first demotion already fails are proven load-bearing, with the
-/// violation kept as the counterexample.  Run with Strategy::kExhaustive
-/// — a sampled strategy would report false candidates.
+/// violation kept as the counterexample.  Run with an exhaustive strategy
+/// (kDpor, or kExhaustive for bounded brute force) — a sampled strategy
+/// would report false candidates.
 inline OracleReport audit_orderings(const ExploreOptions& opts,
                                     const std::function<void()>& body) {
     auto& sch = detail::scheduler();

@@ -16,9 +16,45 @@
 // helpers emit).  At each schedule point the scheduler makes a recorded
 // *decision*: which thread runs next, and — for loads — which of the
 // location's recent stores to return.  The decision sequence is the
-// execution's identity: DFS backtracking enumerates it exhaustively,
-// random walk and PCT sample it, and replay forces a recorded sequence
-// byte for byte.
+// execution's identity: the exhaustive strategies enumerate it, random
+// walk and PCT sample it, and replay forces a recorded sequence byte for
+// byte.
+//
+// Dynamic partial-order reduction (the default strategy)
+// ------------------------------------------------------
+// Strategy::kDpor explores one schedule per Mazurkiewicz trace instead of
+// one per interleaving (Flanagan & Godefroid, POPL'05).  Every scheduling
+// choice point keeps a *backtrack set* and a *sleep set*: when an executed
+// operation is found racing with (dependent on, and not happens-before
+// ordered with) an earlier operation, the racing thread is added to the
+// backtrack set of the choice point that scheduled the earlier operation;
+// when a subtree is exhausted its chosen thread joins the sleep set, and
+// schedules whose every enabled thread is sleeping are pruned as
+// equivalent to already-explored ones.  Two operations are dependent when
+// they touch the same location and at least one writes, and all seq_cst
+// operations are mutually dependent (they merge through the global SC
+// clock, which does not commute).  The happens-before test reuses the
+// memory model's own vector clocks — every clock join corresponds to a
+// read-from, release-sequence, or SC dependency edge, so the test
+// under-approximates the trace ordering and the reduction stays sound
+// (redundant backtrack points cost schedules, never coverage).  Value
+// (stale-read) choices nest inside each schedule as ordinary DFS
+// decisions: equivalent interleavings produce identical per-location
+// store histories, so exploring value choices on one trace representative
+// covers the class.  Unlike kExhaustive, kDpor ignores preemption_bound —
+// the reduction, not a bound, keeps the search finite.
+//
+// Plain shared memory (tamp::shared<T>)
+// -------------------------------------
+// Plain (non-atomic) fields migrated onto the tamp::shared<T> facade
+// register their reads/writes here without becoming schedule points.  The
+// scheduler keeps, per location, the vector clock of the last write and of
+// each thread's last read; an access not ordered after a prior conflicting
+// access by another thread is a data race (undefined behavior in the real
+// program) and aborts the execution with a replayable ViolationKind::kRace
+// trace.  Racy values are therefore never propagated, and race-free plain
+// reads are deterministic within a schedule, so plain accesses need no
+// value exploration of their own.
 //
 // Memory model (deliberately simplified)
 // --------------------------------------
@@ -56,6 +92,7 @@
 
 #include <array>
 #include <atomic>
+#include <bit>
 #include <condition_variable>
 #include <cstdint>
 #include <cstdio>
@@ -79,7 +116,9 @@ namespace tamp::sim {
 // ---------------------------------------------------------------------------
 
 enum class Strategy {
-    kExhaustive,  // DFS with preemption bounding; terminates with a verdict
+    kDpor,        // dynamic partial-order reduction; sound exhaustive search
+                  // over Mazurkiewicz traces (sleep sets + backtrack sets)
+    kExhaustive,  // brute-force DFS with preemption bounding
     kRandom,      // uniform random decisions, max_executions samples
     kPct,         // PCT-style priority schedules, random value choices
 };
@@ -89,10 +128,11 @@ enum class ViolationKind {
     kAssert,    // sim::assert_always / sim::fail / linearizability failure
     kDeadlock,  // every live thread parked with no store able to wake one
     kLivelock,  // execution exceeded max_steps schedule points
+    kRace,      // unordered plain accesses to a tamp::shared<T> location
 };
 
 struct ExploreOptions {
-    Strategy strategy = Strategy::kExhaustive;
+    Strategy strategy = Strategy::kDpor;
     std::uint64_t seed = 1;
     int max_executions = 20000;
     int max_steps = 20000;
@@ -113,6 +153,9 @@ struct ExploreResult {
     std::uint64_t total_steps = 0;
     bool exhausted = false;  // exhaustive search ran out of schedules (proof
                              // within the model, bounds, and budget)
+    std::uint64_t sleep_set_prunes = 0;  // executions cut short by sleep sets
+    std::uint64_t races_found = 0;       // plain-memory races (0 or 1: the
+                                         // first race aborts the exploration)
 };
 
 enum class AccessKind { kLoad, kStore, kRmw, kFence };
@@ -218,10 +261,14 @@ class Scheduler {
             w.load_streak = 0;
             w.status = Status::kParked;
         }
+        declare_pending(w, obj, /*write=*/false,
+                        mo == std::memory_order_seq_cst);
         schedule(tid);
         Location& l = lookup(obj, seed, flush, tid);
         mo = note_site(loc, AccessKind::kLoad, mo);
         w.clock[tid]++;
+        dpor_op(tid, obj, /*is_write=*/false,
+                mo == std::memory_order_seq_cst);
         if (mo == std::memory_order_seq_cst) merge_sc(w.clock);
 
         // Eligible stores, newest first.  Walk backwards; stop at the
@@ -267,10 +314,14 @@ class Scheduler {
         const int tid = t_sim_tid;
         if (tid < 0) return controller_store(obj, seed, flush);
         Worker& w = workers_[tid];
+        declare_pending(w, obj, /*write=*/true,
+                        mo == std::memory_order_seq_cst);
         schedule(tid);
         Location& l = lookup(obj, seed, flush, tid);
         mo = note_site(loc, AccessKind::kStore, mo);
         w.clock[tid]++;
+        dpor_op(tid, obj, /*is_write=*/true,
+                mo == std::memory_order_seq_cst);
         if (mo == std::memory_order_seq_cst) merge_sc(w.clock);
         const Clock& rel = has_release(mo) ? w.clock : w.fence_release;
         return push_record(l, tid, w.clock, rel, w);
@@ -290,6 +341,10 @@ class Scheduler {
             w.load_streak = 0;
             w.status = Status::kParked;
         }
+        // Declared seq_cst conservatively: the RMW's order arrives at
+        // commit/abandon; overstating the pending op only weakens sleep
+        // sets (more exploration), never soundness.
+        declare_pending(w, obj, /*write=*/true, /*sc=*/true);
         schedule(tid);
         Location& l = lookup(obj, seed, flush, tid);
         return l.records.back().slot;
@@ -303,6 +358,8 @@ class Scheduler {
         Location& l = locations_.at(obj);
         mo = note_site(loc, AccessKind::kRmw, mo);
         w.clock[tid]++;
+        dpor_op(tid, obj, /*is_write=*/true,
+                mo == std::memory_order_seq_cst);
         if (mo == std::memory_order_seq_cst) merge_sc(w.clock);
         const StoreRecord& prev = l.records.back();
         join_clock(w.pending_acquire, prev.release_clock);
@@ -322,6 +379,8 @@ class Scheduler {
         Location& l = locations_.at(obj);
         fail_mo = note_site(loc, AccessKind::kLoad, fail_mo);
         w.clock[tid]++;
+        dpor_op(tid, obj, /*is_write=*/false,
+                fail_mo == std::memory_order_seq_cst);
         if (fail_mo == std::memory_order_seq_cst) merge_sc(w.clock);
         const StoreRecord& prev = l.records.back();
         join_clock(w.pending_acquire, prev.release_clock);
@@ -334,17 +393,24 @@ class Scheduler {
         const int tid = t_sim_tid;
         if (tid < 0) return;
         Worker& w = workers_[tid];
+        // A seq_cst fence merges with the SC clock (non-commuting): treat
+        // it as a write to the SC pseudo-location.  Weaker fences only
+        // shuffle the thread's own clocks and commute with everything.
+        const bool sc = mo == std::memory_order_seq_cst;
+        declare_pending(w, nullptr, sc, sc);
         schedule(tid);
         note_site(loc, AccessKind::kFence, mo);
         w.clock[tid]++;
+        if (sc) dpor_op(tid, nullptr, /*is_write=*/false, /*is_sc=*/true);
         if (has_acquire(mo)) join_clock(w.clock, w.pending_acquire);
         if (has_release(mo)) w.fence_release = w.clock;
-        if (mo == std::memory_order_seq_cst) merge_sc(w.clock);
+        if (sc) merge_sc(w.clock);
     }
 
     void yield_point() {
         const int tid = t_sim_tid;
         if (tid < 0) return;
+        declare_pending(workers_[tid], nullptr, false, false);
         schedule(tid);
     }
 
@@ -360,12 +426,76 @@ class Scheduler {
             w.spin_streak = 0;
             w.status = Status::kParked;
         }
+        declare_pending(w, nullptr, false, false);
         schedule(tid);
     }
 
     void forget(void* obj) {
         std::lock_guard<std::mutex> lk(registry_mu_);
         locations_.erase(obj);
+    }
+
+    // -- plain shared memory (tamp::shared<T>) -------------------------------
+    //
+    // Not schedule points: a plain access runs inside the atomic-delimited
+    // block of its thread, consumes no decision bytes (replay-compatible),
+    // and costs no state-space growth.  The vector-clock race check makes
+    // the values deterministic anyway: a racy pair aborts the execution
+    // before the value could propagate.
+
+    void plain_read(const void* obj) {
+        if (!active() || aborting_) return;
+        const int idx = t_sim_tid < 0 ? kCtl : t_sim_tid;
+        Clock& c = t_sim_tid < 0 ? controller_clock_ : workers_[t_sim_tid].clock;
+        c[static_cast<std::size_t>(idx)]++;
+        {
+            std::lock_guard<std::mutex> lk(registry_mu_);
+            PlainLoc& pl = plain_locs_[obj];
+            if (pl.write.valid && pl.write.idx != idx && !hb(pl.write, c)) {
+                report_race(obj, pl.write, /*prior_write=*/true, idx,
+                            /*mine_write=*/false);
+            }
+            PlainEvent& r = pl.reads[static_cast<std::size_t>(idx)];
+            r.valid = true;
+            r.idx = idx;
+            r.clock = c;
+            r.site = current_site();
+            r.step = steps_;
+        }
+        check_abort();
+    }
+
+    void plain_write(const void* obj) {
+        if (!active() || aborting_) return;
+        const int idx = t_sim_tid < 0 ? kCtl : t_sim_tid;
+        Clock& c = t_sim_tid < 0 ? controller_clock_ : workers_[t_sim_tid].clock;
+        c[static_cast<std::size_t>(idx)]++;
+        {
+            std::lock_guard<std::mutex> lk(registry_mu_);
+            PlainLoc& pl = plain_locs_[obj];
+            if (pl.write.valid && pl.write.idx != idx && !hb(pl.write, c)) {
+                report_race(obj, pl.write, true, idx, true);
+            } else {
+                for (const PlainEvent& r : pl.reads) {
+                    if (r.valid && r.idx != idx && !hb(r, c)) {
+                        report_race(obj, r, false, idx, true);
+                        break;
+                    }
+                }
+            }
+            pl.write.valid = true;
+            pl.write.idx = idx;
+            pl.write.clock = c;
+            pl.write.site = current_site();
+            pl.write.step = steps_;
+        }
+        check_abort();
+    }
+
+    void forget_plain(const void* obj) {
+        if (!active()) return;
+        std::lock_guard<std::mutex> lk(registry_mu_);
+        plain_locs_.erase(obj);
     }
 
     // -- violations ----------------------------------------------------------
@@ -430,8 +560,23 @@ class Scheduler {
             w.body = std::move(body);
             w.body_ready = true;
         }
-        // No token handed out yet: workers first run when the controller
-        // blocks in join(), so all threads exist before scheduling starts.
+        // Warmup: run the child to its *first* schedule point right now, so
+        // it declares its pending op and parks before any scheduling
+        // decision exists.  Serialized (the controller blocks for the token
+        // to come straight back) and decision-free, so replay is unaffected
+        // — but DPOR sleep-set filtering then knows every thread's next
+        // operation instead of conservatively treating never-run threads
+        // as conflicting with everything.
+        warmup_tid_ = tid;
+        {
+            std::lock_guard<std::mutex> lk(ctl_m_);
+            ctl_token_ = false;
+        }
+        give_token(tid);
+        {
+            std::unique_lock<std::mutex> lk(ctl_m_);
+            ctl_cv_.wait(lk, [&] { return ctl_token_; });
+        }
         return tid;
     }
 
@@ -470,6 +615,16 @@ class Scheduler {
   private:
     enum class Status { kIdle, kRunnable, kParked, kFinished };
 
+    /// The operation a worker will perform at its next schedule point,
+    /// declared *before* blocking in schedule() so sleep-set filtering can
+    /// test dependence against threads that are parked at their op.
+    struct PendingOp {
+        const void* loc = nullptr;  // null: no memory effect (yield/spin)
+        bool write = false;
+        bool sc = false;
+        bool known = false;  // never-scheduled threads conflict with all
+    };
+
     struct Worker {
         std::thread th;
         std::mutex m;
@@ -487,6 +642,8 @@ class Scheduler {
         int load_streak = 0;
         int stale_reads = 0;
         bool force_newest = false;
+        PendingOp pending{};
+        const SiteInfo* last_site = nullptr;  // race-report context
     };
 
     struct StoreRecord {
@@ -507,6 +664,49 @@ class Scheduler {
     struct Decision {
         std::uint8_t chosen;
         std::uint8_t count;
+        // kDpor bookkeeping.  sched: this byte picked a thread (depth is
+        // its DporEntry index); otherwise it picked a stale-read value
+        // (depth is the estack size at that moment, i.e. where to truncate
+        // when this decision is advanced).
+        bool sched = false;
+        std::int32_t depth = -1;
+    };
+
+    /// One scheduling choice point of the kDpor search tree, persistent
+    /// across the executions that share its prefix.
+    struct DporEntry {
+        std::vector<int> enabled;     // candidates, in pick order
+        std::uint32_t enabled_mask = 0;
+        int chosen = -1;
+        std::uint32_t backtrack = 0;  // threads to try from here (source set)
+        std::uint32_t done = 0;       // subtrees already explored
+        std::uint32_t sleep = 0;      // threads whose next op leads to an
+                                      // already-explored equivalence class
+    };
+
+    /// Last dependent event per (location, thread, kind) for backtrack-set
+    /// computation; the overall-last dependent event is always one of these.
+    struct DporEvent {
+        bool valid = false;
+        int entry = -1;  // estack index of the choice that scheduled it
+        Clock clock{};   // the thread's clock at the op (pre-join)
+    };
+    struct DporLoc {
+        std::array<DporEvent, kMaxSimThreads> writes{};
+        std::array<DporEvent, kMaxSimThreads> reads{};
+    };
+
+    /// Race-detector state per tamp::shared<T> location.
+    struct PlainEvent {
+        bool valid = false;
+        int idx = kCtl;  // clock index of the accessor
+        Clock clock{};
+        const SiteInfo* site = nullptr;  // accessor's last facade site
+        std::uint64_t step = 0;
+    };
+    struct PlainLoc {
+        PlainEvent write;
+        std::array<PlainEvent, kMaxSimThreads + 1> reads{};
     };
 
     struct Violation {
@@ -598,6 +798,17 @@ class Scheduler {
 
     void schedule(int tid) {
         check_abort();
+        if (warmup_tid_ == tid) {
+            // First schedule point of a freshly spawned thread: hand the
+            // token straight back to the spawning controller and park.  The
+            // next giver's pick_next decides when this thread's op runs.
+            warmup_tid_ = -1;
+            release_token(tid);
+            give_controller_token();
+            wait_for_token(tid);
+            check_abort();
+            return;
+        }
         if (++steps_ > static_cast<std::uint64_t>(opts_.max_steps)) {
             if (!aborting_) {
                 set_violation(ViolationKind::kLivelock,
@@ -623,6 +834,13 @@ class Scheduler {
         Worker& w = workers_[static_cast<std::size_t>(tid)];
         w.status = Status::kFinished;
         release_token(tid);
+        if (warmup_tid_ == tid) {
+            // The body finished (or aborted) without reaching a schedule
+            // point: return control to the spawning controller.
+            warmup_tid_ = -1;
+            give_controller_token();
+            return;
+        }
         if (controller_waiting_ == tid) {
             give_controller_token();
             return;
@@ -721,6 +939,13 @@ class Scheduler {
             preemptions_ >= opts_.preemption_bound) {
             cands.assign(1, current);
         }
+        if (opts_.strategy == Strategy::kDpor && !replaying_ && !aborting_) {
+            const int didx = dpor_pick(cands);
+            if (aborting_) return cands.front();  // sleep-set prune
+            const int next = cands[static_cast<std::size_t>(didx)];
+            if (cur_in && next != current) preemptions_++;
+            return next;
+        }
         int idx = 0;
         if (cands.size() > 1) {
             if (opts_.strategy == Strategy::kPct && !replaying_) {
@@ -761,7 +986,8 @@ class Scheduler {
         if (replaying_) {
             if (pos < replay_trace_.size()) chosen = replay_trace_[pos];
             if (chosen >= count) chosen = static_cast<std::uint8_t>(count - 1);
-        } else if (opts_.strategy == Strategy::kExhaustive) {
+        } else if (opts_.strategy == Strategy::kExhaustive ||
+                   opts_.strategy == Strategy::kDpor) {
             if (pos < prefix_.size()) {
                 chosen = prefix_[pos].chosen;
                 if (chosen >= count) {
@@ -772,12 +998,15 @@ class Scheduler {
             chosen = static_cast<std::uint8_t>(
                 rng_next() % static_cast<std::uint64_t>(count));
         }
-        record_decision(chosen, static_cast<std::uint8_t>(count));
+        record_decision(chosen, static_cast<std::uint8_t>(count),
+                        /*sched=*/false, static_cast<int>(edepth_));
         return chosen;
     }
 
-    void record_decision(std::uint8_t chosen, std::uint8_t count) {
-        path_.push_back(Decision{chosen, count});
+    void record_decision(std::uint8_t chosen, std::uint8_t count,
+                         bool sched = false, int depth = -1) {
+        path_.push_back(
+            Decision{chosen, count, sched, static_cast<std::int32_t>(depth)});
     }
 
     std::uint64_t rng_next() noexcept {
@@ -800,6 +1029,185 @@ class Scheduler {
         if (prefix_.empty()) return false;
         prefix_.back().chosen++;
         return true;
+    }
+
+    // -- dynamic partial-order reduction -------------------------------------
+
+    static constexpr std::uint32_t bit(int tid) noexcept {
+        return 1u << static_cast<unsigned>(tid);
+    }
+
+    void declare_pending(Worker& w, const void* loc, bool write, bool sc) {
+        w.pending.loc = loc;
+        w.pending.write = write;
+        w.pending.sc = sc;
+        w.pending.known = true;
+    }
+
+    /// Scheduling choice under kDpor.  Replays the forced entry when the
+    /// execution is still on the current tree path, otherwise opens a new
+    /// entry (or prunes the execution if every candidate is sleeping).
+    /// Returns the index of the chosen thread in `cands`.
+    int dpor_pick(const std::vector<int>& cands) {
+        int idx;
+        if (edepth_ < estack_.size()) {
+            DporEntry& e = estack_[edepth_];
+            idx = -1;
+            for (std::size_t i = 0; i < cands.size(); ++i) {
+                if (cands[i] == e.chosen) {
+                    idx = static_cast<int>(i);
+                    break;
+                }
+            }
+            if (idx < 0) {
+                std::fprintf(stderr,
+                             "tamp::sim: DPOR prefix divergence (body is "
+                             "not deterministic?)\n");
+                std::abort();
+            }
+            cur_sleep_ = e.sleep;
+        } else {
+            DporEntry e;
+            e.enabled = cands;
+            for (int t : cands) e.enabled_mask |= bit(t);
+            e.sleep = cur_sleep_;
+            const std::uint32_t awake = e.enabled_mask & ~e.sleep;
+            if (awake == 0) {
+                // Every runnable thread sleeps: this schedule is
+                // equivalent to an explored one.  Abort quietly.
+                ++sleep_prunes_;
+                aborting_ = true;
+                return 0;
+            }
+            idx = 0;
+            while (!(awake & bit(cands[static_cast<std::size_t>(idx)]))) {
+                ++idx;
+            }
+            e.chosen = cands[static_cast<std::size_t>(idx)];
+            e.backtrack = bit(e.chosen);
+            estack_.push_back(std::move(e));
+        }
+        const DporEntry& e = estack_[edepth_];
+        attach_entry_[static_cast<std::size_t>(e.chosen)] =
+            static_cast<int>(edepth_);
+        ++edepth_;
+        if (cands.size() > 1) {
+            record_decision(static_cast<std::uint8_t>(idx),
+                            static_cast<std::uint8_t>(cands.size()),
+                            /*sched=*/true, static_cast<int>(edepth_) - 1);
+        }
+        return idx;
+    }
+
+    /// Called at each visible operation (after the thread-local clock
+    /// tick, before the op's own joins): computes backtrack points against
+    /// prior dependent events, records the event, and filters the running
+    /// sleep set.  seq_cst ops additionally count as writes to the SC
+    /// pseudo-location (merge_sc does not commute).
+    void dpor_op(int tid, void* loc, bool is_write, bool is_sc) {
+        if (opts_.strategy != Strategy::kDpor || replaying_ || aborting_ ||
+            tid < 0) {
+            return;
+        }
+        const int entry = attach_entry_[static_cast<std::size_t>(tid)];
+        const Clock& c = workers_[static_cast<std::size_t>(tid)].clock;
+        if (loc != nullptr) dpor_note(tid, entry, loc, is_write, c);
+        if (is_sc) dpor_note(tid, entry, &sc_clock_, true, c);
+        // Sleep-set filtering: an executed op dependent with a sleeping
+        // thread's next op wakes it (the commutation argument no longer
+        // applies past this point).
+        std::uint32_t s = cur_sleep_;
+        while (s != 0) {
+            const int q = std::countr_zero(s);
+            s &= s - 1;
+            const PendingOp& p = workers_[static_cast<std::size_t>(q)].pending;
+            const bool dep =
+                !p.known ||
+                (loc != nullptr && p.loc == loc && (is_write || p.write)) ||
+                (is_sc && p.sc);
+            if (dep) cur_sleep_ &= ~bit(q);
+        }
+    }
+
+    void dpor_note(int tid, int entry, const void* loc, bool is_write,
+                   const Clock& c) {
+        DporLoc& d = dpor_locs_[loc];
+        for (int q = 0; q < spawned_; ++q) {
+            if (q == tid) continue;
+            const DporEvent& w = d.writes[static_cast<std::size_t>(q)];
+            if (w.valid && !hb_event(w, q, c)) insert_backtrack(w.entry, tid);
+            if (is_write) {
+                const DporEvent& r = d.reads[static_cast<std::size_t>(q)];
+                if (r.valid && !hb_event(r, q, c)) {
+                    insert_backtrack(r.entry, tid);
+                }
+            }
+        }
+        DporEvent& mine = is_write ? d.writes[static_cast<std::size_t>(tid)]
+                                   : d.reads[static_cast<std::size_t>(tid)];
+        mine.valid = true;
+        mine.entry = entry;
+        mine.clock = c;
+    }
+
+    static bool hb_event(const DporEvent& e, int owner, const Clock& c) {
+        return e.clock[static_cast<std::size_t>(owner)] <=
+               c[static_cast<std::size_t>(owner)];
+    }
+
+    void insert_backtrack(int entry, int racer) {
+        if (entry < 0) return;
+        DporEntry& e = estack_[static_cast<std::size_t>(entry)];
+        if (e.enabled_mask & bit(racer)) {
+            e.backtrack |= bit(racer);
+        } else {
+            // The racer was blocked here: conservatively try everyone that
+            // was enabled (one of them leads to the racer's op).
+            e.backtrack |= e.enabled_mask;
+        }
+    }
+
+    /// kDpor advance: walk the decision path from the end; value decisions
+    /// advance like plain DFS, scheduling decisions consult their entry's
+    /// backtrack set (minus sleep = explored-or-inherited).  Entries below
+    /// the switch point are exhausted and discarded; entries above keep
+    /// their accumulated backtrack sets.  False = space exhausted.
+    bool dpor_advance() {
+        prefix_ = path_;
+        while (!prefix_.empty()) {
+            Decision& d = prefix_.back();
+            if (!d.sched) {
+                if (d.chosen + 1 < d.count) {
+                    d.chosen++;
+                    estack_.resize(static_cast<std::size_t>(d.depth));
+                    return true;
+                }
+                prefix_.pop_back();
+                continue;
+            }
+            DporEntry& e = estack_[static_cast<std::size_t>(d.depth)];
+            e.done |= bit(e.chosen);
+            e.sleep |= bit(e.chosen);
+            const std::uint32_t avail =
+                e.backtrack & e.enabled_mask & ~e.sleep;
+            if (avail != 0) {
+                const int t = std::countr_zero(avail);
+                e.chosen = t;
+                int idx = 0;
+                for (std::size_t i = 0; i < e.enabled.size(); ++i) {
+                    if (e.enabled[i] == t) {
+                        idx = static_cast<int>(i);
+                        break;
+                    }
+                }
+                d.chosen = static_cast<std::uint8_t>(idx);
+                estack_.resize(static_cast<std::size_t>(d.depth) + 1);
+                return true;
+            }
+            prefix_.pop_back();
+        }
+        estack_.clear();
+        return false;
     }
 
     // -- locations -----------------------------------------------------------
@@ -907,8 +1315,55 @@ class Scheduler {
             s.order = mo;
         }
         s.hits++;
+        if (t_sim_tid >= 0) {
+            workers_[static_cast<std::size_t>(t_sim_tid)].last_site = &s;
+        }
         auto it = overrides_.find(key);
         return it == overrides_.end() ? mo : it->second;
+    }
+
+    // -- race detection (tamp::shared<T>) ------------------------------------
+
+    static bool hb(const PlainEvent& ev, const Clock& c) {
+        return ev.clock[static_cast<std::size_t>(ev.idx)] <=
+               c[static_cast<std::size_t>(ev.idx)];
+    }
+
+    /// Best-effort source context for a plain access: the accessor's most
+    /// recent facade (atomic/fence) site.  Plain accesses carry no
+    /// source_location of their own (conversion operators cannot take
+    /// defaulted arguments), so reports say "near <site>".
+    const SiteInfo* current_site() const {
+        if (t_sim_tid < 0) return nullptr;
+        return workers_[static_cast<std::size_t>(t_sim_tid)].last_site;
+    }
+
+    static void describe_accessor(std::ostringstream& os, int idx, bool write,
+                                  const SiteInfo* site, std::uint64_t step) {
+        if (idx == kCtl) {
+            os << "controller";
+        } else {
+            os << "T" << idx;
+        }
+        os << " " << (write ? "write" : "read") << " at step " << step;
+        if (site != nullptr) {
+            os << " (near " << site->file << ":" << site->line << ")";
+        }
+    }
+
+    /// Caller holds registry_mu_.  Records the violation and flags the
+    /// abort; the actual unwind happens at the caller's check_abort() once
+    /// the lock is released.
+    void report_race(const void* obj, const PlainEvent& prior,
+                     bool prior_write, int idx, bool mine_write) {
+        ++race_count_;
+        std::ostringstream os;
+        os << "data race on plain shared location " << obj << ": ";
+        describe_accessor(os, prior.idx, prior_write, prior.site, prior.step);
+        os << " is unordered with ";
+        describe_accessor(os, idx, mine_write, current_site(), steps_);
+        set_violation(ViolationKind::kRace, os.str());
+        aborting_ = true;
     }
 
     void note_stale(const std::source_location& loc, std::memory_order mo,
@@ -944,7 +1399,12 @@ class Scheduler {
         {
             std::lock_guard<std::mutex> lk(registry_mu_);
             locations_.clear();
+            plain_locs_.clear();
         }
+        dpor_locs_.clear();
+        edepth_ = 0;
+        cur_sleep_ = 0;
+        attach_entry_.fill(-1);
         exec_index_ = exec;
         steps_ = 0;
         preemptions_ = 0;
@@ -959,6 +1419,7 @@ class Scheduler {
         controller_clock_[kCtl] = 1;
         ctl_token_ = true;
         controller_waiting_ = -1;
+        warmup_tid_ = -1;
         stale_log_.clear();
         rng_state_ = splitmix64(opts_.seed ^
                                 (static_cast<std::uint64_t>(exec) + 1) *
@@ -973,6 +1434,8 @@ class Scheduler {
             w.load_streak = 0;
             w.stale_reads = 0;
             w.force_newest = false;
+            w.pending = PendingOp{};
+            w.last_site = nullptr;
         }
         if (opts_.strategy == Strategy::kPct) {
             for (auto& p : priorities_) {
@@ -1012,6 +1475,9 @@ class Scheduler {
         replaying_ = replay_trace != nullptr;
         if (replaying_) replay_trace_ = *replay_trace;
         prefix_.clear();
+        estack_.clear();
+        sleep_prunes_ = 0;
+        race_count_ = 0;
         ExploreResult res;
         res.seed = opts.seed;
         active_.store(true, std::memory_order_release);
@@ -1039,9 +1505,16 @@ class Scheduler {
                     res.exhausted = true;
                     break;
                 }
+            } else if (opts.strategy == Strategy::kDpor) {
+                if (!dpor_advance()) {
+                    res.exhausted = true;
+                    break;
+                }
             }
             if (res.executions >= opts.max_executions) break;
         }
+        res.sleep_set_prunes = sleep_prunes_;
+        res.races_found = race_count_;
         active_.store(false, std::memory_order_release);
         replaying_ = false;
         return res;
@@ -1052,8 +1525,10 @@ class Scheduler {
         os << "tamp::sim: VIOLATION ("
            << (res.kind == ViolationKind::kAssert
                    ? "assert"
-                   : res.kind == ViolationKind::kDeadlock ? "deadlock"
-                                                          : "livelock")
+                   : res.kind == ViolationKind::kDeadlock
+                         ? "deadlock"
+                         : res.kind == ViolationKind::kRace ? "race"
+                                                            : "livelock")
            << ")\n  " << res.message << "\n  replay: seed=" << res.seed
            << " execution=" << res.failing_execution << " trace=";
         static const char* hex = "0123456789abcdef";
@@ -1075,6 +1550,7 @@ class Scheduler {
     std::condition_variable ctl_cv_;
     bool ctl_token_ = true;
     int controller_waiting_ = -1;
+    int warmup_tid_ = -1;  // thread being run to its first schedule point
     Clock controller_clock_{};
 
     ExploreOptions opts_;
@@ -1100,8 +1576,18 @@ class Scheduler {
 
     Clock sc_clock_{};
 
+    // kDpor search-tree state (persists across executions of one explore()).
+    std::vector<DporEntry> estack_;
+    std::size_t edepth_ = 0;        // entries consumed this execution
+    std::uint32_t cur_sleep_ = 0;   // running sleep set (thread bitmask)
+    std::array<int, kMaxSimThreads> attach_entry_{};  // tid -> last entry
+    std::uint64_t sleep_prunes_ = 0;
+    std::uint64_t race_count_ = 0;
+    std::unordered_map<const void*, DporLoc> dpor_locs_;
+
     std::mutex registry_mu_;
     std::unordered_map<void*, Location> locations_;
+    std::unordered_map<const void*, PlainLoc> plain_locs_;
     std::map<std::string, SiteInfo> sites_;
     std::unordered_map<std::string, std::memory_order> overrides_;
 };

@@ -1,0 +1,108 @@
+// tamp/sim/shared.hpp
+//
+// The `tamp::shared<T>` facade: the declaration for *plain* (non-atomic)
+// fields that are nevertheless reachable from more than one thread —
+// node payloads, next pointers written before publication, cached record
+// state.  Such fields are correct only when every pair of conflicting
+// accesses is ordered by happens-before (a lock, a release/acquire edge,
+// or single-ownership before publication); tamp::shared<T> makes that
+// claim checkable instead of implicit.
+//
+// TAMP_SIM=0 (the default): a pure alias of T — the *same type*, so
+// layout and codegen are identical by construction (zero overhead).
+// tests/sim_facade_test.cpp static_asserts the identity.
+//
+// TAMP_SIM=1 (the `sim` preset): a wrapper that registers every read and
+// write with the scheduler's vector-clock race detector.  Accesses are
+// *not* schedule points — a data race is a property of the happens-before
+// relation, not of the particular interleaving, so the detector piggybacks
+// on the schedules the search explores anyway.  An access that is not
+// ordered after a prior conflicting access by another thread is a data
+// race (undefined behavior in the real program): the execution aborts
+// with ViolationKind::kRace and a replayable trace.  Construction counts
+// as a write (catching publication races on freshly allocated nodes) and
+// destruction retires the location so recycled addresses start clean.
+//
+// Access is through implicit conversion (`T v = field;`) and assignment
+// (`field = v;`).  Conversion operators cannot carry defaulted
+// source_location arguments, so race reports locate accesses "near" the
+// accessing thread's most recent atomic/fence site instead of exactly.
+// Compound operators (`field += x`, `field->m`) are deliberately not
+// provided: read into a local, update, write back — which keeps each
+// registered access visible in the source.
+//
+// Onboarding: declare cross-thread plain fields as tamp::shared<T>; keep
+// fields that are genuinely immutable after construction `const` instead
+// (tools/lint_atomics.py's plain-shared-member rule accepts either, plus
+// an annotated escape hatch for thread-local or externally-synchronized
+// members).
+
+#pragma once
+
+#include "tamp/sim/config.hpp"
+
+#if !TAMP_SIM
+
+namespace tamp {
+
+template <typename T>
+using shared = T;
+
+}  // namespace tamp
+
+#else  // TAMP_SIM
+
+#include <utility>
+
+#include "tamp/sim/scheduler.hpp"
+
+namespace tamp {
+
+template <typename T>
+class shared {
+  public:
+    shared() : value_{} { note_write(); }
+    shared(const T& v) : value_(v) { note_write(); }
+    shared(T&& v) : value_(std::move(v)) { note_write(); }
+    shared(const shared& other) : value_(other.read()) { note_write(); }
+    // A move still reads the source: the handoff itself must be ordered.
+    shared(shared&& other) : value_(other.read()) { note_write(); }
+
+    ~shared() { sim::detail::scheduler().forget_plain(this); }
+
+    shared& operator=(const T& v) {
+        value_ = v;
+        note_write();
+        return *this;
+    }
+    shared& operator=(T&& v) {
+        value_ = std::move(v);
+        note_write();
+        return *this;
+    }
+    shared& operator=(const shared& other) {
+        value_ = other.read();
+        note_write();
+        return *this;
+    }
+    shared& operator=(shared&& other) {
+        value_ = other.read();
+        note_write();
+        return *this;
+    }
+
+    operator const T&() const { return read(); }
+
+  private:
+    const T& read() const {
+        sim::detail::scheduler().plain_read(this);
+        return value_;
+    }
+    void note_write() { sim::detail::scheduler().plain_write(this); }
+
+    T value_;
+};
+
+}  // namespace tamp
+
+#endif  // TAMP_SIM

@@ -60,7 +60,7 @@ class ALock {
     std::size_t capacity() const { return size_; }
 
   private:
-    std::size_t size_;
+    const std::size_t size_;
     tamp::atomic<std::size_t> tail_{0};
     std::vector<Padded<tamp::atomic<bool>>> flag_;
     std::vector<Padded<std::size_t>> my_slot_;

@@ -51,8 +51,8 @@ class BackoffLock {
 
   private:
     tamp::atomic<bool> state_{false};
-    std::uint32_t min_delay_;
-    std::uint32_t max_delay_;
+    const std::uint32_t min_delay_;
+    const std::uint32_t max_delay_;
 };
 
 }  // namespace tamp

@@ -75,7 +75,7 @@ class CLHLock {
         return raw;
     }
 
-    std::size_t capacity_;
+    const std::size_t capacity_;
     tamp::atomic<QNode*> tail_{nullptr};
     // Per-slot node/pred — the book's two ThreadLocal<QNode> fields.  Plain
     // pointers: each slot is touched only by the thread owning that id.

@@ -197,7 +197,7 @@ class CompositeLock {
         return true;
     }
 
-    std::size_t size_;
+    const std::size_t size_;
     std::vector<Padded<QNode>> waiting_;
     std::vector<std::uint64_t> my_node_;  // per-slot captured node index
     AtomicStampedIndex tail_;

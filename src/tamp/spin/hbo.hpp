@@ -77,8 +77,8 @@ class HBOLock {
 
   private:
     tamp::atomic<int> state_{kFree};
-    std::size_t cluster_size_;
-    std::uint32_t local_min_, local_max_, remote_min_, remote_max_;
+    const std::size_t cluster_size_;
+    const std::uint32_t local_min_, local_max_, remote_min_, remote_max_;
 };
 
 }  // namespace tamp

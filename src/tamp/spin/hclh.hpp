@@ -151,10 +151,12 @@ class HCLHLock {
 
   private:
     // Per-slot bump allocation over lock-owned chunks (as in TOLock).
+    // Each slot has exactly one owning thread, so these fields are
+    // thread-private — plain on purpose.
     struct SlotCache {
         Padded<QNode>* chunk = nullptr;
-        std::size_t used = 0;
-        std::size_t cap = 0;
+        std::size_t used = 0;  // tamp-lint: allow(plain-shared-member)
+        std::size_t cap = 0;   // tamp-lint: allow(plain-shared-member)
     };
     static constexpr std::size_t kChunk = 128;
 
@@ -171,8 +173,8 @@ class HCLHLock {
         return &c.chunk[c.used++].value;
     }
 
-    std::size_t clusters_;
-    std::size_t cluster_size_;
+    const std::size_t clusters_;
+    const std::size_t cluster_size_;
     std::vector<Padded<tamp::atomic<QNode*>>> local_queues_;
     tamp::atomic<QNode*> global_queue_{nullptr};
     std::vector<QNode*> my_node_;

@@ -120,11 +120,13 @@ class TOLock {
         return &sentinel;
     }
 
-    // Per-slot bump allocator over lock-owned chunks.
+    // Per-slot bump allocator over lock-owned chunks.  Each slot has
+    // exactly one owning thread, so these fields are thread-private —
+    // plain on purpose.
     struct SlotCache {
-        QNode* chunk = nullptr;
-        std::size_t used = 0;
-        std::size_t cap = 0;
+        QNode* chunk = nullptr;   // tamp-lint: allow(plain-shared-member)
+        std::size_t used = 0;     // tamp-lint: allow(plain-shared-member)
+        std::size_t cap = 0;      // tamp-lint: allow(plain-shared-member)
     };
     static constexpr std::size_t kChunk = 256;
 
@@ -141,7 +143,7 @@ class TOLock {
         return &c.chunk[c.used++];
     }
 
-    std::size_t capacity_;
+    const std::size_t capacity_;
     tamp::atomic<QNode*> tail_{nullptr};
     std::vector<QNode*> my_node_;
     std::vector<Padded<SlotCache>> cache_;

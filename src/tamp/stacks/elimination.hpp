@@ -50,7 +50,7 @@ class EliminationArray {
 
   private:
     std::vector<LockFreeExchanger<T>> exchangers_;
-    std::chrono::microseconds duration_;
+    const std::chrono::microseconds duration_;
 };
 
 template <typename T>

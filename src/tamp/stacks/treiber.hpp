@@ -20,15 +20,19 @@
 #include "tamp/core/backoff.hpp"
 #include "tamp/reclaim/hazard_pointers.hpp"
 #include "tamp/sim/atomic.hpp"
+#include "tamp/sim/shared.hpp"
 
 namespace tamp {
 
 template <typename T>
 class LockFreeStack {
   protected:
+    // Plain but cross-thread: written before the node is published, read
+    // by whichever popper wins it — ordered by the push/pop CAS pair, and
+    // tamp::shared lets the sim race detector check exactly that claim.
     struct Node {
-        T value{};
-        Node* next = nullptr;  // plain: immutable once the node is shared
+        tamp::shared<T> value{};
+        tamp::shared<Node*> next{nullptr};
     };
 
   public:

@@ -358,6 +358,169 @@ TEST(SimBugs, HazardProtectWithoutHandshakeMissesUnlink) {
     EXPECT_EQ(again.trace, res.trace);
 }
 
+// ===========================================================================
+// Bug 5 — optimistic-list in-place payload update: the real
+// OptimisticListSet keeps node payloads const and changes membership by
+// linking fresh nodes; the tempting shortcut is to "just update the value
+// field" of a published node in place.  Without a lock that write is
+// unordered with every concurrent traversal's payload read — a data race
+// the vector-clock detector reports on tamp::shared fields.
+// ===========================================================================
+
+struct OptNode {
+    tamp::shared<int> value{0};
+    tamp::atomic<OptNode*> next{nullptr};
+};
+
+void inplace_update_body() {
+    std::array<OptNode, 2> pool{};
+    tamp::atomic<OptNode*> head{&pool[0]};
+    sim::thread writer([&] {
+        // BUG: rewrites a *published* node's payload with no lock held.
+        pool[0].value = 7;
+    });
+    sim::thread reader([&] {
+        OptNode* n = head.load(std::memory_order_acquire);
+        const int v = n->value;  // races with the in-place write
+        sim::assert_always(v == 0 || v == 7, "torn payload");
+    });
+    writer.join();
+    reader.join();
+}
+
+TEST(SimBugs, InPlaceListUpdateRacesWithTraversal) {
+    sim::ExploreOptions opts;
+    opts.print_on_failure = false;
+    const auto res = sim::explore(opts, inplace_update_body);
+    ASSERT_FALSE(res.ok) << "seeded race not found in "
+                         << res.executions << " executions";
+    EXPECT_EQ(res.kind, sim::ViolationKind::kRace) << res.message;
+    EXPECT_GE(res.races_found, 1u);
+
+    const auto again = sim::replay(opts, res, inplace_update_body);
+    EXPECT_FALSE(again.ok);
+    EXPECT_EQ(again.kind, res.kind);
+    EXPECT_EQ(again.trace, res.trace);
+}
+
+// The fixed twin updates copy-on-write style, the way the real list does:
+// initialize the fresh node's payload *before* the release publication, so
+// the acquire traversal is ordered after it.
+void cow_update_body() {
+    std::array<OptNode, 2> pool{};
+    tamp::atomic<OptNode*> head{&pool[0]};
+    sim::thread writer([&] {
+        pool[1].value = 7;  // before publication: ordered by the release
+        head.store(&pool[1], std::memory_order_release);
+    });
+    sim::thread reader([&] {
+        OptNode* n = head.load(std::memory_order_acquire);
+        const int v = n->value;
+        sim::assert_always(v == 0 || v == 7, "unpublished payload");
+    });
+    writer.join();
+    reader.join();
+}
+
+TEST(SimBugs, CopyOnWriteListUpdatePassesExhaustively) {
+    sim::ExploreOptions opts;
+    const auto res = sim::explore(opts, cow_update_body);
+    EXPECT_TRUE(res.ok) << res.message;
+    EXPECT_TRUE(res.exhausted);
+    EXPECT_EQ(res.races_found, 0u);
+}
+
+// ===========================================================================
+// Bug 6 — TTAS lock with an unguarded acquisition statistic: the counter
+// is bumped just *after* the release store, i.e. outside the critical
+// section.  The next owner's acquire orders itself after the release, not
+// after what follows it, so two owners' bumps are unordered write/write —
+// the classic "it's just a stats counter" race.
+// ===========================================================================
+
+class CountingTTASLock {
+  public:
+    void lock() {
+        tamp::SpinWait w;
+        while (state_.exchange(true, std::memory_order_acquire)) {
+            while (state_.load(std::memory_order_relaxed)) w.spin();
+        }
+    }
+
+    void unlock_unguarded() {
+        state_.store(false, std::memory_order_release);
+        // BUG: read-modify-write of a plain counter after dropping the
+        // lock — unordered with the next owner's identical bump.
+        const std::uint64_t n = acquisitions_;
+        acquisitions_ = n + 1;
+    }
+
+    /// The fixed twin: bump while still inside the critical section, so
+    /// the lock's release/acquire chain totally orders the bumps.
+    void unlock_guarded() {
+        const std::uint64_t n = acquisitions_;
+        acquisitions_ = n + 1;
+        state_.store(false, std::memory_order_release);
+    }
+
+    std::uint64_t acquisitions() const { return acquisitions_; }
+
+  private:
+    tamp::atomic<bool> state_{false};
+    tamp::shared<std::uint64_t> acquisitions_{0};
+};
+
+void unguarded_stat_body() {
+    CountingTTASLock lk;
+    auto section = [&] {
+        lk.lock();
+        lk.unlock_unguarded();
+    };
+    sim::thread a(section);
+    sim::thread b(section);
+    a.join();
+    b.join();
+}
+
+TEST(SimBugs, TtasStatisticOutsideLockRaces) {
+    sim::ExploreOptions opts;
+    opts.print_on_failure = false;
+    const auto res = sim::explore(opts, unguarded_stat_body);
+    ASSERT_FALSE(res.ok) << "seeded race not found in "
+                         << res.executions << " executions";
+    EXPECT_EQ(res.kind, sim::ViolationKind::kRace) << res.message;
+    EXPECT_GE(res.races_found, 1u);
+
+    const auto again = sim::replay(opts, res, unguarded_stat_body);
+    EXPECT_FALSE(again.ok);
+    EXPECT_EQ(again.kind, res.kind);
+    EXPECT_EQ(again.trace, res.trace);
+}
+
+void guarded_stat_body() {
+    CountingTTASLock lk;
+    auto section = [&] {
+        lk.lock();
+        lk.unlock_guarded();
+    };
+    sim::thread a(section);
+    sim::thread b(section);
+    a.join();
+    b.join();
+    if (!sim::unwinding()) {
+        sim::assert_always(lk.acquisitions() == 2,
+                           "guarded statistic must count every acquisition");
+    }
+}
+
+TEST(SimBugs, TtasStatisticInsideLockPassesExhaustively) {
+    sim::ExploreOptions opts;
+    const auto res = sim::explore(opts, guarded_stat_body);
+    EXPECT_TRUE(res.ok) << res.message;
+    EXPECT_TRUE(res.exhausted);
+    EXPECT_EQ(res.races_found, 0u);
+}
+
 }  // namespace
 
 #endif  // TAMP_SIM

@@ -20,6 +20,7 @@
 #include "tamp/sim/atomic.hpp"
 #include "tamp/sim/config.hpp"
 #include "tamp/sim/hooks.hpp"
+#include "tamp/sim/shared.hpp"
 #include "tamp/sim/thread.hpp"
 
 #include <atomic>
@@ -51,6 +52,14 @@ static_assert(std::is_same_v<tamp::atomic_flag, std::atomic_flag>);
 static_assert(sizeof(tamp::atomic<int>) == sizeof(std::atomic<int>));
 static_assert(alignof(tamp::atomic<int>) == alignof(std::atomic<int>));
 static_assert(sizeof(tamp::atomic<Pair>) == sizeof(std::atomic<Pair>));
+
+// tamp::shared<T> deflates the same way: a pure alias for T, so a plain
+// shared field costs literally nothing when the sim is off.
+static_assert(std::is_same_v<tamp::shared<int>, int>);
+static_assert(std::is_same_v<tamp::shared<void*>, void*>);
+static_assert(std::is_same_v<tamp::shared<Pair>, Pair>);
+static_assert(sizeof(tamp::shared<Pair>) == sizeof(Pair));
+static_assert(alignof(tamp::shared<Pair>) == alignof(Pair));
 
 // The thread-shaped corner of the facade deflates the same way.
 static_assert(std::is_same_v<tamp::sim::thread, std::thread>);

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Custom atomics lint for the tamp codebase.
 
-Six rules, each encoding a convention the concurrent code is expected to
+Seven rules, each encoding a convention the concurrent code is expected to
 follow (see README "Correctness tooling"):
 
   cas-strong-loop      compare_exchange_strong inside a loop body or loop
@@ -41,6 +41,17 @@ follow (see README "Correctness tooling"):
                        reclaim/, check/, ...) are out of scope — the
                        scheduler itself and the infrastructure it rides on
                        must obviously stay on std::atomic.
+
+  plain-shared-member  a mutable scalar or pointer data member inside the
+                       facade-migrated families.  Objects of those classes
+                       are shared across threads, so every mutable member
+                       is either synchronized (tamp::atomic), a plain field
+                       whose cross-thread ordering the sim race detector
+                       should check (tamp::shared, tamp/sim/shared.hpp), or
+                       immutable (const).  A bare `int`/`Node*` member is
+                       invisible to the checker; lock-guarded fields that
+                       stay plain on purpose take the annotation with the
+                       guarding lock named in the surrounding comment.
 
   seqcst-store-reclaim a `.store(..., memory_order_seq_cst)` inside
                        src/tamp/reclaim/.  The reclamation read side runs
@@ -85,6 +96,10 @@ RULES = {
     "seqcst-store-reclaim": "seq_cst store on the reclamation read side; "
                             "the asymmetric-fence protocol wants a release "
                             "store (annotate deliberate fallback branches)",
+    "plain-shared-member": "mutable plain member in a facade-migrated "
+                           "family; use tamp::atomic, tamp::shared "
+                           "(tamp/sim/shared.hpp), or const — annotate "
+                           "lock-guarded fields, naming the lock",
 }
 
 # Directories (under src/tamp/) whose families have been migrated onto the
@@ -186,6 +201,55 @@ def strip_comments_and_strings(text):
 
 WORD_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_]*")
 
+# -- plain-shared-member helpers -------------------------------------------
+
+# Member types that are already synchronized, checked, or inert: these make
+# a declaration exempt wherever they appear in it.
+SYNCED_TYPE_RE = re.compile(
+    r"tamp::atomic|tamp::shared|std::atomic|atomic_flag|AtomicMarkedPtr|"
+    r"AtomicStampedIndex|std::mutex|std::condition_variable|std::vector|"
+    r"std::array|std::unique_ptr|std::chrono|Padded<")
+
+# Keywords that make the declaration not a mutable plain data member.
+EXEMPT_KEYWORDS = {"const", "constexpr", "static", "using", "typedef",
+                   "friend", "operator", "return", "template", "enum"}
+
+# The scalar shapes the rule cares about (beyond pointer declarators):
+# fundamental arithmetic types, the payload template parameter T, and the
+# NodeKind/Kind enum convention.
+PLAIN_SCALAR_RE = re.compile(
+    r"(?:^|\s)(?:bool|char|short|int|long|float|double|unsigned|signed|"
+    r"(?:std::)?size_t|(?:std::)?ptrdiff_t|(?:std::)?u?int(?:8|16|32|64)_t|"
+    r"(?:std::)?u?intptr_t|T|[A-Za-z_][A-Za-z0-9_]*Kind|Kind)\s*$")
+
+MEMBER_NAME_RE = re.compile(
+    r"([A-Za-z_][A-Za-z0-9_]*)\s*(?:\[[^\]]*\]\s*)?$")
+
+
+def plain_member_name(decl):
+    """If `decl` (one class-scope declaration, comments stripped, no
+    trailing ';') is a mutable plain scalar/pointer data member, return its
+    name; else None."""
+    d = re.sub(r"\b(?:public|private|protected)\s*:", " ", decl)
+    if "(" in d or "&" in d:
+        return None  # function, ctor, or reference member
+    words = set(WORD_RE.findall(d))
+    if words & EXEMPT_KEYWORDS:
+        return None
+    if SYNCED_TYPE_RE.search(d):
+        return None
+    d_noinit = re.split(r"[={]", d, 1)[0].strip()
+    m = MEMBER_NAME_RE.search(d_noinit)
+    if not m:
+        return None
+    name = m.group(1)
+    type_text = d_noinit[:m.start()].strip()
+    if not type_text:
+        return None
+    if "*" in type_text or PLAIN_SCALAR_RE.search(type_text):
+        return name
+    return None
+
 
 class Scope:
     __slots__ = ("kind",)
@@ -270,6 +334,7 @@ def scan_file(path, raw_text):
 
     i, n = 0, len(text)
     last_word = None
+    seg_start = 0  # start of the current class-scope declaration segment
     while i < n:
         c = text[i]
         if c.isalpha() or c == "_":
@@ -360,11 +425,24 @@ def scan_file(path, raw_text):
             else:
                 class_ids.append(-1)
             pending = None
+            seg_start = i + 1
         elif c == "}":
             if scopes:
                 scopes.pop()
                 class_ids.pop()
+            seg_start = i + 1
         elif c == ";":
+            if raw_atomic_scope and scopes and scopes[-1].kind == "class":
+                decl = text[seg_start:i]
+                name = plain_member_name(decl)
+                if name is not None:
+                    off = seg_start + decl.rfind(name)
+                    findings.append((line_of(text, off, line_starts),
+                                     "plain-shared-member",
+                                     "member '%s' %s" % (
+                                         name,
+                                         RULES["plain-shared-member"])))
+            seg_start = i + 1
             # `class Foo;` forward declaration: drop the pending tag.
             if pending == "class":
                 pending = None
@@ -500,6 +578,53 @@ SELF_TEST_CASES = [
      "inline void pub(std::atomic<int>& flag) {\n"
      "    flag.store(1, std::memory_order_seq_cst);\n"
      "}\n",
+     set()),
+
+    # Plain scalar and pointer members in a facade family: both fire,
+    # including inside a nested node struct.
+    ("src/tamp/stacks/plain.hpp",
+     "class S {\n"
+     "    struct Node {\n"
+     "        int value;\n"
+     "        Node* next;\n"
+     "    };\n"
+     "    std::size_t used_ = 0;\n"
+     "};\n",
+     {(3, "plain-shared-member"), (4, "plain-shared-member"),
+      (6, "plain-shared-member")}),
+
+    # The sanctioned forms: tamp::shared, tamp::atomic, const, containers,
+    # mutexes — all clean.
+    ("src/tamp/lists/clean.hpp",
+     "#include \"tamp/sim/shared.hpp\"\n"
+     "class L {\n"
+     "    struct Node {\n"
+     "        const int key;\n"
+     "        tamp::shared<int> value{};\n"
+     "        tamp::atomic<Node*> next{nullptr};\n"
+     "    };\n"
+     "    std::mutex mu_;\n"
+     "    std::vector<int> slots_;\n"
+     "    Node* const head_ = nullptr;\n"
+     "    void step() { int local = 0; local++; }\n"
+     "};\n",
+     set()),
+
+    # The annotated escape hatch: a lock-guarded plain field may stay
+    # plain when the comment names its guard.
+    ("src/tamp/queues/guarded.hpp",
+     "class Q {\n"
+     "    std::mutex mu_;  // guards tail_\n"
+     "    Node* tail_;  // tamp-lint: allow(plain-shared-member)\n"
+     "};\n",
+     set()),
+
+    # Out of facade scope: plain members elsewhere are fine.
+    ("src/tamp/core/plain_ok.hpp",
+     "class C {\n"
+     "    int v_ = 0;\n"
+     "    Node* n_ = nullptr;\n"
+     "};\n",
      set()),
 ]
 
