@@ -21,6 +21,7 @@ template <typename C, typename... Args>
 void counter_loop(benchmark::State& state, Args&&... args) {
     Shared<C>::setup(state, std::forward<Args>(args)...);
     tamp_bench::counters_begin(state);
+    tamp_bench::latency_begin(state);
     for (auto _ : state) {
         benchmark::DoNotOptimize(
             Shared<C>::instance->get_and_increment());
@@ -28,6 +29,7 @@ void counter_loop(benchmark::State& state, Args&&... args) {
     state.SetItemsProcessed(state.iterations());
     Shared<C>::teardown(state);
     tamp_bench::counters_publish(state);
+    tamp_bench::latency_publish(state);
 }
 
 void BM_SingleCounter(benchmark::State& s) { counter_loop<SingleCounter>(s); }

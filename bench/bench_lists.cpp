@@ -30,6 +30,7 @@ void set_mix(benchmark::State& state, int contains_pct, int add_pct) {
     }
     auto rng = tamp_bench::bench_rng(state);
     tamp_bench::counters_begin(state);
+    tamp_bench::latency_begin(state);
     for (auto _ : state) {
         Set& set = *Shared<Set>::instance;
         const int v = static_cast<int>(rng.next_below(kKeyRange));
@@ -47,6 +48,7 @@ void set_mix(benchmark::State& state, int contains_pct, int add_pct) {
     state.SetItemsProcessed(state.iterations());
     Shared<Set>::teardown(state);
     tamp_bench::counters_publish(state);
+    tamp_bench::latency_publish(state);
 }
 
 template <typename Set>

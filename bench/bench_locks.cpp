@@ -29,7 +29,12 @@ void lock_loop(benchmark::State& state) {
     Shared<Lock>::setup(state);
     Shared<Protected>::setup(state);
     tamp_bench::counters_begin(state);
+    tamp_bench::latency_begin(state);
     for (auto _ : state) {
+        // Whole-op (acquire + critical section + release) latency, so
+        // every series — std::mutex included — gets a tail distribution;
+        // the spin locks additionally record spin.acquire_ns internally.
+        obs::scoped_timer<obs::ev::bench_op_ns> op_latency;
         Lock& lock = *Shared<Lock>::instance;
         lock.lock();
         benchmark::DoNotOptimize(++Shared<Protected>::instance->counter);
@@ -39,6 +44,7 @@ void lock_loop(benchmark::State& state) {
     Shared<Protected>::teardown(state);
     Shared<Lock>::teardown(state);
     tamp_bench::counters_publish(state);
+    tamp_bench::latency_publish(state, "bench.op_ns");
 }
 
 void BM_TASLock(benchmark::State& s) { lock_loop<TASLock>(s); }

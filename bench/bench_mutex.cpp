@@ -26,6 +26,7 @@ void slotted_lock_loop(benchmark::State& state) {
     const auto me = static_cast<std::size_t>(state.thread_index());
     Shared<Protected>::setup(state);
     tamp_bench::counters_begin(state);
+    tamp_bench::latency_begin(state);
     for (auto _ : state) {
         Lock& lock = *Shared<Lock>::instance;
         lock.lock(me);
@@ -35,6 +36,7 @@ void slotted_lock_loop(benchmark::State& state) {
     state.SetItemsProcessed(state.iterations());
     Shared<Protected>::teardown(state);
     tamp_bench::counters_publish(state);
+    tamp_bench::latency_publish(state);
 }
 
 void BM_Peterson(benchmark::State& state) {

@@ -30,6 +30,7 @@ void pq_loop(benchmark::State& state, AddFn add, TakeFn take,
     }
     auto rng = tamp_bench::bench_rng(state);
     tamp_bench::counters_begin(state);
+    tamp_bench::latency_begin(state);
     for (auto _ : state) {
         Q& q = *Shared<Q>::instance;
         add(q, 7, rng.next_below(kRange));
@@ -39,6 +40,7 @@ void pq_loop(benchmark::State& state, AddFn add, TakeFn take,
     state.SetItemsProcessed(state.iterations());
     Shared<Q>::teardown(state);
     tamp_bench::counters_publish(state);
+    tamp_bench::latency_publish(state);
 }
 
 void BM_LinearArrayPQ(benchmark::State& s) {

@@ -23,6 +23,7 @@ template <typename Q, typename... Args>
 void pairs_loop(benchmark::State& state, Args&&... args) {
     Shared<Q>::setup(state, std::forward<Args>(args)...);
     tamp_bench::counters_begin(state);
+    tamp_bench::latency_begin(state);
     for (auto _ : state) {
         Q& q = *Shared<Q>::instance;
         q.enqueue(42);
@@ -32,6 +33,7 @@ void pairs_loop(benchmark::State& state, Args&&... args) {
     state.SetItemsProcessed(state.iterations());
     Shared<Q>::teardown(state);
     tamp_bench::counters_publish(state);
+    tamp_bench::latency_publish(state);
 }
 
 void BM_BoundedQueue(benchmark::State& s) {

@@ -31,6 +31,7 @@ struct SharedBox {
 void BM_ReadUnprotected(benchmark::State& state) {
     Shared<SharedBox>::setup(state);
     tamp_bench::counters_begin(state);
+    tamp_bench::latency_begin(state);
     for (auto _ : state) {
         Box* b = Shared<SharedBox>::instance->ptr.load(
             std::memory_order_acquire);
@@ -39,11 +40,13 @@ void BM_ReadUnprotected(benchmark::State& state) {
     state.SetItemsProcessed(state.iterations());
     Shared<SharedBox>::teardown(state);
     tamp_bench::counters_publish(state);
+    tamp_bench::latency_publish(state);
 }
 
 void BM_ReadHazardProtected(benchmark::State& state) {
     Shared<SharedBox>::setup(state);
     tamp_bench::counters_begin(state);
+    tamp_bench::latency_begin(state);
     for (auto _ : state) {
         HazardSlot<Box> hp;
         Box* b = hp.protect(Shared<SharedBox>::instance->ptr);
@@ -52,6 +55,7 @@ void BM_ReadHazardProtected(benchmark::State& state) {
     state.SetItemsProcessed(state.iterations());
     Shared<SharedBox>::teardown(state);
     tamp_bench::counters_publish(state);
+    tamp_bench::latency_publish(state);
 }
 
 void BM_ReadHazardSlotReused(benchmark::State& state) {
@@ -60,6 +64,7 @@ void BM_ReadHazardSlotReused(benchmark::State& state) {
     Shared<SharedBox>::setup(state);
     HazardSlot<Box> hp;
     tamp_bench::counters_begin(state);
+    tamp_bench::latency_begin(state);
     for (auto _ : state) {
         Box* b = hp.protect(Shared<SharedBox>::instance->ptr);
         benchmark::DoNotOptimize(b->payload);
@@ -67,11 +72,13 @@ void BM_ReadHazardSlotReused(benchmark::State& state) {
     state.SetItemsProcessed(state.iterations());
     Shared<SharedBox>::teardown(state);
     tamp_bench::counters_publish(state);
+    tamp_bench::latency_publish(state);
 }
 
 void BM_ReadEpochPinned(benchmark::State& state) {
     Shared<SharedBox>::setup(state);
     tamp_bench::counters_begin(state);
+    tamp_bench::latency_begin(state);
     for (auto _ : state) {
         EpochGuard g;
         Box* b = Shared<SharedBox>::instance->ptr.load(
@@ -81,6 +88,7 @@ void BM_ReadEpochPinned(benchmark::State& state) {
     state.SetItemsProcessed(state.iterations());
     Shared<SharedBox>::teardown(state);
     tamp_bench::counters_publish(state);
+    tamp_bench::latency_publish(state);
 }
 
 TAMP_BENCH_THREADS(BM_ReadUnprotected);
@@ -90,6 +98,7 @@ TAMP_BENCH_THREADS(BM_ReadEpochPinned);
 
 void BM_ChurnHazardRetire(benchmark::State& state) {
     tamp_bench::counters_begin(state);
+    tamp_bench::latency_begin(state);
     for (auto _ : state) {
         hazard_retire(new Box());
     }
@@ -97,9 +106,11 @@ void BM_ChurnHazardRetire(benchmark::State& state) {
     if (state.thread_index() == 0) HazardDomain::global().drain();
     state.SetItemsProcessed(state.iterations());
     tamp_bench::counters_publish(state);
+    tamp_bench::latency_publish(state);
 }
 void BM_ChurnEpochRetire(benchmark::State& state) {
     tamp_bench::counters_begin(state);
+    tamp_bench::latency_begin(state);
     for (auto _ : state) {
         EpochGuard g;
         epoch_retire(new Box());
@@ -108,6 +119,7 @@ void BM_ChurnEpochRetire(benchmark::State& state) {
     if (state.thread_index() == 0) EpochDomain::global().drain();
     state.SetItemsProcessed(state.iterations());
     tamp_bench::counters_publish(state);
+    tamp_bench::latency_publish(state);
 }
 void BM_ChurnPlainDelete(benchmark::State& state) {
     for (auto _ : state) {

@@ -25,6 +25,7 @@ void rw_mix(benchmark::State& state, int read_pct) {
     Shared<Data>::setup(state);
     auto rng = tamp_bench::bench_rng(state);
     tamp_bench::counters_begin(state);
+    tamp_bench::latency_begin(state);
     for (auto _ : state) {
         RW& rw = *Shared<RW>::instance;
         if (static_cast<int>(rng.next_below(100)) < read_pct) {
@@ -39,6 +40,7 @@ void rw_mix(benchmark::State& state, int read_pct) {
     Shared<Data>::teardown(state);
     Shared<RW>::teardown(state);
     tamp_bench::counters_publish(state);
+    tamp_bench::latency_publish(state);
 }
 
 void mutex_mix(benchmark::State& state, int read_pct) {

@@ -17,6 +17,7 @@ template <typename S, typename... Args>
 void pairs_loop(benchmark::State& state, Args&&... args) {
     Shared<S>::setup(state, std::forward<Args>(args)...);
     tamp_bench::counters_begin(state);
+    tamp_bench::latency_begin(state);
     for (auto _ : state) {
         S& stack = *Shared<S>::instance;
         stack.push(42);
@@ -26,6 +27,7 @@ void pairs_loop(benchmark::State& state, Args&&... args) {
     state.SetItemsProcessed(state.iterations());
     Shared<S>::teardown(state);
     tamp_bench::counters_publish(state);
+    tamp_bench::latency_publish(state);
 }
 
 void BM_TreiberStack(benchmark::State& s) {

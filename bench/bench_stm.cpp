@@ -30,6 +30,7 @@ void BM_Tl2Transfers(benchmark::State& state) {
     Shared<Bank>::setup(state, n_accounts);
     auto rng = tamp_bench::bench_rng(state);
     tamp_bench::counters_begin(state);
+    tamp_bench::latency_begin(state);
     for (auto _ : state) {
         Bank& bank = *Shared<Bank>::instance;
         const auto from = rng.next_below(static_cast<std::uint32_t>(n_accounts));
@@ -45,6 +46,7 @@ void BM_Tl2Transfers(benchmark::State& state) {
     state.SetItemsProcessed(state.iterations());
     Shared<Bank>::teardown(state);
     tamp_bench::counters_publish(state);
+    tamp_bench::latency_publish(state);
 }
 
 void BM_GlobalLockTransfers(benchmark::State& state) {
@@ -52,6 +54,7 @@ void BM_GlobalLockTransfers(benchmark::State& state) {
     Shared<Bank>::setup(state, n_accounts);
     auto rng = tamp_bench::bench_rng(state);
     tamp_bench::counters_begin(state);
+    tamp_bench::latency_begin(state);
     for (auto _ : state) {
         Bank& bank = *Shared<Bank>::instance;
         const auto from = rng.next_below(static_cast<std::uint32_t>(n_accounts));
@@ -67,6 +70,7 @@ void BM_GlobalLockTransfers(benchmark::State& state) {
     state.SetItemsProcessed(state.iterations());
     Shared<Bank>::teardown(state);
     tamp_bench::counters_publish(state);
+    tamp_bench::latency_publish(state);
 }
 
 struct OFreeBank {
@@ -79,6 +83,7 @@ void BM_OFreeTransfers(benchmark::State& state) {
     Shared<OFreeBank>::setup(state, n_accounts);
     auto rng = tamp_bench::bench_rng(state);
     tamp_bench::counters_begin(state);
+    tamp_bench::latency_begin(state);
     for (auto _ : state) {
         OFreeBank& bank = *Shared<OFreeBank>::instance;
         const auto from = rng.next_below(static_cast<std::uint32_t>(n_accounts));
@@ -94,6 +99,7 @@ void BM_OFreeTransfers(benchmark::State& state) {
     state.SetItemsProcessed(state.iterations());
     Shared<OFreeBank>::teardown(state);
     tamp_bench::counters_publish(state);
+    tamp_bench::latency_publish(state);
 }
 
 #define TAMP_STM_CASES(name)                                             \
@@ -114,6 +120,7 @@ TAMP_STM_CASES(BM_OFreeTransfers);
 void BM_Tl2ReadOnlySum(benchmark::State& state) {
     Shared<Bank>::setup(state, std::size_t{256});
     tamp_bench::counters_begin(state);
+    tamp_bench::latency_begin(state);
     for (auto _ : state) {
         Bank& bank = *Shared<Bank>::instance;
         const long total = atomically([&](Transaction& tx) {
@@ -128,10 +135,12 @@ void BM_Tl2ReadOnlySum(benchmark::State& state) {
     state.SetItemsProcessed(state.iterations());
     Shared<Bank>::teardown(state);
     tamp_bench::counters_publish(state);
+    tamp_bench::latency_publish(state);
 }
 void BM_GlobalLockReadOnlySum(benchmark::State& state) {
     Shared<Bank>::setup(state, std::size_t{256});
     tamp_bench::counters_begin(state);
+    tamp_bench::latency_begin(state);
     for (auto _ : state) {
         Bank& bank = *Shared<Bank>::instance;
         const long total =
@@ -147,6 +156,7 @@ void BM_GlobalLockReadOnlySum(benchmark::State& state) {
     state.SetItemsProcessed(state.iterations());
     Shared<Bank>::teardown(state);
     tamp_bench::counters_publish(state);
+    tamp_bench::latency_publish(state);
 }
 BENCHMARK(BM_Tl2ReadOnlySum)->Threads(1)->Threads(4)->UseRealTime();
 BENCHMARK(BM_GlobalLockReadOnlySum)->Threads(1)->Threads(4)->UseRealTime();

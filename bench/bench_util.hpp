@@ -29,6 +29,8 @@
 
 #include "tamp/core/random.hpp"
 #include "tamp/obs/counter.hpp"
+#include "tamp/obs/histogram.hpp"
+#include "tamp/obs/timer.hpp"
 
 namespace tamp_bench {
 
@@ -129,6 +131,12 @@ inline std::map<std::string, std::uint64_t>& counter_baseline() {
     static std::map<std::string, std::uint64_t> m;
     return m;
 }
+
+/// Histogram baseline for the current benchmark run (thread 0 only).
+inline std::map<std::string, tamp::obs::hist_sample>& hist_baseline() {
+    static std::map<std::string, tamp::obs::hist_sample> m;
+    return m;
+}
 }  // namespace detail
 
 /// Latch the tamp::obs counter baseline.  Call on every thread after
@@ -169,6 +177,69 @@ inline void counters_publish(benchmark::State& state) {
                 static_cast<double>(v);
         }
     }
+}
+
+/// Latch the tamp::obs histogram baseline.  Same calling convention as
+/// counters_begin(): every thread calls it after setup, thread 0 does the
+/// snapshot.  With TAMP_STATS off the registry is empty and this no-ops.
+inline void latency_begin(const benchmark::State& state) {
+    if (state.thread_index() != 0) return;
+    auto& base = detail::hist_baseline();
+    base.clear();
+    for (auto& h : tamp::obs::hist_snapshot()) base[h.name] = std::move(h);
+}
+
+/// Publish merged tail-latency percentiles for this run as `tamp.p50`,
+/// `tamp.p90`, `tamp.p99`, `tamp.p999`, `tamp.pmax` and `tamp.lat_samples`
+/// (all latencies in ns).  Call after the teardown barrier, like
+/// counters_publish(), so the merge sees every worker's records.
+///
+/// The published series comes from ONE histogram — `preferred` if it
+/// recorded samples during this run, otherwise whichever histogram
+/// recorded the most — because averaging unrelated latency distributions
+/// (lock acquires vs epoch collects) would mean nothing.  Histograms are
+/// process-lifetime accumulators, so the per-run view is the bucket-wise
+/// delta against the latency_begin() baseline; `max` cannot be
+/// differenced, so the run max is the delta's top occupied bucket bound
+/// clamped by the absolute tracked max (pessimistic, never under-reports).
+inline void latency_publish(benchmark::State& state,
+                            const char* preferred = nullptr) {
+    if (state.thread_index() != 0) return;
+    const auto& base = detail::hist_baseline();
+    tamp::obs::hist_sample best;  // delta with the most samples
+    tamp::obs::hist_sample pref;  // delta for `preferred`, if it moved
+    for (const auto& h : tamp::obs::hist_snapshot()) {
+        tamp::obs::hist_sample delta = h;
+        if (const auto it = base.find(h.name); it != base.end()) {
+            delta.count -= it->second.count;
+            for (std::size_t i = 0; i < delta.counts.size(); ++i) {
+                delta.counts[i] -= it->second.counts[i];
+            }
+        }
+        if (delta.count == 0) continue;
+        if (preferred != nullptr && delta.name != nullptr &&
+            std::string(delta.name) == preferred) {
+            pref = delta;
+        }
+        if (delta.count > best.count) best = std::move(delta);
+    }
+    const tamp::obs::hist_sample& chosen = pref.count != 0 ? pref : best;
+    if (chosen.count == 0) return;  // stats off, or nothing recorded
+    const tamp::obs::hist_percentiles p =
+        tamp::obs::extract_percentiles(chosen);
+    // Mark runs whose percentiles came from the benchmark's own declared
+    // op-latency timer: those are a stable series the regression gate may
+    // compare across runs.  Fallback-mode percentiles (largest mover —
+    // often an amortized maintenance path like a hazard scan, and not
+    // necessarily the *same* histogram in both runs) are attribution
+    // diagnostics, and bench_report.py reports but does not gate them.
+    if (&chosen == &pref) state.counters["tamp.lat_primary"] = 1.0;
+    state.counters["tamp.p50"] = static_cast<double>(p.p50);
+    state.counters["tamp.p90"] = static_cast<double>(p.p90);
+    state.counters["tamp.p99"] = static_cast<double>(p.p99);
+    state.counters["tamp.p999"] = static_cast<double>(p.p999);
+    state.counters["tamp.pmax"] = static_cast<double>(p.max);
+    state.counters["tamp.lat_samples"] = static_cast<double>(p.count);
 }
 
 }  // namespace tamp_bench

@@ -25,6 +25,7 @@
 #include "tamp/lists/keyed.hpp"
 #include "tamp/obs/counter.hpp"
 #include "tamp/obs/events.hpp"
+#include "tamp/obs/timer.hpp"
 #include "tamp/reclaim/epoch.hpp"
 
 namespace tamp {
@@ -58,6 +59,8 @@ class LockFreeListSet {
     LockFreeListSet& operator=(const LockFreeListSet&) = delete;
 
     bool add(const T& v) {
+        // Sampled (1-in-16) so the probe cost amortizes below the op cost.
+        obs::scoped_timer<obs::ev::list_op_ns, 4> op_latency;
         const std::uint64_t key = KeyOf{}(v);
         EpochGuard guard;
         while (true) {
@@ -78,6 +81,7 @@ class LockFreeListSet {
     }
 
     bool remove(const T& v) {
+        obs::scoped_timer<obs::ev::list_op_ns, 4> op_latency;  // sampled
         const std::uint64_t key = KeyOf{}(v);
         EpochGuard guard;
         while (true) {
@@ -105,6 +109,7 @@ class LockFreeListSet {
 
     /// Wait-free membership test (Fig. 9.27).
     bool contains(const T& v) {
+        obs::scoped_timer<obs::ev::list_op_ns, 4> op_latency;  // sampled
         const std::uint64_t key = KeyOf{}(v);
         EpochGuard guard;
         Node* curr = head_;

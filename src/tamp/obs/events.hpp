@@ -13,6 +13,14 @@
 // Counter names are dotted lowercase and become `tamp.<name>` keys in
 // google-benchmark output and BENCH_<family>.json (tools/bench_report.py),
 // so renaming one is a telemetry schema change — add, don't rename.
+//
+// Latency histogram tags (obs/histogram.hpp, fed by obs/timer.hpp) live
+// here too, named `<path>_ns`: the values are nanoseconds and the
+// benchmark harness turns the primary histogram of a run into
+// `tamp.p50/p90/p99/p999` keys (bench/bench_util.hpp latency_publish).
+// This file is the whole telemetry schema — tools/lint_atomics.py's
+// obs-tag-registered rule rejects counter/histogram instantiations whose
+// tag is not declared below.
 
 #pragma once
 
@@ -128,6 +136,59 @@ struct stm_aborts_version {  // commit-time read-set version check failed
 };
 struct stm_aborts_rival {  // obstruction-free: a rival aborted us
     static constexpr const char* name = "stm.aborts.rival";
+};
+
+// ======================= latency histograms (values in nanoseconds) =====
+
+// --- lock acquire latency (spin/ family: TAS, TTAS, backoff, ALock, CLH,
+// --- MCS, HCLH, TOLock, HBO, composite) ---------------------------------
+struct spin_acquire_ns {  // lock() entry -> acquisition complete
+    static constexpr const char* name = "spin.acquire_ns";
+};
+
+// --- reclamation pause latency ------------------------------------------
+struct hp_scan_ns {  // one HazardDomain::scan(): the reclaim "stall"
+    static constexpr const char* name = "hp.scan_ns";
+};
+struct epoch_collect_ns {  // one EpochDomain::collect()
+    static constexpr const char* name = "epoch.collect_ns";
+};
+
+// --- lock-free op latency (sampled 1/16 — see obs/timer.hpp) ------------
+struct msq_enq_ns {
+    static constexpr const char* name = "msq.enq_ns";
+};
+struct msq_deq_ns {
+    static constexpr const char* name = "msq.deq_ns";
+};
+struct list_op_ns {  // Harris–Michael add/remove/contains, one histogram
+    static constexpr const char* name = "list.op_ns";
+};
+
+// --- STM attempt latency, split by outcome ------------------------------
+// commit_ns is begin -> successful commit; the abort.* histograms record
+// begin -> abort (the work thrown away before the retry; the backoff
+// between abort and retry shows up in backoff.units, which is how a tail
+// sample gets attributed to the contention manager).
+struct stm_commit_ns {
+    static constexpr const char* name = "stm.commit_ns";
+};
+struct stm_abort_validation_ns {
+    static constexpr const char* name = "stm.abort.validation_ns";
+};
+struct stm_abort_lock_ns {
+    static constexpr const char* name = "stm.abort.lock_ns";
+};
+struct stm_abort_version_ns {
+    static constexpr const char* name = "stm.abort.version_ns";
+};
+struct stm_abort_rival_ns {
+    static constexpr const char* name = "stm.abort.rival_ns";
+};
+
+// --- benchmark harness --------------------------------------------------
+struct bench_op_ns {  // one timed benchmark iteration (bench_util.hpp)
+    static constexpr const char* name = "bench.op_ns";
 };
 
 }  // namespace tamp::obs::ev

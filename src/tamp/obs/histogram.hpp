@@ -1,0 +1,335 @@
+// tamp/obs/histogram.hpp
+//
+// Per-thread, lock-free, fixed-footprint latency histograms — the tail-
+// latency tier of tamp::obs.  Perfbook's statistical-counter design
+// (counter.hpp) extends from sums to distributions: each registered thread
+// owns a private block of buckets it updates with relaxed non-RMW stores,
+// and a reader merges all blocks into one distribution whose percentiles
+// (p50/p90/p99/p999/max) are exact once writers quiesce.
+//
+// Bucketing is HDR-histogram style, log2 major × linear minor:
+//
+//  * values below kHistSubBuckets are recorded exactly (one bucket each);
+//  * above that, a value with floor(log2) == m lands in one of
+//    kHistSubBuckets linear sub-buckets spanning [2^m, 2^(m+1)), so the
+//    relative quantization error is bounded by 1/kHistSubBuckets (~6%)
+//    across the whole range — constant memory, no dynamic resizing, no
+//    per-record allocation;
+//  * values at or above 2^(kHistMaxMajor+1) clamp into the top bucket; the
+//    exact per-thread maximum is tracked separately, so `max` (and the
+//    representative of the overflow bucket) never lies.
+//
+// Percentile extraction is pessimistic: a quantile is reported as the
+// *upper* bound of the bucket containing it (clamped to the observed max),
+// so a reported p999 is never below the true p999 — the right bias for a
+// regression gate.
+//
+// The contract mirrors counter<Tag> exactly (see config.hpp for the ODR
+// rules): histogram<Tag> is pure tag dispatch, self-registers in a global
+// macro-independent registry on first use, is swept by hist_snapshot(),
+// and compiles to an empty type with constexpr no-op members when
+// TAMP_STATS is OFF.  Values are nanoseconds by convention (tag names end
+// in `_ns`); obs/timer.hpp provides the calibrated tick source.
+
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "tamp/core/cacheline.hpp"
+#include "tamp/core/thread_registry.hpp"
+#include "tamp/obs/config.hpp"
+#include "tamp/obs/counter.hpp"  // detail::sweep_bound
+
+namespace tamp::obs {
+
+// ----------------------------------------------------------- bucket math
+//
+// Macro-independent constexpr functions: the layout is part of the
+// telemetry schema and is unit-tested exactly (tests/obs_test.cpp).
+
+/// log2 of the linear sub-bucket count per power-of-two major bucket.
+inline constexpr std::size_t kHistSubBucketBits = 4;
+inline constexpr std::size_t kHistSubBuckets = std::size_t{1}
+                                               << kHistSubBucketBits;
+
+/// Highest fully resolved major: values in [2^40, 2^41) still get linear
+/// sub-buckets; anything >= 2^41 ns (~36 minutes) clamps to the top
+/// bucket.  Far beyond any latency this library can legitimately produce.
+inline constexpr std::size_t kHistMaxMajor = 40;
+
+inline constexpr std::size_t kHistBuckets =
+    kHistSubBuckets +
+    (kHistMaxMajor - kHistSubBucketBits + 1) * kHistSubBuckets;
+
+/// Bucket index for a value.  Exact below kHistSubBuckets, <=1/16 relative
+/// error above.
+constexpr std::size_t hist_bucket_index(std::uint64_t v) noexcept {
+    if (v < kHistSubBuckets) return static_cast<std::size_t>(v);
+    std::size_t major = static_cast<std::size_t>(std::bit_width(v)) - 1;
+    if (major > kHistMaxMajor) return kHistBuckets - 1;  // clamp overflow
+    const std::size_t shift = major - kHistSubBucketBits;
+    const std::size_t minor =
+        static_cast<std::size_t>(v >> shift) - kHistSubBuckets;
+    return kHistSubBuckets +
+           (major - kHistSubBucketBits) * kHistSubBuckets + minor;
+}
+
+/// Smallest value mapping to bucket `i`.
+constexpr std::uint64_t hist_bucket_low(std::size_t i) noexcept {
+    if (i < kHistSubBuckets) return i;
+    const std::size_t b = i - kHistSubBuckets;
+    const std::size_t major = kHistSubBucketBits + b / kHistSubBuckets;
+    const std::size_t minor = b % kHistSubBuckets;
+    return static_cast<std::uint64_t>(kHistSubBuckets + minor)
+           << (major - kHistSubBucketBits);
+}
+
+/// Largest value mapping to bucket `i` (the top bucket also absorbs
+/// clamped overflow values; its true maximum is the tracked max).
+constexpr std::uint64_t hist_bucket_high(std::size_t i) noexcept {
+    if (i < kHistSubBuckets) return i;
+    const std::size_t b = i - kHistSubBuckets;
+    const std::size_t major = kHistSubBucketBits + b / kHistSubBuckets;
+    return hist_bucket_low(i) +
+           ((std::uint64_t{1} << (major - kHistSubBucketBits)) - 1);
+}
+
+// ------------------------------------------------------ snapshot/registry
+
+/// Registry node, one per histogram type ever touched in this process.
+/// Lives in the histogram's (leaked) slot block; never freed.
+struct histogram_info {
+    const char* name;
+    /// Adds this histogram's merged per-thread counts into `counts`
+    /// (kHistBuckets entries) and maxes `max` with the observed maximum.
+    void (*merge)(std::uint64_t* counts, std::uint64_t* max);
+    histogram_info* next;
+};
+
+namespace detail {
+
+/// Head of the histogram registry.  Macro-independent on purpose, exactly
+/// like counter_registry_head() (see config.hpp).
+inline std::atomic<histogram_info*>& histogram_registry_head() noexcept {
+    static std::atomic<histogram_info*> head{nullptr};
+    return head;
+}
+
+inline void register_histogram(histogram_info* info) noexcept {
+    auto& head = histogram_registry_head();
+    histogram_info* h = head.load(std::memory_order_acquire);
+    do {
+        info->next = h;
+    } while (!head.compare_exchange_weak(h, info, std::memory_order_acq_rel,
+                                         std::memory_order_acquire));
+}
+
+}  // namespace detail
+
+/// One merged histogram, as returned by hist_snapshot().
+struct hist_sample {
+    const char* name = nullptr;
+    std::uint64_t count = 0;  // total recorded samples (sum of counts)
+    std::uint64_t max = 0;    // exact observed maximum value
+    std::vector<std::uint64_t> counts;  // kHistBuckets entries
+};
+
+/// The merged percentile set the bench pipeline publishes.  Values carry
+/// the histogram's unit (nanoseconds for the library's `_ns` tags).
+struct hist_percentiles {
+    std::uint64_t p50 = 0;
+    std::uint64_t p90 = 0;
+    std::uint64_t p99 = 0;
+    std::uint64_t p999 = 0;
+    std::uint64_t max = 0;
+    std::uint64_t count = 0;
+};
+
+/// Value at quantile `q` (0 < q <= 1) of a merged bucket array:
+/// upper bound of the bucket holding the rank-ceil(q*count) sample,
+/// clamped to the exact observed max.  0 when empty.
+inline std::uint64_t hist_value_at(const std::uint64_t* counts,
+                                   std::uint64_t count, double q,
+                                   std::uint64_t max) noexcept {
+    if (count == 0) return 0;
+    std::uint64_t rank = static_cast<std::uint64_t>(q * count);
+    if (static_cast<double>(rank) < q * count) ++rank;  // ceil
+    if (rank == 0) rank = 1;
+    std::uint64_t cum = 0;
+    for (std::size_t i = 0; i < kHistBuckets; ++i) {
+        cum += counts[i];
+        if (cum >= rank) {
+            return std::min(hist_bucket_high(i), max);
+        }
+    }
+    return max;  // unreachable unless counts/count disagree
+}
+
+inline hist_percentiles extract_percentiles(const std::uint64_t* counts,
+                                            std::uint64_t count,
+                                            std::uint64_t max) noexcept {
+    hist_percentiles p;
+    p.count = count;
+    // Top occupied bucket's bound, clamped by the tracked max: exact when
+    // `counts` is a full sweep (max lives in the top bucket), and a
+    // pessimistic-correct bound when `counts` is a baseline-subtracted
+    // delta whose tracked max may predate the window.
+    p.max = hist_value_at(counts, count, 1.0, max);
+    p.p50 = hist_value_at(counts, count, 0.50, max);
+    p.p90 = hist_value_at(counts, count, 0.90, max);
+    p.p99 = hist_value_at(counts, count, 0.99, max);
+    p.p999 = hist_value_at(counts, count, 0.999, max);
+    return p;
+}
+
+inline hist_percentiles extract_percentiles(const hist_sample& s) noexcept {
+    return extract_percentiles(s.counts.data(), s.count, s.max);
+}
+
+#if TAMP_STATS
+
+/// A per-thread latency histogram.  `Tag` provides
+/// `static constexpr const char* name`; all members are static — the
+/// class is pure tag dispatch, like counter<Tag>.
+template <typename Tag>
+class histogram {
+  public:
+    using backend = stats_enabled_backend;
+
+    /// Owner-thread record: bucket the value and bump that bucket with a
+    /// relaxed load+store on this thread's private block (no RMW, no
+    /// shared-line traffic — the perfbook update protocol).
+    static void record(std::uint64_t v) noexcept {
+        Cell& c = cell();
+        std::atomic<std::uint64_t>& b = c.counts[hist_bucket_index(v)];
+        b.store(b.load(std::memory_order_relaxed) + 1,
+                std::memory_order_relaxed);
+        if (v > c.max.load(std::memory_order_relaxed)) {
+            c.max.store(v, std::memory_order_relaxed);
+        }
+    }
+
+    /// Reader-side sweep: add every thread's buckets into `counts` and
+    /// max `max`.  Exact once writers quiesce; a live sweep may lag
+    /// in-flight records but never tears a bucket.
+    static void merge_into(std::uint64_t* counts,
+                           std::uint64_t* max) noexcept {
+        Slots& s = slots();
+        const std::size_t bound = detail::sweep_bound();
+        for (std::size_t t = 0; t < bound; ++t) {
+            const Cell* c = s.cells[t].load(std::memory_order_acquire);
+            if (c == nullptr) continue;
+            for (std::size_t i = 0; i < kHistBuckets; ++i) {
+                counts[i] += c->counts[i].load(std::memory_order_relaxed);
+            }
+            *max = std::max(*max, c->max.load(std::memory_order_relaxed));
+        }
+    }
+
+    /// Total recorded samples across threads.
+    static std::uint64_t count() noexcept {
+        std::uint64_t counts[kHistBuckets] = {};
+        std::uint64_t max = 0;
+        merge_into(counts, &max);
+        std::uint64_t n = 0;
+        for (std::uint64_t c : counts) n += c;
+        return n;
+    }
+
+    /// Merged percentile extraction from the sharded snapshot.
+    static hist_percentiles percentiles() noexcept {
+        std::uint64_t counts[kHistBuckets] = {};
+        std::uint64_t max = 0;
+        merge_into(counts, &max);
+        std::uint64_t n = 0;
+        for (std::uint64_t c : counts) n += c;
+        return extract_percentiles(counts, n, max);
+    }
+
+  private:
+    /// One thread's bucket block (~5 KiB).  Value-initialized so every
+    /// atomic starts at zero; allocated lazily by the first record on
+    /// each dense thread id, so footprint scales with *participating*
+    /// threads, not kMaxThreads.
+    struct alignas(kCacheLineSize) Cell {
+        std::atomic<std::uint64_t> counts[kHistBuckets] = {};
+        std::atomic<std::uint64_t> max{0};
+    };
+
+    struct Slots {
+        std::atomic<Cell*> cells[kMaxThreads] = {};
+        histogram_info info;
+    };
+
+    static Cell& cell() noexcept {
+        Slots& s = slots();
+        std::atomic<Cell*>& slot = s.cells[thread_id()];
+        // Only the slot's current owner writes it; acquire pairs with the
+        // previous owner's release when a dense id is recycled (the new
+        // owner then accumulates into the same block, preserving totals).
+        Cell* c = slot.load(std::memory_order_acquire);
+        if (c == nullptr) {
+            c = new Cell();
+            slot.store(c, std::memory_order_release);
+        }
+        return *c;
+    }
+
+    static Slots& slots() noexcept {
+        // Leaked: records may arrive from detached threads during static
+        // destruction (same rationale as counter<Tag>).
+        static Slots* s = [] {
+            auto* p = new Slots();
+            p->info = histogram_info{Tag::name, &histogram::merge_into,
+                                     nullptr};
+            detail::register_histogram(&p->info);
+            return p;
+        }();
+        return *s;
+    }
+};
+
+#else  // !TAMP_STATS — empty type, constexpr no-ops, no storage.
+
+template <typename Tag>
+class histogram {
+  public:
+    using backend = stats_disabled_backend;
+    static constexpr void record(std::uint64_t) noexcept {}
+    static constexpr void merge_into(std::uint64_t*, std::uint64_t*) noexcept {
+    }
+    static constexpr std::uint64_t count() noexcept { return 0; }
+    static constexpr hist_percentiles percentiles() noexcept { return {}; }
+};
+
+#endif  // TAMP_STATS
+
+/// Sweep every registered histogram (whatever TU instantiated it) and
+/// return the merged distributions, sorted by name for schema stability.
+inline std::vector<hist_sample> hist_snapshot() {
+    std::vector<hist_sample> out;
+    for (histogram_info* p = detail::histogram_registry_head().load(
+             std::memory_order_acquire);
+         p != nullptr; p = p->next) {
+        hist_sample s;
+        s.name = p->name;
+        s.max = 0;
+        s.counts.assign(kHistBuckets, 0);
+        p->merge(s.counts.data(), &s.max);
+        s.count = 0;
+        for (std::uint64_t c : s.counts) s.count += c;
+        out.push_back(std::move(s));
+    }
+    std::sort(out.begin(), out.end(),
+              [](const hist_sample& a, const hist_sample& b) {
+                  return std::strcmp(a.name, b.name) < 0;
+              });
+    return out;
+}
+
+}  // namespace tamp::obs

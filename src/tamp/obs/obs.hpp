@@ -1,15 +1,19 @@
 // tamp/obs/obs.hpp — umbrella for the observability layer.
 //
-// Three tiers (see README "Observability"):
-//   counter.hpp  per-thread sharded statistical counters (sum / high-water)
-//   events.hpp   the library's counter vocabulary (spin.*, hp.*, stm.*, …)
-//   trace.hpp    per-thread event rings + Chrome trace_event exporter
+// Four tiers (see README "Observability"):
+//   counter.hpp    per-thread sharded statistical counters (sum/high-water)
+//   histogram.hpp  per-thread HDR-style latency histograms + percentiles
+//   timer.hpp      calibrated scoped/explicit timers feeding histograms
+//   events.hpp     the telemetry vocabulary (spin.*, hp.*, stm.*, *_ns, …)
+//   trace.hpp      per-thread event rings + Chrome trace_event exporter
 //
 // Everything is compiled out unless TAMP_STATS is on (config.hpp).
 
 #pragma once
 
-#include "tamp/obs/config.hpp"    // IWYU pragma: export
-#include "tamp/obs/counter.hpp"   // IWYU pragma: export
-#include "tamp/obs/events.hpp"    // IWYU pragma: export
-#include "tamp/obs/trace.hpp"     // IWYU pragma: export
+#include "tamp/obs/config.hpp"     // IWYU pragma: export
+#include "tamp/obs/counter.hpp"    // IWYU pragma: export
+#include "tamp/obs/events.hpp"     // IWYU pragma: export
+#include "tamp/obs/histogram.hpp"  // IWYU pragma: export
+#include "tamp/obs/timer.hpp"      // IWYU pragma: export
+#include "tamp/obs/trace.hpp"      // IWYU pragma: export

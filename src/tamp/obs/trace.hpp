@@ -34,6 +34,7 @@
 
 #include "tamp/core/thread_registry.hpp"
 #include "tamp/obs/config.hpp"
+#include "tamp/obs/histogram.hpp"
 
 #if defined(__x86_64__) || defined(__i386__)
 #include <x86intrin.h>
@@ -212,6 +213,27 @@ inline bool trace_dump(const std::string& path) {
                       "\"args\":{\"arg\":%llu}}",
                       trace_ev_name(cr.rec.event), ts, cr.tid,
                       static_cast<unsigned long long>(cr.rec.arg));
+        out << buf;
+    }
+    // Histogram snapshots ride along as Chrome counter-track samples
+    // ("ph":"C"): one sample per histogram at dump time, with the merged
+    // percentiles as the counter series — chrome://tracing then draws the
+    // p50/p99/p999 levels next to the event timeline they explain.
+    const double ts_now =
+        static_cast<double>(ticks_now - a.ticks) / ticks_per_us;
+    for (const hist_sample& h : hist_snapshot()) {
+        if (h.count == 0) continue;
+        const hist_percentiles p = extract_percentiles(h);
+        std::snprintf(buf, sizeof(buf),
+                      ",\n{\"name\":\"%s\",\"ph\":\"C\",\"ts\":%.3f,"
+                      "\"pid\":1,\"args\":{\"p50\":%llu,\"p90\":%llu,"
+                      "\"p99\":%llu,\"p999\":%llu,\"max\":%llu}}",
+                      h.name, ts_now,
+                      static_cast<unsigned long long>(p.p50),
+                      static_cast<unsigned long long>(p.p90),
+                      static_cast<unsigned long long>(p.p99),
+                      static_cast<unsigned long long>(p.p999),
+                      static_cast<unsigned long long>(p.max));
         out << buf;
     }
     out << "\n]}\n";

@@ -27,6 +27,7 @@
 #include "tamp/core/cacheline.hpp"
 #include "tamp/obs/counter.hpp"
 #include "tamp/obs/events.hpp"
+#include "tamp/obs/timer.hpp"
 #include "tamp/reclaim/hazard_pointers.hpp"
 #include "tamp/sim/atomic.hpp"
 #include "tamp/sim/shared.hpp"
@@ -69,6 +70,8 @@ class LockFreeQueue {
 
     /// Dequeue into `out`; false when the queue is (linearizably) empty.
     bool try_dequeue(T& out) {
+        // Sampled (1-in-16) so the probe cost amortizes below the op cost.
+        obs::scoped_timer<obs::ev::msq_deq_ns, 4> deq_latency;
         HazardSlot<Node> hp_first;
         HazardSlot<Node> hp_next;
         // Iterations past the first are CAS-retry traffic — the contention
@@ -111,6 +114,7 @@ class LockFreeQueue {
   private:
     template <typename U>
     void emplace(U&& v) {
+        obs::scoped_timer<obs::ev::msq_enq_ns, 4> enq_latency;  // sampled
         Node* node = new Node{std::forward<U>(v), nullptr};
         HazardSlot<Node> hp_last;
         std::uint64_t attempts = 0;  // past-first iterations = CAS retries

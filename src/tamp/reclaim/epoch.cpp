@@ -8,6 +8,7 @@
 #include "tamp/check/tsan_annotate.hpp"
 #include "tamp/obs/counter.hpp"
 #include "tamp/obs/events.hpp"
+#include "tamp/obs/timer.hpp"
 #include "tamp/obs/trace.hpp"
 #include "tamp/reclaim/asym_fence.hpp"
 
@@ -181,6 +182,7 @@ void EpochDomain::retire(void* p, void (*deleter)(void*)) {
 }
 
 void EpochDomain::collect() {
+    obs::scoped_timer<obs::ev::epoch_collect_ns> collect_latency;
     obs::counter<obs::ev::epoch_collects>::inc();
     auto& rec = epoch_rec();
     const std::uint64_t e =

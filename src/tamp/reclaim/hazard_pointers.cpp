@@ -7,6 +7,7 @@
 #include <functional>
 #include <mutex>
 
+#include "tamp/obs/timer.hpp"
 #include "tamp/obs/trace.hpp"
 
 namespace tamp {
@@ -64,6 +65,7 @@ std::atomic<const void*>& HazardDomain::slot(std::size_t k) {
 }
 
 void HazardDomain::scan() {
+    obs::scoped_timer<obs::ev::hp_scan_ns> scan_latency;
     auto& rec = reclaim_detail::hp_record();
     // Adopt orphans so nodes retired by dead threads still get freed.
     // The flag keeps the common no-orphans scan lock-free.

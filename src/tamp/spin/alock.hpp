@@ -19,6 +19,7 @@
 
 #include "tamp/core/cacheline.hpp"
 #include "tamp/core/thread_registry.hpp"
+#include "tamp/obs/timer.hpp"
 #include "tamp/sim/atomic.hpp"
 
 namespace tamp {
@@ -38,6 +39,7 @@ class ALock {
     }
 
     void lock() {
+        obs::scoped_timer<obs::ev::spin_acquire_ns> acquire_latency;
         const std::size_t slot =
             tail_.fetch_add(1, std::memory_order_acq_rel) % size_;
         my_slot_[thread_id()].value = slot;

@@ -12,6 +12,7 @@
 #include <cstdint>
 
 #include "tamp/core/backoff.hpp"
+#include "tamp/obs/timer.hpp"
 #include "tamp/sim/atomic.hpp"
 
 namespace tamp {
@@ -23,6 +24,7 @@ class BackoffLock {
         : min_delay_(min_delay), max_delay_(max_delay) {}
 
     void lock() {
+        obs::scoped_timer<obs::ev::spin_acquire_ns> acquire_latency;
         // Backoff state is per-acquisition (stack-local), as in Fig. 7.5:
         // contention observed during this acquisition should not penalize
         // the next one.

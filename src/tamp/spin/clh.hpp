@@ -23,6 +23,7 @@
 
 #include "tamp/core/cacheline.hpp"
 #include "tamp/core/thread_registry.hpp"
+#include "tamp/obs/timer.hpp"
 #include "tamp/sim/atomic.hpp"
 
 namespace tamp {
@@ -39,6 +40,7 @@ class CLHLock {
     }
 
     void lock() {
+        obs::scoped_timer<obs::ev::spin_acquire_ns> acquire_latency;
         const std::size_t id = thread_id();
         assert(id < capacity_ && "raise CLHLock capacity");
         QNode* node = my_node_[id];

@@ -31,6 +31,7 @@
 #include "tamp/core/marked_ptr.hpp"
 #include "tamp/core/random.hpp"
 #include "tamp/core/thread_registry.hpp"
+#include "tamp/obs/timer.hpp"
 #include "tamp/sim/atomic.hpp"
 
 namespace tamp {
@@ -55,6 +56,7 @@ class CompositeLock {
     }
 
     void lock() {
+        obs::scoped_timer<obs::ev::spin_acquire_ns> acquire_latency;
         const bool ok = do_lock([] { return false; });
         assert(ok);
         (void)ok;
@@ -220,7 +222,11 @@ class CompositeFastPathLock : public CompositeLock {
     using CompositeLock::CompositeLock;
 
     void lock() {
+        obs::scoped_timer<obs::ev::spin_acquire_ns> acquire_latency;
         if (try_fast_path()) return;
+        // The slow path is timed by CompositeLock::lock(); avoid recording
+        // the same acquisition twice.
+        acquire_latency.cancel();
         CompositeLock::lock();
         // We own the queue; wait out any fast-path holder.
         SpinWait w;

@@ -21,6 +21,7 @@
 
 #include "tamp/core/backoff.hpp"
 #include "tamp/core/thread_registry.hpp"
+#include "tamp/obs/timer.hpp"
 #include "tamp/sim/atomic.hpp"
 
 namespace tamp {
@@ -40,6 +41,7 @@ class HBOLock {
           remote_max_(remote_max) {}
 
     void lock() {
+        obs::scoped_timer<obs::ev::spin_acquire_ns> acquire_latency;
         const int my_cluster = cluster_of(thread_id());
         Backoff local_backoff(local_min_, local_max_);
         Backoff remote_backoff(remote_min_, remote_max_);

@@ -36,6 +36,7 @@
 #include "tamp/core/backoff.hpp"
 #include "tamp/core/cacheline.hpp"
 #include "tamp/core/thread_registry.hpp"
+#include "tamp/obs/timer.hpp"
 #include "tamp/sim/atomic.hpp"
 
 namespace tamp {
@@ -110,6 +111,7 @@ class HCLHLock {
     }
 
     void lock() {
+        obs::scoped_timer<obs::ev::spin_acquire_ns> acquire_latency;
         const std::size_t id = thread_id();
         assert(id < my_node_.size() && "raise HCLHLock capacity");
         const std::uint32_t my_cluster = cluster_of(id);

@@ -21,6 +21,7 @@
 
 #include "tamp/core/cacheline.hpp"
 #include "tamp/core/thread_registry.hpp"
+#include "tamp/obs/timer.hpp"
 #include "tamp/sim/atomic.hpp"
 
 namespace tamp {
@@ -30,6 +31,7 @@ class MCSLock {
     explicit MCSLock(std::size_t capacity = 128) : nodes_(capacity) {}
 
     void lock() {
+        obs::scoped_timer<obs::ev::spin_acquire_ns> acquire_latency;
         QNode* node = my_node();
         node->next.store(nullptr, std::memory_order_relaxed);
         QNode* pred = tail_.exchange(node, std::memory_order_acq_rel);

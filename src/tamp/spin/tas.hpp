@@ -16,6 +16,7 @@
 #include <cstdint>
 
 #include "tamp/core/backoff.hpp"
+#include "tamp/obs/timer.hpp"
 #include "tamp/sim/atomic.hpp"
 
 namespace tamp {
@@ -24,6 +25,8 @@ namespace tamp {
 class TASLock {
   public:
     void lock() {
+        // Acquire-latency probe: entry -> acquisition (stats builds only).
+        obs::scoped_timer<obs::ev::spin_acquire_ns> acquire_latency;
         // acquire on success orders the critical section after the
         // acquisition, exactly as a Java getAndSet (volatile RMW) would.
         SpinWait w;
@@ -59,6 +62,7 @@ class TASLock {
 class TTASLock {
   public:
     void lock() {
+        obs::scoped_timer<obs::ev::spin_acquire_ns> acquire_latency;
         SpinWait w;
         std::uint64_t failures = 0;
         while (true) {

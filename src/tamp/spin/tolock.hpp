@@ -30,6 +30,7 @@
 
 #include "tamp/core/cacheline.hpp"
 #include "tamp/core/thread_registry.hpp"
+#include "tamp/obs/timer.hpp"
 #include "tamp/sim/atomic.hpp"
 
 namespace tamp {
@@ -78,6 +79,7 @@ class TOLock {
     }
 
     void lock() {
+        obs::scoped_timer<obs::ev::spin_acquire_ns> acquire_latency;
         // Untimed acquisition = infinite patience, minus the deadline math.
         const std::size_t id = thread_id();
         assert(id < capacity_ && "raise TOLock capacity");

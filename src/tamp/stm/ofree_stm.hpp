@@ -40,6 +40,7 @@
 #include "tamp/core/backoff.hpp"
 #include "tamp/obs/counter.hpp"
 #include "tamp/obs/events.hpp"
+#include "tamp/obs/timer.hpp"
 #include "tamp/obs/trace.hpp"
 #include "tamp/reclaim/epoch.hpp"
 #include "tamp/stm/stm.hpp"  // TxAbort
@@ -212,17 +213,21 @@ class OFreeTransaction {
             if (!still_valid(entry)) {
                 self_->abort();
                 obs::counter<obs::ev::stm_aborts_version>::inc();
+                obs::record_since<obs::ev::stm_abort_version_ns>(
+                    start_ticks_);
                 obs::trace(obs::trace_ev::kStmAbort, 2);
                 return false;
             }
         }
         if (self_->try_commit()) {
             obs::counter<obs::ev::stm_commits>::inc();
+            obs::record_since<obs::ev::stm_commit_ns>(start_ticks_);
             return true;
         }
         // The status CAS lost: a rival's aggressive contention manager
         // aborted us while we were validating.
         obs::counter<obs::ev::stm_aborts_rival>::inc();
+        obs::record_since<obs::ev::stm_abort_rival_ns>(start_ticks_);
         obs::trace(obs::trace_ev::kStmAbort, 3);
         return false;
     }
@@ -257,6 +262,8 @@ class OFreeTransaction {
         for (const auto& entry : reads_) {
             if (!still_valid(entry)) {
                 obs::counter<obs::ev::stm_aborts_validation>::inc();
+                obs::record_since<obs::ev::stm_abort_validation_ns>(
+                    start_ticks_);
                 obs::trace(obs::trace_ev::kStmAbort, 0);
                 throw TxAbort{};
             }
@@ -276,6 +283,9 @@ class OFreeTransaction {
     }
 
     std::shared_ptr<OTxDescriptor> self_;
+    // Attempt birth timestamp for commit/abort-latency attribution;
+    // constant 0 in stats-off builds.
+    std::uint64_t start_ticks_ = obs::tick<>();
     std::vector<ReadEntry> reads_;
     std::map<detail::OFreeVarBase*, detail::OLocator*> written_;
 };

@@ -37,6 +37,7 @@
 #include "tamp/core/backoff.hpp"
 #include "tamp/obs/counter.hpp"
 #include "tamp/obs/events.hpp"
+#include "tamp/obs/timer.hpp"
 #include "tamp/obs/trace.hpp"
 
 namespace tamp {
@@ -166,6 +167,7 @@ class Transaction {
         if (pre != post || VersionedLock::is_locked(pre) ||
             VersionedLock::version_of(pre) > rv_) {
             obs::counter<obs::ev::stm_aborts_validation>::inc();
+            obs::record_since<obs::ev::stm_abort_validation_ns>(start_ticks_);
             obs::trace(obs::trace_ev::kStmAbort, 0);
             throw TxAbort{};
         }
@@ -184,6 +186,7 @@ class Transaction {
             // Read-only fast path: reads were each validated against rv_
             // at read time; nothing to publish.
             obs::counter<obs::ev::stm_commits>::inc();
+            obs::record_since<obs::ev::stm_commit_ns>(start_ticks_);
             return true;
         }
         // Phase 1: lock the write set.  std::map iterates in address
@@ -199,6 +202,7 @@ class Transaction {
                         VersionedLock::version_of(l->lock.sample()));
                 }
                 obs::counter<obs::ev::stm_aborts_lock>::inc();
+                obs::record_since<obs::ev::stm_abort_lock_ns>(start_ticks_);
                 obs::trace(obs::trace_ev::kStmAbort, 1);
                 return false;
             }
@@ -219,6 +223,8 @@ class Transaction {
                             VersionedLock::version_of(l->lock.sample()));
                     }
                     obs::counter<obs::ev::stm_aborts_version>::inc();
+                    obs::record_since<obs::ev::stm_abort_version_ns>(
+                        start_ticks_);
                     obs::trace(obs::trace_ev::kStmAbort, 2);
                     return false;
                 }
@@ -230,6 +236,7 @@ class Transaction {
             base->lock.unlock_with_version(wv);
         }
         obs::counter<obs::ev::stm_commits>::inc();
+        obs::record_since<obs::ev::stm_commit_ns>(start_ticks_);
         return true;
     }
 
@@ -238,6 +245,9 @@ class Transaction {
 
   private:
     std::uint64_t rv_;
+    // Birth timestamp for commit/abort-latency attribution; constant 0 in
+    // stats-off builds (obs::tick() is a constexpr no-op there).
+    std::uint64_t start_ticks_ = obs::tick<>();
     std::vector<detail::TVarBase*> reads_;
     std::map<detail::TVarBase*, std::uint64_t> writes_;
 };

@@ -55,6 +55,29 @@ static_assert(noexcept(obs::counter<off_tag>::inc()));
 static_assert(noexcept(obs::max_counter<off_tag>::observe(1)));
 static_assert(noexcept(obs::trace(obs::trace_ev::kUser)));
 
+// Histograms follow the same contract: disabled backend, empty type,
+// constexpr no-op operations.
+static_assert(std::is_same_v<obs::histogram<off_tag>::backend,
+                             obs::stats_disabled_backend>);
+static_assert(std::is_empty_v<obs::histogram<off_tag>>);
+static_assert((obs::histogram<off_tag>::record(123), true));
+static_assert(obs::histogram<off_tag>::count() == 0);
+static_assert(obs::histogram<off_tag>::percentiles().p999 == 0);
+static_assert(noexcept(obs::histogram<off_tag>::record(1)));
+
+// Timers: an empty, trivially destructible shell — a scoped_timer on a
+// hot path is zero bytes of frame and zero instructions when stats are
+// off — and the explicit tick()/record_since() pair constant-folds.
+static_assert(std::is_same_v<obs::scoped_timer<off_tag>::backend,
+                             obs::stats_disabled_backend>);
+static_assert(std::is_empty_v<obs::scoped_timer<off_tag>>);
+static_assert(std::is_empty_v<obs::scoped_timer<off_tag, 4>>);
+static_assert(std::is_trivially_destructible_v<obs::scoped_timer<off_tag>>);
+static_assert((obs::scoped_timer<off_tag>::cancel(), true));
+static_assert(obs::tick<>() == 0);  // no TSC read compiled in
+static_assert((obs::record_since<off_tag>(0), true));
+static_assert(noexcept(obs::record_since<off_tag>(0)));
+
 TEST(ObsOff, DisabledCountersNeverRegister) {
     obs::counter<off_tag>::inc(1000);
     obs::max_counter<off_tag>::observe(1000);
@@ -62,6 +85,15 @@ TEST(ObsOff, DisabledCountersNeverRegister) {
         EXPECT_NE(std::string(s.name), "test.off");
     }
     EXPECT_EQ(obs::counter<off_tag>::total(), 0u);
+}
+
+TEST(ObsOff, DisabledHistogramsNeverRegister) {
+    obs::histogram<off_tag>::record(1000);
+    { [[maybe_unused]] obs::scoped_timer<off_tag> t; }
+    for (const obs::hist_sample& h : obs::hist_snapshot()) {
+        EXPECT_NE(std::string(h.name), "test.off");
+    }
+    EXPECT_EQ(obs::histogram<off_tag>::count(), 0u);
 }
 
 TEST(ObsOff, DisabledTraceIsInert) {

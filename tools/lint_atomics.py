@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Custom atomics lint for the tamp codebase.
 
-Seven rules, each encoding a convention the concurrent code is expected to
+Eight rules, each encoding a convention the concurrent code is expected to
 follow (see README "Correctness tooling"):
 
   cas-strong-loop      compare_exchange_strong inside a loop body or loop
@@ -64,6 +64,17 @@ follow (see README "Correctness tooling"):
                        scope: seq_cst stores elsewhere are an ordinary
                        (if blunt) tool.
 
+  obs-tag-registered   an `obs::ev::<tag>` use (counter, histogram, or
+                       timer instantiation) whose tag struct is not
+                       declared in src/tamp/obs/events.hpp.  events.hpp is
+                       the single vocabulary of instrumentation points; a
+                       tag minted ad hoc in a structure header is
+                       invisible to anyone auditing what the library can
+                       report.  Scoped to src/tamp/ outside obs/ itself
+                       (the obs headers use `Tag` template parameters and
+                       define the vocabulary; local test tags in tests/
+                       are out of scope by the default roots).
+
 Escape hatch: a finding on line N is suppressed when line N or line N-1
 carries `// tamp-lint: allow(<rule>)` (comma-separate several rules), and
 a whole file opts out of one rule with `// tamp-lint: allow-file(<rule>)`.
@@ -100,6 +111,9 @@ RULES = {
                            "family; use tamp::atomic, tamp::shared "
                            "(tamp/sim/shared.hpp), or const — annotate "
                            "lock-guarded fields, naming the lock",
+    "obs-tag-registered": "not declared in src/tamp/obs/events.hpp; every "
+                          "obs::ev tag must join the shared event "
+                          "vocabulary there",
 }
 
 # Directories (under src/tamp/) whose families have been migrated onto the
@@ -115,6 +129,39 @@ def in_facade_scope(path):
 def in_reclaim_scope(path):
     norm = os.path.abspath(path).replace(os.sep, "/")
     return "/tamp/reclaim/" in norm
+
+
+def in_obs_tag_scope(path):
+    """obs-tag-registered fires for src/tamp/ files outside obs/ (the obs
+    headers define the vocabulary and use `Tag` template parameters)."""
+    norm = os.path.abspath(path).replace(os.sep, "/")
+    return "/src/tamp/" in norm and "/src/tamp/obs/" not in norm
+
+
+_EVENTS_TAGS_CACHE = {}
+_EVENTS_STRUCT_RE = re.compile(r"\bstruct\s+([A-Za-z_][A-Za-z0-9_]*)\s*\{")
+OBS_TAG_USE_RE = re.compile(r"\bev::([A-Za-z_][A-Za-z0-9_]*)")
+
+
+def registered_event_tags(path):
+    """The tag structs declared in the events.hpp governing `path` (the
+    repo's src/tamp/obs/events.hpp, resolved relative to the file's own
+    src/tamp/ root so the self-test can fixture one).  None when there is
+    no events.hpp to check against."""
+    norm = os.path.abspath(path).replace(os.sep, "/")
+    idx = norm.rfind("/src/tamp/")
+    if idx == -1:
+        return None
+    events = norm[:idx] + "/src/tamp/obs/events.hpp"
+    if events not in _EVENTS_TAGS_CACHE:
+        try:
+            with open(events, encoding="utf-8") as f:
+                text = strip_comments_and_strings(f.read())
+            _EVENTS_TAGS_CACHE[events] = set(
+                _EVENTS_STRUCT_RE.findall(text))
+        except OSError:
+            _EVENTS_TAGS_CACHE[events] = None
+    return _EVENTS_TAGS_CACHE[events]
 
 ALLOW_RE = re.compile(r"tamp-lint:\s*allow\(([a-z\-, ]+)\)")
 ALLOW_FILE_RE = re.compile(r"tamp-lint:\s*allow-file\(([a-z\-, ]+)\)")
@@ -308,6 +355,16 @@ def scan_file(path, raw_text):
         line_starts.append(m.end())
 
     findings = []
+    if in_obs_tag_scope(path):
+        tags = registered_event_tags(path)
+        if tags is not None:
+            for m in OBS_TAG_USE_RE.finditer(text):
+                if m.group(1) not in tags:
+                    findings.append(
+                        (line_of(text, m.start(), line_starts),
+                         "obs-tag-registered",
+                         "tag 'ev::%s' %s" % (m.group(1),
+                                              RULES["obs-tag-registered"])))
     scopes = []  # Scope stack for { }
     # Loop-condition regions: [(start, end)] of while/for parens.
     cond_regions = []
@@ -478,6 +535,34 @@ def lint_path(path, rules):
 # The relative path matters — raw-atomic is scoped by directory.
 # --------------------------------------------------------------------------
 SELF_TEST_CASES = [
+    # Written first on purpose: the obs-tag-registered fixtures below
+    # resolve their events.hpp relative to their own src/tamp/ root, so
+    # this file must already exist in the shared fixture directory.  The
+    # file itself is in obs/ and therefore out of the rule's scope.
+    ("src/tamp/obs/events.hpp",
+     "namespace tamp::obs::ev {\n"
+     "struct spin_acquires { static constexpr const char* n = \"a\"; };\n"
+     "struct spin_acquire_ns { static constexpr const char* n = \"b\"; };\n"
+     "}\n",
+     set()),
+
+    # A tag declared in events.hpp: clean.
+    ("src/tamp/spin/tag_ok.hpp",
+     "#include \"tamp/obs/events.hpp\"\n"
+     "inline void f() {\n"
+     "    obs::counter<obs::ev::spin_acquires>::inc();\n"
+     "    obs::scoped_timer<obs::ev::spin_acquire_ns> t;\n"
+     "}\n",
+     set()),
+
+    # A tag minted ad hoc (not in events.hpp): one finding per use line.
+    ("src/tamp/spin/tag_bad.hpp",
+     "#include \"tamp/obs/events.hpp\"\n"
+     "inline void f() {\n"
+     "    obs::histogram<obs::ev::mystery_ns>::record(1);\n"
+     "}\n",
+     {(3, "obs-tag-registered")}),
+
     ("src/tamp/spin/raw.hpp",
      "#include <atomic>\n"
      "class L {\n"
