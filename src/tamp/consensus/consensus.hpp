@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "tamp/core/cacheline.hpp"
+#include "tamp/sim/atomic.hpp"
 
 namespace tamp {
 
@@ -73,7 +74,7 @@ class QueueConsensus : public ConsensusProtocol<T> {
     }
 
   private:
-    std::atomic<std::size_t> next_{0};
+    tamp::atomic<std::size_t> next_{0};
 };
 
 /// N-thread consensus from compareAndSet (§5.8, Fig. 5.13).  The first
@@ -103,7 +104,7 @@ class CASConsensus : public ConsensusProtocol<T> {
     int winner() const { return first_.load(std::memory_order_acquire); }
 
   private:
-    std::atomic<int> first_{kNoWinner};
+    tamp::atomic<int> first_{kNoWinner};
 };
 
 /// Two-thread consensus from getAndSet/swap (§5.6: "RMW registers whose
@@ -128,7 +129,7 @@ class SwapConsensus : public ConsensusProtocol<T> {
     }
 
   private:
-    std::atomic<int> cell_{kFresh};
+    tamp::atomic<int> cell_{kFresh};
 };
 
 /// Pointer consensus used by the universal constructions: first CAS from
@@ -150,7 +151,7 @@ class PointerConsensus {
     P* winner() const { return winner_.load(std::memory_order_acquire); }
 
   private:
-    std::atomic<P*> winner_{nullptr};
+    tamp::atomic<P*> winner_{nullptr};
 };
 
 }  // namespace tamp

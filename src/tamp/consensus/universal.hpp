@@ -30,6 +30,8 @@
 #include "tamp/consensus/consensus.hpp"
 #include "tamp/core/backoff.hpp"
 #include "tamp/core/cacheline.hpp"
+#include "tamp/sim/atomic.hpp"
+#include "tamp/sim/hooks.hpp"
 
 namespace tamp {
 
@@ -39,8 +41,8 @@ class LockFreeUniversal {
     struct Node {
         Inv invoc{};
         PointerConsensus<Node> decide_next;
-        std::atomic<Node*> next{nullptr};
-        std::atomic<std::uint64_t> seq{0};  // 0 = not yet threaded
+        tamp::atomic<Node*> next{nullptr};
+        tamp::atomic<std::uint64_t> seq{0};  // 0 = not yet threaded
     };
 
   public:
@@ -54,6 +56,7 @@ class LockFreeUniversal {
     /// returns the response the sequential object gives at that point.
     Resp apply(std::size_t me, const Inv& invoc) {
         assert(me < n_);
+        sim::op_scope op("LockFreeUniversal::apply");
         Node* prefer = allocate();
         prefer->invoc = invoc;
         while (prefer->seq.load(std::memory_order_acquire) == 0) {
@@ -104,7 +107,7 @@ class LockFreeUniversal {
 
     std::size_t n_;
     Node* tail_;  // sentinel, seq == 1
-    std::vector<Padded<std::atomic<Node*>>> head_;
+    std::vector<Padded<tamp::atomic<Node*>>> head_;
     std::mutex arena_mu_;
     std::vector<std::unique_ptr<Node>> arena_;
 };
@@ -125,6 +128,7 @@ class WaitFreeUniversal : public LockFreeUniversal<Obj, Inv, Resp> {
 
     Resp apply(std::size_t me, const Inv& invoc) {
         assert(me < this->n_);
+        sim::op_scope op("WaitFreeUniversal::apply");
         Node* mine = this->allocate();
         mine->invoc = invoc;
         announce_[me].value.store(mine, std::memory_order_release);
@@ -156,7 +160,7 @@ class WaitFreeUniversal : public LockFreeUniversal<Obj, Inv, Resp> {
     }
 
   private:
-    std::vector<Padded<std::atomic<Node*>>> announce_;
+    std::vector<Padded<tamp::atomic<Node*>>> announce_;
 };
 
 }  // namespace tamp

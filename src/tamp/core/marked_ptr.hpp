@@ -59,6 +59,10 @@ class MarkedPtr {
 /// book's Java-volatile semantics on the orderings its linearizability
 /// arguments actually rely on (publication of node contents before the node
 /// is reachable, and visibility of the mark before unlinking).
+///
+/// The accessors are noexcept only outside TAMP_SIM: under the model
+/// checker every facade access is a schedule point, and the scheduler
+/// unwinds condemned executions by throwing through it.
 template <typename T>
 class AtomicMarkedPtr {
   public:
@@ -67,18 +71,20 @@ class AtomicMarkedPtr {
         : cell_(encode(ptr, marked)) {}
 
     void store(T* ptr, bool marked,
-               std::memory_order order = std::memory_order_release) noexcept {
+               std::memory_order order = std::memory_order_release)
+        noexcept(!TAMP_SIM) {
         cell_.store(encode(ptr, marked), order);
     }
 
-    MarkedPtr<T> load(
-        std::memory_order order = std::memory_order_acquire) const noexcept {
+    MarkedPtr<T> load(std::memory_order order = std::memory_order_acquire)
+        const noexcept(!TAMP_SIM) {
         return decode(cell_.load(order));
     }
 
     /// `get` in the book: load pointer and mark together.
     T* get(bool* marked,
-           std::memory_order order = std::memory_order_acquire) const noexcept {
+           std::memory_order order = std::memory_order_acquire) const
+        noexcept(!TAMP_SIM) {
         const MarkedPtr<T> v = load(order);
         *marked = v.marked();
         return v.ptr();
@@ -86,7 +92,7 @@ class AtomicMarkedPtr {
 
     /// `compareAndSet(expectedRef, newRef, expectedMark, newMark)`.
     bool compare_and_set(T* expected_ptr, T* new_ptr, bool expected_mark,
-                         bool new_mark) noexcept {
+                         bool new_mark) noexcept(!TAMP_SIM) {
         std::uintptr_t expected = encode(expected_ptr, expected_mark);
         return cell_.compare_exchange_strong(expected,
                                              encode(new_ptr, new_mark),
@@ -95,7 +101,7 @@ class AtomicMarkedPtr {
     }
 
     /// `attemptMark(expectedRef, newMark)`.
-    bool attempt_mark(T* expected_ptr, bool new_mark) noexcept {
+    bool attempt_mark(T* expected_ptr, bool new_mark) noexcept(!TAMP_SIM) {
         std::uintptr_t expected = encode(expected_ptr, !new_mark);
         return cell_.compare_exchange_strong(expected,
                                              encode(expected_ptr, new_mark),
@@ -126,7 +132,7 @@ class AtomicStampedIndex {
                                           std::uint16_t initial_stamp = 0)
         : cell_(pack(initial_index, initial_stamp)) {}
 
-    std::uint64_t get(std::uint16_t* stamp) const noexcept {
+    std::uint64_t get(std::uint16_t* stamp) const noexcept(!TAMP_SIM) {
         const std::uint64_t v = cell_.load(std::memory_order_acquire);
         *stamp = static_cast<std::uint16_t>(v >> 48);
         return v & kIndexMask;
@@ -134,14 +140,14 @@ class AtomicStampedIndex {
 
     bool compare_and_set(std::uint64_t expected_index, std::uint64_t new_index,
                          std::uint16_t expected_stamp,
-                         std::uint16_t new_stamp) noexcept {
+                         std::uint16_t new_stamp) noexcept(!TAMP_SIM) {
         std::uint64_t expected = pack(expected_index, expected_stamp);
         return cell_.compare_exchange_strong(
             expected, pack(new_index, new_stamp), std::memory_order_acq_rel,
             std::memory_order_acquire);
     }
 
-    void set(std::uint64_t index, std::uint16_t stamp) noexcept {
+    void set(std::uint64_t index, std::uint16_t stamp) noexcept(!TAMP_SIM) {
         cell_.store(pack(index, stamp), std::memory_order_release);
     }
 

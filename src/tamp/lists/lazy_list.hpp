@@ -16,11 +16,12 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 
 #include "tamp/lists/keyed.hpp"
 #include "tamp/reclaim/epoch.hpp"
 #include "tamp/sim/atomic.hpp"
+#include "tamp/sim/hooks.hpp"
+#include "tamp/spin/tas.hpp"
 
 namespace tamp {
 
@@ -34,7 +35,12 @@ class LazyListSet {
         const T value;
         tamp::atomic<Node*> next;
         tamp::atomic<bool> marked{false};
-        std::mutex mu;
+        // Per-node lock.  The book leaves the lock abstract; a TTAS spin
+        // lock keeps the hot path allocation-free and, because it is built
+        // on the tamp::atomic facade, lets the model checker schedule
+        // through lock handoffs (a std::mutex held across facade accesses
+        // would wedge the cooperative scheduler).
+        TTASLock mu;
 
         Node(NodeKind k, std::uint64_t h, const T& v, Node* n)
             : kind(k), key(h), value(v), next(n) {}
@@ -61,6 +67,7 @@ class LazyListSet {
     LazyListSet& operator=(const LazyListSet&) = delete;
 
     bool add(const T& v) {
+        sim::op_scope op("LazyListSet::add");
         const std::uint64_t key = KeyOf{}(v);
         EpochGuard guard;
         while (true) {
@@ -87,6 +94,7 @@ class LazyListSet {
     }
 
     bool remove(const T& v) {
+        sim::op_scope op("LazyListSet::remove");
         const std::uint64_t key = KeyOf{}(v);
         EpochGuard guard;
         while (true) {
@@ -117,6 +125,7 @@ class LazyListSet {
 
     /// Wait-free: one traversal, no locks, no retries (Fig. 9.22).
     bool contains(const T& v) {
+        sim::op_scope op("LazyListSet::contains");
         const std::uint64_t key = KeyOf{}(v);
         EpochGuard guard;
         Node* curr = head_;

@@ -27,6 +27,7 @@
 #include "tamp/obs/events.hpp"
 #include "tamp/obs/timer.hpp"
 #include "tamp/reclaim/epoch.hpp"
+#include "tamp/sim/hooks.hpp"
 
 namespace tamp {
 
@@ -61,6 +62,7 @@ class LockFreeListSet {
     bool add(const T& v) {
         // Sampled (1-in-16) so the probe cost amortizes below the op cost.
         obs::scoped_timer<obs::ev::list_op_ns, 4> op_latency;
+        sim::op_scope op("LockFreeListSet::add");
         const std::uint64_t key = KeyOf{}(v);
         EpochGuard guard;
         while (true) {
@@ -82,6 +84,7 @@ class LockFreeListSet {
 
     bool remove(const T& v) {
         obs::scoped_timer<obs::ev::list_op_ns, 4> op_latency;  // sampled
+        sim::op_scope op("LockFreeListSet::remove");
         const std::uint64_t key = KeyOf{}(v);
         EpochGuard guard;
         while (true) {
@@ -110,6 +113,7 @@ class LockFreeListSet {
     /// Wait-free membership test (Fig. 9.27).
     bool contains(const T& v) {
         obs::scoped_timer<obs::ev::list_op_ns, 4> op_latency;  // sampled
+        sim::op_scope op("LockFreeListSet::contains");
         const std::uint64_t key = KeyOf{}(v);
         EpochGuard guard;
         Node* curr = head_;

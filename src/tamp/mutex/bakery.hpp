@@ -22,6 +22,7 @@
 
 #include "tamp/core/cacheline.hpp"
 #include "tamp/sim/atomic.hpp"
+#include "tamp/sim/hooks.hpp"
 
 namespace tamp {
 
@@ -34,6 +35,7 @@ class BakeryLock {
     }
 
     void lock(std::size_t me) {
+        sim::op_scope op("BakeryLock::lock");
         assert(me < n_);
         flag_[me].value.store(true);
         label_[me].value.store(max_label() + 1);

@@ -16,6 +16,7 @@
 
 #include "tamp/core/backoff.hpp"
 #include "tamp/sim/atomic.hpp"
+#include "tamp/sim/hooks.hpp"
 #include <cassert>
 #include <cstddef>
 
@@ -83,6 +84,7 @@ class LockTwo {
 class PetersonLock {
   public:
     void lock(std::size_t me) {
+        sim::op_scope op("PetersonLock::lock");
         assert(me < 2);
         const std::size_t other = 1 - me;
         flag_[me].store(true);   // I'm interested

@@ -15,6 +15,7 @@
 #include <mutex>
 
 #include "tamp/sim/atomic.hpp"
+#include "tamp/sim/hooks.hpp"
 #include "tamp/sim/shared.hpp"
 
 namespace tamp {
@@ -52,6 +53,7 @@ class BoundedQueue {
 
     /// Blocking enqueue.
     void enqueue(const T& v) {
+        sim::op_scope op("BoundedQueue::enqueue");
         bool must_wake_dequeuers = false;
         {
             std::unique_lock<std::mutex> enq(enq_mu_);
@@ -73,6 +75,7 @@ class BoundedQueue {
 
     /// Blocking dequeue.
     T dequeue() {
+        sim::op_scope op("BoundedQueue::dequeue");
         T result;
         bool must_wake_enqueuers = false;
         {
@@ -97,6 +100,7 @@ class BoundedQueue {
 
     /// Non-blocking dequeue for the ConcurrentQueue concept.
     bool try_dequeue(T& out) {
+        sim::op_scope op("BoundedQueue::try_dequeue");
         bool must_wake_enqueuers = false;
         {
             std::lock_guard<std::mutex> deq(deq_mu_);

@@ -30,6 +30,7 @@
 #include "tamp/obs/timer.hpp"
 #include "tamp/reclaim/hazard_pointers.hpp"
 #include "tamp/sim/atomic.hpp"
+#include "tamp/sim/hooks.hpp"
 #include "tamp/sim/shared.hpp"
 
 namespace tamp {
@@ -72,6 +73,7 @@ class LockFreeQueue {
     bool try_dequeue(T& out) {
         // Sampled (1-in-16) so the probe cost amortizes below the op cost.
         obs::scoped_timer<obs::ev::msq_deq_ns, 4> deq_latency;
+        sim::op_scope op("LockFreeQueue::try_dequeue");
         HazardSlot<Node> hp_first;
         HazardSlot<Node> hp_next;
         // Iterations past the first are CAS-retry traffic — the contention
@@ -115,6 +117,7 @@ class LockFreeQueue {
     template <typename U>
     void emplace(U&& v) {
         obs::scoped_timer<obs::ev::msq_enq_ns, 4> enq_latency;  // sampled
+        sim::op_scope op("LockFreeQueue::enqueue");
         Node* node = new Node{std::forward<U>(v), nullptr};
         HazardSlot<Node> hp_last;
         std::uint64_t attempts = 0;  // past-first iterations = CAS retries

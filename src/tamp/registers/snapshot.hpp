@@ -18,9 +18,18 @@
 //    register.
 //
 // Register cells hold (label, value, embedded-snapshot) — far too wide for
-// a machine word — so each cell is a pointer to an immutable record,
-// swapped atomically and reclaimed by shared_ptr (the unsynchronized-GC
-// substitution for the book's Java heap; see DESIGN.md).
+// a machine word — so each cell is a pointer to an immutable record.  In
+// real builds the pointer is swapped via atomic<shared_ptr>, whose
+// reference counting reclaims records that scanners may still be reading
+// (the unsynchronized-GC substitution for the book's Java heap; see
+// DESIGN.md).  Under TAMP_SIM the cells ride the tamp::atomic facade
+// instead — shared_ptr is not trivially copyable, and the model checker
+// (including the progress probes of tamp/sim/progress.hpp) must see every
+// cell access as a schedule point — and records are kept alive in a
+// per-snapshot arena until the object dies.  Executions are short and the
+// structure is rebuilt per schedule, so the arena never grows meaningfully
+// there; production keeps shared_ptr because benchmarks hammer update()
+// for millions of iterations.
 
 #pragma once
 
@@ -32,6 +41,13 @@
 #include <vector>
 
 #include "tamp/core/backoff.hpp"
+#include "tamp/sim/atomic.hpp"
+#include "tamp/sim/config.hpp"
+#include "tamp/sim/hooks.hpp"
+
+#if TAMP_SIM
+#include <mutex>
+#endif
 
 namespace tamp {
 
@@ -45,17 +61,15 @@ class SimpleSnapshot {
 
   public:
     explicit SimpleSnapshot(std::size_t n, T init = T{}) : cells_(n) {
-        for (auto& c : cells_) {
-            c.store(std::make_shared<const Record>(Record{0, init}));
-        }
+        for (auto& c : cells_) c.store(make_record(Record{0, init}));
     }
 
     /// Single writer per index: bump my label and publish the new value.
     void update(std::size_t me, T value) {
         assert(me < cells_.size());
+        sim::op_scope op("SimpleSnapshot::update");
         const auto old = cells_[me].load();
-        cells_[me].store(
-            std::make_shared<const Record>(Record{old->label + 1, value}));
+        cells_[me].store(make_record(Record{old->label + 1, value}));
     }
 
     /// Wait-free read of one component.
@@ -63,6 +77,7 @@ class SimpleSnapshot {
 
     /// Obstruction-free scan: retry until two collects agree everywhere.
     std::vector<T> scan() const {
+        sim::op_scope op("SimpleSnapshot::scan");
         auto old = collect();
         SpinWait w;
         while (true) {
@@ -88,7 +103,25 @@ class SimpleSnapshot {
     std::size_t size() const { return cells_.size(); }
 
   private:
+#if TAMP_SIM
+    using RecordPtr = const Record*;
+    using Cell = tamp::atomic<const Record*>;
+
+    RecordPtr make_record(Record&& r) const {
+        auto owned = std::make_unique<const Record>(std::move(r));
+        const Record* raw = owned.get();
+        std::lock_guard<std::mutex> lk(arena_mu_);  // not held across cells
+        arena_.push_back(std::move(owned));
+        return raw;
+    }
+#else
     using RecordPtr = std::shared_ptr<const Record>;
+    using Cell = std::atomic<std::shared_ptr<const Record>>;
+
+    RecordPtr make_record(Record&& r) const {
+        return std::make_shared<const Record>(std::move(r));
+    }
+#endif
 
     std::vector<RecordPtr> collect() const {
         std::vector<RecordPtr> out;
@@ -97,9 +130,11 @@ class SimpleSnapshot {
         return out;
     }
 
-    // atomic<shared_ptr> gives us atomic pointer swap plus safe
-    // reclamation of records that scanners may still be reading.
-    mutable std::vector<std::atomic<std::shared_ptr<const Record>>> cells_;
+    mutable std::vector<Cell> cells_;
+#if TAMP_SIM
+    mutable std::mutex arena_mu_;
+    mutable std::vector<std::unique_ptr<const Record>> arena_;
+#endif
 };
 
 /// Wait-free snapshot with embedded scans (Fig. 4.21).
@@ -114,25 +149,25 @@ class WaitFreeSnapshot {
   public:
     explicit WaitFreeSnapshot(std::size_t n, T init = T{}) : cells_(n) {
         const std::vector<T> zero(n, init);
-        for (auto& c : cells_) {
-            c.store(std::make_shared<const Record>(Record{0, init, zero}));
-        }
+        for (auto& c : cells_) c.store(make_record(Record{0, init, zero}));
     }
 
     /// Update = scan, then publish (label+1, value, that scan).  The
     /// embedded scan is what makes concurrent scanners wait-free.
     void update(std::size_t me, T value) {
         assert(me < cells_.size());
+        sim::op_scope op("WaitFreeSnapshot::update");
         std::vector<T> snap = scan();
         const auto old = cells_[me].load();
-        cells_[me].store(std::make_shared<const Record>(
-            Record{old->label + 1, value, std::move(snap)}));
+        cells_[me].store(
+            make_record(Record{old->label + 1, value, std::move(snap)}));
     }
 
     T read(std::size_t i) const { return cells_[i].load()->value; }
 
     /// Wait-free scan: bounded by two observed moves per register.
     std::vector<T> scan() const {
+        sim::op_scope op("WaitFreeSnapshot::scan");
         const std::size_t n = cells_.size();
         std::vector<bool> moved(n, false);
         auto old = collect();
@@ -163,7 +198,25 @@ class WaitFreeSnapshot {
     std::size_t size() const { return cells_.size(); }
 
   private:
+#if TAMP_SIM
+    using RecordPtr = const Record*;
+    using Cell = tamp::atomic<const Record*>;
+
+    RecordPtr make_record(Record&& r) const {
+        auto owned = std::make_unique<const Record>(std::move(r));
+        const Record* raw = owned.get();
+        std::lock_guard<std::mutex> lk(arena_mu_);  // not held across cells
+        arena_.push_back(std::move(owned));
+        return raw;
+    }
+#else
     using RecordPtr = std::shared_ptr<const Record>;
+    using Cell = std::atomic<std::shared_ptr<const Record>>;
+
+    RecordPtr make_record(Record&& r) const {
+        return std::make_shared<const Record>(std::move(r));
+    }
+#endif
 
     std::vector<RecordPtr> collect() const {
         std::vector<RecordPtr> out;
@@ -172,7 +225,11 @@ class WaitFreeSnapshot {
         return out;
     }
 
-    mutable std::vector<std::atomic<std::shared_ptr<const Record>>> cells_;
+    mutable std::vector<Cell> cells_;
+#if TAMP_SIM
+    mutable std::mutex arena_mu_;
+    mutable std::vector<std::unique_ptr<const Record>> arena_;
+#endif
 };
 
 }  // namespace tamp

@@ -1,19 +1,31 @@
 // tamp/sim/hooks.hpp
 //
-// The one hook non-atomic code needs: spin-loop reporting.  SpinWait and
-// Backoff (tamp/core/backoff.hpp) call spin_hint_if_simulated() at the
-// top of every pause; under an active TAMP_SIM exploration that turns the
-// pause into a schedule point (and, after a short streak, parks the
-// thread until some store lands — the scheduler's bounded-spin handling),
-// and the real pause is skipped so simulated time does not wait on wall
-// time.  In TAMP_SIM=OFF builds this is a constant false the optimizer
-// deletes.
+// The hooks non-atomic code needs under the model checker.
+//
+//  * spin_hint_if_simulated(): spin-loop reporting.  SpinWait and Backoff
+//    (tamp/core/backoff.hpp) call it at the top of every pause; under an
+//    active TAMP_SIM exploration that turns the pause into a schedule
+//    point (and, after a short streak, parks the thread until some store
+//    lands — the scheduler's bounded-spin handling), and the real pause
+//    is skipped so simulated time does not wait on wall time.
+//
+//  * op_scope: the liveness annotation.  Placed at the top of a public
+//    structure operation (lock(), push(), add(), scan(), ...), it feeds
+//    the scheduler's global-progress ledger and per-thread starvation
+//    oracle — the raw material for the kFairDemonic / kCrashStop /
+//    kSoloRun progress probes and their typed verdicts.  A scope counts
+//    as progress only when it exits normally; unwinding (including the
+//    scheduler's own execution abort) abandons it.
+//
+// In TAMP_SIM=OFF builds both are constants the optimizer deletes.
 
 #pragma once
 
 #include "tamp/sim/config.hpp"
 
 #if TAMP_SIM
+#include <exception>
+
 #include "tamp/sim/scheduler.hpp"
 #endif
 
@@ -25,8 +37,38 @@ inline bool spin_hint_if_simulated() {
     detail::scheduler().spin_hint();
     return true;
 }
+
+/// RAII completed-op event for the progress ledger.  Cheap no-op when no
+/// exploration is active (and in TAMP_SIM=OFF builds, empty entirely).
+class op_scope {
+  public:
+    explicit op_scope(const char* name = nullptr)
+        : began_(detail::scheduler().op_begin(name)),
+          exceptions_(std::uncaught_exceptions()) {}
+
+    ~op_scope() {
+        if (began_) {
+            detail::scheduler().op_end(
+                std::uncaught_exceptions() == exceptions_);
+        }
+    }
+
+    op_scope(const op_scope&) = delete;
+    op_scope& operator=(const op_scope&) = delete;
+
+  private:
+    bool began_;
+    int exceptions_;
+};
 #else
 inline constexpr bool spin_hint_if_simulated() noexcept { return false; }
+
+class op_scope {
+  public:
+    explicit op_scope(const char* = nullptr) noexcept {}
+    op_scope(const op_scope&) = delete;
+    op_scope& operator=(const op_scope&) = delete;
+};
 #endif
 
 }  // namespace tamp::sim

@@ -99,6 +99,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <map>
 #include <mutex>
@@ -121,6 +122,21 @@ enum class Strategy {
     kExhaustive,  // brute-force DFS with preemption bounding
     kRandom,      // uniform random decisions, max_executions samples
     kPct,         // PCT-style priority schedules, random value choices
+    // Liveness probes (progress-property checking; see classify_progress in
+    // tamp/sim/progress.hpp).  All three are sampled adversaries: random
+    // scheduling shaped to witness a progress failure, never to forge one —
+    // every schedule they produce is one a weakly-fair OS could produce.
+    kFairDemonic,  // adversarial but fair: every enabled thread runs within
+                   // a bounded window.  A per-execution victim is scheduled
+                   // as rarely as fairness allows (or, in round-robin mode,
+                   // all threads alternate in lockstep, the shape that
+                   // sustains livelocks).  Starvation-freedom probe.
+    kCrashStop,    // one thread is suspended forever at a random schedule
+                   // point; the rest must keep completing operations.
+                   // Lock-freedom (global progress) probe.
+    kSoloRun,      // a random prefix reaches some state, then one thread
+                   // runs in complete isolation and must finish its current
+                   // operation bounded.  Obstruction-freedom probe.
 };
 
 enum class ViolationKind {
@@ -129,6 +145,15 @@ enum class ViolationKind {
     kDeadlock,  // every live thread parked with no store able to wake one
     kLivelock,  // execution exceeded max_steps schedule points
     kRace,      // unordered plain accesses to a tamp::shared<T> location
+    // Liveness verdicts (typed replacements for the blunt livelock abort;
+    // require sim::op_scope annotations in the structure under test).
+    kStarvation,         // fair-demonic: a thread stuck inside one op while
+                         // rivals completed starvation_rival_ops operations
+    kNoGlobalProgress,   // no operation completed system-wide for
+                         // progress_bound schedule points (or, under
+                         // crash-stop, every surviving thread is stuck)
+    kSoloNonTermination, // solo-run: the isolated thread could not finish
+                         // its operation within solo_step_bound own steps
 };
 
 struct ExploreOptions {
@@ -140,6 +165,28 @@ struct ExploreOptions {
     int stale_budget = 4;      // stale-value load choices per thread per exec
     int pct_depth = 3;         // PCT priority-change points
     bool print_on_failure = true;
+    // -- liveness probe bounds (kFairDemonic / kCrashStop / kSoloRun) -----
+    // All step bounds are heuristic: too small flags honest-but-slow ops,
+    // too large wastes budget.  classify_progress() documents the caveat.
+    int fairness_window = 12;       // fair-demonic: max schedule points any
+                                    // enabled thread waits before it is
+                                    // forced to run (the fairness promise)
+    int op_step_bound = 48;         // own steps inside one op_scope before a
+                                    // starvation verdict is considered
+    int starvation_rival_ops = 6;   // rival op completions required while the
+                                    // victim is stuck (evidence the system
+                                    // moves without the victim moving)
+    bool detect_starvation = true;  // fair-demonic: emit kStarvation; off =
+                                    // probe only deadlock-freedom
+    int progress_bound = 800;       // schedule points with no completed op
+                                    // anywhere => kNoGlobalProgress (only
+                                    // once an op_scope has been seen)
+    int crash_horizon = 64;         // crash-stop: crash point drawn from
+                                    // [1, crash_horizon] schedule points
+    int solo_horizon = 48;          // solo-run: prefix length drawn from
+                                    // [0, solo_horizon) schedule points
+    int solo_step_bound = 160;      // solo thread own-step budget to finish
+                                    // its operation in isolation
 };
 
 struct ExploreResult {
@@ -156,7 +203,25 @@ struct ExploreResult {
     std::uint64_t sleep_set_prunes = 0;  // executions cut short by sleep sets
     std::uint64_t races_found = 0;       // plain-memory races (0 or 1: the
                                          // first race aborts the exploration)
+    std::uint64_t completed_ops = 0;     // op_scope completions summed over
+                                         // every executed schedule
 };
+
+/// Human-readable name for a violation kind ("starvation", "race", ...).
+inline const char* violation_name(ViolationKind k) noexcept {
+    switch (k) {
+        case ViolationKind::kNone: return "none";
+        case ViolationKind::kAssert: return "assert";
+        case ViolationKind::kDeadlock: return "deadlock";
+        case ViolationKind::kLivelock: return "livelock";
+        case ViolationKind::kRace: return "race";
+        case ViolationKind::kStarvation: return "starvation";
+        case ViolationKind::kNoGlobalProgress: return "no-global-progress";
+        case ViolationKind::kSoloNonTermination:
+            return "solo-non-termination";
+    }
+    return "unknown";
+}
 
 enum class AccessKind { kLoad, kStore, kRmw, kFence };
 
@@ -528,6 +593,46 @@ class Scheduler {
 
     int execution_index() const noexcept { return exec_index_; }
 
+    // -- op_scope hooks (liveness ledger) ------------------------------------
+
+    /// Begin a structure-level operation on the calling sim thread (called
+    /// by sim::op_scope with the token held).  Scopes nest (a lazy list's
+    /// add() acquires annotated node locks); only the outermost scope is
+    /// the operation — it resets the starvation counters on entry and is
+    /// the ledger event on completion.  Returns true when the scope was
+    /// counted and must be balanced with op_end().
+    bool op_begin(const char* name) {
+        if (!active() || aborting_ || t_sim_tid < 0) return false;
+        OpState& op = ops_[static_cast<std::size_t>(t_sim_tid)];
+        if (op.depth++ == 0) {
+            op.name = name;
+            op.steps = 0;
+            op.begin_ledger = ledger_;
+        }
+        ops_seen_ = true;
+        return true;
+    }
+
+    /// End an operation begun with op_begin.  `completed` is false when
+    /// the scope unwinds through an exception (including the scheduler's
+    /// own execution_aborted) — an abandoned op is not progress.
+    void op_end(bool completed) {
+        if (!active() || t_sim_tid < 0) return;
+        OpState& op = ops_[static_cast<std::size_t>(t_sim_tid)];
+        if (op.depth <= 0) return;
+        if (--op.depth != 0) return;  // inner scopes are not ledger events
+        op.name = nullptr;
+        if (!completed || aborting_) return;
+        ++ledger_;
+        ledger_step_mark_ = steps_;
+        // A completed operation in isolation is exactly what the solo-run
+        // probe asks for: unfreeze the world and keep exploring.
+        if (solo_active_ && t_sim_tid == solo_tid_) end_solo();
+    }
+
+    /// Completed-op count of the current (or last) execution.
+    std::uint64_t ledger() const noexcept { return ledger_; }
+
     // -- sim::thread support -------------------------------------------------
 
     int spawn(std::function<void()> body) {
@@ -793,11 +898,21 @@ class Scheduler {
     // -- scheduling ----------------------------------------------------------
 
     void check_abort() {
-        if (aborting_ && t_sim_tid >= 0) throw execution_aborted{};
+        // Never throw into an active unwind: liveness verdicts fire at
+        // schedule points *inside* operations, and the resulting unwind
+        // runs destructors (hazard-slot release, node cleanup) that touch
+        // the facade again.  A second throw there would hit a noexcept
+        // boundary and terminate.
+        if (aborting_ && t_sim_tid >= 0 && std::uncaught_exceptions() == 0) {
+            throw execution_aborted{};
+        }
     }
 
     void schedule(int tid) {
         check_abort();
+        // A thread unwinding after a violation runs free: its destructors'
+        // facade accesses must neither block nor yield the token.
+        if (aborting_) return;
         if (warmup_tid_ == tid) {
             // First schedule point of a freshly spawned thread: hand the
             // token straight back to the spawning controller and park.  The
@@ -811,14 +926,37 @@ class Scheduler {
         }
         if (++steps_ > static_cast<std::uint64_t>(opts_.max_steps)) {
             if (!aborting_) {
-                set_violation(ViolationKind::kLivelock,
-                              "execution exceeded max_steps = " +
-                                  std::to_string(opts_.max_steps) +
-                                  " schedule points without terminating");
+                // With op_scope annotations the blunt livelock abort becomes
+                // a typed progress verdict: a stalled ledger is evidence of
+                // no global progress, an advancing one means the budget was
+                // simply too small for the workload.
+                if (ops_seen_ &&
+                    steps_ - ledger_step_mark_ >
+                        static_cast<std::uint64_t>(opts_.progress_bound)) {
+                    set_violation(
+                        ViolationKind::kNoGlobalProgress,
+                        "no operation completed for the last " +
+                            std::to_string(steps_ - ledger_step_mark_) +
+                            " schedule points (" + std::to_string(ledger_) +
+                            " ops completed earlier; max_steps = " +
+                            std::to_string(opts_.max_steps) + " exhausted)" +
+                            crash_note());
+                } else {
+                    set_violation(ViolationKind::kLivelock,
+                                  "execution exceeded max_steps = " +
+                                      std::to_string(opts_.max_steps) +
+                                      " schedule points without terminating" +
+                                      (ops_seen_
+                                           ? " (ops were still completing: "
+                                             "budget too small, not a "
+                                             "progress failure)"
+                                           : ""));
+                }
                 aborting_ = true;
             }
             throw execution_aborted{};
         }
+        liveness_step(tid);
         std::vector<int> cands = runnable_candidates(tid);
         if (cands.empty()) cands = resolve_stall(tid);
         const int next = pick_next(std::move(cands), tid);
@@ -833,6 +971,7 @@ class Scheduler {
     void on_worker_finished(int tid) {
         Worker& w = workers_[static_cast<std::size_t>(tid)];
         w.status = Status::kFinished;
+        if (solo_active_ && tid == solo_tid_) end_solo();
         release_token(tid);
         if (warmup_tid_ == tid) {
             // The body finished (or aborted) without reaching a schedule
@@ -857,16 +996,26 @@ class Scheduler {
         give_token(pick_next(std::move(cands), -1));
     }
 
+    /// True when the liveness adversary keeps `tid` off the schedule: a
+    /// crash-stopped victim never runs again; during a solo phase only the
+    /// solo thread runs.  Lifted while aborting so every worker can unwind.
+    bool liveness_excluded(int tid) const noexcept {
+        if (aborting_) return false;
+        if (tid == crash_tid_) return true;
+        if (solo_active_ && tid != solo_tid_) return true;
+        return false;
+    }
+
     /// Runnable worker tids, current thread first when runnable.
     std::vector<int> runnable_candidates(int current) const {
         std::vector<int> out;
-        if (current >= 0 &&
+        if (current >= 0 && !liveness_excluded(current) &&
             workers_[static_cast<std::size_t>(current)].status ==
                 Status::kRunnable) {
             out.push_back(current);
         }
         for (int i = 0; i < spawned_; ++i) {
-            if (i == current) continue;
+            if (i == current || liveness_excluded(i)) continue;
             if (workers_[static_cast<std::size_t>(i)].status ==
                 Status::kRunnable) {
                 out.push_back(i);
@@ -896,7 +1045,49 @@ class Scheduler {
                                  "threads (token lost)\n");
             std::abort();
         }
+        if (crash_tid_ >= 0) {
+            // A crash models an unboundedly long delay, so once every other
+            // thread has finished (the property has been judged) the victim
+            // is revived — otherwise the controller could never join it.
+            bool others_done = true;
+            for (int i = 0; i < spawned_; ++i) {
+                if (i == crash_tid_) continue;
+                const Status s = workers_[static_cast<std::size_t>(i)].status;
+                if (s == Status::kRunnable || s == Status::kParked) {
+                    others_done = false;
+                    break;
+                }
+            }
+            if (others_done) {
+                crash_tid_ = -1;
+                std::vector<int> cands = runnable_candidates(current);
+                if (!cands.empty()) return cands;
+                // Victim is parked: fall through to the force-wake logic.
+            }
+        }
         if (forcewake_mark_ == store_count_) {
+            if (solo_active_) {
+                set_violation(
+                    ViolationKind::kSoloNonTermination,
+                    "solo-run: T" + std::to_string(solo_tid_) +
+                        " running in isolation since step " +
+                        std::to_string(solo_start_step_) +
+                        " is parked spinning on a value no other thread will "
+                        "ever change (operation cannot finish alone)");
+                aborting_ = true;
+                unpark_all(false);
+                return runnable_candidates(current);
+            }
+            if (crash_tid_ >= 0) {
+                set_violation(
+                    ViolationKind::kNoGlobalProgress,
+                    "every surviving thread is parked spinning on a value "
+                    "only the crashed thread could change" +
+                        crash_note());
+                aborting_ = true;
+                unpark_all(false);
+                return runnable_candidates(current);
+            }
             std::ostringstream os;
             os << "deadlock: every live thread is parked in a spin loop and "
                   "no future store can wake one (threads";
@@ -933,6 +1124,15 @@ class Scheduler {
     }
 
     int pick_next(std::vector<int> cands, int current) {
+        // Liveness adversaries activate (crash a victim, start a solo
+        // phase) at scheduling decisions.  The triggers are deterministic
+        // functions of per-execution RNG draws and schedule history, so a
+        // replay reproduces them byte-for-byte; when one fires, the
+        // candidate set is recomputed under the new exclusions.
+        if (liveness_trigger()) {
+            cands = runnable_candidates(current);
+            if (cands.empty()) cands = resolve_stall(current);
+        }
         const bool cur_in = !cands.empty() && cands.front() == current;
         if (!replaying_ && opts_.strategy == Strategy::kExhaustive &&
             opts_.preemption_bound >= 0 && cur_in &&
@@ -945,6 +1145,11 @@ class Scheduler {
             const int next = cands[static_cast<std::size_t>(didx)];
             if (cur_in && next != current) preemptions_++;
             return next;
+        }
+        if (opts_.strategy == Strategy::kFairDemonic && !aborting_) {
+            // Shape (never emptying) the candidate set; runs during replay
+            // too — it is deterministic, and decision bytes must line up.
+            fair_shape(cands);
         }
         int idx = 0;
         if (cands.size() > 1) {
@@ -964,6 +1169,9 @@ class Scheduler {
             }
         }
         const int next = cands[static_cast<std::size_t>(idx)];
+        if (opts_.strategy == Strategy::kFairDemonic && !aborting_) {
+            fair_account(next);
+        }
         if (cur_in && next != current) preemptions_++;
         return next;
     }
@@ -975,6 +1183,212 @@ class Scheduler {
                 priorities_[static_cast<std::size_t>(current)] =
                     pct_low_priority_--;
             }
+        }
+    }
+
+    // -- liveness engine -----------------------------------------------------
+    //
+    // Everything here must be a deterministic function of (a) per-execution
+    // draws from liveness_rng_ made in begin_execution and (b) schedule
+    // history — never of whether we are recording or replaying — so the
+    // decision bytes of a failing execution line up byte-for-byte on replay.
+
+    /// Per-thread op_scope bookkeeping for the starvation oracle.
+    struct OpState {
+        int depth = 0;                  // op_scope nesting level
+        std::uint64_t steps = 0;        // own schedule points in current op
+        std::uint64_t begin_ledger = 0; // global ledger at outermost begin
+        const char* name = nullptr;     // outermost op label (for verdicts)
+    };
+
+    bool liveness_strategy() const noexcept {
+        return opts_.strategy == Strategy::kFairDemonic ||
+               opts_.strategy == Strategy::kCrashStop ||
+               opts_.strategy == Strategy::kSoloRun;
+    }
+
+    /// Separate xorshift stream for adversary draws: the main rng is not
+    /// advanced during replay (decisions come from the trace), so adversary
+    /// state may only consume this stream at schedule-deterministic events.
+    std::uint64_t liveness_rng_next() noexcept {
+        std::uint64_t x = liveness_rng_state_;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        liveness_rng_state_ = x;
+        return x * 0x2545F4914F6CDD1Dull;
+    }
+
+    std::string crash_note() const {
+        if (!crash_fired_ || crash_victim_ < 0) return "";
+        return " (crash-stop adversary suspended T" +
+               std::to_string(crash_victim_) + " at step " +
+               std::to_string(crash_at_step_) + ")";
+    }
+
+    /// Fires pending crash-stop / solo-run activations.  Returns true when
+    /// an activation changed the exclusion set (candidates must be
+    /// recomputed).
+    bool liveness_trigger() {
+        if (aborting_ || spawned_ == 0) return false;
+        if (opts_.strategy == Strategy::kCrashStop && !crash_fired_ &&
+            steps_ >= crash_step_) {
+            crash_fired_ = true;
+            crash_victim_ = static_cast<int>(
+                crash_seed_ % static_cast<std::uint64_t>(spawned_));
+            crash_at_step_ = steps_;
+            if (workers_[static_cast<std::size_t>(crash_victim_)].status ==
+                Status::kFinished) {
+                return false;  // victim already done: a wasted sample
+            }
+            crash_tid_ = crash_victim_;
+            ledger_step_mark_ = steps_;  // progress clock restarts at crash
+            return true;
+        }
+        if (opts_.strategy == Strategy::kSoloRun && !solo_fired_ &&
+            steps_ >= solo_start_at_) {
+            solo_fired_ = true;
+            const int s = static_cast<int>(
+                solo_seed_ % static_cast<std::uint64_t>(spawned_));
+            if (workers_[static_cast<std::size_t>(s)].status ==
+                Status::kFinished) {
+                return false;
+            }
+            solo_tid_ = s;
+            solo_active_ = true;
+            solo_start_step_ = steps_;
+            solo_steps_ = 0;
+            return true;
+        }
+        return false;
+    }
+
+    void end_solo() noexcept {
+        solo_active_ = false;
+        solo_tid_ = -1;
+    }
+
+    /// Fair-demonic candidate shaping (never empties `cands`): honor the
+    /// fairness window first, then either lockstep round-robin (the
+    /// livelock-sustaining adversary) or victim avoidance (the starvation
+    /// adversary).
+    void fair_shape(std::vector<int>& cands) {
+        if (spawned_ > 0 && fd_victim_ < 0) {
+            fd_victim_ = static_cast<int>(
+                fd_victim_seed_ % static_cast<std::uint64_t>(spawned_));
+        }
+        if (cands.size() <= 1) return;
+        int forced = -1;
+        for (int t : cands) {
+            if (fd_wait_[static_cast<std::size_t>(t)] >=
+                    opts_.fairness_window &&
+                (forced < 0 ||
+                 fd_wait_[static_cast<std::size_t>(t)] >
+                     fd_wait_[static_cast<std::size_t>(forced)])) {
+                forced = t;
+            }
+        }
+        if (forced >= 0) {
+            cands.assign(1, forced);
+            return;
+        }
+        if (fd_round_robin_) {
+            // The runnable tid cyclically after the last one scheduled.
+            int best = -1;
+            int best_key = kMaxSimThreads + 1;
+            for (int t : cands) {
+                int key = (t - fd_last_ - 1) % spawned_;
+                if (key < 0) key += spawned_;
+                if (key < best_key) {
+                    best_key = key;
+                    best = t;
+                }
+            }
+            cands.assign(1, best);
+            return;
+        }
+        // Victim-avoid: exclude the victim until its randomized re-entry
+        // threshold (the fairness window above still bounds its wait).
+        for (auto it = cands.begin(); it != cands.end(); ++it) {
+            if (*it == fd_victim_ &&
+                fd_wait_[static_cast<std::size_t>(fd_victim_)] <
+                    fd_min_wait_) {
+                cands.erase(it);
+                break;
+            }
+        }
+    }
+
+    /// Wait-counter aging after a fair-demonic pick; redraw the victim's
+    /// re-entry threshold each time it actually runs (randomizing the
+    /// phase at which it re-attempts its operation).
+    void fair_account(int next) {
+        for (int i = 0; i < spawned_; ++i) {
+            if (workers_[static_cast<std::size_t>(i)].status ==
+                Status::kRunnable) {
+                ++fd_wait_[static_cast<std::size_t>(i)];
+            }
+        }
+        if (next >= 0) fd_wait_[static_cast<std::size_t>(next)] = 0;
+        fd_last_ = next;
+        if (next == fd_victim_) {
+            const int window = opts_.fairness_window > 0
+                                   ? opts_.fairness_window
+                                   : 1;
+            fd_min_wait_ = 1 + static_cast<int>(
+                                   liveness_rng_next() %
+                                   static_cast<std::uint64_t>(window));
+        }
+    }
+
+    /// Per-schedule-point liveness accounting for the thread taking the
+    /// step; issues the typed progress verdicts.
+    void liveness_step(int tid) {
+        if (aborting_) return;
+        OpState& op = ops_[static_cast<std::size_t>(tid)];
+        if (op.depth > 0) ++op.steps;
+        if (solo_active_ && tid == solo_tid_ &&
+            ++solo_steps_ >
+                static_cast<std::uint64_t>(opts_.solo_step_bound)) {
+            set_violation(
+                ViolationKind::kSoloNonTermination,
+                "solo-run: T" + std::to_string(tid) +
+                    " running in isolation since step " +
+                    std::to_string(solo_start_step_) + " took " +
+                    std::to_string(solo_steps_ - 1) +
+                    " steps without completing an operation (solo_step_bound "
+                    "= " +
+                    std::to_string(opts_.solo_step_bound) + ")");
+            aborting_ = true;
+            throw execution_aborted{};
+        }
+        if (opts_.strategy == Strategy::kFairDemonic &&
+            opts_.detect_starvation && op.depth > 0 &&
+            op.steps > static_cast<std::uint64_t>(opts_.op_step_bound) &&
+            ledger_ - op.begin_ledger >=
+                static_cast<std::uint64_t>(opts_.starvation_rival_ops)) {
+            set_violation(
+                ViolationKind::kStarvation,
+                "starvation: T" + std::to_string(tid) + " took " +
+                    std::to_string(op.steps) + " steps inside one " +
+                    (op.name ? std::string(op.name) : std::string("op")) +
+                    " under a fair schedule while rivals completed " +
+                    std::to_string(ledger_ - op.begin_ledger) +
+                    " operations");
+            aborting_ = true;
+            throw execution_aborted{};
+        }
+        if (liveness_strategy() && ops_seen_ &&
+            steps_ - ledger_step_mark_ >
+                static_cast<std::uint64_t>(opts_.progress_bound)) {
+            set_violation(
+                ViolationKind::kNoGlobalProgress,
+                "no operation completed system-wide for " +
+                    std::to_string(steps_ - ledger_step_mark_) +
+                    " schedule points (" + std::to_string(ledger_) +
+                    " ops completed earlier)" + crash_note());
+            aborting_ = true;
+            throw execution_aborted{};
         }
     }
 
@@ -1451,6 +1865,55 @@ class Scheduler {
                                              : 1));
             }
         }
+        // Liveness state: reset every execution; adversary parameters are
+        // drawn here from a dedicated stream so record and replay agree.
+        for (auto& op : ops_) op = OpState{};
+        ledger_ = 0;
+        ledger_step_mark_ = 0;
+        ops_seen_ = false;
+        fd_round_robin_ = false;
+        fd_victim_ = -1;
+        fd_last_ = -1;
+        fd_min_wait_ = 1;
+        fd_victim_seed_ = 0;
+        fd_wait_.fill(0);
+        crash_fired_ = false;
+        crash_tid_ = -1;
+        crash_victim_ = -1;
+        crash_step_ = 0;
+        crash_at_step_ = 0;
+        crash_seed_ = 0;
+        solo_fired_ = false;
+        solo_active_ = false;
+        solo_tid_ = -1;
+        solo_start_at_ = 0;
+        solo_start_step_ = 0;
+        solo_steps_ = 0;
+        liveness_rng_state_ = splitmix64(rng_state_ ^ 0xC0FFEE5EEDFACADEull);
+        if (liveness_rng_state_ == 0) liveness_rng_state_ = 1;
+        if (opts_.strategy == Strategy::kFairDemonic) {
+            // ~1 in 4 executions run the lockstep round-robin adversary,
+            // the rest starve a random victim as hard as fairness allows.
+            fd_round_robin_ = (liveness_rng_next() & 3u) == 0;
+            fd_victim_seed_ = liveness_rng_next();
+            const int window =
+                opts_.fairness_window > 0 ? opts_.fairness_window : 1;
+            fd_min_wait_ = 1 + static_cast<int>(
+                                   liveness_rng_next() %
+                                   static_cast<std::uint64_t>(window));
+        } else if (opts_.strategy == Strategy::kCrashStop) {
+            const int horizon =
+                opts_.crash_horizon > 0 ? opts_.crash_horizon : 1;
+            crash_step_ = 1 + liveness_rng_next() %
+                                  static_cast<std::uint64_t>(horizon);
+            crash_seed_ = liveness_rng_next();
+        } else if (opts_.strategy == Strategy::kSoloRun) {
+            const int horizon =
+                opts_.solo_horizon > 0 ? opts_.solo_horizon : 1;
+            solo_start_at_ = liveness_rng_next() %
+                             static_cast<std::uint64_t>(horizon);
+            solo_seed_ = liveness_rng_next();
+        }
     }
 
     void end_execution() {
@@ -1489,6 +1952,7 @@ class Scheduler {
             ++exec;
             res.executions++;
             res.total_steps += steps_;
+            res.completed_ops += ledger_;
             if (violation_.kind != ViolationKind::kNone) {
                 res.ok = false;
                 res.kind = violation_.kind;
@@ -1522,13 +1986,7 @@ class Scheduler {
 
     static void print_failure(const ExploreResult& res) {
         std::ostringstream os;
-        os << "tamp::sim: VIOLATION ("
-           << (res.kind == ViolationKind::kAssert
-                   ? "assert"
-                   : res.kind == ViolationKind::kDeadlock
-                         ? "deadlock"
-                         : res.kind == ViolationKind::kRace ? "race"
-                                                            : "livelock")
+        os << "tamp::sim: VIOLATION (" << violation_name(res.kind)
            << ")\n  " << res.message << "\n  replay: seed=" << res.seed
            << " execution=" << res.failing_execution << " trace=";
         static const char* hex = "0123456789abcdef";
@@ -1573,6 +2031,32 @@ class Scheduler {
     std::array<std::int64_t, kMaxSimThreads> priorities_{};
     std::int64_t pct_low_priority_ = 0;
     std::vector<std::uint64_t> pct_change_points_;
+
+    // Liveness engine state (reset per execution in begin_execution).
+    std::array<OpState, kMaxSimThreads> ops_{};
+    std::uint64_t ledger_ = 0;            // completed ops this execution
+    std::uint64_t ledger_step_mark_ = 0;  // steps_ at last completion
+    bool ops_seen_ = false;               // any op_scope entered yet
+    std::uint64_t liveness_rng_state_ = 1;
+    bool fd_round_robin_ = false;         // fair-demonic execution mode
+    int fd_victim_ = -1;
+    int fd_last_ = -1;                    // last scheduled tid (round-robin)
+    int fd_min_wait_ = 1;                 // victim re-entry threshold
+    std::uint64_t fd_victim_seed_ = 0;
+    std::array<int, kMaxSimThreads> fd_wait_{};
+    bool crash_fired_ = false;
+    int crash_tid_ = -1;                  // active exclusion (-1 = none)
+    int crash_victim_ = -1;               // for reporting (survives revival)
+    std::uint64_t crash_step_ = 0;
+    std::uint64_t crash_at_step_ = 0;
+    std::uint64_t crash_seed_ = 0;
+    bool solo_fired_ = false;
+    bool solo_active_ = false;
+    int solo_tid_ = -1;
+    std::uint64_t solo_start_at_ = 0;
+    std::uint64_t solo_start_step_ = 0;
+    std::uint64_t solo_steps_ = 0;
+    std::uint64_t solo_seed_ = 0;
 
     Clock sc_clock_{};
 

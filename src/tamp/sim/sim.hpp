@@ -10,5 +10,6 @@
 #include "tamp/sim/config.hpp"
 #include "tamp/sim/explore.hpp"
 #include "tamp/sim/hooks.hpp"
+#include "tamp/sim/progress.hpp"
 #include "tamp/sim/shared.hpp"
 #include "tamp/sim/thread.hpp"

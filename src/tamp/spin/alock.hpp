@@ -21,6 +21,7 @@
 #include "tamp/core/thread_registry.hpp"
 #include "tamp/obs/timer.hpp"
 #include "tamp/sim/atomic.hpp"
+#include "tamp/sim/hooks.hpp"
 
 namespace tamp {
 
@@ -40,6 +41,7 @@ class ALock {
 
     void lock() {
         obs::scoped_timer<obs::ev::spin_acquire_ns> acquire_latency;
+        sim::op_scope op("ALock::lock");
         const std::size_t slot =
             tail_.fetch_add(1, std::memory_order_acq_rel) % size_;
         my_slot_[thread_id()].value = slot;

@@ -14,6 +14,7 @@
 #include "tamp/core/backoff.hpp"
 #include "tamp/obs/timer.hpp"
 #include "tamp/sim/atomic.hpp"
+#include "tamp/sim/hooks.hpp"
 
 namespace tamp {
 
@@ -25,6 +26,7 @@ class BackoffLock {
 
     void lock() {
         obs::scoped_timer<obs::ev::spin_acquire_ns> acquire_latency;
+        sim::op_scope op("BackoffLock::lock");
         // Backoff state is per-acquisition (stack-local), as in Fig. 7.5:
         // contention observed during this acquisition should not penalize
         // the next one.

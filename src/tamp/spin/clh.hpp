@@ -25,6 +25,7 @@
 #include "tamp/core/thread_registry.hpp"
 #include "tamp/obs/timer.hpp"
 #include "tamp/sim/atomic.hpp"
+#include "tamp/sim/hooks.hpp"
 
 namespace tamp {
 
@@ -41,6 +42,7 @@ class CLHLock {
 
     void lock() {
         obs::scoped_timer<obs::ev::spin_acquire_ns> acquire_latency;
+        sim::op_scope op("CLHLock::lock");
         const std::size_t id = thread_id();
         assert(id < capacity_ && "raise CLHLock capacity");
         QNode* node = my_node_[id];

@@ -23,6 +23,7 @@
 #include "tamp/core/thread_registry.hpp"
 #include "tamp/obs/timer.hpp"
 #include "tamp/sim/atomic.hpp"
+#include "tamp/sim/hooks.hpp"
 
 namespace tamp {
 
@@ -32,6 +33,7 @@ class MCSLock {
 
     void lock() {
         obs::scoped_timer<obs::ev::spin_acquire_ns> acquire_latency;
+        sim::op_scope op("MCSLock::lock");
         QNode* node = my_node();
         node->next.store(nullptr, std::memory_order_relaxed);
         QNode* pred = tail_.exchange(node, std::memory_order_acq_rel);

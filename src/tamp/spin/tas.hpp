@@ -18,6 +18,7 @@
 #include "tamp/core/backoff.hpp"
 #include "tamp/obs/timer.hpp"
 #include "tamp/sim/atomic.hpp"
+#include "tamp/sim/hooks.hpp"
 
 namespace tamp {
 
@@ -27,6 +28,7 @@ class TASLock {
     void lock() {
         // Acquire-latency probe: entry -> acquisition (stats builds only).
         obs::scoped_timer<obs::ev::spin_acquire_ns> acquire_latency;
+        sim::op_scope op("TASLock::lock");
         // acquire on success orders the critical section after the
         // acquisition, exactly as a Java getAndSet (volatile RMW) would.
         SpinWait w;
@@ -63,6 +65,7 @@ class TTASLock {
   public:
     void lock() {
         obs::scoped_timer<obs::ev::spin_acquire_ns> acquire_latency;
+        sim::op_scope op("TTASLock::lock");
         SpinWait w;
         std::uint64_t failures = 0;
         while (true) {

@@ -20,6 +20,7 @@
 #include "tamp/core/backoff.hpp"
 #include "tamp/reclaim/hazard_pointers.hpp"
 #include "tamp/sim/atomic.hpp"
+#include "tamp/sim/hooks.hpp"
 #include "tamp/sim/shared.hpp"
 
 namespace tamp {
@@ -57,6 +58,7 @@ class LockFreeStack {
 
     /// Pop into `out`; false when empty.
     bool try_pop(T& out) {
+        sim::op_scope op("LockFreeStack::try_pop");
         Backoff backoff(1, 1024);
         HazardSlot<Node> hp;
         while (true) {
@@ -89,6 +91,7 @@ class LockFreeStack {
     }
 
     void push_node(Node* node) {
+        sim::op_scope op("LockFreeStack::push");
         Backoff backoff(1, 1024);
         while (!try_push_node(node)) backoff.backoff();
     }

@@ -24,10 +24,16 @@ TEST(SimBugs, RequiresTampSimBuild) {
 
 #include <array>
 #include <atomic>
+#include <cstddef>
 #include <cstdint>
+#include <memory>
+#include <vector>
 
 #include "tamp/core/backoff.hpp"
 #include "tamp/queues/ms_queue.hpp"
+#include "tamp/spin/backoff_lock.hpp"
+#include "tamp/spin/clh.hpp"
+#include "tamp/spin/tas.hpp"
 
 namespace {
 
@@ -511,6 +517,284 @@ void guarded_stat_body() {
         sim::assert_always(lk.acquisitions() == 2,
                            "guarded statistic must count every acquisition");
     }
+}
+
+// ===========================================================================
+// Bug 7 (liveness) — TAS lock starvation.  The book is explicit that TAS
+// and TTAS are deadlock-free but *not* starvation-free (§7.3): a schedule
+// exists in which one thread reacquires the lock forever while another
+// spins.  A weakly-fair OS scheduler can produce that schedule, so the
+// fair-demonic strategy must find it — and report kStarvation, not the
+// blunt livelock abort.
+// ===========================================================================
+
+void tas_starvation_body() {
+    auto lock = std::make_shared<tamp::TASLock>();
+    auto count = std::make_shared<int>(0);
+    std::vector<sim::thread> ts;
+    for (int t = 0; t < 2; ++t) {
+        ts.emplace_back([lock, count] {
+            for (int i = 0; i < 48; ++i) {
+                lock->lock();
+                ++*count;
+                lock->unlock();
+            }
+        });
+    }
+    for (auto& t : ts) t.join();
+}
+
+sim::ExploreOptions fair_demonic_opts() {
+    sim::ExploreOptions opts;
+    opts.strategy = sim::Strategy::kFairDemonic;
+    opts.max_executions = 400;
+    opts.max_steps = 6000;
+    opts.fairness_window = 12;
+    opts.op_step_bound = 20;
+    opts.starvation_rival_ops = 6;
+    opts.print_on_failure = false;
+    return opts;
+}
+
+TEST(SimBugs, TasLockStarvesUnderFairDemon) {
+    const auto opts = fair_demonic_opts();
+    const auto res = sim::explore(opts, tas_starvation_body);
+    ASSERT_FALSE(res.ok) << "TAS starvation not found in " << res.executions
+                         << " executions";
+    EXPECT_EQ(res.kind, sim::ViolationKind::kStarvation) << res.message;
+
+    // The counterexample replays byte-for-byte: the adversary's choices are
+    // a pure function of the recorded seed and schedule history.
+    const auto again = sim::replay(opts, res, tas_starvation_body);
+    EXPECT_FALSE(again.ok);
+    EXPECT_EQ(again.kind, res.kind);
+    EXPECT_EQ(again.trace, res.trace);
+    EXPECT_EQ(again.failing_execution, res.failing_execution);
+}
+
+// The fixed twin: the CLH queue lock hands the lock over in FIFO order, so
+// the same demon cannot starve anybody on the same workload.
+TEST(SimBugs, ClhLockSurvivesFairDemon) {
+    const auto res = sim::explore(fair_demonic_opts(), [] {
+        auto lock = std::make_shared<tamp::CLHLock>();
+        auto count = std::make_shared<int>(0);
+        std::vector<sim::thread> ts;
+        for (int t = 0; t < 2; ++t) {
+            ts.emplace_back([lock, count] {
+                for (int i = 0; i < 48; ++i) {
+                    lock->lock();
+                    ++*count;
+                    lock->unlock();
+                }
+            });
+        }
+        for (auto& t : ts) t.join();
+    });
+    EXPECT_TRUE(res.ok) << res.message;
+}
+
+// ===========================================================================
+// Bug 8 (liveness) — a Michael–Scott queue that swings its own tail but
+// never *helps* a lagging one.  Crash-free it is indistinguishable from
+// the real queue; suspend one enqueuer between its link-CAS and its tail
+// swing (exactly what the crash-stop adversary does) and every other
+// enqueuer retries forever against the lagging tail.  Helping is not an
+// optimization — it is what makes the queue lock-free.
+// ===========================================================================
+
+class SelfishQueue {
+  public:
+    explicit SelfishQueue(std::array<LaggyNode, 6>& pool) : pool_(pool) {
+        head_.store(&pool_[0], std::memory_order_relaxed);
+        tail_.store(&pool_[0], std::memory_order_relaxed);
+    }
+
+    void enqueue(int v) {
+        sim::op_scope op("SelfishQueue::enqueue");
+        LaggyNode* n = &pool_[used_.fetch_add(1, std::memory_order_relaxed)];
+        n->v = v;
+        tamp::SpinWait w;
+        while (true) {
+            LaggyNode* last = tail_.load(std::memory_order_acquire);
+            LaggyNode* next = last->next.load(std::memory_order_acquire);
+            if (next == nullptr) {
+                LaggyNode* expected = nullptr;
+                if (last->next.compare_exchange_strong(
+                        expected, n, std::memory_order_release,
+                        std::memory_order_acquire)) {
+                    // Swing our own tail — correct while nobody crashes...
+                    tail_.compare_exchange_strong(last, n,
+                                                  std::memory_order_release,
+                                                  std::memory_order_acquire);
+                    return;
+                }
+            }
+            // BUG: tail lagging (next != nullptr) — no helping CAS, just
+            // hope whoever linked it gets around to the swing.
+            w.spin();
+        }
+    }
+
+  private:
+    tamp::atomic<LaggyNode*> head_{nullptr};
+    tamp::atomic<LaggyNode*> tail_{nullptr};
+    tamp::atomic<int> used_{1};  // pool_[0] is the sentinel
+    std::array<LaggyNode, 6>& pool_;
+};
+
+void selfish_queue_body() {
+    std::array<LaggyNode, 6> pool{};
+    SelfishQueue q(pool);
+    sim::thread a([&] {
+        q.enqueue(1);
+        q.enqueue(2);
+    });
+    sim::thread b([&] {
+        q.enqueue(3);
+        q.enqueue(4);
+    });
+    a.join();
+    b.join();
+}
+
+sim::ExploreOptions crash_stop_opts() {
+    sim::ExploreOptions opts;
+    opts.strategy = sim::Strategy::kCrashStop;
+    opts.max_executions = 2000;
+    opts.crash_horizon = 24;
+    opts.print_on_failure = false;
+    return opts;
+}
+
+TEST(SimBugs, SelfishQueueLosesLockFreedomUnderCrashStop) {
+    const auto opts = crash_stop_opts();
+    const auto res = sim::explore(opts, selfish_queue_body);
+    ASSERT_FALSE(res.ok) << "crash-stop stall not found in "
+                         << res.executions << " executions";
+    EXPECT_EQ(res.kind, sim::ViolationKind::kNoGlobalProgress)
+        << res.message;
+    // The diagnostic names the crashed thread: this is a progress failure
+    // caused by a suspension, not a deadlock in the lock-order sense.
+    EXPECT_NE(res.message.find("crash"), std::string::npos) << res.message;
+
+    const auto again = sim::replay(opts, res, selfish_queue_body);
+    EXPECT_FALSE(again.ok);
+    EXPECT_EQ(again.kind, res.kind);
+    EXPECT_EQ(again.trace, res.trace);
+}
+
+// The fixed twin: the real queue's enqueuers help a lagging tail forward,
+// so no single suspension can stop the others.
+TEST(SimBugs, RealMsQueueSurvivesCrashStop) {
+    const auto res = sim::explore(crash_stop_opts(), [] {
+        tamp::LockFreeQueue<int> q;
+        sim::thread a([&] {
+            q.enqueue(1);
+            q.enqueue(2);
+        });
+        sim::thread b([&] {
+            q.enqueue(3);
+            q.enqueue(4);
+        });
+        a.join();
+        b.join();
+    });
+    EXPECT_TRUE(res.ok) << res.message;
+}
+
+// ===========================================================================
+// Bug 9 (liveness) — symmetric politeness livelock.  Two threads raise
+// their flags, each sees the other's flag, and each politely backs off in
+// lockstep, forever.  Every thread is running and storing — no deadlock —
+// but the system-wide operation ledger never advances, which is exactly
+// what kNoGlobalProgress measures.  (The book's backoff discussion, §7.4:
+// *randomized* backoff exists precisely to break this symmetry.)
+// ===========================================================================
+
+class PoliteLock {
+  public:
+    void lock(std::size_t me) {
+        sim::op_scope op("PoliteLock::lock");
+        const std::size_t other = 1 - me;
+        while (true) {
+            flag_[me].store(true, std::memory_order_seq_cst);
+            if (!flag_[other].load(std::memory_order_seq_cst)) return;
+            // BUG: deterministic politeness with an *immediate* retry —
+            // both threads retreat and re-raise in the same rhythm, and
+            // nothing (no pause, no randomness) ever breaks the tie.
+            flag_[me].store(false, std::memory_order_seq_cst);
+        }
+    }
+
+    void unlock(std::size_t me) {
+        flag_[me].store(false, std::memory_order_release);
+    }
+
+  private:
+    tamp::atomic<bool> flag_[2] = {false, false};
+};
+
+void polite_lock_body() {
+    auto lock = std::make_shared<PoliteLock>();
+    auto count = std::make_shared<int>(0);
+    std::vector<sim::thread> ts;
+    for (std::size_t t = 0; t < 2; ++t) {
+        ts.emplace_back([lock, count, t] {
+            for (int i = 0; i < 4; ++i) {
+                lock->lock(t);
+                ++*count;
+                lock->unlock(t);
+            }
+        });
+    }
+    for (auto& t : ts) t.join();
+}
+
+TEST(SimBugs, PoliteLockLivelocksUnderFairDemon) {
+    sim::ExploreOptions opts;
+    opts.strategy = sim::Strategy::kFairDemonic;
+    opts.max_executions = 400;
+    opts.max_steps = 4000;
+    opts.progress_bound = 400;
+    opts.detect_starvation = false;  // the failure here is system-wide
+    opts.print_on_failure = false;
+    const auto res = sim::explore(opts, polite_lock_body);
+    ASSERT_FALSE(res.ok) << "livelock not found in " << res.executions
+                         << " executions";
+    EXPECT_EQ(res.kind, sim::ViolationKind::kNoGlobalProgress)
+        << res.message;
+
+    const auto again = sim::replay(opts, res, polite_lock_body);
+    EXPECT_FALSE(again.ok);
+    EXPECT_EQ(again.kind, res.kind);
+    EXPECT_EQ(again.trace, res.trace);
+}
+
+// The fixed twin: real backoff (randomized, growing pauses) breaks the
+// symmetry; the same demon sees every operation complete.
+TEST(SimBugs, BackoffLockSurvivesFairDemon) {
+    sim::ExploreOptions opts;
+    opts.strategy = sim::Strategy::kFairDemonic;
+    opts.max_executions = 400;
+    opts.max_steps = 6000;
+    opts.progress_bound = 400;
+    opts.detect_starvation = false;  // backoff trades fairness for progress
+    const auto res = sim::explore(opts, [] {
+        auto lock = std::make_shared<tamp::BackoffLock>();
+        auto count = std::make_shared<int>(0);
+        std::vector<sim::thread> ts;
+        for (std::size_t t = 0; t < 2; ++t) {
+            ts.emplace_back([lock, count] {
+                for (int i = 0; i < 4; ++i) {
+                    lock->lock();
+                    ++*count;
+                    lock->unlock();
+                }
+            });
+        }
+        for (auto& t : ts) t.join();
+    });
+    EXPECT_TRUE(res.ok) << res.message;
 }
 
 TEST(SimBugs, TtasStatisticInsideLockPassesExhaustively) {

@@ -138,8 +138,15 @@ def median_rep(points):
 
 
 def build_report(family, raw):
+    if not isinstance(raw, dict):
+        fail(f"benchmark output: top level is {type(raw).__name__}, "
+             f"expected an object")
     reps = {}
     for entry in raw.get("benchmarks", []):
+        if not isinstance(entry, dict) or not isinstance(
+                entry.get("name"), str):
+            fail("benchmark output: 'benchmarks' entry without a string "
+                 "'name' (truncated run?)")
         if entry.get("run_type") == "aggregate":
             continue
         name, threads = split_name(entry["name"])
@@ -184,18 +191,51 @@ def build_report(family, raw):
     }
 
 
+def validate_report(path, report):
+    """Shape-check a parsed report so a truncated or hand-mangled file
+    dies with one diagnostic line instead of a traceback deep inside the
+    diff.  Returns the report on success, fail()s otherwise."""
+    if not isinstance(report, dict):
+        fail(f"{path}: top level is {type(report).__name__}, expected an "
+             f"object")
+    if report.get("schema_version") != SCHEMA_VERSION:
+        fail(
+            f"{path}: schema_version {report.get('schema_version')!r} "
+            f"!= {SCHEMA_VERSION}"
+        )
+    if not isinstance(report.get("family"), str):
+        fail(f"{path}: missing or non-string 'family'")
+    series = report.get("series")
+    if not isinstance(series, list):
+        fail(f"{path}: missing or non-list 'series'")
+    for i, s in enumerate(series):
+        where = f"{path}: series[{i}]"
+        if not isinstance(s, dict) or not isinstance(s.get("name"), str):
+            fail(f"{where}: expected an object with a string 'name'")
+        points = s.get("points")
+        if not isinstance(points, list):
+            fail(f"{where} ({s['name']}): missing or non-list 'points'")
+        for j, p in enumerate(points):
+            pwhere = f"{where} ({s['name']}) point[{j}]"
+            if not isinstance(p, dict):
+                fail(f"{pwhere}: expected an object")
+            if not isinstance(p.get("threads"), int):
+                fail(f"{pwhere}: missing or non-integer 'threads'")
+            if not isinstance(p.get("items_per_sec"), (int, float,
+                                                       type(None))):
+                fail(f"{pwhere}: non-numeric 'items_per_sec'")
+            if not isinstance(p.get("counters", {}), dict):
+                fail(f"{pwhere}: non-object 'counters'")
+    return report
+
+
 def load_report(path):
     try:
         with open(path) as f:
             report = json.load(f)
     except (OSError, json.JSONDecodeError) as e:
         fail(f"cannot read report {path}: {e}")
-    if report.get("schema_version") != SCHEMA_VERSION:
-        fail(
-            f"{path}: schema_version {report.get('schema_version')!r} "
-            f"!= {SCHEMA_VERSION}"
-        )
-    return report
+    return validate_report(path, report)
 
 
 def index_points(report):
@@ -432,9 +472,14 @@ def main():
     args = ap.parse_args()
 
     if args.diff:
-        sys.exit(diff_reports(*args.diff, args.warn_pct, args.fail_pct,
-                              args.ptile_warn_pct, args.ptile_fail_pct,
-                              args.show_counters))
+        try:
+            sys.exit(diff_reports(*args.diff, args.warn_pct, args.fail_pct,
+                                  args.ptile_warn_pct, args.ptile_fail_pct,
+                                  args.show_counters))
+        except (KeyError, TypeError, ValueError, AttributeError) as e:
+            # validate_report covers the documented schema; this backstop
+            # turns anything it missed into the same one-line contract.
+            fail(f"malformed report: {type(e).__name__}: {e}")
 
     min_time = QUICK_MIN_TIME if args.quick else args.min_time
     repetitions = args.repetitions

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Custom atomics lint for the tamp codebase.
 
-Eight rules, each encoding a convention the concurrent code is expected to
+Nine rules, each encoding a convention the concurrent code is expected to
 follow (see README "Correctness tooling"):
 
   cas-strong-loop      compare_exchange_strong inside a loop body or loop
@@ -64,6 +64,19 @@ follow (see README "Correctness tooling"):
                        scope: seq_cst stores elsewhere are an ordinary
                        (if blunt) tool.
 
+  spin-needs-pause     a spin-wait loop — a while/do loop whose *condition*
+                       reads an atomic (.load/.exchange/.test/
+                       .test_and_set) — with no pause anywhere in the loop:
+                       no SpinWait::spin, Backoff::backoff, cpu_relax,
+                       yield, wait, or park call.  A pauseless spin hammers
+                       the cache line it waits on, starving the very writer
+                       it is waiting for (Herlihy & Shavit §7.4/App. B),
+                       and under TAMP_SIM it also hides the spin from the
+                       scheduler's spin-hint parking.  Scoped to the hot
+                       spin families src/tamp/{spin,mutex,queues,stacks}/.
+                       CAS retry loops (compare_exchange in the condition)
+                       are out of scope: they re-attempt, not re-read.
+
   obs-tag-registered   an `obs::ev::<tag>` use (counter, histogram, or
                        timer instantiation) whose tag struct is not
                        declared in src/tamp/obs/events.hpp.  events.hpp is
@@ -114,6 +127,10 @@ RULES = {
     "obs-tag-registered": "not declared in src/tamp/obs/events.hpp; every "
                           "obs::ev tag must join the shared event "
                           "vocabulary there",
+    "spin-needs-pause": "spin-wait loop with no pause; spin through "
+                        "SpinWait/Backoff (or cpu_relax/yield) so the "
+                        "waiter stops hammering the line and the sim "
+                        "scheduler sees the spin",
 }
 
 # Directories (under src/tamp/) whose families have been migrated onto the
@@ -129,6 +146,29 @@ def in_facade_scope(path):
 def in_reclaim_scope(path):
     norm = os.path.abspath(path).replace(os.sep, "/")
     return "/tamp/reclaim/" in norm
+
+
+# Directories whose spin loops are hot enough for spin-needs-pause.
+SPIN_PAUSE_DIRS = ("spin", "mutex", "queues", "stacks")
+
+
+def in_spin_pause_scope(path):
+    norm = os.path.abspath(path).replace(os.sep, "/")
+    return any("/tamp/%s/" % d in norm for d in SPIN_PAUSE_DIRS)
+
+
+# A loop condition that *reads* an atomic: the signature of a spin-wait.
+# compare_exchange_{weak,strong} deliberately does not match — a CAS retry
+# loop re-attempts an update rather than re-reading a line, and its pacing
+# is the cas rules' business.
+SPIN_COND_RE = re.compile(
+    r"(?:\.|->)\s*(?:load|exchange|test|test_and_set)\s*\(")
+
+# Anything that counts as "pausing" inside the loop: the library's SpinWait
+# / Backoff funnels, a raw cpu_relax/pause hint, an OS yield, a futex-style
+# wait, or a scheduler park.
+SPIN_PAUSE_RE = re.compile(
+    r"\b(?:spin|backoff|cpu_relax|pause|yield|wait|park)\w*\s*\(")
 
 
 def in_obs_tag_scope(path):
@@ -317,6 +357,31 @@ def matching_paren(text, open_idx):
     return len(text) - 1
 
 
+def matching_brace(text, open_idx):
+    depth = 0
+    for j in range(open_idx, len(text)):
+        if text[j] == "{":
+            depth += 1
+        elif text[j] == "}":
+            depth -= 1
+            if depth == 0:
+                return j
+    return len(text) - 1
+
+
+def brace_open_of(text, close_idx):
+    """Offset of the '{' matching the '}' at close_idx, or -1."""
+    depth = 0
+    for j in range(close_idx, -1, -1):
+        if text[j] == "}":
+            depth += 1
+        elif text[j] == "{":
+            depth -= 1
+            if depth == 0:
+                return j
+    return -1
+
+
 def matching_angle(text, open_idx):
     """End of a template argument list starting at '<'; tolerates nested
     <> and ()."""
@@ -344,6 +409,66 @@ def line_of(text, idx, line_starts):
     return lo + 1
 
 
+def scan_spin_pause(text, line_starts):
+    """The spin-needs-pause pass: `text` is comment/string-stripped source
+    from a file inside SPIN_PAUSE_DIRS."""
+    findings = []
+    n = len(text)
+
+    def report(idx):
+        findings.append((line_of(text, idx, line_starts),
+                         "spin-needs-pause", RULES["spin-needs-pause"]))
+
+    # while (<atomic read>) <body> — the body (or, for an empty body,
+    # nothing at all) must pause.
+    for m in re.finditer(r"\bwhile\s*\(", text):
+        cond_open = m.end() - 1
+        cond_close = matching_paren(text, cond_open)
+        cond = text[cond_open:cond_close + 1]
+        if not SPIN_COND_RE.search(cond):
+            continue
+        # A `} while (...)` do-tail belongs to the do-loop pass below.
+        before = text[:m.start()].rstrip()
+        if before.endswith("}"):
+            open_idx = brace_open_of(text, len(before) - 1)
+            if open_idx >= 0 and re.search(r"\bdo\s*$", text[:open_idx]):
+                continue
+        k = cond_close + 1
+        while k < n and text[k].isspace():
+            k += 1
+        if k < n and text[k] == "{":
+            region = text[cond_open:matching_brace(text, k) + 1]
+        elif k >= n or text[k] == ";":
+            region = cond  # empty body: nowhere to pause
+        else:
+            semi = text.find(";", k)
+            region = text[cond_open:semi + 1 if semi != -1 else n]
+        if not SPIN_PAUSE_RE.search(region):
+            report(m.start())
+
+    # do { <body> } while (<cond>); — a do-loop's body re-executes every
+    # iteration, so an atomic read in the *body* also makes it a spin-wait
+    # (the MCS wait-for-link shape: do { x = next.load(); } while (!x)) —
+    # unless the condition is a CAS, which makes it a retry loop instead.
+    for m in re.finditer(r"\bdo\s*\{", text):
+        body_open = m.end() - 1
+        body_close = matching_brace(text, body_open)
+        m2 = re.match(r"\s*while\s*\(", text[body_close + 1:])
+        if not m2:
+            continue
+        cond_open = body_close + 1 + m2.end() - 1
+        cond_close = matching_paren(text, cond_open)
+        cond = text[cond_open:cond_close + 1]
+        body = text[body_open:body_close + 1]
+        is_spin = SPIN_COND_RE.search(cond) or (
+            SPIN_COND_RE.search(body)
+            and "compare_exchange" not in cond)
+        if is_spin and not SPIN_PAUSE_RE.search(
+                text[body_open:cond_close + 1]):
+            report(m.start())
+    return findings
+
+
 def scan_file(path, raw_text):
     """Return list of findings: (line, rule, message)."""
     raw_atomic_scope = in_facade_scope(path)
@@ -365,6 +490,8 @@ def scan_file(path, raw_text):
                          "obs-tag-registered",
                          "tag 'ev::%s' %s" % (m.group(1),
                                               RULES["obs-tag-registered"])))
+    if in_spin_pause_scope(path):
+        findings.extend(scan_spin_pause(text, line_starts))
     scopes = []  # Scope stack for { }
     # Loop-condition regions: [(start, end)] of while/for parens.
     cond_regions = []
@@ -710,6 +837,94 @@ SELF_TEST_CASES = [
      "    int v_ = 0;\n"
      "    Node* n_ = nullptr;\n"
      "};\n",
+     set()),
+
+    # Pauseless spin-waits: braced-empty body, statement body without a
+    # pause, empty-statement body, and a do-while — all fire.
+    ("src/tamp/spin/hot.hpp",
+     "inline void f(tamp::atomic<bool>& flag, tamp::atomic<int>& v) {\n"
+     "    while (flag.exchange(true)) {\n"
+     "    }\n"
+     "    while (v.load() != 0) ++v;\n"
+     "    while (flag.load());\n"
+     "    do {\n"
+     "        ++v;\n"
+     "    } while (v.load() < 8);\n"
+     "}\n",
+     {(2, "spin-needs-pause"), (4, "spin-needs-pause"),
+      (5, "spin-needs-pause"), (6, "spin-needs-pause")}),
+
+    # The sanctioned shapes: SpinWait, Backoff, cpu_relax, yield — clean.
+    ("src/tamp/spin/paused.hpp",
+     "inline void f(tamp::atomic<bool>& flag, tamp::atomic<int>& v) {\n"
+     "    tamp::SpinWait w;\n"
+     "    while (flag.exchange(true)) w.spin();\n"
+     "    tamp::Backoff b;\n"
+     "    while (v.load() != 0) {\n"
+     "        b.backoff();\n"
+     "    }\n"
+     "    while (flag.load()) cpu_relax();\n"
+     "    do {\n"
+     "        std::this_thread::yield();\n"
+     "    } while (v.load() < 8);\n"
+     "}\n",
+     set()),
+
+    # A CAS retry loop is not a spin-wait: it re-attempts an update, it
+    # does not blindly re-read a line.  (weak + default orders: the cas
+    # rules stay quiet too.)
+    ("src/tamp/stacks/cas_retry.hpp",
+     "inline void push(tamp::atomic<int>& top) {\n"
+     "    int e = top.load();\n"
+     "    while (!top.compare_exchange_weak(e, e + 1)) {\n"
+     "    }\n"
+     "}\n",
+     set()),
+
+    # A do-loop spin-waits even when the atomic read sits in the body
+    # (MCS wait-for-link); the Treiber-style do { load } while (CAS)
+    # retry shape stays exempt.
+    ("src/tamp/queues/do_body_load.hpp",
+     "inline void f(tamp::atomic<int*>& next, tamp::atomic<int*>& top) {\n"
+     "    int* succ = nullptr;\n"
+     "    do {\n"
+     "        succ = next.load();\n"
+     "    } while (succ == nullptr);\n"
+     "    int* e = nullptr;\n"
+     "    do {\n"
+     "        e = top.load();\n"
+     "    } while (!top.compare_exchange_weak(e, succ));\n"
+     "}\n",
+     {(3, "spin-needs-pause")}),
+
+    # `} while (...)` after an if-block is a fresh while, not a do-tail.
+    ("src/tamp/mutex/block_then_while.hpp",
+     "inline void f(tamp::atomic<bool>& flag, int x) {\n"
+     "    if (x) {\n"
+     "        ++x;\n"
+     "    }\n"
+     "    while (flag.load()) {\n"
+     "    }\n"
+     "}\n",
+     {(5, "spin-needs-pause")}),
+
+    # The escape hatch, for loops that are pauseless on purpose (e.g. the
+    # two-step MCS unlock window where the successor link is imminent).
+    ("src/tamp/queues/allowed_spin.hpp",
+     "inline void f(tamp::atomic<bool>& flag) {\n"
+     "    // tamp-lint: allow(spin-needs-pause)\n"
+     "    while (flag.load()) {\n"
+     "    }\n"
+     "}\n",
+     set()),
+
+    # Out of scope: spin loops elsewhere (core/, sim/, ...) are not this
+    # rule's business.
+    ("src/tamp/core/spin_ok.hpp",
+     "inline void f(tamp::atomic<bool>& flag) {\n"
+     "    while (flag.load()) {\n"
+     "    }\n"
+     "}\n",
      set()),
 ]
 
