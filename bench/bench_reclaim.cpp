@@ -1,10 +1,12 @@
 // bench_reclaim — ablation for the reclamation substrate (DESIGN.md's
-// substitution table): what do hazard pointers and epochs cost relative
-// to no protection at all?
+// substitution table): what do hazard pointers, epochs and QSBR cost
+// relative to no protection at all?
 //
-//  * read-side: protect-and-read a stable pointer (HP pays a fence per
-//    pointer; EBR pays a pin per operation; "none" is the GC'd-Java
-//    baseline the book's code implicitly enjoys);
+//  * read-side: protect-and-read a stable pointer, the 3-way SMR ladder
+//    (HP pays a fence per pointer; EBR pays a pin — two TLS writes — per
+//    operation; QSBR's read side is TLS arithmetic only, the closest any
+//    scheme gets to the GC'd-Java baseline the book's code implicitly
+//    enjoys);
 //  * churn: allocate/retire cycles through each domain.
 
 #include <benchmark/benchmark.h>
@@ -91,10 +93,31 @@ void BM_ReadEpochPinned(benchmark::State& state) {
     tamp_bench::latency_publish(state);
 }
 
+void BM_ReadQsbr(benchmark::State& state) {
+    // The QSBR read side: no per-pointer publication, no pin — the guard
+    // is thread-local nesting arithmetic, with a rate-limited quiescence
+    // report at the op boundary.  tamp.qsbr.quiescences counts how often
+    // that report actually fires.
+    Shared<SharedBox>::setup(state);
+    tamp_bench::counters_begin(state);
+    tamp_bench::latency_begin(state);
+    for (auto _ : state) {
+        QsbrReadGuard g;
+        Box* b = Shared<SharedBox>::instance->ptr.load(
+            std::memory_order_acquire);
+        benchmark::DoNotOptimize(b->payload);
+    }
+    state.SetItemsProcessed(state.iterations());
+    Shared<SharedBox>::teardown(state);
+    tamp_bench::counters_publish(state);
+    tamp_bench::latency_publish(state);
+}
+
 TAMP_BENCH_THREADS(BM_ReadUnprotected);
 TAMP_BENCH_THREADS(BM_ReadHazardProtected);
 TAMP_BENCH_THREADS(BM_ReadHazardSlotReused);
 TAMP_BENCH_THREADS(BM_ReadEpochPinned);
+TAMP_BENCH_THREADS(BM_ReadQsbr);
 
 void BM_ChurnHazardRetire(benchmark::State& state) {
     tamp_bench::counters_begin(state);
@@ -121,6 +144,21 @@ void BM_ChurnEpochRetire(benchmark::State& state) {
     tamp_bench::counters_publish(state);
     tamp_bench::latency_publish(state);
 }
+void BM_ChurnQsbrRetire(benchmark::State& state) {
+    tamp_bench::counters_begin(state);
+    tamp_bench::latency_begin(state);
+    for (auto _ : state) {
+        // The guard's exit is the quiescence source, exactly as in a
+        // templated structure; retire triggers collects at threshold.
+        QsbrReadGuard g;
+        qsbr_retire(new Box());
+    }
+    tamp_bench::quiesce(state);
+    if (state.thread_index() == 0) QsbrDomain::global().drain();
+    state.SetItemsProcessed(state.iterations());
+    tamp_bench::counters_publish(state);
+    tamp_bench::latency_publish(state);
+}
 void BM_ChurnPlainDelete(benchmark::State& state) {
     for (auto _ : state) {
         Box* b = new Box();
@@ -131,6 +169,7 @@ void BM_ChurnPlainDelete(benchmark::State& state) {
 }
 TAMP_BENCH_THREADS(BM_ChurnHazardRetire);
 TAMP_BENCH_THREADS(BM_ChurnEpochRetire);
+TAMP_BENCH_THREADS(BM_ChurnQsbrRetire);
 TAMP_BENCH_THREADS(BM_ChurnPlainDelete);
 
 }  // namespace

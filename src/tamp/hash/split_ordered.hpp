@@ -32,7 +32,7 @@
 #include "tamp/core/cacheline.hpp"
 #include "tamp/core/marked_ptr.hpp"
 #include "tamp/lists/keyed.hpp"
-#include "tamp/reclaim/epoch.hpp"
+#include "tamp/reclaim/domain.hpp"
 
 namespace tamp {
 
@@ -50,8 +50,13 @@ inline std::uint64_t reverse_bits64(std::uint64_t x) {
 
 }  // namespace detail
 
-template <std::totally_ordered T, typename KeyOf = DefaultKeyOf<T>>
+template <std::totally_ordered T, typename KeyOf = DefaultKeyOf<T>,
+          reclaim::domain Domain = reclaim::ebr>
 class SplitOrderedHashSet {
+    static_assert(!Domain::kProtects,
+                  "SplitOrderedHashSet's recursive-split traversals "
+                  "publish no per-pointer protection; use a grace-period "
+                  "domain (ebr/qsbr)");
     struct Node {
         std::uint64_t so_key;  // split-order key; even = sentinel
         T value;               // meaningful only for ordinary nodes
@@ -96,7 +101,7 @@ class SplitOrderedHashSet {
     SplitOrderedHashSet& operator=(const SplitOrderedHashSet&) = delete;
 
     bool add(const T& v) {
-        EpochGuard guard;
+        typename Domain::guard guard;
         const std::uint64_t h = KeyOf{}(v);
         const std::size_t size =
             bucket_count_.load(std::memory_order_acquire);
@@ -116,7 +121,7 @@ class SplitOrderedHashSet {
     }
 
     bool remove(const T& v) {
-        EpochGuard guard;
+        typename Domain::guard guard;
         const std::uint64_t h = KeyOf{}(v);
         const std::size_t size =
             bucket_count_.load(std::memory_order_acquire);
@@ -127,7 +132,7 @@ class SplitOrderedHashSet {
     }
 
     bool contains(const T& v) {
-        EpochGuard guard;
+        typename Domain::guard guard;
         const std::uint64_t h = KeyOf{}(v);
         const std::size_t size =
             bucket_count_.load(std::memory_order_acquire);
@@ -239,7 +244,7 @@ class SplitOrderedHashSet {
                                                     false)) {
                         goto retry;
                     }
-                    epoch_retire(curr);
+                    Domain::retire(curr);
                     curr = succ;
                     if (curr == nullptr) return {pred, nullptr};
                     succ = curr->next.get(&marked);
@@ -293,7 +298,7 @@ class SplitOrderedHashSet {
             Node* succ = w.curr->next.load().ptr();
             if (!w.curr->next.attempt_mark(succ, true)) continue;
             if (w.pred->next.compare_and_set(w.curr, succ, false, false)) {
-                epoch_retire(w.curr);
+                Domain::retire(w.curr);
             }
             return true;
         }

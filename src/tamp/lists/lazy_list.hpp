@@ -10,7 +10,10 @@
 //  * wait-free contains(): one unlocked traversal, check the mark.
 //
 // Reclamation: unlinked nodes may still be read by in-flight traversals,
-// so removals epoch_retire and every operation runs under an EpochGuard.
+// so removals retire through the pluggable domain (EBR by default) and
+// every operation runs under its guard.  The unlocked traversals hold no
+// per-pointer state, so only grace-period domains (EBR/QSBR) apply —
+// enforced at compile time below.
 
 #pragma once
 
@@ -18,15 +21,19 @@
 #include <cstdint>
 
 #include "tamp/lists/keyed.hpp"
-#include "tamp/reclaim/epoch.hpp"
+#include "tamp/reclaim/domain.hpp"
 #include "tamp/sim/atomic.hpp"
 #include "tamp/sim/hooks.hpp"
 #include "tamp/spin/tas.hpp"
 
 namespace tamp {
 
-template <std::totally_ordered T, typename KeyOf = DefaultKeyOf<T>>
+template <std::totally_ordered T, typename KeyOf = DefaultKeyOf<T>,
+          reclaim::domain Domain = reclaim::ebr>
 class LazyListSet {
+    static_assert(!Domain::kProtects,
+                  "LazyListSet's unlocked traversals publish no per-pointer "
+                  "protection; use a grace-period domain (ebr/qsbr)");
     struct Node {
         // Immutable once constructed — traversals read them unlocked, and
         // const is what makes that race-free by construction.
@@ -69,7 +76,7 @@ class LazyListSet {
     bool add(const T& v) {
         sim::op_scope op("LazyListSet::add");
         const std::uint64_t key = KeyOf{}(v);
-        EpochGuard guard;
+        typename Domain::guard guard;
         while (true) {
             auto [pred, curr] = locate(key, v);
             pred->lock();
@@ -96,7 +103,7 @@ class LazyListSet {
     bool remove(const T& v) {
         sim::op_scope op("LazyListSet::remove");
         const std::uint64_t key = KeyOf{}(v);
-        EpochGuard guard;
+        typename Domain::guard guard;
         while (true) {
             auto [pred, curr] = locate(key, v);
             pred->lock();
@@ -115,7 +122,7 @@ class LazyListSet {
                 }
                 curr->unlock();
                 pred->unlock();
-                if (removed) epoch_retire(curr);
+                if (removed) Domain::retire(curr);
                 return removed;
             }
             curr->unlock();
@@ -127,7 +134,7 @@ class LazyListSet {
     bool contains(const T& v) {
         sim::op_scope op("LazyListSet::contains");
         const std::uint64_t key = KeyOf{}(v);
-        EpochGuard guard;
+        typename Domain::guard guard;
         Node* curr = head_;
         while (Order::node_precedes(curr->kind, curr->key, curr->value, key,
                                     v)) {

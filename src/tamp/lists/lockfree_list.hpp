@@ -9,13 +9,21 @@
 //  * find() ("the window") snips out every marked node it passes, keeping
 //    the list clean without any dedicated cleaner;
 //  * add()/remove() retry from the head when a CAS loses;
-//  * contains() is wait-free: one traversal, check the mark.
+//  * contains() is wait-free under a grace-period domain: one traversal,
+//    check the mark.
 //
-// Reclamation: nodes are unlinked by whoever's CAS wins, possibly far from
-// the remover; every operation runs under an EpochGuard and unlinkers
-// epoch_retire.  (Hazard pointers would also work — Michael's paper pairs
-// them with exactly this list — but the traversal-heavy access pattern is
-// where EBR's per-operation cost wins; `bench_reclaim` quantifies this.)
+// Reclamation is pluggable (tamp/reclaim/domain.hpp): the set is templated
+// on a reclaim::domain, EBR by default — the traversal-heavy access
+// pattern is where a per-operation guard wins, and `bench_reclaim` /
+// `bench_lists` quantify the 3-way HP/EBR/QSBR ladder.  Under a
+// protecting domain (hazard pointers — the pairing Michael's paper built
+// for exactly this list) find() becomes the rotating two-hazard search:
+// publish curr, then re-read pred's link — while it still names curr
+// unmarked, curr is reachable from a protected (or sentinel) node and
+// cannot have been freed.  That re-validation also forces contains() to
+// run through find(), so HP trades the book's wait-free membership test
+// for lock-freedom; grace-period domains (EBR/QSBR) compile the
+// protection hooks away entirely and keep the original code paths.
 
 #pragma once
 
@@ -26,12 +34,13 @@
 #include "tamp/obs/counter.hpp"
 #include "tamp/obs/events.hpp"
 #include "tamp/obs/timer.hpp"
-#include "tamp/reclaim/epoch.hpp"
+#include "tamp/reclaim/domain.hpp"
 #include "tamp/sim/hooks.hpp"
 
 namespace tamp {
 
-template <std::totally_ordered T, typename KeyOf = DefaultKeyOf<T>>
+template <std::totally_ordered T, typename KeyOf = DefaultKeyOf<T>,
+          reclaim::domain Domain = reclaim::ebr>
 class LockFreeListSet {
     struct Node {
         // Immutable once constructed (only `next` ever changes), so plain
@@ -42,8 +51,11 @@ class LockFreeListSet {
         AtomicMarkedPtr<Node> next;
     };
 
+    using Guard = typename Domain::guard;
+
   public:
     using value_type = T;
+    using reclaim_domain = Domain;
 
     LockFreeListSet() { head_->next.store(tail_, false); }
 
@@ -64,9 +76,9 @@ class LockFreeListSet {
         obs::scoped_timer<obs::ev::list_op_ns, 4> op_latency;
         sim::op_scope op("LockFreeListSet::add");
         const std::uint64_t key = KeyOf{}(v);
-        EpochGuard guard;
+        Guard guard;
         while (true) {
-            auto [pred, curr] = find(key, v);
+            auto [pred, curr] = find(guard, key, v);
             if (Order::node_matches(curr->kind, curr->key, curr->value, key,
                                     v)) {
                 return false;
@@ -86,9 +98,9 @@ class LockFreeListSet {
         obs::scoped_timer<obs::ev::list_op_ns, 4> op_latency;  // sampled
         sim::op_scope op("LockFreeListSet::remove");
         const std::uint64_t key = KeyOf{}(v);
-        EpochGuard guard;
+        Guard guard;
         while (true) {
-            auto [pred, curr] = find(key, v);
+            auto [pred, curr] = find(guard, key, v);
             if (!Order::node_matches(curr->kind, curr->key, curr->value, key,
                                      v)) {
                 return false;
@@ -104,30 +116,39 @@ class LockFreeListSet {
             // Best-effort physical unlink; find() will finish the job if
             // this CAS loses.
             if (pred->next.compare_and_set(curr, succ, false, false)) {
-                epoch_retire(curr);
+                Domain::retire(curr);
             }
             return true;
         }
     }
 
-    /// Wait-free membership test (Fig. 9.27).
+    /// Membership test (Fig. 9.27).  Wait-free under a grace-period
+    /// domain; a protecting domain must re-validate every hop, so it
+    /// reuses find() and inherits its (lock-free) restart behaviour.
     bool contains(const T& v) {
         obs::scoped_timer<obs::ev::list_op_ns, 4> op_latency;  // sampled
         sim::op_scope op("LockFreeListSet::contains");
         const std::uint64_t key = KeyOf{}(v);
-        EpochGuard guard;
-        Node* curr = head_;
-        bool marked = false;
-        while (Order::node_precedes(curr->kind, curr->key, curr->value, key,
-                                    v)) {
-            curr = curr->next.get(&marked);
+        Guard guard;
+        if constexpr (Domain::kProtects) {
+            auto [pred, curr] = find(guard, key, v);
+            (void)pred;
+            return Order::node_matches(curr->kind, curr->key, curr->value,
+                                       key, v);
+        } else {
+            Node* curr = head_;
+            bool marked = false;
+            while (Order::node_precedes(curr->kind, curr->key, curr->value,
+                                        key, v)) {
+                curr = curr->next.get(&marked);
+            }
+            // One more read to get curr's own mark (the loop's `marked` is
+            // the mark seen on the way *into* curr).
+            curr->next.get(&marked);
+            return Order::node_matches(curr->kind, curr->key, curr->value,
+                                       key, v) &&
+                   !marked;
         }
-        // One more read to get curr's own mark (the loop's `marked` is the
-        // mark seen on the way *into* curr).
-        curr->next.get(&marked);
-        return Order::node_matches(curr->kind, curr->key, curr->value, key,
-                                   v) &&
-               !marked;
     }
 
   private:
@@ -135,16 +156,29 @@ class LockFreeListSet {
 
     /// The book's Window find(): returns adjacent unmarked (pred, curr)
     /// with curr the first node not preceding (key, v), physically
-    /// unlinking every marked node encountered.
-    std::pair<Node*, Node*> find(std::uint64_t key, const T& v) {
+    /// unlinking every marked node encountered.  Guard slots: 0 = pred,
+    /// 1 = curr (Michael's rotating pair); the returned window stays
+    /// protected until the guard republishes or dies, which is what makes
+    /// the caller's CAS/mark on pred/curr safe under HP.
+    std::pair<Node*, Node*> find(Guard& g, std::uint64_t key, const T& v) {
     retry:
         while (true) {
-            Node* pred = head_;
+            Node* pred = head_;  // sentinel: never retired, needs no slot
             Node* curr = pred->next.load().ptr();
             while (true) {
+                if constexpr (Domain::kProtects) {
+                    // Publish curr, then re-read pred's link: while it
+                    // still names curr unmarked, curr is reachable from a
+                    // protected (or sentinel) node, hence not yet freed.
+                    g.template set<1>(curr);
+                    if (pred->next.load() != MarkedPtr<Node>(curr, false)) {
+                        obs::counter<obs::ev::list_find_restarts>::inc();
+                        goto retry;
+                    }
+                }
                 bool marked = false;
                 Node* succ = curr->next.get(&marked);
-                while (marked) {
+                if (marked) {
                     // curr is logically deleted: snip it out.  A failed
                     // CAS means pred's next changed — start over.
                     if (!pred->next.compare_and_set(curr, succ, false,
@@ -152,15 +186,20 @@ class LockFreeListSet {
                         obs::counter<obs::ev::list_find_restarts>::inc();
                         goto retry;
                     }
-                    epoch_retire(curr);
-                    curr = succ;
-                    succ = curr->next.get(&marked);
+                    Domain::retire(curr);
+                    curr = succ;  // re-protected (HP) at the loop top
+                    continue;
                 }
                 if (!Order::node_precedes(curr->kind, curr->key, curr->value,
                                           key, v)) {
                     return {pred, curr};
                 }
                 pred = curr;
+                if constexpr (Domain::kProtects) {
+                    // Rotate: curr (slot 1) becomes pred (slot 0); it
+                    // stays covered by slot 1 until the next publish.
+                    g.template set<0>(pred);
+                }
                 curr = succ;
             }
         }

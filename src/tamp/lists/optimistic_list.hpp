@@ -8,8 +8,9 @@
 //
 // This is the first algorithm in the chapter whose correctness depends on
 // unlinked nodes remaining safe to read and lock — the book's "we rely on
-// garbage collection" moment.  Operations therefore run inside an
-// EpochGuard and removals go through epoch_retire.
+// garbage collection" moment.  Operations therefore run under the
+// pluggable reclamation domain's guard (EBR by default) and removals
+// retire through it; only grace-period domains apply (see static_assert).
 
 #pragma once
 
@@ -17,13 +18,18 @@
 #include <mutex>
 
 #include "tamp/lists/keyed.hpp"
-#include "tamp/reclaim/epoch.hpp"
+#include "tamp/reclaim/domain.hpp"
 #include "tamp/sim/atomic.hpp"
 
 namespace tamp {
 
-template <std::totally_ordered T, typename KeyOf = DefaultKeyOf<T>>
+template <std::totally_ordered T, typename KeyOf = DefaultKeyOf<T>,
+          reclaim::domain Domain = reclaim::ebr>
 class OptimisticListSet {
+    static_assert(!Domain::kProtects,
+                  "OptimisticListSet's unlocked traversals publish no "
+                  "per-pointer protection; use a grace-period domain "
+                  "(ebr/qsbr)");
     struct Node {
         // Immutable once constructed — traversals read them unlocked, and
         // const is what makes that race-free by construction.
@@ -56,7 +62,7 @@ class OptimisticListSet {
 
     bool add(const T& v) {
         const std::uint64_t key = KeyOf{}(v);
-        EpochGuard guard;
+        typename Domain::guard guard;
         while (true) {
             auto [pred, curr] = locate(key, v);
             pred->lock();
@@ -81,7 +87,7 @@ class OptimisticListSet {
 
     bool remove(const T& v) {
         const std::uint64_t key = KeyOf{}(v);
-        EpochGuard guard;
+        typename Domain::guard guard;
         while (true) {
             auto [pred, curr] = locate(key, v);
             pred->lock();
@@ -97,7 +103,7 @@ class OptimisticListSet {
                 }
                 curr->unlock();
                 pred->unlock();
-                if (removed) epoch_retire(curr);  // lock-free readers linger
+                if (removed) Domain::retire(curr);  // readers may linger
                 return removed;
             }
             curr->unlock();
@@ -107,7 +113,7 @@ class OptimisticListSet {
 
     bool contains(const T& v) {
         const std::uint64_t key = KeyOf{}(v);
-        EpochGuard guard;
+        typename Domain::guard guard;
         while (true) {
             auto [pred, curr] = locate(key, v);
             pred->lock();

@@ -83,6 +83,23 @@ struct epoch_advances {
     static constexpr const char* name = "epoch.advances";
 };
 
+// --- quiescent-state reclamation (reclaim/qsbr.cpp) ---------------------
+struct qsbr_retired {
+    static constexpr const char* name = "qsbr.retired";
+};
+struct qsbr_freed {
+    static constexpr const char* name = "qsbr.freed";
+};
+struct qsbr_collects {
+    static constexpr const char* name = "qsbr.collects";
+};
+struct qsbr_advances {
+    static constexpr const char* name = "qsbr.advances";
+};
+struct qsbr_quiescences {  // quiescence points reported (the read-side cost)
+    static constexpr const char* name = "qsbr.quiescences";
+};
+
 // --- elimination stack (stacks/elimination.hpp) -------------------------
 struct elim_hits {
     static constexpr const char* name = "elim.hits";
@@ -152,6 +169,9 @@ struct hp_scan_ns {  // one HazardDomain::scan(): the reclaim "stall"
 };
 struct epoch_collect_ns {  // one EpochDomain::collect()
     static constexpr const char* name = "epoch.collect_ns";
+};
+struct qsbr_collect_ns {  // one QsbrDomain::collect()
+    static constexpr const char* name = "qsbr.collect_ns";
 };
 
 // --- lock-free op latency (sampled 1/16 — see obs/timer.hpp) ------------

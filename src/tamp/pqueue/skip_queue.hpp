@@ -20,7 +20,7 @@
 
 #include "tamp/core/marked_ptr.hpp"
 #include "tamp/lists/keyed.hpp"
-#include "tamp/reclaim/epoch.hpp"
+#include "tamp/reclaim/domain.hpp"
 #include "tamp/skiplist/lazy_skiplist.hpp"  // level machinery
 
 namespace tamp {
@@ -81,7 +81,7 @@ class SkipQueue {
         const std::size_t top_level = random_skiplist_level();
         Node* preds[kSkipListMaxLevel];
         Node* succs[kSkipListMaxLevel];
-        EpochGuard guard;
+        reclaim::ebr::guard guard;
         while (true) {
             find(e, preds, succs);  // entries are unique: never found
             Node* node = new Node(NodeKind::kItem, e, top_level);
@@ -117,7 +117,7 @@ class SkipQueue {
 
     /// Claim and extract the minimum; false when empty.
     bool try_remove_min(T& out) {
-        EpochGuard guard;
+        reclaim::ebr::guard guard;
         Node* victim = find_and_mark_min();
         if (victim == nullptr) return false;
         out = victim->entry.item;
@@ -173,7 +173,7 @@ class SkipQueue {
                 Node* preds[kSkipListMaxLevel];
                 Node* succs[kSkipListMaxLevel];
                 find(victim->entry, preds, succs);  // snips all levels
-                epoch_retire(victim);
+                reclaim::ebr::retire(victim);
                 return;
             }
             if (marked) return;  // somebody's find marked it?  (claimed

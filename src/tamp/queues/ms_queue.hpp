@@ -9,13 +9,17 @@
 // repaired by whoever notices ("helping"); dequeue swings the head and
 // retires the old sentinel.
 //
-// Reclamation: hazard pointers — the pairing Michael designed them for.
-// The dequeuer must hold both the sentinel and its successor; the re-check
-// of `head_` after publishing each hazard is what makes the protection
-// sound (the node cannot have been retired while it was still reachable
-// from the unchanged head).  The ABA discussion of §10.6 is resolved here
-// by HP itself: a node's address can only be recycled into the queue after
-// no hazard names it.
+// Reclamation is pluggable (tamp/reclaim/domain.hpp), hazard pointers by
+// default — the pairing Michael designed them for.  The dequeuer must
+// hold both the sentinel and its successor; the re-check of `head_` after
+// publishing each hazard is what makes the protection sound (the node
+// cannot have been retired while it was still reachable from the
+// unchanged head).  The ABA discussion of §10.6 is resolved here by HP
+// itself: a node's address can only be recycled into the queue after no
+// hazard names it.  Under a grace-period domain (EBR/QSBR) the publish
+// hooks compile away and the guard alone keeps every reachable node
+// alive; the head re-check stays — it is the queue's own consistency
+// check, not just HP validation.
 
 #pragma once
 
@@ -28,14 +32,14 @@
 #include "tamp/obs/counter.hpp"
 #include "tamp/obs/events.hpp"
 #include "tamp/obs/timer.hpp"
-#include "tamp/reclaim/hazard_pointers.hpp"
+#include "tamp/reclaim/domain.hpp"
 #include "tamp/sim/atomic.hpp"
 #include "tamp/sim/hooks.hpp"
 #include "tamp/sim/shared.hpp"
 
 namespace tamp {
 
-template <typename T>
+template <typename T, reclaim::domain Domain = reclaim::hp>
 class LockFreeQueue {
     struct Node {
         // Written by the enqueuer before the node is linked, read by the
@@ -45,8 +49,11 @@ class LockFreeQueue {
         tamp::atomic<Node*> next{nullptr};
     };
 
+    using Guard = typename Domain::guard;
+
   public:
     using value_type = T;
+    using reclaim_domain = Domain;
 
     LockFreeQueue() {
         Node* sentinel = new Node();
@@ -74,19 +81,18 @@ class LockFreeQueue {
         // Sampled (1-in-16) so the probe cost amortizes below the op cost.
         obs::scoped_timer<obs::ev::msq_deq_ns, 4> deq_latency;
         sim::op_scope op("LockFreeQueue::try_dequeue");
-        HazardSlot<Node> hp_first;
-        HazardSlot<Node> hp_next;
+        Guard g;
         // Iterations past the first are CAS-retry traffic — the contention
         // signal `bench_queues` publishes (tamp.msq.deq_retries).
         std::uint64_t attempts = 0;
         while (true) {
             ++attempts;
-            Node* first = hp_first.protect(head_);  // sentinel
+            Node* first = g.template protect<0>(head_);  // sentinel
             Node* last = tail_.load(std::memory_order_acquire);
             Node* next = first->next.load(std::memory_order_acquire);
             // Protect next, then re-validate: while head_ == first, next
             // is still reachable, hence not yet retired.
-            hp_next.set(next);
+            g.template set<1>(next);
             if (head_.load(std::memory_order_acquire) != first) continue;
             if (next == nullptr) {
                 obs::counter<obs::ev::msq_deq_retries>::inc(attempts - 1);
@@ -106,7 +112,7 @@ class LockFreeQueue {
                 // only we read its value (still hazard-protected, so it
                 // cannot be freed under us even after later dequeues).
                 out = std::move(next->value);
-                hazard_retire(first);
+                Domain::retire(first);
                 obs::counter<obs::ev::msq_deq_retries>::inc(attempts - 1);
                 return true;
             }
@@ -119,11 +125,11 @@ class LockFreeQueue {
         obs::scoped_timer<obs::ev::msq_enq_ns, 4> enq_latency;  // sampled
         sim::op_scope op("LockFreeQueue::enqueue");
         Node* node = new Node{std::forward<U>(v), nullptr};
-        HazardSlot<Node> hp_last;
+        Guard g;
         std::uint64_t attempts = 0;  // past-first iterations = CAS retries
         while (true) {
             ++attempts;
-            Node* last = hp_last.protect(tail_);
+            Node* last = g.template protect<0>(tail_);
             Node* next = last->next.load(std::memory_order_acquire);
             if (tail_.load(std::memory_order_acquire) != last) continue;
             if (next == nullptr) {

@@ -24,7 +24,7 @@
 
 #include "tamp/core/backoff.hpp"
 #include "tamp/core/cacheline.hpp"
-#include "tamp/reclaim/epoch.hpp"
+#include "tamp/reclaim/domain.hpp"
 #include "tamp/sim/atomic.hpp"
 
 namespace tamp {
@@ -64,7 +64,7 @@ class SynchronousDualQueue {
 
     /// Block until a dequeuer accepts `v`.
     void enqueue(const T& v) {
-        EpochGuard guard;
+        reclaim::ebr::guard guard;
         T* value = new T(v);
         Node* offer = new Node{Kind::kItem, value};
         SpinWait w;
@@ -106,7 +106,7 @@ class SynchronousDualQueue {
                         if (head_.compare_exchange_strong(
                                 hh, offer, std::memory_order_acq_rel,
                                 std::memory_order_relaxed)) {
-                            epoch_retire(hh);
+                            reclaim::ebr::retire(hh);
                         }
                     }
                     return;
@@ -133,7 +133,7 @@ class SynchronousDualQueue {
                 if (head_.compare_exchange_strong(
                         h, n, std::memory_order_acq_rel,
                         std::memory_order_relaxed)) {
-                    epoch_retire(h);
+                    reclaim::ebr::retire(h);
                 }
                 if (success) {
                     delete offer;  // never published
@@ -145,7 +145,7 @@ class SynchronousDualQueue {
 
     /// Block until an enqueuer supplies a value.
     T dequeue() {
-        EpochGuard guard;
+        reclaim::ebr::guard guard;
         Node* reservation = new Node{Kind::kReservation, nullptr};
         SpinWait w;
         while (true) {
@@ -190,7 +190,7 @@ class SynchronousDualQueue {
                         if (head_.compare_exchange_strong(
                                 hh, reservation, std::memory_order_acq_rel,
                                 std::memory_order_relaxed)) {
-                            epoch_retire(hh);
+                            reclaim::ebr::retire(hh);
                         }
                     }
                     T result = std::move(*got);
@@ -220,7 +220,7 @@ class SynchronousDualQueue {
                 if (head_.compare_exchange_strong(
                         h, n, std::memory_order_acq_rel,
                         std::memory_order_relaxed)) {
-                    epoch_retire(h);
+                    reclaim::ebr::retire(h);
                 }
                 if (success) {
                     delete reservation;  // never published

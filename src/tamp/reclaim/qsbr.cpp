@@ -1,0 +1,255 @@
+#include "tamp/reclaim/qsbr.hpp"
+
+#include <algorithm>
+#include <mutex>
+
+#include "tamp/check/tsan_annotate.hpp"
+#include "tamp/obs/counter.hpp"
+#include "tamp/obs/events.hpp"
+#include "tamp/obs/timer.hpp"
+#include "tamp/reclaim/asym_fence.hpp"
+
+namespace tamp {
+
+using qsbr_detail::QsbrBucket;
+using qsbr_detail::QsbrRec;
+using qsbr_detail::QsbrRetiredNode;
+
+struct QsbrDomain::Impl {
+    alignas(kCacheLineSize) std::atomic<std::uint64_t> interval{0};
+
+    // Registry of live per-thread records (collectors walk it to find
+    // stragglers; pending() sums it) and buckets orphaned by exited
+    // threads, adopted by later collects.
+    std::mutex mu;
+    std::vector<QsbrRec*> records;
+    std::vector<QsbrBucket> orphans;
+    alignas(kCacheLineSize) std::atomic<bool> has_orphans{false};
+    alignas(kCacheLineSize) std::atomic<std::size_t> orphan_count{0};
+};
+
+namespace {
+
+QsbrDomain::Impl* g_impl = nullptr;
+
+void free_nodes(std::vector<QsbrRetiredNode>& nodes) {
+    for (const QsbrRetiredNode& rn : nodes) {
+        TAMP_TSAN_ACQUIRE(rn.ptr);  // pairs with RELEASE in retire()
+        rn.deleter(rn.ptr);
+    }
+    nodes.clear();
+}
+
+}  // namespace
+
+namespace qsbr_detail {
+
+QsbrRec::QsbrRec() {
+    QsbrDomain::global();
+    // Register online and already-quiescent at the current interval: a
+    // brand-new thread holds no references, and starting at the live
+    // interval means it never reads as a straggler for grace periods that
+    // predate it.
+    seen.store(g_impl->interval.load(std::memory_order_acquire),
+               std::memory_order_release);
+    std::lock_guard<std::mutex> guard(g_impl->mu);
+    g_impl->records.push_back(this);
+}
+
+QsbrRec::~QsbrRec() {
+    auto* impl = g_impl;
+    if (impl == nullptr) return;
+    std::lock_guard<std::mutex> guard(impl->mu);
+    auto it = std::find(impl->records.begin(), impl->records.end(), this);
+    if (it != impl->records.end()) impl->records.erase(it);
+    std::size_t moved = 0;
+    for (QsbrBucket& b : buckets) {
+        if (b.nodes.empty()) continue;
+        moved += b.nodes.size();
+        impl->orphans.push_back(std::move(b));
+    }
+    if (moved != 0) {
+        impl->orphan_count.fetch_add(moved, std::memory_order_relaxed);
+        impl->has_orphans.store(true, std::memory_order_release);
+    }
+}
+
+}  // namespace qsbr_detail
+
+QsbrDomain::QsbrDomain() : impl_(new Impl()) { asym::init(); }
+
+QsbrDomain& QsbrDomain::global() {
+    // Leaked, as HazardDomain/EpochDomain: detached threads may retire
+    // (or quiesce) during static destruction.
+    static QsbrDomain* d = [] {
+        auto* dom = new QsbrDomain();
+        g_impl = dom->impl_;
+        return dom;
+    }();
+    return *d;
+}
+
+void QsbrDomain::quiescent() {
+    auto& rec = qsbr_detail::qsbr_rec();
+    // Publish the interval we observe.  The report must be globally
+    // visible before this thread's *next* read section touches shared
+    // pointers, or a collector could credit us with a quiescence our
+    // in-flight references postdate.  Under the asymmetric protocol the
+    // collector's membarrier provides that ordering and the report is a
+    // plain release store; the fallback pays the classic seq_cst
+    // publication — the exact shape of EpochDomain::enter().
+    const std::uint64_t i =
+        impl_->interval.load(std::memory_order_acquire);
+    if (asym::enabled()) {
+        rec.seen.store(i, std::memory_order_release);
+        asym::light_barrier();
+    } else {
+        // tamp-lint: allow(seqcst-store-reclaim)
+        rec.seen.store(i, std::memory_order_seq_cst);
+    }
+    obs::counter<obs::ev::qsbr_quiescences>::inc();
+}
+
+void QsbrDomain::offline() {
+    auto& rec = qsbr_detail::qsbr_rec();
+    rec.seen.store(kOffline, std::memory_order_release);
+}
+
+void QsbrDomain::online() { quiescent(); }
+
+void QsbrDomain::retire(void* p, void (*deleter)(void*)) {
+    auto& rec = qsbr_detail::qsbr_rec();
+    // The retirer's accesses to *p happen-before the eventual free two
+    // intervals later.  The grace-period argument rides on the
+    // quiescence/advance protocol, which TSan cannot follow onto `p`
+    // itself; state the edge explicitly (paired with ACQUIRE before the
+    // deleter runs).
+    TAMP_TSAN_RELEASE(p);
+    const std::uint64_t i =
+        impl_->interval.load(std::memory_order_acquire);
+    QsbrBucket& b = rec.buckets[i % 3];
+    if (b.interval != i) {
+        // The slot last held interval i-3 (same residue, smaller): its
+        // grace period expired long ago, so free in place.  Swap the
+        // batch out first: a deleter may itself retire into this bucket
+        // (node chains).
+        std::vector<QsbrRetiredNode> stale;
+        stale.swap(b.nodes);
+        b.interval = i;
+        free_nodes(stale);
+    }
+    b.nodes.push_back(QsbrRetiredNode{p, deleter});
+    rec.pending_approx.store(rec.local_pending(),
+                             std::memory_order_relaxed);
+    obs::counter<obs::ev::qsbr_retired>::inc();
+    if (++rec.since_collect >= kCollectThreshold) {
+        rec.since_collect = 0;
+        collect();
+    }
+}
+
+void QsbrDomain::collect() {
+    obs::scoped_timer<obs::ev::qsbr_collect_ns> collect_latency;
+    obs::counter<obs::ev::qsbr_collects>::inc();
+    auto& rec = qsbr_detail::qsbr_rec();
+    const std::uint64_t i =
+        impl_->interval.load(std::memory_order_seq_cst);
+    // Make every thread's quiescence report visible before judging
+    // stragglers (membarrier under the asymmetric protocol; the fallback
+    // reports are seq_cst stores pairing with the seq_cst loads below).
+    asym::heavy_barrier();
+    // The interval may advance only once every online thread has reported
+    // quiescence at it.  Offline threads promised to hold nothing.
+    std::uint64_t cur = i;
+    bool advance = true;
+    {
+        std::lock_guard<std::mutex> guard(impl_->mu);
+        for (const QsbrRec* r : impl_->records) {
+            const std::uint64_t seen =
+                r->seen.load(std::memory_order_seq_cst);
+            if (seen != kOffline && seen < i) {
+                advance = false;  // straggler: cannot advance
+                break;
+            }
+        }
+    }
+    if (advance) {
+        std::uint64_t expected = i;
+        if (impl_->interval.compare_exchange_strong(
+                expected, i + 1, std::memory_order_seq_cst)) {
+            cur = i + 1;
+            obs::counter<obs::ev::qsbr_advances>::inc();
+        } else {
+            cur = expected;  // somebody else advanced; use their interval
+        }
+    }
+    // Flush every local bucket whose grace period has passed: a node
+    // retired at interval t was unreachable before its retire, and every
+    // thread that could still hold it from an earlier read section has
+    // reported quiescence at least once for each of the two advances
+    // since — dropping all references in between.
+    std::uint64_t freed = 0;
+    for (QsbrBucket& b : rec.buckets) {
+        if (!b.nodes.empty() && b.interval + 2 <= cur) {
+            freed += b.nodes.size();
+            std::vector<QsbrRetiredNode> stale;
+            stale.swap(b.nodes);  // deleters may retire into this bucket
+            free_nodes(stale);
+        }
+    }
+    rec.pending_approx.store(rec.local_pending(),
+                             std::memory_order_relaxed);
+    // Adopt orphaned buckets that are old enough; leave younger ones for
+    // a later collect.
+    if (impl_->has_orphans.load(std::memory_order_acquire)) {
+        std::vector<QsbrBucket> adopted;
+        {
+            std::lock_guard<std::mutex> guard(impl_->mu);
+            auto& orph = impl_->orphans;
+            for (auto it = orph.begin(); it != orph.end();) {
+                if (it->interval + 2 <= cur) {
+                    adopted.push_back(std::move(*it));
+                    it = orph.erase(it);
+                } else {
+                    ++it;
+                }
+            }
+            if (orph.empty()) {
+                impl_->has_orphans.store(false, std::memory_order_relaxed);
+            }
+        }
+        for (QsbrBucket& b : adopted) {
+            freed += b.nodes.size();
+            impl_->orphan_count.fetch_sub(b.nodes.size(),
+                                          std::memory_order_relaxed);
+            free_nodes(b.nodes);
+        }
+    }
+    obs::counter<obs::ev::qsbr_freed>::inc(freed);
+}
+
+void QsbrDomain::drain() {
+    // Self-quiesce between attempts so our own record never reads as the
+    // straggler; with every other registered thread offline, exited, or
+    // quiescing, a few advances age out all three local buckets and any
+    // orphans.
+    for (int i = 0; i < 4 && pending() > 0; ++i) {
+        quiescent();
+        collect();
+    }
+}
+
+std::size_t QsbrDomain::pending() const {
+    std::size_t n = impl_->orphan_count.load(std::memory_order_relaxed);
+    std::lock_guard<std::mutex> guard(impl_->mu);
+    for (const QsbrRec* r : impl_->records) {
+        n += r->pending_approx.load(std::memory_order_relaxed);
+    }
+    return n;
+}
+
+std::uint64_t QsbrDomain::current_interval() const {
+    return impl_->interval.load(std::memory_order_acquire);
+}
+
+}  // namespace tamp

@@ -1,0 +1,173 @@
+// tamp/reclaim/qsbr.hpp
+//
+// Quiescent-state-based reclamation (QSBR) — the third rung of perfbook's
+// deferred-reclamation ladder (McKenney; user-space RCU's fastest flavor).
+//
+// HP publishes per *pointer*, EBR per *operation*; QSBR publishes per
+// *quiescence point* — an application-chosen moment at which the calling
+// thread holds no references into any QSBR-managed structure.  Between
+// quiescence points the read side is literally nothing: no store, no
+// fence, not even a pin.  The cost moves to the contract: every
+// registered thread must pass quiescence points regularly, and a thread
+// that stops reporting (without going offline()) blocks reclamation
+// process-wide — the same stalled-reader hazard as EBR, but wider,
+// because it spans operations rather than one.
+//
+// The grace-period machinery is the three-bucket interval scheme of
+// tamp/reclaim/epoch.hpp with the pin replaced by an out-of-band counter:
+//
+//  * a global interval counter advances when every online thread has
+//    reported quiescence at the current interval (the straggler check);
+//  * quiescent() publishes the observed interval with a release store +
+//    compiler barrier; the collector's membarrier (asym_fence.hpp) makes
+//    all such publications visible before it judges stragglers — the
+//    identical asymmetric protocol EBR's pin uses, so where membarrier is
+//    unavailable quiescent() falls back to a seq_cst store;
+//  * retirement is thread-local into interval-tagged buckets, freed once
+//    the global interval has advanced two past their tag;
+//  * exiting threads unregister and orphan their buckets for later
+//    collects to adopt; parked threads go offline() so they stop gating
+//    grace periods.
+//
+// QsbrReadGuard is how structures templated on reclaim::domain consume
+// this: construction/destruction are thread-local nesting arithmetic, and
+// the outermost destructor reports quiescence once every kQuiescePeriod
+// operations (a guard boundary is a valid quiescence point by
+// construction — the caller's operation has completed).  That keeps
+// QSBR-parameterized structures safe by default while preserving the
+// amortized near-zero read side; `bench_reclaim` measures the gap.
+
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "tamp/core/cacheline.hpp"
+
+namespace tamp {
+
+namespace qsbr_detail {
+
+struct QsbrRetiredNode {
+    void* ptr;
+    void (*deleter)(void*);
+};
+
+/// A batch of nodes all retired while the global interval had one value.
+struct QsbrBucket {
+    std::uint64_t interval = 0;
+    std::vector<QsbrRetiredNode> nodes;
+};
+
+/// Per-thread quiescence record.  `seen` is read by every collector;
+/// everything else is owner-only except pending_approx (owner-written,
+/// summed by pending()).  Construction registers the record online at the
+/// current interval; destruction unregisters and orphans any un-freed
+/// buckets.
+struct alignas(kCacheLineSize) QsbrRec {
+    std::atomic<std::uint64_t> seen{0};
+    std::uint32_t nesting = 0;           // read-guard depth
+    std::uint32_t ops_since_quiesce = 0;  // guard exits since last report
+    QsbrBucket buckets[3];
+    std::size_t since_collect = 0;
+    alignas(kCacheLineSize) std::atomic<std::size_t> pending_approx{0};
+
+    QsbrRec();
+    ~QsbrRec();
+    QsbrRec(const QsbrRec&) = delete;
+    QsbrRec& operator=(const QsbrRec&) = delete;
+
+    std::size_t local_pending() const {
+        return buckets[0].nodes.size() + buckets[1].nodes.size() +
+               buckets[2].nodes.size();
+    }
+};
+
+inline QsbrRec& qsbr_rec() {
+    thread_local QsbrRec rec;
+    return rec;
+}
+
+}  // namespace qsbr_detail
+
+class QsbrDomain {
+  public:
+    /// Per-thread retirements between advance/collect attempts.
+    static constexpr std::size_t kCollectThreshold = 64;
+    /// Guard exits between automatic quiescence reports (QsbrReadGuard).
+    static constexpr std::uint32_t kQuiescePeriod = 64;
+    /// Sentinel interval for parked threads (offline()).
+    static constexpr std::uint64_t kOffline = ~std::uint64_t{0};
+
+    static QsbrDomain& global();
+
+    /// Report a quiescence point: the calling thread holds no references
+    /// into any QSBR-managed structure at this instant.  Registers the
+    /// thread on first call; implies online().
+    void quiescent();
+
+    /// Park: the calling thread stops gating grace periods.  Requires the
+    /// same no-references contract as quiescent(), held until online().
+    void offline();
+
+    /// Resume gating (and count as quiescent at the current interval).
+    void online();
+
+    /// Hand `p` to the domain; freed two interval advances later.
+    void retire(void* p, void (*deleter)(void*));
+
+    /// Try to advance the global interval and free safe buckets.
+    void collect();
+
+    /// Drain everything drainable.  Self-reports quiescence between
+    /// attempts, so the caller must hold no references; other registered
+    /// threads must be offline, exited, or quiescing for it to converge.
+    void drain();
+
+    std::size_t pending() const;
+    std::uint64_t current_interval() const;
+
+    /// Implementation record; opaque outside the .cpp.
+    struct Impl;
+
+  private:
+    friend struct qsbr_detail::QsbrRec;
+    QsbrDomain();
+    Impl* impl_;
+};
+
+/// RAII read-side section for QSBR-parameterized structures.  The fast
+/// path is thread-local arithmetic only — no store, no fence; the
+/// outermost destructor reports quiescence every kQuiescePeriod exits
+/// (legal there: the caller's operation is complete, so the thread holds
+/// no references).  Guards nest; only the outermost counts an exit.
+class QsbrReadGuard {
+  public:
+    QsbrReadGuard() : rec_(&qsbr_detail::qsbr_rec()) { ++rec_->nesting; }
+
+    ~QsbrReadGuard() {
+        if (--rec_->nesting == 0 &&
+            ++rec_->ops_since_quiesce >= QsbrDomain::kQuiescePeriod) {
+            rec_->ops_since_quiesce = 0;
+            QsbrDomain::global().quiescent();
+        }
+    }
+
+    QsbrReadGuard(const QsbrReadGuard&) = delete;
+    QsbrReadGuard& operator=(const QsbrReadGuard&) = delete;
+
+  private:
+    qsbr_detail::QsbrRec* rec_;
+};
+
+/// Retire with the default deleter (the node must already be unreachable
+/// to threads that quiesce after this call).
+template <typename T>
+void qsbr_retire(T* p) {
+    QsbrDomain::global().retire(p,
+                                [](void* q) { delete static_cast<T*>(q); });
+}
+
+}  // namespace tamp

@@ -1,7 +1,10 @@
 // tamp/reclaim/reclaim.hpp — umbrella for the safe-memory-reclamation
 // substrate (the library's substitute for the book's JVM garbage
-// collector; see DESIGN.md).
+// collector; see DESIGN.md).  Structures should consume SMR through the
+// reclaim::domain concept (domain.hpp), not the raw domains.
 #pragma once
 
+#include "tamp/reclaim/domain.hpp"
 #include "tamp/reclaim/epoch.hpp"
 #include "tamp/reclaim/hazard_pointers.hpp"
+#include "tamp/reclaim/qsbr.hpp"

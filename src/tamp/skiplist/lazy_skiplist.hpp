@@ -20,7 +20,7 @@
 #include "tamp/core/backoff.hpp"
 #include "tamp/core/random.hpp"
 #include "tamp/lists/keyed.hpp"
-#include "tamp/reclaim/epoch.hpp"
+#include "tamp/reclaim/domain.hpp"
 
 namespace tamp {
 
@@ -83,7 +83,7 @@ class LazySkipList {
         const std::size_t top_level = random_skiplist_level();
         Node* preds[kSkipListMaxLevel];
         Node* succs[kSkipListMaxLevel];
-        EpochGuard guard;
+        reclaim::ebr::guard guard;
         SpinWait w;
         while (true) {
             const int l_found = find(key, v, preds, succs);
@@ -143,7 +143,7 @@ class LazySkipList {
         Node* victim = nullptr;
         bool is_marked = false;
         std::size_t top_level = 0;
-        EpochGuard guard;
+        reclaim::ebr::guard guard;
         while (true) {
             const int l_found = find(key, v, preds, succs);
             if (is_marked ||
@@ -191,7 +191,7 @@ class LazySkipList {
                 }
                 victim->mu.unlock();
                 unlock_preds(preds, highest_locked, locked_any);
-                epoch_retire(victim);
+                reclaim::ebr::retire(victim);
                 return true;
             }
             return false;  // not present (or not yet fully linked)
@@ -203,7 +203,7 @@ class LazySkipList {
         const std::uint64_t key = KeyOf{}(v);
         Node* preds[kSkipListMaxLevel];
         Node* succs[kSkipListMaxLevel];
-        EpochGuard guard;
+        reclaim::ebr::guard guard;
         const int l_found = find(key, v, preds, succs);
         return l_found != -1 &&
                succs[l_found]->fully_linked.load(

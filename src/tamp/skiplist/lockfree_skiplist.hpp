@@ -14,8 +14,8 @@
 // on the path, so when that find returns the victim is unreachable and
 // the remover (the unique winner of the bottom-level mark) may retire it.
 // Snips by other finds never retire.  Threads that still hold stale
-// pointers observed before the mark are pinned by their EpochGuard, so
-// the grace period covers them.
+// pointers observed before the mark are pinned by the reclamation
+// domain's guard (EBR by default), so the grace period covers them.
 
 #pragma once
 
@@ -24,13 +24,17 @@
 
 #include "tamp/core/marked_ptr.hpp"
 #include "tamp/lists/keyed.hpp"
-#include "tamp/reclaim/epoch.hpp"
+#include "tamp/reclaim/domain.hpp"
 #include "tamp/skiplist/lazy_skiplist.hpp"  // kSkipListMaxLevel, level draw
 
 namespace tamp {
 
-template <std::totally_ordered T, typename KeyOf = DefaultKeyOf<T>>
+template <std::totally_ordered T, typename KeyOf = DefaultKeyOf<T>,
+          reclaim::domain Domain = reclaim::ebr>
 class LockFreeSkipList {
+    static_assert(!Domain::kProtects,
+                  "LockFreeSkipList's multi-level searches hold many "
+                  "nodes at once; use a grace-period domain (ebr/qsbr)");
     struct Node {
         NodeKind kind;
         std::uint64_t key;
@@ -71,7 +75,7 @@ class LockFreeSkipList {
         const std::size_t top_level = random_skiplist_level();
         Node* preds[kSkipListMaxLevel];
         Node* succs[kSkipListMaxLevel];
-        EpochGuard guard;
+        typename Domain::guard guard;
         while (true) {
             if (find(key, v, preds, succs)) return false;  // already in
             Node* node = new Node(NodeKind::kItem, key, v, top_level);
@@ -116,7 +120,7 @@ class LockFreeSkipList {
         const std::uint64_t key = KeyOf{}(v);
         Node* preds[kSkipListMaxLevel];
         Node* succs[kSkipListMaxLevel];
-        EpochGuard guard;
+        typename Domain::guard guard;
         if (!find(key, v, preds, succs)) return false;
         Node* victim = succs[0];
         // Mark the shortcut levels top-down (idempotent, any thread may
@@ -142,7 +146,7 @@ class LockFreeSkipList {
                 // the victim is unreachable (see header comment) and we,
                 // the unique winner, retire it.
                 find(key, v, preds, succs);
-                epoch_retire(victim);
+                Domain::retire(victim);
                 return true;
             }
             if (marked) return false;  // somebody else won the removal
@@ -154,7 +158,7 @@ class LockFreeSkipList {
     /// Wait-free membership test (Fig. 14.19): no snipping, just skim.
     bool contains(const T& v) {
         const std::uint64_t key = KeyOf{}(v);
-        EpochGuard guard;
+        typename Domain::guard guard;
         Node* pred = head_;
         Node* curr = nullptr;
         for (std::size_t l = kSkipListMaxLevel; l-- > 0;) {

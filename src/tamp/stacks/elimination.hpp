@@ -21,6 +21,7 @@
 #include "tamp/obs/counter.hpp"
 #include "tamp/obs/events.hpp"
 #include "tamp/obs/trace.hpp"
+#include "tamp/reclaim/domain.hpp"
 #include "tamp/stacks/exchanger.hpp"
 #include "tamp/stacks/treiber.hpp"
 
@@ -53,9 +54,9 @@ class EliminationArray {
     const std::chrono::microseconds duration_;
 };
 
-template <typename T>
-class EliminationBackoffStack : private LockFreeStack<T> {
-    using Base = LockFreeStack<T>;
+template <typename T, reclaim::domain Domain = reclaim::hp>
+class EliminationBackoffStack : private LockFreeStack<T, Domain> {
+    using Base = LockFreeStack<T, Domain>;
     using Node = typename Base::Node;
 
   public:
@@ -89,18 +90,18 @@ class EliminationBackoffStack : private LockFreeStack<T> {
     }
 
     bool try_pop(T& out) {
-        HazardSlot<Node> hp;
+        typename Domain::guard g;
         while (true) {
             // One bare attempt at the stack (tryPop of Fig. 11.7); a lost
             // CAS routes to the elimination array, not a retry.
-            Node* top = hp.protect(this->top_);
+            Node* top = g.template protect<0>(this->top_);
             if (top == nullptr) return false;
             // tamp-lint: allow(cas-strong-loop)
             if (this->top_.compare_exchange_strong(
                     top, top->next, std::memory_order_acq_rel,
                     std::memory_order_acquire)) {
                 out = std::move(top->value);
-                hazard_retire(top);
+                Domain::retire(top);
                 return true;
             }
             // CAS lost: look for a pusher in the elimination array.

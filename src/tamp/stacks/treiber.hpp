@@ -6,11 +6,14 @@
 // right response to contention (the elimination stack in
 // tamp/stacks/elimination.hpp is the scalable refinement).
 //
-// Reclamation: a popper dereferences the node it read from `top` before
-// its CAS, so the node is hazard-protected; winners retire it.  HP also
+// Reclamation is pluggable (tamp/reclaim/domain.hpp), hazard pointers by
+// default: a popper dereferences the node it read from `top` before its
+// CAS, so the node is hazard-protected; winners retire it.  HP also
 // forecloses the classic Treiber ABA (a node address recycled into `top`
 // between a popper's read and CAS cannot happen while the popper's hazard
-// names it).
+// names it).  A grace-period domain (EBR/QSBR) gives the same guarantee
+// through the guard: no node reachable during the operation is freed, and
+// recycling into `top` needs a grace period the popper's guard spans.
 
 #pragma once
 
@@ -18,14 +21,14 @@
 #include <utility>
 
 #include "tamp/core/backoff.hpp"
-#include "tamp/reclaim/hazard_pointers.hpp"
+#include "tamp/reclaim/domain.hpp"
 #include "tamp/sim/atomic.hpp"
 #include "tamp/sim/hooks.hpp"
 #include "tamp/sim/shared.hpp"
 
 namespace tamp {
 
-template <typename T>
+template <typename T, reclaim::domain Domain = reclaim::hp>
 class LockFreeStack {
   protected:
     // Plain but cross-thread: written before the node is published, read
@@ -36,8 +39,11 @@ class LockFreeStack {
         tamp::shared<Node*> next{nullptr};
     };
 
+    using Guard = typename Domain::guard;
+
   public:
     using value_type = T;
+    using reclaim_domain = Domain;
 
     LockFreeStack() = default;
 
@@ -60,15 +66,15 @@ class LockFreeStack {
     bool try_pop(T& out) {
         sim::op_scope op("LockFreeStack::try_pop");
         Backoff backoff(1, 1024);
-        HazardSlot<Node> hp;
+        Guard g;
         while (true) {
-            Node* top = hp.protect(top_);
+            Node* top = g.template protect<0>(top_);
             if (top == nullptr) return false;
             if (top_.compare_exchange_weak(top, top->next,
                                            std::memory_order_acq_rel,
                                            std::memory_order_acquire)) {
                 out = std::move(top->value);
-                hazard_retire(top);
+                Domain::retire(top);
                 return true;
             }
             backoff.backoff();

@@ -42,7 +42,7 @@
 #include "tamp/obs/events.hpp"
 #include "tamp/obs/timer.hpp"
 #include "tamp/obs/trace.hpp"
-#include "tamp/reclaim/epoch.hpp"
+#include "tamp/reclaim/domain.hpp"
 #include "tamp/stm/stm.hpp"  // TxAbort
 
 namespace tamp {
@@ -120,7 +120,7 @@ class OFreeTVar : private detail::OFreeVarBase {
 
     /// Quiescent read (no transaction).
     T unsafe_read() const {
-        EpochGuard g;
+        reclaim::ebr::guard g;
         const detail::OLocator* loc =
             this->locator.load(std::memory_order_acquire);
         return static_cast<const Box*>(loc->resolve())->value;
@@ -279,7 +279,7 @@ class OFreeTransaction {
         if (dead != nullptr) {
             EpochDomain::global().retire(dead, loc->box_deleter);
         }
-        epoch_retire(loc);
+        reclaim::ebr::retire(loc);
     }
 
     std::shared_ptr<OTxDescriptor> self_;
@@ -297,7 +297,7 @@ auto o_atomically(Fn&& fn) {
     while (true) {
         auto desc = std::make_shared<OTxDescriptor>();
         OFreeTransaction tx(desc);
-        EpochGuard guard;  // pin the whole attempt (see header comment)
+        reclaim::ebr::guard guard;  // pin the whole attempt (see header comment)
         try {
             if constexpr (std::is_void_v<decltype(fn(tx))>) {
                 fn(tx);

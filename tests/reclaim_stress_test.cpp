@@ -15,6 +15,7 @@
 #include "tamp/reclaim/asym_fence.hpp"
 #include "tamp/reclaim/epoch.hpp"
 #include "tamp/reclaim/hazard_pointers.hpp"
+#include "tamp/reclaim/qsbr.hpp"
 #include "test_util.hpp"
 
 namespace {
@@ -92,6 +93,36 @@ TEST(ReclaimStress, EpochChurn) {
     EXPECT_EQ(EpochDomain::global().pending(), 0u);
 }
 
+// QSBR churn: guarded reads race swap-and-retire updates, with the
+// guard's rate-limited auto-quiescence as the only quiescence source —
+// exactly what a templated structure (LockFreeListSet<..., qsbr>) gets.
+TEST(ReclaimStress, QsbrChurn) {
+    constexpr std::size_t kIters = 2000;
+    const std::size_t threads = test_threads(4);
+    std::atomic<Box*> shared{new Box{-1}};
+    std::atomic<long> sum{0};
+
+    run_threads(threads, [&](std::size_t me) {
+        long local = 0;
+        for (std::size_t i = 0; i < kIters; ++i) {
+            QsbrReadGuard guard;
+            if (i % 4 == me % 4) {
+                Box* fresh = new Box{static_cast<long>(i)};
+                Box* old = shared.exchange(fresh, std::memory_order_acq_rel);
+                qsbr_retire(old);
+            } else {
+                Box* b = shared.load(std::memory_order_acquire);
+                local += b->payload;  // unquiesced: cannot be freed yet
+            }
+        }
+        sum.fetch_add(local, std::memory_order_relaxed);
+    });
+
+    delete shared.load(std::memory_order_relaxed);
+    QsbrDomain::global().drain();
+    EXPECT_EQ(QsbrDomain::global().pending(), 0u);
+}
+
 // Restores the asymmetric-fence state even when an EXPECT fails.  Flips
 // are only legal at quiescence, so construct/destroy with no reclamation
 // traffic in flight.
@@ -146,6 +177,25 @@ TEST(ReclaimStress, FallbackFenceChurn) {
     delete eshared.load(std::memory_order_relaxed);
     EpochDomain::global().drain();
     EXPECT_EQ(EpochDomain::global().pending(), 0u);
+
+    std::atomic<Box*> qshared{new Box{-1}};
+    run_threads(threads, [&](std::size_t me) {
+        for (std::size_t i = 0; i < kIters; ++i) {
+            QsbrReadGuard guard;
+            if (i % 4 == me % 4) {
+                Box* fresh = new Box{static_cast<long>(i)};
+                Box* old =
+                    qshared.exchange(fresh, std::memory_order_acq_rel);
+                qsbr_retire(old);
+            } else {
+                Box* b = qshared.load(std::memory_order_acquire);
+                (void)b->payload;
+            }
+        }
+    });
+    delete qshared.load(std::memory_order_relaxed);
+    QsbrDomain::global().drain();
+    EXPECT_EQ(QsbrDomain::global().pending(), 0u);
 }
 
 // Deleter that counts, so the churn tests below can prove every retired
@@ -235,6 +285,45 @@ TEST(ReclaimStress, EpochThreadChurnAdoptsOrphans) {
     ++retired;
     EpochDomain::global().drain();
     EXPECT_EQ(EpochDomain::global().pending(), 0u);
+    EXPECT_EQ(g_deleted.load(std::memory_order_relaxed), retired);
+}
+
+// QSBR thread churn: exiting writers orphan their interval-tagged
+// buckets (mid-grace-period, below the collect threshold); the final
+// drain — on a thread that joined the domain late — must adopt and free
+// every last one.  The counted deleter proves conservation: retired ==
+// deleted, nothing stranded.
+TEST(ReclaimStress, QsbrThreadChurnAdoptsOrphans) {
+    constexpr std::size_t kWaves = 8;
+    constexpr std::size_t kPerThread = 32;
+    const std::size_t writers = test_threads(4);
+    g_deleted.store(0, std::memory_order_relaxed);
+
+    std::atomic<Box*> shared{new Box{-1}};
+    std::size_t retired = 0;
+    for (std::size_t w = 0; w < kWaves; ++w) {
+        run_threads(writers, [&](std::size_t me) {
+            for (std::size_t i = 0; i < kPerThread; ++i) {
+                QsbrReadGuard guard;
+                if (i % 2 == me % 2) {
+                    Box* fresh = new Box{static_cast<long>(i)};
+                    Box* old =
+                        shared.exchange(fresh, std::memory_order_acq_rel);
+                    QsbrDomain::global().retire(old, counted_delete);
+                } else {
+                    Box* b = shared.load(std::memory_order_acquire);
+                    (void)b->payload;
+                }
+            }
+        });  // writers exit with non-empty buckets: orphaned
+    }
+    retired = kWaves * writers * (kPerThread / 2);
+
+    QsbrDomain::global().retire(shared.load(std::memory_order_relaxed),
+                                counted_delete);
+    ++retired;
+    QsbrDomain::global().drain();
+    EXPECT_EQ(QsbrDomain::global().pending(), 0u);
     EXPECT_EQ(g_deleted.load(std::memory_order_relaxed), retired);
 }
 

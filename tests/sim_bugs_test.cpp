@@ -805,6 +805,104 @@ TEST(SimBugs, TtasStatisticInsideLockPassesExhaustively) {
     EXPECT_EQ(res.races_found, 0u);
 }
 
+// ===========================================================================
+// Bug 8 — QSBR quiescence reported mid-operation: the reader copies the
+// global interval into its `seen` counter *before* it is done with the
+// pointer it loaded.  That report is a promise ("I hold no shared
+// pointers") the reader then breaks: the collector may legitimately run a
+// full grace period — straggler check, two interval advances, free — all
+// between the premature report and the reader's last dereference.  This is
+// the QSBR deployment failure mode (quiescence points placed too early),
+// as opposed to a substrate bug; the checker finds the use-after-free and
+// replays it deterministically.
+// ===========================================================================
+
+// The grace-period collector both bodies share: unlink node 0, retire it
+// tagged with the current interval, then bounded collect rounds exactly as
+// QsbrDomain::collect() behaves (skip the advance while a registered
+// thread's `seen` lags, free once the tag is two advances stale).
+struct QsbrModel {
+    tamp::atomic<int> src{0};
+    tamp::atomic<std::uint32_t> interval{0};
+    tamp::atomic<std::uint32_t> seen{0};  // registered quiesced, as QsbrRec
+    tamp::atomic<int> freed0{0};
+
+    void reclaim() {
+        src.store(1, std::memory_order_seq_cst);
+        const std::uint32_t tag = interval.load(std::memory_order_seq_cst);
+        for (int round = 0; round < 3; ++round) {
+            const std::uint32_t i =
+                interval.load(std::memory_order_seq_cst);
+            if (seen.load(std::memory_order_seq_cst) < i) continue;
+            interval.store(i + 1, std::memory_order_seq_cst);
+            if (tag + 2 <= i + 1) {
+                freed0.store(1, std::memory_order_relaxed);
+                break;
+            }
+        }
+    }
+
+    void quiesce() {
+        seen.store(interval.load(std::memory_order_acquire),
+                   std::memory_order_seq_cst);
+    }
+};
+
+void qsbr_early_quiesce_body() {
+    auto m = std::make_shared<QsbrModel>();
+    sim::thread reader([m] {
+        const int p = m->src.load(std::memory_order_seq_cst);
+        m->quiesce();  // BUG: reports quiescence while still holding p
+        m->quiesce();  // (the next op boundary)
+        sim::assert_always(
+            !(p == 0 && m->freed0.load(std::memory_order_relaxed) == 1),
+            "reader dereferenced node 0 after quiescing through its "
+            "grace period");
+    });
+    sim::thread reclaimer([m] { m->reclaim(); });
+    reader.join();
+    reclaimer.join();
+}
+
+TEST(SimBugs, QsbrEarlyQuiescenceFreesNodeStillInUse) {
+    sim::ExploreOptions opts;
+    opts.print_on_failure = false;
+    const auto res = sim::explore(opts, qsbr_early_quiesce_body);
+    ASSERT_FALSE(res.ok) << "seeded bug not found in " << res.executions
+                         << " executions";
+    EXPECT_EQ(res.kind, sim::ViolationKind::kAssert);
+
+    const auto again = sim::replay(opts, res, qsbr_early_quiesce_body);
+    EXPECT_FALSE(again.ok);
+    EXPECT_EQ(again.kind, res.kind);
+    EXPECT_EQ(again.trace, res.trace);
+}
+
+// The fixed twin: quiescence reported only after the operation's last
+// dereference — the placement QsbrReadGuard's destructor gives every
+// templated structure — passes the same exploration exhaustively.
+void qsbr_late_quiesce_body() {
+    auto m = std::make_shared<QsbrModel>();
+    sim::thread reader([m] {
+        const int p = m->src.load(std::memory_order_seq_cst);
+        sim::assert_always(
+            !(p == 0 && m->freed0.load(std::memory_order_relaxed) == 1),
+            "node freed inside the read-side section");
+        m->quiesce();  // op done: the report is now truthful
+        m->quiesce();
+    });
+    sim::thread reclaimer([m] { m->reclaim(); });
+    reader.join();
+    reclaimer.join();
+}
+
+TEST(SimBugs, QsbrQuiescenceAfterLastUsePassesExhaustively) {
+    sim::ExploreOptions opts;
+    const auto res = sim::explore(opts, qsbr_late_quiesce_body);
+    EXPECT_TRUE(res.ok) << res.message;
+    EXPECT_TRUE(res.exhausted);
+}
+
 }  // namespace
 
 #endif  // TAMP_SIM

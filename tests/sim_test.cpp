@@ -399,6 +399,72 @@ TEST(SimReclaim, HazardProtectScanNeverFreesProtectedNode) {
 }
 
 // ---------------------------------------------------------------------------
+// Reclamation: the QSBR grace-period handshake
+// ---------------------------------------------------------------------------
+//
+// QSBR (tamp/reclaim/qsbr.hpp) inverts the hazard protocol: readers
+// publish nothing per-pointer; they report *quiescence* out of band by
+// copying the global interval into their per-thread `seen` counter (the
+// fallback flavor modeled here stores it seq_cst, as the sim build's
+// quiescent() does).  The collector advances the interval only when every
+// registered thread's `seen` has caught up, and frees a retired node only
+// two advances after its retire tag.  The property: a node can never be
+// freed between a reader's load of the pointer and that reader's *next*
+// quiescence report — the deref window QSBR's contract protects.
+//
+// `seen` starts equal to the interval (a thread registers quiesced, as
+// QsbrRec's constructor does), and the reader reports twice: the op
+// boundary after the deref, then the next one.
+
+TEST(SimQsbr, GracePeriodNeverFreesNodeBeforeReaderQuiesces) {
+    sim::ExploreOptions opts;
+    auto res = sim::explore(opts, [] {
+        tamp::atomic<int> src{0};  // which node the structure points at
+        tamp::atomic<std::uint32_t> interval{0};  // QsbrDomain interval
+        tamp::atomic<std::uint32_t> seen{0};      // reader's QsbrRec::seen
+        tamp::atomic<int> freed0{0};
+
+        sim::thread reader([&] {
+            const int p = src.load(std::memory_order_seq_cst);
+            // Last point the reader may dereference its pointer: the op
+            // ends here, *before* the quiescence report below.
+            sim::assert_always(
+                !(p == 0 && freed0.load(std::memory_order_relaxed) == 1),
+                "node freed inside the reader's read-side section");
+            seen.store(interval.load(std::memory_order_acquire),
+                       std::memory_order_seq_cst);  // quiescent(): op done
+            seen.store(interval.load(std::memory_order_acquire),
+                       std::memory_order_seq_cst);  // next op boundary
+        });
+        sim::thread reclaimer([&] {
+            // Unlink node 0, retire it tagged with the current interval,
+            // then run bounded collects: straggler check, advance, free
+            // once the tag is two intervals stale.
+            src.store(1, std::memory_order_seq_cst);
+            const std::uint32_t tag =
+                interval.load(std::memory_order_seq_cst);
+            for (int round = 0; round < 3; ++round) {
+                const std::uint32_t i =
+                    interval.load(std::memory_order_seq_cst);
+                if (seen.load(std::memory_order_seq_cst) < i) {
+                    continue;  // straggler: no advance this round
+                }
+                interval.store(i + 1, std::memory_order_seq_cst);
+                if (tag + 2 <= i + 1) {
+                    freed0.store(1, std::memory_order_relaxed);
+                    break;
+                }
+            }
+        });
+        reader.join();
+        reclaimer.join();
+    });
+    EXPECT_TRUE(res.ok) << res.message;
+    EXPECT_TRUE(res.exhausted);
+    EXPECT_GT(res.executions, 1);
+}
+
+// ---------------------------------------------------------------------------
 // DPOR equivalence: every exhaustive property above, re-verified under both
 // exhaustive strategies with identical verdicts — and a measured reduction
 // ---------------------------------------------------------------------------
@@ -503,6 +569,50 @@ std::vector<EquivCase> equivalence_cases() {
                              !(reader_holds == 0 &&
                                freed0.load(std::memory_order_relaxed) == 1),
                              "scan freed a node the reader had protected");
+                     },
+                     true});
+    cases.push_back({"qsbr_grace_period", [] {
+                         tamp::atomic<int> src{0};
+                         tamp::atomic<std::uint32_t> interval{0};
+                         tamp::atomic<std::uint32_t> seen{0};
+                         tamp::atomic<int> freed0{0};
+                         sim::thread reader([&] {
+                             const int p =
+                                 src.load(std::memory_order_seq_cst);
+                             sim::assert_always(
+                                 !(p == 0 &&
+                                   freed0.load(std::memory_order_relaxed) ==
+                                       1),
+                                 "node freed inside the read-side section");
+                             seen.store(
+                                 interval.load(std::memory_order_acquire),
+                                 std::memory_order_seq_cst);
+                             seen.store(
+                                 interval.load(std::memory_order_acquire),
+                                 std::memory_order_seq_cst);
+                         });
+                         sim::thread reclaimer([&] {
+                             src.store(1, std::memory_order_seq_cst);
+                             const std::uint32_t tag =
+                                 interval.load(std::memory_order_seq_cst);
+                             for (int round = 0; round < 3; ++round) {
+                                 const std::uint32_t i = interval.load(
+                                     std::memory_order_seq_cst);
+                                 if (seen.load(std::memory_order_seq_cst) <
+                                     i) {
+                                     continue;
+                                 }
+                                 interval.store(i + 1,
+                                                std::memory_order_seq_cst);
+                                 if (tag + 2 <= i + 1) {
+                                     freed0.store(
+                                         1, std::memory_order_relaxed);
+                                     break;
+                                 }
+                             }
+                         });
+                         reader.join();
+                         reclaimer.join();
                      },
                      true});
     return cases;

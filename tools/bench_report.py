@@ -15,6 +15,21 @@ Gate a change:
 
     python3 tools/bench_report.py --diff BENCH_locks.main.json BENCH_locks.json
 
+Batch over several families (what CI's bench-smoke job uses), producing
+one report per family and then diffing each against its committed
+baseline:
+
+    python3 tools/bench_report.py --families locks,reclaim,lists \
+        --quick --build-dir build-stats --out-dir ci-bench
+    python3 tools/bench_report.py --families locks,reclaim,lists \
+        --diff-dirs . ci-bench --warn-pct 15 --fail-pct 40
+
+In --diff-dirs mode a family with no baseline report in OLD_DIR is
+announced and skipped, never an error — so a newly wired family diffs
+cleanly before its baseline lands, the same schema-growth tolerance the
+per-metric diff applies to new counters.  A family missing from NEW_DIR
+is an error: the matching run was asked for and did not happen.
+
 The diff compares items/sec per (series, threads) point: a drop of more
 than --warn-pct (default 10%) warns, more than --fail-pct (default 25%)
 fails the run with exit status 1.  Tail-latency percentiles (the
@@ -425,16 +440,44 @@ def diff_reports(old_path, new_path, warn_pct, fail_pct,
     return 0
 
 
+def split_families(spec):
+    families = [f for f in re.split(r"[,\s]+", spec) if f]
+    if not families:
+        fail("--families: no family names given")
+    return families
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     mode = ap.add_mutually_exclusive_group(required=True)
     mode.add_argument("--family", help="benchmark family (bench_<family>)")
+    mode.add_argument(
+        "--families",
+        help="comma/space-separated family list; runs each (writing "
+             "BENCH_<family>.json into --out-dir) or, with --diff-dirs, "
+             "diffs each against its baseline",
+    )
     mode.add_argument(
         "--diff", nargs=2, metavar=("OLD", "NEW"),
         help="diff two reports instead of running a family",
     )
     ap.add_argument("--build-dir", default="build-stats")
     ap.add_argument("--out", help="output path (default BENCH_<family>.json)")
+    ap.add_argument(
+        "--out-dir", default=".",
+        help="with --families: directory for the per-family reports",
+    )
+    ap.add_argument(
+        "--diff-dirs", nargs=2, metavar=("OLD_DIR", "NEW_DIR"),
+        help="with --families: diff OLD_DIR/BENCH_<family>.json against "
+             "NEW_DIR/BENCH_<family>.json per family; families with no "
+             "baseline in OLD_DIR are announced and skipped",
+    )
+    ap.add_argument(
+        "--raw-out-dir",
+        help="with --families: also write raw_<family>.json here "
+             "(CI artifact)",
+    )
     ap.add_argument(
         "--min-time", type=float, default=DEFAULT_MIN_TIME,
         help="per-benchmark min time, seconds (bare double)",
@@ -471,38 +514,81 @@ def main():
     )
     args = ap.parse_args()
 
-    if args.diff:
+    if args.diff_dirs and not args.families:
+        fail("--diff-dirs requires --families")
+
+    def diff_one(old_path, new_path):
         try:
-            sys.exit(diff_reports(*args.diff, args.warn_pct, args.fail_pct,
-                                  args.ptile_warn_pct, args.ptile_fail_pct,
-                                  args.show_counters))
+            return diff_reports(old_path, new_path, args.warn_pct,
+                                args.fail_pct, args.ptile_warn_pct,
+                                args.ptile_fail_pct, args.show_counters)
         except (KeyError, TypeError, ValueError, AttributeError) as e:
             # validate_report covers the documented schema; this backstop
             # turns anything it missed into the same one-line contract.
             fail(f"malformed report: {type(e).__name__}: {e}")
 
+    if args.diff:
+        sys.exit(diff_one(*args.diff))
+
     min_time = QUICK_MIN_TIME if args.quick else args.min_time
     repetitions = args.repetitions
     if repetitions is None:
         repetitions = 3 if args.quick else 1
-    raw = run_family(args.family, args.build_dir, min_time, args.filter,
-                     repetitions)
-    if args.raw_out:
-        with open(args.raw_out, "w") as f:
-            json.dump(raw, f, indent=2, sort_keys=True)
+
+    def run_one(family, out, raw_out):
+        raw = run_family(family, args.build_dir, min_time, args.filter,
+                         repetitions)
+        if raw_out:
+            with open(raw_out, "w") as f:
+                json.dump(raw, f, indent=2, sort_keys=True)
+                f.write("\n")
+            print(f"bench_report: wrote raw output {raw_out}")
+        report = build_report(family, raw)
+        with open(out, "w") as f:
+            json.dump(report, f, indent=2, sort_keys=True)
             f.write("\n")
-        print(f"bench_report: wrote raw output {args.raw_out}")
-    report = build_report(args.family, raw)
-    out = args.out or f"BENCH_{args.family}.json"
-    with open(out, "w") as f:
-        json.dump(report, f, indent=2, sort_keys=True)
-        f.write("\n")
-    npts = sum(len(s["points"]) for s in report["series"])
-    print(
-        f"bench_report: wrote {out} "
-        f"({len(report['series'])} series, {npts} points, "
-        f"stats_compiled_in={report['context']['stats_compiled_in']})"
-    )
+        npts = sum(len(s["points"]) for s in report["series"])
+        print(
+            f"bench_report: wrote {out} "
+            f"({len(report['series'])} series, {npts} points, "
+            f"stats_compiled_in={report['context']['stats_compiled_in']})"
+        )
+
+    if args.families:
+        families = split_families(args.families)
+        if args.diff_dirs:
+            old_dir, new_dir = args.diff_dirs
+            status = 0
+            for family in families:
+                old_path = os.path.join(old_dir, f"BENCH_{family}.json")
+                new_path = os.path.join(new_dir, f"BENCH_{family}.json")
+                if not os.path.exists(old_path):
+                    # Schema-growth tolerance at family granularity: a
+                    # just-wired family has no baseline yet.
+                    print(f"bench_report: [{family}] no baseline "
+                          f"{old_path}; skipping diff")
+                    continue
+                if not os.path.exists(new_path):
+                    fail(f"[{family}] missing new report {new_path} — "
+                         f"was the run step skipped?")
+                print(f"bench_report: [{family}] diffing "
+                      f"{old_path} -> {new_path}")
+                status = max(status, diff_one(old_path, new_path))
+            sys.exit(status)
+        os.makedirs(args.out_dir, exist_ok=True)
+        if args.raw_out_dir:
+            os.makedirs(args.raw_out_dir, exist_ok=True)
+        for family in families:
+            run_one(
+                family,
+                os.path.join(args.out_dir, f"BENCH_{family}.json"),
+                os.path.join(args.raw_out_dir, f"raw_{family}.json")
+                if args.raw_out_dir else None,
+            )
+        return
+
+    run_one(args.family, args.out or f"BENCH_{args.family}.json",
+            args.raw_out)
 
 
 if __name__ == "__main__":

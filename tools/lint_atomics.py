@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Custom atomics lint for the tamp codebase.
 
-Nine rules, each encoding a convention the concurrent code is expected to
+Ten rules, each encoding a convention the concurrent code is expected to
 follow (see README "Correctness tooling"):
 
   cas-strong-loop      compare_exchange_strong inside a loop body or loop
@@ -88,6 +88,19 @@ follow (see README "Correctness tooling"):
                        define the vocabulary; local test tags in tests/
                        are out of scope by the default roots).
 
+  direct-reclaim-include
+                       an `#include` of a concrete reclamation backend
+                       (tamp/reclaim/{epoch,hazard_pointers,qsbr}.hpp)
+                       from src/tamp/ outside src/tamp/reclaim/ itself.
+                       Structures consume reclamation through the
+                       reclaim::domain concept (tamp/reclaim/domain.hpp),
+                       which is what keeps them substrate-generic; a
+                       direct backend include hard-wires one scheme and
+                       silently bypasses the 3-way HP/EBR/QSBR ladder.
+                       Infrastructure that genuinely needs one backend
+                       (e.g. a benchmark fixture living in src/) takes
+                       the annotation.
+
 Escape hatch: a finding on line N is suppressed when line N or line N-1
 carries `// tamp-lint: allow(<rule>)` (comma-separate several rules), and
 a whole file opts out of one rule with `// tamp-lint: allow-file(<rule>)`.
@@ -131,6 +144,10 @@ RULES = {
                         "SpinWait/Backoff (or cpu_relax/yield) so the "
                         "waiter stops hammering the line and the sim "
                         "scheduler sees the spin",
+    "direct-reclaim-include": "direct include of a concrete reclamation "
+                              "backend; consume reclamation through the "
+                              "reclaim::domain concept "
+                              "(tamp/reclaim/domain.hpp) instead",
 }
 
 # Directories (under src/tamp/) whose families have been migrated onto the
@@ -169,6 +186,32 @@ SPIN_COND_RE = re.compile(
 # wait, or a scheduler park.
 SPIN_PAUSE_RE = re.compile(
     r"\b(?:spin|backoff|cpu_relax|pause|yield|wait|park)\w*\s*\(")
+
+
+# Concrete reclamation backends; everything under src/tamp/ outside
+# reclaim/ must include tamp/reclaim/domain.hpp (or reclaim.hpp) instead.
+RECLAIM_BACKEND_INCLUDE_RE = re.compile(
+    r'^\s*#\s*include\s*[<"]tamp/reclaim/'
+    r'(?:epoch|hazard_pointers|qsbr)\.hpp[>"]')
+
+
+def in_reclaim_include_scope(path):
+    """direct-reclaim-include fires for src/tamp/ files outside the
+    reclaim/ directory itself (the umbrella and the backends' own
+    cross-includes are the substrate's business)."""
+    norm = os.path.abspath(path).replace(os.sep, "/")
+    return "/src/tamp/" in norm and "/src/tamp/reclaim/" not in norm
+
+
+def scan_reclaim_includes(raw_lines):
+    """The direct-reclaim-include pass: runs on *raw* lines (the stripper
+    blanks string literals, and include paths are string literals)."""
+    findings = []
+    for i, line in enumerate(raw_lines, start=1):
+        if RECLAIM_BACKEND_INCLUDE_RE.match(line):
+            findings.append((i, "direct-reclaim-include",
+                             RULES["direct-reclaim-include"]))
+    return findings
 
 
 def in_obs_tag_scope(path):
@@ -492,6 +535,8 @@ def scan_file(path, raw_text):
                                               RULES["obs-tag-registered"])))
     if in_spin_pause_scope(path):
         findings.extend(scan_spin_pause(text, line_starts))
+    if in_reclaim_include_scope(path):
+        findings.extend(scan_reclaim_includes(raw_lines))
     scopes = []  # Scope stack for { }
     # Loop-condition regions: [(start, end)] of while/for parens.
     cond_regions = []
@@ -925,6 +970,38 @@ SELF_TEST_CASES = [
      "    while (flag.load()) {\n"
      "    }\n"
      "}\n",
+     set()),
+
+    # A structure header hard-wiring a concrete backend: one finding per
+    # backend include; the concept header and umbrella stay clean.
+    ("src/tamp/lists/hardwired.hpp",
+     "#include \"tamp/reclaim/epoch.hpp\"\n"
+     "#include \"tamp/reclaim/hazard_pointers.hpp\"\n"
+     "#include \"tamp/reclaim/qsbr.hpp\"\n"
+     "#include \"tamp/reclaim/domain.hpp\"\n"
+     "#include \"tamp/reclaim/reclaim.hpp\"\n"
+     "#include \"tamp/reclaim/asym_fence.hpp\"\n",
+     {(1, "direct-reclaim-include"), (2, "direct-reclaim-include"),
+      (3, "direct-reclaim-include")}),
+
+    # Inside reclaim/ the backends may include each other freely.
+    ("src/tamp/reclaim/internal.hpp",
+     "#include \"tamp/reclaim/epoch.hpp\"\n"
+     "#include \"tamp/reclaim/hazard_pointers.hpp\"\n",
+     set()),
+
+    # A backend include mentioned in a comment must not fire; the angle-
+    # bracket form must.
+    ("src/tamp/queues/comment_include.hpp",
+     "// #include \"tamp/reclaim/epoch.hpp\" — prose only\n"
+     "#include <tamp/reclaim/qsbr.hpp>\n",
+     {(2, "direct-reclaim-include")}),
+
+    # The escape hatch, for infrastructure that genuinely needs one
+    # backend.
+    ("src/tamp/obs/backend_probe.hpp",
+     "// tamp-lint: allow(direct-reclaim-include)\n"
+     "#include \"tamp/reclaim/epoch.hpp\"\n",
      set()),
 ]
 
