@@ -71,6 +71,7 @@ enum class Op : std::uint8_t {
     kPut,
     kGet,
     kErase,
+    kScan,  // atomic snapshot: result = order-sensitive fold of the pairs
     // Counters.
     kIncrement,  // fetch-and-add: result is the pre-increment value
     kRead,
@@ -105,6 +106,7 @@ inline const char* op_name(Op op) {
         case Op::kPut: return "put";
         case Op::kGet: return "get";
         case Op::kErase: return "erase";
+        case Op::kScan: return "scan";
         case Op::kIncrement: return "increment";
         case Op::kRead: return "read";
     }
@@ -116,7 +118,8 @@ inline std::string format_operation(const Operation& o) {
     std::string s = "T" + std::to_string(o.thread) + " " + op_name(o.op) +
                     "(";
     const bool unary = o.op != Op::kPop && o.op != Op::kDequeue &&
-                       o.op != Op::kIncrement && o.op != Op::kRead;
+                       o.op != Op::kIncrement && o.op != Op::kRead &&
+                       o.op != Op::kScan;
     if (unary) s += std::to_string(o.arg);
     if (o.op == Op::kPut) s += "," + std::to_string(o.arg2);
     s += ") -> ";

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "tamp/check/recorder.hpp"
+#include "tamp/core/bits.hpp"
 
 namespace tamp::check {
 
@@ -142,6 +143,45 @@ struct MapSpec {
         }
         return h;
     }
+};
+
+/// Map with atomic snapshot scans (tamp::kv::SplitOrderedMap): MapSpec's
+/// put/get/erase vocabulary plus kScan, whose result is an
+/// order-insensitive fold of every (key, value) pair the snapshot
+/// returned.  The fold is commutative (a sum of per-pair mixes), so the
+/// spec's key-sorted state and the map's split-ordered traversal agree
+/// on the digest whenever — and only whenever — they agree on the set of
+/// pairs; a torn scan (one that mixes two map states) folds to a digest
+/// no single spec state can produce, which is exactly what the checker
+/// rejects.  Workers record it as
+///
+///     rec.record(me, Op::kScan, 0, [&] {
+///         buf.clear();
+///         map.scan(buf);
+///         return static_cast<std::int64_t>(KvMapSpec::fold(buf));
+///     });
+struct KvMapSpec {
+    using State = MapSpec::State;
+
+    template <typename Pairs>
+    static std::uint64_t fold(const Pairs& pairs) {
+        std::uint64_t acc = 0;
+        for (const auto& [k, v] : pairs) {
+            acc += tamp::detail::mix64(
+                tamp::detail::mix64(static_cast<std::uint64_t>(k)) ^
+                (static_cast<std::uint64_t>(v) + 0x9e3779b97f4a7c15ull));
+        }
+        return acc;
+    }
+
+    static bool apply(State& s, const Operation& o) {
+        if (o.op == Op::kScan) {
+            return o.result == static_cast<std::int64_t>(fold(s));
+        }
+        return MapSpec::apply(s, o);
+    }
+
+    static std::uint64_t hash(const State& s) { return MapSpec::hash(s); }
 };
 
 /// Fetch-and-add counter: increment returns the pre-increment value

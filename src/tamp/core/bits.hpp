@@ -1,0 +1,49 @@
+// tamp/core/bits.hpp
+//
+// Bit-manipulation helpers shared by the split-ordered structures
+// (tamp/hash, tamp/kv) and the checker models that reason about them
+// (tamp/check).  Split ordering sorts one lock-free list by the
+// bit-reversed hash, so the reversal must be a single shared definition:
+// a structure and the spec that models it have to agree bit-for-bit.
+
+#pragma once
+
+#include <cstdint>
+
+namespace tamp {
+namespace detail {
+
+inline std::uint64_t reverse_bits64(std::uint64_t x) {
+    x = ((x & 0x5555555555555555ull) << 1) | ((x >> 1) & 0x5555555555555555ull);
+    x = ((x & 0x3333333333333333ull) << 2) | ((x >> 2) & 0x3333333333333333ull);
+    x = ((x & 0x0F0F0F0F0F0F0F0Full) << 4) | ((x >> 4) & 0x0F0F0F0F0F0F0F0Full);
+    x = ((x & 0x00FF00FF00FF00FFull) << 8) | ((x >> 8) & 0x00FF00FF00FF00FFull);
+    x = ((x & 0x0000FFFF0000FFFFull) << 16) |
+        ((x >> 16) & 0x0000FFFF0000FFFFull);
+    return (x << 32) | (x >> 32);
+}
+
+/// splitmix64 finalizer: a cheap invertible 64-bit mix (DefaultKeyOf
+/// applies the same finalizer to std::hash output; check::KvMapSpec and
+/// the kv workload use it for digests and per-thread seed derivation).
+inline std::uint64_t mix64(std::uint64_t x) {
+    x += 0x9E3779B97F4A7C15ull;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+    return x ^ (x >> 31);
+}
+
+/// Split-order key of an ordinary (data) node: bit-reversed hash with the
+/// low bit forced on, so it sorts strictly after its bucket's sentinel.
+inline std::uint64_t split_ordinary_key(std::uint64_t hash) {
+    return reverse_bits64(hash) | 1ull;
+}
+
+/// Split-order key of bucket b's sentinel node (even — before every
+/// ordinary key that hashes into b).
+inline std::uint64_t split_sentinel_key(std::uint64_t bucket) {
+    return reverse_bits64(bucket);
+}
+
+}  // namespace detail
+}  // namespace tamp

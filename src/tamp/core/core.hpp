@@ -2,6 +2,7 @@
 #pragma once
 
 #include "tamp/core/backoff.hpp"
+#include "tamp/core/bits.hpp"
 #include "tamp/core/cacheline.hpp"
 #include "tamp/core/concepts.hpp"
 #include "tamp/core/marked_ptr.hpp"

@@ -29,26 +29,13 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "tamp/core/bits.hpp"
 #include "tamp/core/cacheline.hpp"
 #include "tamp/core/marked_ptr.hpp"
 #include "tamp/lists/keyed.hpp"
 #include "tamp/reclaim/domain.hpp"
 
 namespace tamp {
-
-namespace detail {
-
-inline std::uint64_t reverse_bits64(std::uint64_t x) {
-    x = ((x & 0x5555555555555555ull) << 1) | ((x >> 1) & 0x5555555555555555ull);
-    x = ((x & 0x3333333333333333ull) << 2) | ((x >> 2) & 0x3333333333333333ull);
-    x = ((x & 0x0F0F0F0F0F0F0F0Full) << 4) | ((x >> 4) & 0x0F0F0F0F0F0F0F0Full);
-    x = ((x & 0x00FF00FF00FF00FFull) << 8) | ((x >> 8) & 0x00FF00FF00FF00FFull);
-    x = ((x & 0x0000FFFF0000FFFFull) << 16) |
-        ((x >> 16) & 0x0000FFFF0000FFFFull);
-    return (x << 32) | (x >> 32);
-}
-
-}  // namespace detail
 
 template <std::totally_ordered T, typename KeyOf = DefaultKeyOf<T>,
           reclaim::domain Domain = reclaim::ebr>

@@ -1,0 +1,6 @@
+// tamp/kv/kv.hpp — umbrella header for the KV service layer.
+#pragma once
+
+#include "tamp/kv/kv_store.hpp"
+#include "tamp/kv/split_ordered_map.hpp"
+#include "tamp/kv/workload.hpp"

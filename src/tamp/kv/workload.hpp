@@ -1,0 +1,370 @@
+// tamp/kv/workload.hpp
+//
+// kv::Workload — a YCSB-style load generator for KvStore (Cooper et al.'s
+// benchmark shape: zipfian-skewed key popularity, fixed read/update/
+// insert/scan mix, closed or open loop).  The point, per the multicore
+// macro-benchmark methodology the ROADMAP cites: a structure's
+// micro-bench win only counts if it survives composition under skewed
+// traffic, and skew is what a uniform key pick can never produce.
+//
+//   * ZipfianSampler — Gray et al.'s constant-time zipfian generator
+//     (the YCSB one): three precomputed constants turn one uniform
+//     variate into a zipf-distributed rank.  All state is const after
+//     construction, so one sampler is shared read-only by every thread.
+//     Ranks map directly onto key ids; the placement scattering YCSB's
+//     key scrambling exists for is already done by the store's
+//     DefaultKeyOf splitmix finalizer (hot keys land on unrelated
+//     shards and buckets even though their ids are adjacent).
+//
+//   * Closed loop — each worker calls step() back-to-back: offered load
+//     tracks completion rate (the classic bench shape; measures
+//     capacity).
+//
+//   * Open loop — producers push Request records into MS-queue lanes
+//     and work-stealing pool drainers execute them: offered load is set
+//     by the producers regardless of service rate, so queueing delay
+//     becomes visible.  Submit→completion time lands in the
+//     tamp.kv.sojourn_ns histogram — the service-level latency a closed
+//     loop structurally cannot show (coordinated omission).
+
+#pragma once
+
+#include <cassert>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "tamp/core/backoff.hpp"
+#include "tamp/core/bits.hpp"
+#include "tamp/core/cacheline.hpp"
+#include "tamp/core/random.hpp"
+#include "tamp/obs/counter.hpp"
+#include "tamp/obs/events.hpp"
+#include "tamp/obs/timer.hpp"
+#include "tamp/queues/ms_queue.hpp"
+#include "tamp/reclaim/domain.hpp"
+#include "tamp/steal/pool.hpp"
+
+namespace tamp::kv {
+
+enum class OpKind : std::uint8_t { kRead, kUpdate, kInsert, kScan };
+
+/// Operation mix in percent; must sum to 100.  Value type, copied into
+/// each Workload and read-only from there (hence the lint allows — the
+/// generator's mutable shared state is all tamp::atomic below).
+struct WorkloadMix {
+    int reads;    // tamp-lint: allow(plain-shared-member)
+    int updates;  // tamp-lint: allow(plain-shared-member)
+    int inserts;  // tamp-lint: allow(plain-shared-member)
+    int scans;    // tamp-lint: allow(plain-shared-member)
+};
+
+// The three mixes BENCH_kv.json ladders over (YCSB B-ish, A-ish, E-ish).
+inline constexpr WorkloadMix kReadHeavy{95, 5, 0, 0};
+inline constexpr WorkloadMix kUpdateHeavy{50, 50, 0, 0};
+inline constexpr WorkloadMix kScanMixed{70, 20, 5, 5};
+
+enum class KeyDist : std::uint8_t { kZipfian, kUniform };
+
+/// Experiment parameters: a value type, held const inside Workload.
+struct WorkloadConfig {
+    WorkloadMix mix = kReadHeavy;
+    KeyDist dist = KeyDist::kZipfian;
+    std::size_t key_space = std::size_t{1} << 20;  // preloaded keys
+    // zipfian skew (YCSB default)  // tamp-lint: allow(plain-shared-member)
+    double theta = 0.99;
+    // scan length cap              // tamp-lint: allow(plain-shared-member)
+    std::size_t scan_limit = 16;
+    // per-thread pre-measure steps // tamp-lint: allow(plain-shared-member)
+    std::size_t warmup_ops = 1000;
+    // per-run RNG seed             // tamp-lint: allow(plain-shared-member)
+    std::uint64_t seed = 42;
+};
+
+/// Gray et al. "Quickly Generating Billion-Record Synthetic Databases"
+/// §3.2 — the incremental zipfian generator YCSB adopted.  next() maps
+/// one uniform u in [0,1) to a rank in [0, n): rank 0 is the hottest
+/// key (probability ~ (1-theta)-ish of the head), tail ranks decay as
+/// 1/rank^theta.  Shared read-only across threads (all members const).
+class ZipfianSampler {
+  public:
+    ZipfianSampler(std::size_t n, double theta)
+        : n_(n),
+          theta_(theta),
+          alpha_(1.0 / (1.0 - theta)),
+          half_pow_theta_(std::pow(0.5, theta)),
+          zetan_(zeta(n, theta)),
+          eta_((1.0 - std::pow(2.0 / static_cast<double>(n), 1.0 - theta)) /
+               (1.0 - zeta(2, theta) / zetan_)) {
+        assert(n >= 2 && theta > 0.0 && theta < 1.0);
+    }
+
+    std::uint64_t next(XorShift64& rng) const {
+        // 53 uniform mantissa bits -> u in [0, 1).
+        const double u =
+            static_cast<double>(rng.next() >> 11) * 0x1.0p-53;
+        const double uz = u * zetan_;
+        if (uz < 1.0) return 0;
+        if (uz < 1.0 + half_pow_theta_) return 1;
+        const auto rank = static_cast<std::uint64_t>(
+            static_cast<double>(n_) *
+            std::pow(eta_ * u - eta_ + 1.0, alpha_));
+        return rank >= n_ ? n_ - 1 : rank;  // fp edge: clamp
+    }
+
+    std::size_t n() const { return n_; }
+
+  private:
+    static double zeta(std::size_t n, double theta) {
+        double sum = 0.0;
+        for (std::size_t i = 1; i <= n; ++i) {
+            sum += 1.0 / std::pow(static_cast<double>(i), theta);
+        }
+        return sum;
+    }
+
+    const std::size_t n_;
+    const double theta_;
+    const double alpha_;
+    const double half_pow_theta_;
+    const double zetan_;
+    const double eta_;
+};
+
+template <typename Store>
+class Workload {
+  public:
+    using K = typename Store::key_type;
+    using V = typename Store::mapped_type;
+    static_assert(std::is_constructible_v<K, std::uint64_t> &&
+                      std::is_constructible_v<V, std::uint64_t>,
+                  "the generator synthesizes keys/values from 64-bit ints");
+
+    /// Per-thread generator state: private RNG (so threads never
+    /// contend on randomness), a reusable scan buffer, and the
+    /// thread's private insert-key cursor.
+    struct ThreadState {
+        XorShift64 rng;
+        std::vector<std::pair<K, V>> scan_buf;
+        // thread-private cursor       // tamp-lint: allow(plain-shared-member)
+        std::uint64_t next_insert;
+    };
+
+    Workload(Store& store, const WorkloadConfig& cfg)
+        : store_(&store),
+          cfg_(cfg),
+          zipf_(cfg.key_space, cfg.theta) {}
+
+    const WorkloadConfig& config() const { return cfg_; }
+
+    /// Preload keys [0, key_space), split across threads.
+    void load(std::size_t n_threads = 1) {
+        std::vector<std::thread> ts;
+        ts.reserve(n_threads);
+        for (std::size_t t = 0; t < n_threads; ++t) {
+            ts.emplace_back([this, t, n_threads] {
+                for (std::uint64_t r = t; r < cfg_.key_space;
+                     r += n_threads) {
+                    store_->put(K(r), V(r));
+                }
+            });
+        }
+        for (auto& t : ts) t.join();
+    }
+
+    ThreadState make_state(unsigned tid) const {
+        return ThreadState{
+            XorShift64(detail::mix64(cfg_.seed ^ (0x10001ull * tid + 1))),
+            {},
+            // Private insert range per thread, above the preload range.
+            (std::uint64_t{tid} << 32) | (std::uint64_t{1} << 62)};
+    }
+
+    /// Draw the next operation without executing it (the open-loop
+    /// producer path).  Returns kind + key; value is the caller's.
+    OpKind next_op(ThreadState& ts, K& key) {
+        const auto r = static_cast<int>(ts.rng.next_below(100));
+        const WorkloadMix& m = cfg_.mix;
+        if (r < m.reads) {
+            key = K(pick_key(ts));
+            return OpKind::kRead;
+        }
+        if (r < m.reads + m.updates) {
+            key = K(pick_key(ts));
+            return OpKind::kUpdate;
+        }
+        if (r < m.reads + m.updates + m.inserts) {
+            key = K(ts.next_insert++);
+            return OpKind::kInsert;
+        }
+        key = K(pick_key(ts));
+        return OpKind::kScan;
+    }
+
+    /// One closed-loop step: draw an op and run it against the store.
+    OpKind step(ThreadState& ts) {
+        K key{};
+        const OpKind op = next_op(ts, key);
+        execute(op, key, V(ts.rng.next()), ts.scan_buf);
+        return op;
+    }
+
+    void execute(OpKind op, const K& key, const V& val,
+                 std::vector<std::pair<K, V>>& scan_buf) {
+        switch (op) {
+            case OpKind::kRead:
+                (void)store_->get(key);
+                break;
+            case OpKind::kUpdate:
+            case OpKind::kInsert:
+                (void)store_->put(key, val);
+                break;
+            case OpKind::kScan:
+                scan_buf.clear();
+                (void)store_->scan(key, cfg_.scan_limit, scan_buf);
+                break;
+        }
+    }
+
+    void warmup(ThreadState& ts) {
+        for (std::size_t i = 0; i < cfg_.warmup_ops; ++i) step(ts);
+    }
+
+    /// Closed loop: `threads` workers, each warmup + ops_per_thread
+    /// back-to-back steps.  Returns total measured ops.
+    std::size_t run_closed(std::size_t threads,
+                           std::size_t ops_per_thread) {
+        std::vector<std::thread> ts;
+        ts.reserve(threads);
+        for (std::size_t t = 0; t < threads; ++t) {
+            ts.emplace_back([this, t, ops_per_thread] {
+                ThreadState s = make_state(static_cast<unsigned>(t));
+                warmup(s);
+                for (std::size_t i = 0; i < ops_per_thread; ++i) step(s);
+            });
+        }
+        for (auto& th : ts) th.join();
+        return threads * ops_per_thread;
+    }
+
+  private:
+    std::uint64_t pick_key(ThreadState& ts) const {
+        return cfg_.dist == KeyDist::kZipfian
+                   ? zipf_.next(ts.rng)
+                   : ts.rng.next() % cfg_.key_space;
+    }
+
+    Store* const store_;
+    const WorkloadConfig cfg_;
+    const ZipfianSampler zipf_;
+};
+
+/// Open-loop plumbing: MS-queue request lanes drained by work-stealing
+/// pool tasks.  Producers call submit() at whatever rate the experiment
+/// dictates; drainers execute against the store and stamp the sojourn
+/// (submit -> completion) into tamp.kv.sojourn_ns.
+template <typename Store>
+class Pipeline {
+  public:
+    using K = typename Store::key_type;
+    using V = typename Store::mapped_type;
+
+    // One queued operation.  Owned by exactly one thread at a time —
+    // the producer until enqueue, then the drainer that dequeued it;
+    // the MS queue's linearization is the hand-off.
+    struct Request {
+        OpKind op;  // tamp-lint: allow(plain-shared-member)
+        K key;
+        V val;
+        // obs::tick() at submit; 0 = stats off
+        std::uint64_t t_submit;  // tamp-lint: allow(plain-shared-member)
+    };
+
+    Pipeline(Store& store, Workload<Store>& workload,
+             WorkStealingPool& pool, std::size_t lanes = 1)
+        : store_(&store), workload_(&workload), pool_(&pool) {
+        lanes_.reserve(lanes == 0 ? 1 : lanes);
+        for (std::size_t i = 0; i < (lanes == 0 ? 1 : lanes); ++i) {
+            lanes_.push_back(std::make_unique<Lane>());
+        }
+    }
+
+    /// Launch one self-rescheduling drainer task per lane.  Each task
+    /// processes a batch then resubmits itself, so pool workers stay
+    /// available for other work between batches.
+    void start() {
+        stop_.store(false, std::memory_order_release);
+        for (std::size_t i = 0; i < lanes_.size(); ++i) {
+            pool_->submit([this, i] { drain_lane(i); });
+        }
+    }
+
+    /// Producer side: enqueue one request (lane picked round-robin by
+    /// the producer's own counter in `lane_hint`).
+    void submit(OpKind op, const K& key, const V& val,
+                std::uint64_t lane_hint) {
+        submitted_.fetch_add(1, std::memory_order_relaxed);
+        lanes_[lane_hint % lanes_.size()]->queue.enqueue(
+            Request{op, key, val, obs::tick()});
+    }
+
+    /// Wait until every submitted request completed.
+    void drain() {
+        SpinWait w;
+        while (completed_.load(std::memory_order_acquire) <
+               submitted_.load(std::memory_order_acquire)) {
+            w.spin();
+        }
+    }
+
+    /// Stop the drainer tasks and quiesce the pool.
+    void stop() {
+        drain();
+        stop_.store(true, std::memory_order_release);
+        pool_->wait_idle();
+    }
+
+    std::uint64_t completed() const {
+        return completed_.load(std::memory_order_acquire);
+    }
+    std::uint64_t submitted() const {
+        return submitted_.load(std::memory_order_acquire);
+    }
+
+  private:
+    struct Lane {
+        LockFreeQueue<Request> queue;
+    };
+
+    void drain_lane(std::size_t i) {
+        constexpr int kBatch = 64;
+        std::vector<std::pair<K, V>> scan_buf;
+        Request r{};
+        for (int n = 0; n < kBatch; ++n) {
+            if (!lanes_[i]->queue.try_dequeue(r)) break;
+            workload_->execute(r.op, r.key, r.val, scan_buf);
+            if (r.t_submit != 0) {
+                obs::record_since<obs::ev::kv_sojourn_ns>(r.t_submit);
+            }
+            completed_.fetch_add(1, std::memory_order_release);
+        }
+        if (!stop_.load(std::memory_order_acquire)) {
+            pool_->submit([this, i] { drain_lane(i); });
+        }
+    }
+
+    Store* const store_;
+    Workload<Store>* const workload_;
+    WorkStealingPool* const pool_;
+    std::vector<std::unique_ptr<Lane>> lanes_;
+    alignas(kCacheLineSize) tamp::atomic<std::uint64_t> submitted_{0};
+    alignas(kCacheLineSize) tamp::atomic<std::uint64_t> completed_{0};
+    tamp::atomic<bool> stop_{false};
+};
+
+}  // namespace tamp::kv

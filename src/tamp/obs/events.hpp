@@ -155,6 +155,41 @@ struct stm_aborts_rival {  // obstruction-free: a rival aborted us
     static constexpr const char* name = "stm.aborts.rival";
 };
 
+// --- KV service (kv/split_ordered_map.hpp, kv/kv_store.hpp) -------------
+// The composition counters: when a p999 sample in BENCH_kv.json needs a
+// cause, these attribute it to resize traffic, CAS retries, or cross-key
+// lock waits (the mu_wait_ns histogram below carries the lock-wait time).
+struct kv_gets {
+    static constexpr const char* name = "kv.gets";
+};
+struct kv_puts {
+    static constexpr const char* name = "kv.puts";
+};
+struct kv_inserts {  // puts that created a key (vs updated in place)
+    static constexpr const char* name = "kv.inserts";
+};
+struct kv_dels {
+    static constexpr const char* name = "kv.dels";
+};
+struct kv_scans {
+    static constexpr const char* name = "kv.scans";
+};
+struct kv_multi_updates {
+    static constexpr const char* name = "kv.multi_updates";
+};
+struct kv_cas_retries {  // failed link/mark CAS attempts across map ops
+    static constexpr const char* name = "kv.cas_retries";
+};
+struct kv_scan_retries {  // scan gate validations that had to re-collect
+    static constexpr const char* name = "kv.scan_retries";
+};
+struct kv_resizes {  // bucket-count doublings (directory CAS wins)
+    static constexpr const char* name = "kv.resizes";
+};
+struct kv_sentinel_installs {  // lazy bucket sentinels linked + published
+    static constexpr const char* name = "kv.sentinel_installs";
+};
+
 // ======================= latency histograms (values in nanoseconds) =====
 
 // --- lock acquire latency (spin/ family: TAS, TTAS, backoff, ALock, CLH,
@@ -204,6 +239,17 @@ struct stm_abort_version_ns {
 };
 struct stm_abort_rival_ns {
     static constexpr const char* name = "stm.abort.rival_ns";
+};
+
+// --- KV service latency (kv/, sampled via obs/timer.hpp) ----------------
+struct kv_op_ns {  // one KvStore get/put/del/scan, end to end
+    static constexpr const char* name = "kv.op_ns";
+};
+struct kv_mu_wait_ns {  // multi_update: stripe-lock acquisition wait
+    static constexpr const char* name = "kv.mu_wait_ns";
+};
+struct kv_sojourn_ns {  // open-loop pipeline: submit -> reply (queue + svc)
+    static constexpr const char* name = "kv.sojourn_ns";
 };
 
 // --- benchmark harness --------------------------------------------------

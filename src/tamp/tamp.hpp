@@ -13,6 +13,7 @@
 #include "tamp/core/core.hpp"
 #include "tamp/counting/counting.hpp"
 #include "tamp/hash/hash.hpp"
+#include "tamp/kv/kv.hpp"
 #include "tamp/lists/lists.hpp"
 #include "tamp/monitor/reentrant.hpp"
 #include "tamp/monitor/rwlock.hpp"

@@ -22,6 +22,7 @@
 #include "tamp/check/check.hpp"
 #include "tamp/counting/combining_tree.hpp"
 #include "tamp/hash/split_ordered.hpp"
+#include "tamp/kv/split_ordered_map.hpp"
 #include "tamp/lists/lockfree_list.hpp"
 #include "tamp/queues/ms_queue.hpp"
 #include "tamp/skiplist/lockfree_skiplist.hpp"
@@ -340,6 +341,75 @@ class BrokenStack {
     std::mutex alloc_mu_;
     std::vector<Node*> allocated_;
 };
+
+// ------------------------------------------------- KV map (tamp::kv)
+
+// KvMapSpec: MapSpec plus atomic scans whose result is the commutative
+// fold digest of the snapshot (tamp/check/specs.hpp).
+TEST(LinearizeSpecs, KvMapScanAcceptedAndRejected) {
+    using Pairs = std::vector<std::pair<std::int64_t, std::int64_t>>;
+    const auto digest = [](const Pairs& p) {
+        return static_cast<std::int64_t>(KvMapSpec::fold(p));
+    };
+    auto h = sequential_history({
+        {Op::kPut, 1, 0},
+        {Op::kPut, 2, 0},
+        {Op::kScan, 0, digest(Pairs{{1, 10}, {2, 20}})},
+    });
+    h[0].arg2 = 10;
+    h[1].arg2 = 20;
+    EXPECT_TRUE(linearize<KvMapSpec>(h).ok());
+
+    // A torn scan: both puts completed before the scan began, yet the
+    // digest reflects only one of them — no single state folds to it.
+    h[2].result = digest(Pairs{{1, 10}});
+    EXPECT_FALSE(linearize<KvMapSpec>(h).linearizable);
+}
+
+TEST(Linearizability, KvSplitOrderedMap) {
+    tamp::kv::SplitOrderedMap<std::int64_t, std::int64_t> map;
+    const std::size_t threads = test_threads(4);
+    const std::size_t ops_per_thread = 120;
+    HistoryRecorder rec(threads, ops_per_thread);
+    run_threads(threads, [&](std::size_t me) {
+        std::mt19937 rng(static_cast<unsigned>(me * 31337 + 7));
+        std::vector<std::pair<std::int64_t, std::int64_t>> buf;
+        for (std::size_t k = 0; k < ops_per_thread; ++k) {
+            const std::int64_t key = rng() % 8;
+            const std::int64_t val = rng() % 100;
+            switch (rng() % 8) {
+                case 0:
+                case 1:
+                case 2:
+                    // Spec put result: was the key already present?
+                    rec.record2(me, Op::kPut, key, val,
+                                [&] { return !map.put(key, val); });
+                    break;
+                case 3:
+                    rec.record(me, Op::kErase, key,
+                               [&] { return map.del(key); });
+                    break;
+                case 4:
+                    rec.record(me, Op::kScan, 0, [&]() -> std::int64_t {
+                        buf.clear();
+                        map.scan(buf);
+                        return static_cast<std::int64_t>(
+                            KvMapSpec::fold(buf));
+                    });
+                    break;
+                default:
+                    rec.record(me, Op::kGet, key, [&]() -> std::int64_t {
+                        auto v = map.get(key);
+                        return v ? *v : kNoValue;
+                    });
+                    break;
+            }
+        }
+    });
+    auto h = rec.history();
+    auto r = linearize<KvMapSpec>(h);
+    EXPECT_TRUE(r.ok()) << r.explain(h);
+}
 
 TEST(Linearizability, DetectsSeededMutation) {
     // The bug needs a lost race to manifest; hammer until the checker

@@ -903,6 +903,168 @@ TEST(SimBugs, QsbrQuiescenceAfterLastUsePassesExhaustively) {
     EXPECT_TRUE(res.exhausted);
 }
 
+// ===========================================================================
+// Bug 9 — split-ordered lazy bucket init with the publish order flipped:
+// the initializer CAS-publishes its sentinel into the directory cell
+// *before* linking it into the parent's chain (tamp::kv's get_bucket
+// does the opposite — tests/sim_test.cpp proves that order).  A rival
+// inserter that reads the published cell starts its insert from a
+// sentinel whose next pointer is still null, links its data node there,
+// and then the initializer's own link step blindly re-stores the
+// sentinel's next while splicing it into the chain — wiping the rival's
+// node out of the only list there is.  The key is gone and no future
+// operation can see it.
+// ===========================================================================
+
+// Miniature two-bucket split table: one insert-only sorted list (no
+// marks, no reclamation — the publish protocol is the whole subject),
+// keys already in split order.  `PublishFirst` selects the seeded twin.
+template <bool PublishFirst>
+class MiniSplitTable {
+    struct Node {
+        std::uint64_t so_key = 0;
+        tamp::atomic<Node*> next{nullptr};
+    };
+
+  public:
+    MiniSplitTable() {
+        head_.so_key = 0;  // bucket 0's sentinel, eagerly installed
+        bucket1_.store(nullptr, std::memory_order_relaxed);
+    }
+
+    ~MiniSplitTable() {
+        // Every node lives in a fixed slot below; nothing to free.  (A
+        // wiped data node is *unreachable*, not leaked.)
+    }
+
+    /// Insert a pre-split-ordered odd key that hashes to bucket 1.
+    /// `slot` is this thread's preallocated data node.
+    void insert_via_bucket1(std::uint64_t so, Node* slot) {
+        slot->so_key = so;
+        Node* sentinel = get_bucket1();
+        list_insert(sentinel, slot);
+    }
+
+    /// Is `so` reachable from the head sentinel?  Reachability from
+    /// head_ is the correctness property: split ordering has exactly
+    /// one list, and a node a full traversal cannot see exists for no
+    /// reader at all.
+    bool contains(std::uint64_t so) {
+        for (Node* n = head_.next.load(std::memory_order_acquire);
+             n != nullptr; n = n->next.load(std::memory_order_acquire)) {
+            if (n->so_key == so) return true;
+        }
+        return false;
+    }
+
+    Node* data_slot(int i) { return &data_[i]; }
+
+  private:
+    /// Lazy init of bucket 1, fixed or seeded order per PublishFirst.
+    Node* get_bucket1() {
+        Node* s = bucket1_.load(std::memory_order_acquire);
+        if (s != nullptr) return s;
+        Node* mine = &sentinels_[sentinel_claims_.fetch_add(
+            1, std::memory_order_relaxed)];
+        mine->so_key = kSentinel1;
+        if constexpr (PublishFirst) {
+            // BUG: directory cell first, chain link second.  Between
+            // the two, the sentinel is visible with next == nullptr.
+            Node* expected = nullptr;
+            if (bucket1_.compare_exchange_strong(
+                    expected, mine, std::memory_order_acq_rel,
+                    std::memory_order_acquire)) {
+                list_insert(&head_, mine);
+                return mine;
+            }
+            return expected;  // lost the publish; rival's sentinel rules
+        } else {
+            // Fixed order (what tamp::kv ships): link into the parent's
+            // chain, then publish whichever sentinel is resident.
+            Node* resident = list_insert(&head_, mine);
+            Node* expected = nullptr;
+            bucket1_.compare_exchange_strong(expected, resident,
+                                             std::memory_order_acq_rel,
+                                             std::memory_order_acquire);
+            return bucket1_.load(std::memory_order_acquire);
+        }
+    }
+
+    /// Sorted insert from `start`; returns the resident node for the
+    /// key (the argument, or the twin already in place).
+    Node* list_insert(Node* start, Node* node) {
+        for (;;) {
+            Node* pred = start;
+            Node* curr = pred->next.load(std::memory_order_acquire);
+            while (curr != nullptr && curr->so_key < node->so_key) {
+                pred = curr;
+                curr = curr->next.load(std::memory_order_acquire);
+            }
+            if (curr != nullptr && curr->so_key == node->so_key) {
+                return curr;
+            }
+            // In the seeded twin this store is the murder weapon: a
+            // rival may have hung its data node off `node` already.
+            node->next.store(curr, std::memory_order_relaxed);
+            if (pred->next.compare_exchange_strong(
+                    curr, node, std::memory_order_release,
+                    std::memory_order_acquire)) {
+                return node;
+            }
+        }
+    }
+
+    static constexpr std::uint64_t kSentinel1 = std::uint64_t{1} << 63;
+
+    Node head_;
+    tamp::atomic<Node*> bucket1_;
+    tamp::atomic<int> sentinel_claims_{0};
+    std::array<Node, 2> sentinels_{};
+    std::array<Node, 2> data_{};
+};
+
+// Split-order images of keys 1 and 3 (both hash to bucket 1 of 2):
+// reverse_bits64(k) | 1.
+constexpr std::uint64_t kSoKey1 = (std::uint64_t{1} << 63) | 1;
+constexpr std::uint64_t kSoKey3 = (std::uint64_t{3} << 62) | 1;
+
+template <bool PublishFirst>
+void racing_bucket_init_body() {
+    MiniSplitTable<PublishFirst> t;
+    sim::thread a(
+        [&] { t.insert_via_bucket1(kSoKey3, t.data_slot(0)); });
+    sim::thread b(
+        [&] { t.insert_via_bucket1(kSoKey1, t.data_slot(1)); });
+    a.join();
+    b.join();
+    sim::assert_always(t.contains(kSoKey1) && t.contains(kSoKey3),
+                       "published-before-linked sentinel wiped an insert");
+}
+
+TEST(SimBugs, SentinelPublishedBeforeLinkLosesRivalInsert) {
+    sim::ExploreOptions opts;
+    opts.print_on_failure = false;
+    const auto res = sim::explore(opts, racing_bucket_init_body<true>);
+    ASSERT_FALSE(res.ok) << "seeded bug not found in " << res.executions
+                         << " executions";
+    EXPECT_EQ(res.kind, sim::ViolationKind::kAssert);
+
+    const auto again =
+        sim::replay(opts, res, racing_bucket_init_body<true>);
+    EXPECT_FALSE(again.ok);
+    EXPECT_EQ(again.kind, res.kind);
+    EXPECT_EQ(again.trace, res.trace);
+}
+
+// The fixed twin — link before publish, exactly tamp::kv's order —
+// survives the same exploration exhaustively.
+TEST(SimBugs, SentinelLinkedBeforePublishPassesExhaustively) {
+    sim::ExploreOptions opts;
+    const auto res = sim::explore(opts, racing_bucket_init_body<false>);
+    EXPECT_TRUE(res.ok) << res.message;
+    EXPECT_TRUE(res.exhausted);
+}
+
 }  // namespace
 
 #endif  // TAMP_SIM

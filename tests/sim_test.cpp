@@ -30,6 +30,7 @@ TEST(Sim, RequiresTampSimBuild) {
 
 #include "tamp/check/recorder.hpp"
 #include "tamp/check/specs.hpp"
+#include "tamp/kv/split_ordered_map.hpp"
 #include "tamp/mutex/peterson.hpp"
 #include "tamp/queues/ms_queue.hpp"
 #include "tamp/spin/tas.hpp"
@@ -688,6 +689,106 @@ TEST(SimDpor, MatchesBruteForceVerdictsWithFewerSchedules) {
             std::fclose(f);
         }
     }
+}
+
+// ---------------------------------------------------------------------------
+// tamp::kv — lazy bucket init: sentinels are linked before published
+// ---------------------------------------------------------------------------
+
+// Reclamation stub for the exploration: the pure-insert workload below
+// never retires a node, so the substrate only has to satisfy the
+// concept without adding shared steps of its own (ebr's epoch counters
+// would multiply the schedule space without touching the property).
+struct NullReclaim {
+    static constexpr bool kProtects = false;
+    struct guard {
+        guard() = default;
+        guard(const guard&) = delete;
+        guard& operator=(const guard&) = delete;
+    };
+    static void retire(void* p, void (*del)(void*)) { del(p); }
+    template <typename T>
+    static void retire(T* p) { delete p; }
+    static void quiescent() {}
+    static std::size_t pending() { return 0; }
+    static void drain() {}
+    static const char* name() { return "null"; }
+};
+
+// Identity hashing pins keys to known buckets so the schedule space is
+// exactly the publish protocol, not the hash mixer.
+struct IdentityKeyOf {
+    std::uint64_t operator()(std::uint64_t k) const { return k; }
+};
+
+using SimKvMap = tamp::kv::SplitOrderedMap<std::uint64_t, std::uint64_t,
+                                           IdentityKeyOf, NullReclaim>;
+
+// The protocol under proof (split_ordered_map.hpp, get_bucket): a
+// lazily-installed sentinel is linked into its parent's chain *before*
+// the directory cell is CAS-published.  With identity hashing over the
+// 16 initial buckets, key 1 lives in bucket 1 and key 3 in bucket 3,
+// whose parent is bucket 1 — so inserter A reaches initialize_bucket(1)
+// through the recursion while inserter B hits it directly, and the
+// explorer drives every interleaving of the two installs (including
+// both threads building rival sentinels and one losing the publish
+// CAS).  If either inserter could see a published-but-unlinked
+// sentinel, its key would be linked behind a node unreachable from
+// head_ and the post-join reads would miss it
+// (tests/sim_bugs_test.cpp seeds exactly that twin).
+TEST(SimKv, RacingLazyBucketInitsSeeFullyLinkedSentinels) {
+    sim::ExploreOptions opts;
+    opts.max_executions = 20000;
+    auto res = sim::explore(opts, [] {
+        SimKvMap map;
+        sim::thread a([&] { map.put(3, 30); });
+        sim::thread b([&] { map.put(1, 10); });
+        a.join();
+        b.join();
+        sim::assert_always(map.get(1).value_or(0) == 10 &&
+                               map.get(3).value_or(0) == 30,
+                           "a key vanished after the sentinel race");
+        sim::assert_always(map.size() == 2, "size() drifted");
+        std::vector<std::pair<std::uint64_t, std::uint64_t>> snap;
+        sim::assert_always(map.scan(snap) == 2, "scan missed a key");
+    });
+    EXPECT_TRUE(res.ok) << res.message;
+    EXPECT_GT(res.executions, 1);
+}
+
+// The same machinery against the map spec: concurrent put/get/scan over
+// the racing-buckets workload must stay linearizable, with the scan
+// digest folding an actual snapshot (the gate protocol under proof).
+TEST(SimKv, MapWithScansLinearizesUnderExploration) {
+    using tamp::check::KvMapSpec;
+    sim::ExploreOptions opts;
+    opts.max_executions = 20000;
+    auto res = sim::explore(opts, [] {
+        SimKvMap map;
+        HistoryRecorder rec(2);
+        sim::thread a([&] {
+            rec.record2(0, Op::kPut, 3, 30,
+                        [&] { return !map.put(3, 30); });
+            rec.record(0, Op::kScan, 0, [&]() -> std::int64_t {
+                std::vector<std::pair<std::uint64_t, std::uint64_t>> buf;
+                map.scan(buf);
+                return static_cast<std::int64_t>(KvMapSpec::fold(buf));
+            });
+        });
+        sim::thread b([&] {
+            rec.record2(1, Op::kPut, 1, 10,
+                        [&] { return !map.put(1, 10); });
+            rec.record(1, Op::kGet, 1, [&]() -> std::int64_t {
+                auto v = map.get(1);
+                return v ? static_cast<std::int64_t>(*v) : kNoValue;
+            });
+        });
+        a.join();
+        b.join();
+        sim::expect_linearizable<KvMapSpec>(rec);
+    });
+    EXPECT_TRUE(res.ok) << res.message;
+    EXPECT_GT(res.executions, 1);
 }
 
 }  // namespace

@@ -33,7 +33,7 @@ follow (see README "Correctness tooling"):
 
   raw-atomic           direct std::atomic / std::atomic_flag inside the
                        facade-migrated families (src/tamp/{mutex,spin,
-                       stacks,queues,lists}/).  Those families declare
+                       stacks,queues,lists,kv}/).  Those families declare
                        shared state as tamp::atomic (tamp/sim/atomic.hpp)
                        so the TAMP_SIM model checker can schedule every
                        access; a raw std::atomic is invisible to the
@@ -152,7 +152,7 @@ RULES = {
 
 # Directories (under src/tamp/) whose families have been migrated onto the
 # tamp::atomic facade; the raw-atomic rule fires only inside these.
-FACADE_DIRS = ("mutex", "spin", "stacks", "queues", "lists")
+FACADE_DIRS = ("mutex", "spin", "stacks", "queues", "lists", "kv")
 
 
 def in_facade_scope(path):
@@ -715,6 +715,7 @@ SELF_TEST_CASES = [
      "namespace tamp::obs::ev {\n"
      "struct spin_acquires { static constexpr const char* n = \"a\"; };\n"
      "struct spin_acquire_ns { static constexpr const char* n = \"b\"; };\n"
+     "struct kv_gets { static constexpr const char* n = \"c\"; };\n"
      "}\n",
      set()),
 
@@ -1003,6 +1004,52 @@ SELF_TEST_CASES = [
      "// tamp-lint: allow(direct-reclaim-include)\n"
      "#include \"tamp/reclaim/epoch.hpp\"\n",
      set()),
+
+    # ---- kv/ joined FACADE_DIRS with the KV-service PR: the facade
+    # rules fire there like in any migrated family ---------------------
+    ("src/tamp/kv/raw_and_plain.hpp",
+     "#include <atomic>\n"
+     "class M {\n"
+     "    struct Node {\n"
+     "        std::uint64_t so_key;\n"
+     "        Node* next;\n"
+     "    };\n"
+     "    std::atomic<std::uint64_t> gate_{0};\n"
+     "};\n",
+     {(4, "plain-shared-member"), (5, "plain-shared-member"),
+      (7, "raw-atomic")}),
+
+    # The shapes the real kv headers use: const keys, tamp::atomic
+    # values, marked pointers, owning containers — all clean.
+    ("src/tamp/kv/clean.hpp",
+     "#include \"tamp/sim/atomic.hpp\"\n"
+     "class M {\n"
+     "    struct Node {\n"
+     "        const std::uint64_t so_key;\n"
+     "        tamp::atomic<int> value;\n"
+     "        AtomicMarkedPtr<Node> next;\n"
+     "    };\n"
+     "    const std::size_t max_load_;\n"
+     "    Node* const head_ = nullptr;\n"
+     "    tamp::atomic<std::uint64_t> gate_{0};\n"
+     "    std::vector<int> shards_;\n"
+     "};\n",
+     set()),
+
+    # kv consumes reclamation through the domain concept only.
+    ("src/tamp/kv/hardwired.hpp",
+     "#include \"tamp/reclaim/epoch.hpp\"\n"
+     "#include \"tamp/reclaim/domain.hpp\"\n",
+     {(1, "direct-reclaim-include")}),
+
+    # kv telemetry tags must live in the shared events.hpp vocabulary.
+    ("src/tamp/kv/tags.hpp",
+     "#include \"tamp/obs/events.hpp\"\n"
+     "inline void f() {\n"
+     "    obs::counter<obs::ev::kv_gets>::inc();\n"
+     "    obs::counter<obs::ev::kv_adhoc>::inc();\n"
+     "}\n",
+     {(4, "obs-tag-registered")}),
 ]
 
 
